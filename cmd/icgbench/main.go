@@ -1,0 +1,91 @@
+// Command icgbench regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated substrates. Each experiment prints rows
+// mirroring the corresponding figure; latencies are reported in model time
+// (the paper's axes) regardless of the -scale speedup.
+//
+// Usage:
+//
+//	icgbench -exp fig5            # one experiment
+//	icgbench -exp all -quick      # smoke-run everything
+//	icgbench -exp fig6 -scale 0.5 # slower, more accurate
+//
+// Experiments: fig5 (single-request latency), fig6 (YCSB latency vs
+// throughput), fig7 (divergence), fig8 (bandwidth), fig9 (ZK latency gaps),
+// fig10 (dequeue bandwidth), fig11 (speculation case studies), fig12
+// (ticket selling).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"correctables/internal/bench"
+)
+
+var experiments = map[string]func(bench.Config) string{
+	"fig5":  func(c bench.Config) string { return bench.FormatFig5(bench.Fig5(c)) },
+	"fig6":  func(c bench.Config) string { return bench.FormatFig6(bench.Fig6(c)) },
+	"fig7":  func(c bench.Config) string { return bench.FormatFig7(bench.Fig7(c)) },
+	"fig8":  func(c bench.Config) string { return bench.FormatFig8(bench.Fig8(c)) },
+	"fig9":  func(c bench.Config) string { return bench.FormatFig9(bench.Fig9(c)) },
+	"fig10": func(c bench.Config) string { return bench.FormatFig10(bench.Fig10(c)) },
+	"fig11": func(c bench.Config) string { return bench.FormatFig11(bench.Fig11(c)) },
+	"fig12": func(c bench.Config) string { return bench.FormatFig12(bench.Fig12(c)) },
+	// Ablations beyond the paper's figures (run via -exp ablations).
+	"ablations": func(c bench.Config) string {
+		return bench.FormatAblationLag(bench.AblationReplicationLag(c)) +
+			bench.FormatAblationFlush(bench.AblationFlushCost(c))
+	},
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run (fig5..fig12, or 'all')")
+		scale = flag.Float64("scale", 0.25, "model-to-wall time scale (1.0 = real time)")
+		seed  = flag.Int64("seed", 42, "random seed")
+		quick = flag.Bool("quick", false, "reduced samples/durations (smoke run)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+
+	var names []string
+	if *exp == "all" {
+		// The paper's figures in order; ablations are opt-in (-exp ablations).
+		for name := range experiments {
+			if name != "ablations" {
+				names = append(names, name)
+			}
+		}
+		sort.Slice(names, func(i, j int) bool {
+			// fig5 < fig6 < ... < fig10 < fig11 < fig12 (numeric order).
+			return figNum(names[i]) < figNum(names[j])
+		})
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := experiments[name]; !ok {
+				fmt.Fprintf(os.Stderr, "icgbench: unknown experiment %q (have fig5..fig12)\n", name)
+				os.Exit(2)
+			}
+			names = append(names, name)
+		}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		out := experiments[name](cfg)
+		fmt.Print(out)
+		fmt.Printf("-- %s completed in %v (wall)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func figNum(name string) int {
+	var n int
+	fmt.Sscanf(name, "fig%d", &n)
+	return n
+}

@@ -1,0 +1,138 @@
+// Package correctables is the public API of the Correctables library: an
+// abstraction for programming and speculating with replicated objects,
+// reproducing "Incremental Consistency Guarantees for Replicated Objects"
+// (Guerraoui, Pavlovic, Seredinschi — OSDI 2016).
+//
+// # Overview
+//
+// A Correctable generalizes a Promise: instead of one future value it
+// represents several incremental views of the result of one operation on a
+// replicated object, each view satisfying a stronger consistency level than
+// the previous. Applications obtain Correctables through a Client bound to
+// a storage binding:
+//
+//	client := correctables.NewClient(myBinding)
+//
+//	// Single-level access, one view:
+//	c := client.InvokeWeak(ctx, correctables.Get{Key: "user:42"})
+//	c := client.InvokeStrong(ctx, correctables.Get{Key: "user:42"})
+//
+//	// Incremental consistency guarantees (ICG), one view per level:
+//	client.Invoke(ctx, correctables.Get{Key: "ads:7"}).
+//		Speculate(fetchAds, nil).
+//		OnFinal(func(v correctables.View) { deliver(v.Value) })
+//
+// Speculate hides the latency of strong consistency: the speculation
+// function runs on the preliminary (fast, possibly stale) view, and is
+// automatically re-executed if the final view diverges.
+//
+// # Bindings
+//
+// A binding encapsulates everything storage-specific (§5 of the paper):
+// quorum sizes, cache coherence, leader forwarding. This repository ships
+// bindings for a quorum-replicated key-value store modeled on Cassandra
+// (internal/cassandra), a replicated queue service modeled on ZooKeeper
+// (internal/zk), a causally consistent store with a client-side cache
+// (internal/causal), and a confirmation-tracking blockchain
+// (internal/chain). Implement the Binding interface to add another store.
+package correctables
+
+import (
+	"correctables/internal/binding"
+	"correctables/internal/core"
+)
+
+// Core types re-exported from the implementation packages.
+type (
+	// Correctable represents the progressively improving result of an
+	// operation on a replicated object.
+	Correctable = core.Correctable
+	// Controller is the producer-side handle used by bindings and tests.
+	Controller = core.Controller
+	// View is one incremental view: a value plus its consistency level.
+	View = core.View
+	// Level identifies a consistency level.
+	Level = core.Level
+	// Levels is an ordered set of consistency levels.
+	Levels = core.Levels
+	// State is a Correctable lifecycle state.
+	State = core.State
+	// Callbacks bundles the OnUpdate/OnFinal/OnError callbacks.
+	Callbacks = core.Callbacks
+	// SpecFunc is a speculation function (see Correctable.Speculate).
+	SpecFunc = core.SpecFunc
+	// AbortFunc undoes a superseded speculation's side effects.
+	AbortFunc = core.AbortFunc
+	// Equaler customizes divergence checks for view values.
+	Equaler = core.Equaler
+
+	// Client is the application-facing, consistency-based interface.
+	Client = binding.Client
+	// Binding is the storage-binding interface (§5.1).
+	Binding = binding.Binding
+	// Operation is a request against a replicated object.
+	Operation = binding.Operation
+	// Result is one binding response.
+	Result = binding.Result
+	// Callback receives incremental results from a binding.
+	Callback = binding.Callback
+
+	// Get reads a key. Put writes a key. Enqueue/Dequeue operate on
+	// replicated queue objects.
+	Get     = binding.Get
+	Put     = binding.Put
+	Enqueue = binding.Enqueue
+	Dequeue = binding.Dequeue
+)
+
+// Consistency levels, weakest to strongest.
+const (
+	LevelNone   = core.LevelNone
+	LevelCache  = core.LevelCache
+	LevelWeak   = core.LevelWeak
+	LevelCausal = core.LevelCausal
+	LevelStrong = core.LevelStrong
+)
+
+// Correctable lifecycle states (Figure 3 of the paper).
+const (
+	StateUpdating = core.StateUpdating
+	StateFinal    = core.StateFinal
+	StateError    = core.StateError
+)
+
+// Errors.
+var (
+	// ErrClosed is returned by Controller methods after closure.
+	ErrClosed = core.ErrClosed
+	// ErrNoView is returned when waiting for a level that never arrives.
+	ErrNoView = core.ErrNoView
+	// ErrUnsupportedOperation is wrapped by bindings rejecting an operation.
+	ErrUnsupportedOperation = binding.ErrUnsupportedOperation
+	// ErrUnsupportedLevel is wrapped by bindings rejecting a level.
+	ErrUnsupportedLevel = binding.ErrUnsupportedLevel
+)
+
+// NewClient wraps a binding in the application-facing Client.
+func NewClient(b Binding) *Client { return binding.NewClient(b) }
+
+// New creates an unresolved Correctable and its Controller (for binding
+// implementations and tests).
+func New() (*Correctable, *Controller) { return core.New() }
+
+// All aggregates several Correctables: updates carry the latest values of
+// every child; the aggregate closes when all children have.
+func All(cs ...*Correctable) *Correctable { return core.All(cs...) }
+
+// Any mirrors whichever Correctable closes first.
+func Any(cs ...*Correctable) *Correctable { return core.Any(cs...) }
+
+// Resolved returns an already-final Correctable.
+func Resolved(value interface{}, level Level) *Correctable { return core.Resolved(value, level) }
+
+// Failed returns an already-errored Correctable.
+func Failed(err error) *Correctable { return core.Failed(err) }
+
+// ValuesEqual reports view-value equality as used for confirmation and
+// misspeculation detection.
+func ValuesEqual(a, b interface{}) bool { return core.ValuesEqual(a, b) }

@@ -1,0 +1,152 @@
+package correctables_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"correctables"
+	"correctables/internal/cassandra"
+	"correctables/internal/netsim"
+	"correctables/internal/zk"
+)
+
+// newFacadeCluster builds a small CC deployment for facade-level tests.
+func newFacadeCluster(t *testing.T) *correctables.Client {
+	t.Helper()
+	clock := netsim.NewClock(0.1)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	cluster, err := cassandra.NewCluster(cassandra.Config{
+		Regions:          []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		Transport:        tr,
+		Correctable:      true,
+		ConfirmationOpt:  true,
+		ReadServiceTime:  50 * time.Microsecond,
+		WriteServiceTime: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Preload("k", []byte("v"))
+	return correctables.NewClient(cassandra.NewBinding(
+		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	client := newFacadeCluster(t)
+	ctx := context.Background()
+
+	cor := client.Invoke(ctx, correctables.Get{Key: "k"})
+	v, err := cor.Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Level != correctables.LevelStrong || string(v.Value.([]byte)) != "v" {
+		t.Errorf("final = %+v", v)
+	}
+	views := cor.Views()
+	if len(views) != 2 || views[0].Level != correctables.LevelWeak {
+		t.Errorf("views = %+v", views)
+	}
+	if cor.State() != correctables.StateFinal {
+		t.Errorf("state = %v", cor.State())
+	}
+}
+
+func TestFacadeSpeculate(t *testing.T) {
+	client := newFacadeCluster(t)
+	ctx := context.Background()
+	out := client.Invoke(ctx, correctables.Get{Key: "k"}).
+		Speculate(func(v correctables.View) (interface{}, error) {
+			return "spec:" + string(v.Value.([]byte)), nil
+		}, nil)
+	v, err := out.Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != "spec:v" {
+		t.Errorf("speculation result = %v", v.Value)
+	}
+}
+
+func TestFacadeCombinators(t *testing.T) {
+	r1 := correctables.Resolved(1, correctables.LevelStrong)
+	r2 := correctables.Resolved(2, correctables.LevelStrong)
+	all, err := correctables.All(r1, r2).Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := all.Value.([]interface{})
+	if vals[0] != 1 || vals[1] != 2 {
+		t.Errorf("All = %v", vals)
+	}
+	any, err := correctables.Any(r1, r2).Final(context.Background())
+	if err != nil || (any.Value != 1 && any.Value != 2) {
+		t.Errorf("Any = %v, %v", any.Value, err)
+	}
+	boom := errors.New("x")
+	if _, err := correctables.Failed(boom).Final(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("Failed = %v", err)
+	}
+	if !correctables.ValuesEqual([]byte("a"), []byte("a")) {
+		t.Error("ValuesEqual broken")
+	}
+}
+
+func TestFacadeControllerAndErrors(t *testing.T) {
+	cor, ctrl := correctables.New()
+	if err := ctrl.Update("p", correctables.LevelWeak); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Close("f", correctables.LevelStrong); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Close("again", correctables.LevelStrong); !errors.Is(err, correctables.ErrClosed) {
+		t.Errorf("second close = %v", err)
+	}
+	if _, err := cor.WaitLevel(context.Background(), correctables.LevelStrong); err != nil {
+		t.Errorf("WaitLevel = %v", err)
+	}
+}
+
+func TestFacadeQueueOps(t *testing.T) {
+	clock := netsim.NewClock(0.1)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	e, err := zk.NewEnsemble(zk.Config{
+		Regions:      []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		LeaderRegion: netsim.IRL,
+		Transport:    tr,
+		Correctable:  true,
+		ServiceTime:  50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Bootstrap(zk.CreateTxn{Path: "/queues"})
+	e.Bootstrap(zk.CreateTxn{Path: "/queues/q"})
+	client := correctables.NewClient(zk.NewBinding(zk.NewQueueClient(e, netsim.IRL, netsim.FRK)))
+	ctx := context.Background()
+
+	if _, err := client.Invoke(ctx, correctables.Enqueue{Queue: "q", Item: []byte("x")}).Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.Invoke(ctx, correctables.Dequeue{Queue: "q"}).Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.Value.(zk.QueueResult)
+	if res.Element == nil || string(res.Element.Data) != "x" {
+		t.Errorf("dequeue = %+v", res)
+	}
+}
+
+func TestFacadeLevelOrdering(t *testing.T) {
+	if !correctables.LevelStrong.StrongerThan(correctables.LevelWeak) {
+		t.Error("level ordering broken")
+	}
+	ls := correctables.Levels{correctables.LevelStrong, correctables.LevelCache}
+	if ls.Weakest() != correctables.LevelCache || ls.Strongest() != correctables.LevelStrong {
+		t.Error("Levels helpers broken")
+	}
+}

@@ -1,0 +1,63 @@
+// Blockchain confirmations as incremental views (paper §4.5).
+//
+// A Correctable is not limited to two views: this example tracks a
+// simulated ledger transaction through six confirmations. Each new block
+// deepens the transaction and triggers an update; at depth six the
+// transaction is irrevocable with high probability and the Correctable
+// closes with a strong view — same interface, arbitrarily many views.
+//
+// Run with: go run ./examples/blockchain
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"correctables"
+	"correctables/internal/chain"
+	"correctables/internal/netsim"
+)
+
+func main() {
+	clock := netsim.NewClock(1.0)
+	transport := netsim.NewTransport(clock, netsim.DefaultLatencies(), nil, 9)
+	ledger, err := chain.New(chain.Config{
+		Transport:     transport,
+		BlockInterval: 300 * time.Millisecond, // Bitcoin: 10 minutes; same shape
+		Seed:          9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ledger.Stop()
+
+	const depth = 6
+	client := correctables.NewClient(chain.NewBinding(ledger, depth))
+	start := time.Now()
+
+	fmt.Printf("submitting payment; waiting for %d confirmations...\n", depth)
+	cor := client.Invoke(context.Background(), chain.SubmitTx{ID: "pay-coffee", Data: []byte("0.0042 BTC")})
+	cor.OnUpdate(func(v correctables.View) {
+		st := v.Value.(chain.TxStatus)
+		bar := ""
+		for i := 0; i < st.Confirmations; i++ {
+			bar += "#"
+		}
+		fmt.Printf("[%7v] %-6s %-6s confirmations: %d %s\n",
+			time.Since(start).Round(10*time.Millisecond), v.Level, state(v), st.Confirmations, bar)
+	})
+	if _, err := cor.Final(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe merchant could hand over the coffee at 1 confirmation (weak view)")
+	fmt.Println("and reconcile at 6 (strong view) — speculation over incremental trust.")
+}
+
+func state(v correctables.View) string {
+	if v.Final {
+		return "FINAL"
+	}
+	return "update"
+}

@@ -1,0 +1,187 @@
+package correctables_test
+
+// Integration tests spanning the full stack: Correctables client ->
+// binding -> simulated store, under concurrent writers. These assert the
+// semantic invariants ICG promises, independent of timing.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"correctables"
+	"correctables/internal/cassandra"
+	"correctables/internal/netsim"
+)
+
+func newIntegrationCluster(t *testing.T) *cassandra.Cluster {
+	t.Helper()
+	clock := netsim.NewClock(0.05)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 11)
+	cluster, err := cassandra.NewCluster(cassandra.Config{
+		Regions:          []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		Transport:        tr,
+		Correctable:      true,
+		ConfirmationOpt:  true,
+		ReadServiceTime:  100 * time.Microsecond,
+		WriteServiceTime: 100 * time.Microsecond,
+		Workers:          16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+// TestInvariantFinalNeverOlderThanPreliminary: within a single ICG read,
+// the final view reconciles the preliminary's replica with the quorum, so
+// the final value version is always >= the preliminary's — even under
+// heavy concurrent writing.
+func TestInvariantFinalNeverOlderThanPreliminary(t *testing.T) {
+	cluster := newIntegrationCluster(t)
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		cluster.Preload(fmt.Sprintf("k%d", i), []byte("v0"))
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			regions := []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG}
+			client := cassandra.NewClient(cluster, regions[w], regions[w])
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("k%d", i%keys)
+				_ = client.Write(key, []byte(fmt.Sprintf("w%d-%d", w, i)), 1)
+			}
+		}()
+	}
+
+	reader := cassandra.NewClient(cluster, netsim.IRL, netsim.FRK)
+	for i := 0; i < 40; i++ {
+		var prelim, final cassandra.ReadView
+		key := fmt.Sprintf("k%d", i%keys)
+		if err := reader.Read(key, 2, true, func(v cassandra.ReadView) {
+			if v.Final {
+				final = v
+			} else {
+				prelim = v
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if prelim.Version.Newer(final.Version) {
+			t.Fatalf("read %d: preliminary version %+v newer than final %+v",
+				i, prelim.Version, final.Version)
+		}
+		if final.Confirmed && !prelim.Version.Same(final.Version) {
+			t.Fatalf("read %d: confirmed final with differing version", i)
+		}
+		if !final.Confirmed && prelim.Version.Same(final.Version) {
+			t.Fatalf("read %d: unconfirmed final despite identical versions", i)
+		}
+	}
+	close(stop)
+	writers.Wait()
+}
+
+// TestInvariantSpeculationEquivalentToBaseline: for any key state, a
+// speculative ICG read post-processed via Speculate must produce exactly
+// the value a strong read plus sequential post-processing produces.
+func TestInvariantSpeculationEquivalentToBaseline(t *testing.T) {
+	cluster := newIntegrationCluster(t)
+	client := correctables.NewClient(cassandra.NewBinding(
+		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
+	ctx := context.Background()
+
+	process := func(v correctables.View) (interface{}, error) {
+		return "processed:" + string(v.Value.([]byte)), nil
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("key%d", i)
+		cluster.Preload(key, []byte(fmt.Sprintf("value%d", i)))
+
+		spec, err := client.Invoke(ctx, correctables.Get{Key: key}).
+			Speculate(process, nil).Final(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strong, err := client.InvokeStrong(ctx, correctables.Get{Key: key}).Final(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline, err := process(strong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Value != baseline {
+			t.Errorf("key %s: speculative %v != baseline %v", key, spec.Value, baseline)
+		}
+	}
+}
+
+// TestInvariantWeakStrongAgreeOnQuiescentData: with no writes in flight,
+// every level of every API method returns the same value.
+func TestInvariantWeakStrongAgreeOnQuiescentData(t *testing.T) {
+	cluster := newIntegrationCluster(t)
+	cluster.Preload("q", []byte("settled"))
+	client := correctables.NewClient(cassandra.NewBinding(
+		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
+	ctx := context.Background()
+
+	weak, err := client.InvokeWeak(ctx, correctables.Get{Key: "q"}).Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := client.InvokeStrong(ctx, correctables.Get{Key: "q"}).Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icg := client.Invoke(ctx, correctables.Get{Key: "q"})
+	final, err := icg.Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range [][]byte{weak.Value.([]byte), strong.Value.([]byte), final.Value.([]byte)} {
+		if string(v) != "settled" {
+			t.Errorf("level disagreement: %q", v)
+		}
+	}
+	for _, v := range icg.Views() {
+		if string(v.Value.([]byte)) != "settled" {
+			t.Errorf("ICG view disagreement: %q", v.Value)
+		}
+	}
+}
+
+// TestInvariantWritesEventuallyVisibleEverywhere: a W=1 write converges to
+// every replica (and hence to weak reads through any coordinator).
+func TestInvariantWritesEventuallyVisibleEverywhere(t *testing.T) {
+	cluster := newIntegrationCluster(t)
+	writer := cassandra.NewClient(cluster, netsim.IRL, netsim.IRL)
+	if err := writer.Write("conv", []byte("done"), 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, region := range cluster.Regions() {
+		for {
+			if v := cluster.Replica(region).Get("conv"); string(v.Value) == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never converged", region)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

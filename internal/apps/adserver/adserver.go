@@ -1,0 +1,248 @@
+// Package adserver implements the paper's advertising case study (§4.2,
+// Listing 4; evaluated in §6.3.1 / Fig 11): serving personalized ads
+// requires first reading a per-user list of ad references, then fetching
+// the referenced ads. Freshness matters (ads follow fluctuating user
+// interests) but so does latency (ads are revenue), putting the system in
+// the paper's "gray zone".
+//
+// With ICG, FetchAdsByUserID reads the reference list with invoke() and
+// speculatively prefetches ad content on the preliminary view; if the final
+// view confirms it (the common case), the strong-consistency latency is
+// hidden behind the prefetch.
+package adserver
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/cassandra"
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+// Dataset shape from the paper: 100k user profiles, 230k ads, each profile
+// referencing 1..40 ads.
+const (
+	DefaultProfiles   = 100_000
+	DefaultAds        = 230_000
+	DefaultMaxRefs    = 40
+	DefaultAdBodySize = 600
+)
+
+// ProfileKey / AdKey are the storage schema.
+func ProfileKey(uid int) string { return fmt.Sprintf("profile:%07d", uid) }
+func AdKey(ref string) string   { return "ad:" + ref }
+func adRefName(i int) string    { return fmt.Sprintf("a%06d", i) }
+func encodeRefs(rs []string) []byte {
+	return []byte(strings.Join(rs, ","))
+}
+func decodeRefs(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	return strings.Split(string(b), ",")
+}
+
+// LoadOptions sizes the synthetic dataset.
+type LoadOptions struct {
+	Profiles, Ads, MaxRefs, AdBodySize int
+	Seed                               int64
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Profiles == 0 {
+		o.Profiles = DefaultProfiles
+	}
+	if o.Ads == 0 {
+		o.Ads = DefaultAds
+	}
+	if o.MaxRefs == 0 {
+		o.MaxRefs = DefaultMaxRefs
+	}
+	if o.AdBodySize == 0 {
+		o.AdBodySize = DefaultAdBodySize
+	}
+	return o
+}
+
+// Load preloads a synthetic ad dataset into the cluster (no protocol
+// traffic): ads with deterministic bodies, profiles referencing 1..MaxRefs
+// random ads, matching the paper's dataset shape.
+func Load(cluster *cassandra.Cluster, opts LoadOptions) LoadOptions {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed + 3))
+	body := make([]byte, opts.AdBodySize)
+	for i := range body {
+		body[i] = byte('A' + i%26)
+	}
+	for i := 0; i < opts.Ads; i++ {
+		cluster.Preload(AdKey(adRefName(i)), body)
+	}
+	for u := 0; u < opts.Profiles; u++ {
+		n := 1 + rng.Intn(opts.MaxRefs)
+		refs := make([]string, n)
+		for j := range refs {
+			refs[j] = adRefName(rng.Intn(opts.Ads))
+		}
+		cluster.Preload(ProfileKey(u), encodeRefs(refs))
+	}
+	return opts
+}
+
+// Ad is one served advertisement.
+type Ad struct {
+	Ref  string
+	Body []byte
+}
+
+// FetchOutcome reports the timing of one FetchAdsByUserID call.
+type FetchOutcome struct {
+	// Ads is the served content.
+	Ads []Ad
+	// PrelimAt is the model-time latency of the preliminary reference list
+	// (zero without ICG).
+	PrelimAt time.Duration
+	// Latency is the total model-time latency until the final ads were
+	// delivered.
+	Latency time.Duration
+	// Speculative reports whether ICG speculation was used.
+	Speculative bool
+	// Misspeculated reports that the preliminary reference list diverged
+	// from the final one, forcing a re-fetch.
+	Misspeculated bool
+}
+
+// Service serves ads from a cassandra-backed store.
+type Service struct {
+	client *binding.Client
+	clock  *netsim.Clock
+	// MaxAdsPerRequest caps how many referenced ads are actually fetched
+	// per request (a realistic page size; keeps load experiments bounded).
+	MaxAdsPerRequest int
+}
+
+// NewService builds a service over a cassandra binding.
+func NewService(b *cassandra.Binding) *Service {
+	return &Service{
+		client:           binding.NewClient(b),
+		clock:            b.Client().Cluster().Transport().Clock(),
+		MaxAdsPerRequest: 5,
+	}
+}
+
+// Client exposes the underlying Correctables client.
+func (s *Service) Client() *binding.Client { return s.client }
+
+// getAds fetches and post-processes the ads named by an encoded reference
+// list (the speculation function of Listing 4). Each ad is fetched with a
+// strong read (R=2), like the paper's implementation: only the first,
+// reference-list access uses ICG.
+func (s *Service) getAds(refsEncoded []byte) ([]Ad, error) {
+	refs := decodeRefs(refsEncoded)
+	if len(refs) > s.MaxAdsPerRequest {
+		refs = refs[:s.MaxAdsPerRequest]
+	}
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	type fetched struct {
+		i   int
+		ad  Ad
+		err error
+	}
+	ch := make(chan fetched, len(refs))
+	for i, ref := range refs {
+		i, ref := i, ref
+		go func() {
+			v, err := s.client.InvokeStrong(context.Background(), binding.Get{Key: AdKey(ref)}).Final(context.Background())
+			if err != nil {
+				ch <- fetched{i: i, err: err}
+				return
+			}
+			body, _ := v.Value.([]byte)
+			ch <- fetched{i: i, ad: Ad{Ref: ref, Body: body}}
+		}()
+	}
+	ads := make([]Ad, len(refs))
+	for range refs {
+		f := <-ch
+		if f.err != nil {
+			return nil, f.err
+		}
+		ads[f.i] = f.ad
+	}
+	return ads, nil
+}
+
+// FetchAdsByUserID implements Listing 4: read the personalized ad reference
+// list with invoke, speculatively prefetch the ads on the preliminary view,
+// and deliver once the final view confirms (or after re-fetching on
+// misspeculation). With speculative=false it is the paper's baseline: a
+// strong read of the references followed by the fetch.
+func (s *Service) FetchAdsByUserID(ctx context.Context, uid int, speculative bool) (FetchOutcome, error) {
+	sw := s.clock.StartStopwatch()
+	var out FetchOutcome
+	out.Speculative = speculative
+	key := ProfileKey(uid)
+
+	if !speculative {
+		v, err := s.client.InvokeStrong(ctx, binding.Get{Key: key}).Final(ctx)
+		if err != nil {
+			return out, err
+		}
+		refs, _ := v.Value.([]byte)
+		ads, err := s.getAds(refs)
+		if err != nil {
+			return out, err
+		}
+		out.Ads = ads
+		out.Latency = sw.ElapsedModel()
+		return out, nil
+	}
+
+	refsCor := s.client.Invoke(ctx, binding.Get{Key: key})
+	var prelimSeen core.View
+	refsCor.OnUpdate(func(v core.View) {
+		if !v.Final && out.PrelimAt == 0 {
+			out.PrelimAt = sw.ElapsedModel()
+			prelimSeen = v
+		}
+	})
+	adsCor := refsCor.Speculate(func(v core.View) (interface{}, error) {
+		refs, _ := v.Value.([]byte)
+		return s.getAds(refs)
+	}, nil)
+	v, err := adsCor.Final(ctx)
+	if err != nil {
+		return out, err
+	}
+	out.Ads, _ = v.Value.([]Ad)
+	out.Latency = sw.ElapsedModel()
+	if fv, ok := refsCor.Latest(); ok && prelimSeen.Value != nil {
+		out.Misspeculated = !core.ValuesEqual(prelimSeen.Value, fv.Value)
+	}
+	return out, nil
+}
+
+// UpdateProfile overwrites a user's ad references (the write half of the
+// YCSB workloads in Fig 11). Returns the model-time latency.
+func (s *Service) UpdateProfile(ctx context.Context, uid int, refs []string) (time.Duration, error) {
+	sw := s.clock.StartStopwatch()
+	_, err := s.client.InvokeStrong(ctx, binding.Put{Key: ProfileKey(uid), Value: encodeRefs(refs)}).Final(ctx)
+	return sw.ElapsedModel(), err
+}
+
+// RandomRefs draws a fresh reference list for an update.
+func RandomRefs(rng *rand.Rand, opts LoadOptions) []string {
+	opts = opts.withDefaults()
+	n := 1 + rng.Intn(opts.MaxRefs)
+	refs := make([]string, n)
+	for i := range refs {
+		refs[i] = adRefName(rng.Intn(opts.Ads))
+	}
+	return refs
+}

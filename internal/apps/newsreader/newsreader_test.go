@@ -1,0 +1,122 @@
+package newsreader
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"correctables/internal/causal"
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+func newReader(t *testing.T) (*Reader, *causal.Store) {
+	t.Helper()
+	clock := netsim.NewClock(0.1)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	store, err := causal.NewStore(causal.Config{
+		Primary:     netsim.VRG,
+		Backups:     []netsim.Region{netsim.FRK, netsim.IRL},
+		Transport:   tr,
+		ServiceTime: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := causal.NewClient(store, netsim.IRL)
+	return NewReader(causal.NewBinding(client)), store
+}
+
+func TestColdCacheTwoRefreshes(t *testing.T) {
+	r, store := newReader(t)
+	store.Preload(FeedKey, []byte("headline-1\nheadline-2"))
+	var refreshes []Update
+	updates, err := r.GetLatestNews(context.Background(), func(u Update) {
+		refreshes = append(refreshes, u)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold cache: causal + strong only.
+	if len(updates) != 2 {
+		t.Fatalf("updates = %+v", updates)
+	}
+	if len(refreshes) != len(updates) {
+		t.Errorf("refreshDisplay called %d times, %d updates", len(refreshes), len(updates))
+	}
+	if updates[0].Level != core.LevelCausal || updates[1].Level != core.LevelStrong {
+		t.Errorf("levels = %v, %v", updates[0].Level, updates[1].Level)
+	}
+	if len(updates[1].Items) != 2 || updates[1].Items[0] != "headline-1" {
+		t.Errorf("items = %v", updates[1].Items)
+	}
+	if !updates[1].Final || updates[0].Final {
+		t.Error("finality flags wrong")
+	}
+}
+
+func TestWarmCacheThreeRefreshesOrderedLatency(t *testing.T) {
+	r, store := newReader(t)
+	store.Preload(FeedKey, []byte("old"))
+	if _, err := r.GetLatestNews(context.Background(), nil); err != nil {
+		t.Fatal(err) // warms cache
+	}
+	updates, err := r.GetLatestNews(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 3 {
+		t.Fatalf("warm-cache updates = %d, want 3 (cache, causal, strong)", len(updates))
+	}
+	// The three views arrive in increasing latency: cache near-zero, then
+	// the IRL backup (local), then the VRG primary (~83ms RTT).
+	if updates[0].Level != core.LevelCache {
+		t.Errorf("first level = %v", updates[0].Level)
+	}
+	if !(updates[0].At <= updates[1].At && updates[1].At <= updates[2].At) {
+		t.Errorf("latencies not monotone: %v %v %v", updates[0].At, updates[1].At, updates[2].At)
+	}
+	if updates[2].At < 60*time.Millisecond {
+		t.Errorf("strong view at %v, want ~83ms (IRL->VRG RTT)", updates[2].At)
+	}
+}
+
+func TestPublishThenRead(t *testing.T) {
+	r, store := newReader(t)
+	store.Preload(FeedKey, []byte("old-1\nold-2"))
+	if err := r.Publish(context.Background(), "breaking!", 3); err != nil {
+		t.Fatal(err)
+	}
+	updates, err := r.GetLatestNews(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := updates[len(updates)-1]
+	if len(final.Items) != 3 || final.Items[0] != "breaking!" {
+		t.Errorf("final items = %v", final.Items)
+	}
+}
+
+func TestStaleCacheFreshFinal(t *testing.T) {
+	r, store := newReader(t)
+	store.Preload(FeedKey, []byte("stale-headline"))
+	if _, err := r.GetLatestNews(context.Background(), nil); err != nil {
+		t.Fatal(err) // warm cache with the stale value
+	}
+	// The newsroom (another client) publishes via the primary.
+	writer := NewReader(causal.NewBinding(causal.NewClient(store, netsim.NCA)))
+	if err := writer.Publish(context.Background(), "fresh-headline", 0); err != nil {
+		t.Fatal(err)
+	}
+	updates, err := r.GetLatestNews(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := updates[0], updates[len(updates)-1]
+	if first.Level != core.LevelCache || first.Items[0] != "stale-headline" {
+		t.Errorf("cache view = %+v", first)
+	}
+	if last.Items[0] != "fresh-headline" {
+		t.Errorf("final view = %+v", last)
+	}
+}

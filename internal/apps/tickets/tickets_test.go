@@ -1,0 +1,231 @@
+package tickets
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"correctables/internal/netsim"
+	"correctables/internal/zk"
+)
+
+func newRetailer(t *testing.T, correctable bool, stock int) (*Retailer, *zk.Ensemble) {
+	t.Helper()
+	clock := netsim.NewClock(0.1)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	// Fig 12 deployment: retailers colocated with the FRK follower, leader
+	// in IRL.
+	e, err := zk.NewEnsemble(zk.Config{
+		Regions:      []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		LeaderRegion: netsim.IRL,
+		Transport:    tr,
+		Correctable:  correctable,
+		ServiceTime:  50 * time.Microsecond,
+		Workers:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Stock(e, "concert", stock)
+	b := zk.NewBinding(zk.NewQueueClient(e, netsim.FRK, netsim.FRK))
+	return NewRetailer(b), e
+}
+
+func TestPurchaseAboveThresholdUsesPreliminary(t *testing.T) {
+	r, _ := newRetailer(t, true, 100)
+	res, err := r.PurchaseTicket(context.Background(), "concert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed || res.SoldOut {
+		t.Fatalf("res = %+v", res)
+	}
+	if !res.UsedPreliminary {
+		t.Error("large stock should confirm on the preliminary view")
+	}
+	// Preliminary confirmation latency = client<->contact RTT (~2ms local,
+	// retailer colocated with the FRK follower); far below the
+	// coordination latency (~60ms).
+	if res.Latency > 40*time.Millisecond {
+		t.Errorf("preliminary purchase latency = %v, want well under coordination latency", res.Latency)
+	}
+	// The background dequeue assigns a concrete ticket.
+	if ticket := <-res.Assigned; ticket == nil {
+		t.Error("no ticket assigned despite large stock")
+	}
+	if r.Revoked() != 0 {
+		t.Errorf("revoked = %d", r.Revoked())
+	}
+}
+
+func TestPurchaseBelowThresholdWaitsForFinal(t *testing.T) {
+	r, _ := newRetailer(t, true, DefaultThreshold) // at/below threshold from the start
+	res, err := r.PurchaseTicket(context.Background(), "concert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedPreliminary {
+		t.Error("low stock must wait for the final view")
+	}
+	if !res.Confirmed {
+		t.Fatal("ticket expected while stock remains")
+	}
+	if res.Latency < 40*time.Millisecond {
+		t.Errorf("final-view purchase latency = %v, want coordination-scale (~60ms)", res.Latency)
+	}
+	if ticket := <-res.Assigned; ticket == nil {
+		t.Error("no assigned ticket")
+	}
+}
+
+func TestSellOutExactlyOnce(t *testing.T) {
+	const stock = 40
+	r, _ := newRetailer(t, true, stock)
+	var mu sync.Mutex
+	sold := map[string]int{}
+	soldOut, confirmed := 0, 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				res, err := r.PurchaseTicket(context.Background(), "concert")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.SoldOut {
+					mu.Lock()
+					soldOut++
+					mu.Unlock()
+					return
+				}
+				ticket := <-res.Assigned
+				mu.Lock()
+				confirmed++
+				if ticket != nil {
+					sold[ticket.Name]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(sold) != stock {
+		t.Errorf("sold %d distinct tickets, want %d", len(sold), stock)
+	}
+	for name, n := range sold {
+		if n != 1 {
+			t.Errorf("ticket %s assigned %d times (oversold!)", name, n)
+		}
+	}
+	if soldOut != 4 {
+		t.Errorf("%d retailers saw sold-out, want 4", soldOut)
+	}
+	// With the conservative threshold (20 >> 4 concurrent retailers), no
+	// preliminary confirmation is revoked.
+	if r.Revoked() != 0 {
+		t.Errorf("revoked = %d, want 0", r.Revoked())
+	}
+}
+
+func TestThresholdSwitchesLatencyRegime(t *testing.T) {
+	// The shape of Fig 12: purchases far from the end are fast
+	// (preliminary), the last <=Threshold are slow (final).
+	const stock = 60
+	r, _ := newRetailer(t, true, stock)
+	var fast, slow []time.Duration
+	for {
+		res, err := r.PurchaseTicket(context.Background(), "concert")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SoldOut {
+			break
+		}
+		if res.UsedPreliminary {
+			fast = append(fast, res.Latency)
+		} else {
+			slow = append(slow, res.Latency)
+		}
+		<-res.Assigned // serialize purchases so the regime boundary is crisp
+	}
+	if len(fast) == 0 || len(slow) == 0 {
+		t.Fatalf("fast=%d slow=%d; both regimes expected", len(fast), len(slow))
+	}
+	// Roughly the last Threshold purchases are in the slow regime.
+	if len(slow) < DefaultThreshold-5 || len(slow) > DefaultThreshold+10 {
+		t.Errorf("slow purchases = %d, want ~%d", len(slow), DefaultThreshold)
+	}
+	avg := func(ds []time.Duration) time.Duration {
+		var tot time.Duration
+		for _, d := range ds {
+			tot += d
+		}
+		return tot / time.Duration(len(ds))
+	}
+	if avg(fast)*2 > avg(slow) {
+		t.Errorf("fast avg %v not clearly below slow avg %v", avg(fast), avg(slow))
+	}
+}
+
+func TestVanillaBaselineAlwaysSlow(t *testing.T) {
+	r, _ := newRetailer(t, false, 30)
+	res, err := r.PurchaseTicketStrong(context.Background(), "concert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatal("no ticket")
+	}
+	if res.Latency < 40*time.Millisecond {
+		t.Errorf("vanilla purchase latency = %v, want coordination-scale", res.Latency)
+	}
+	if ticket := <-res.Assigned; ticket == nil {
+		t.Error("no assigned ticket")
+	}
+}
+
+func TestSoldOutStrong(t *testing.T) {
+	r, _ := newRetailer(t, false, 0)
+	res, err := r.PurchaseTicketStrong(context.Background(), "concert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SoldOut || res.Confirmed {
+		t.Errorf("res = %+v, want sold out", res)
+	}
+}
+
+func TestNoOversellAcrossRegimes(t *testing.T) {
+	// Assigned tickets never exceed the stock even when retailers confirm
+	// on preliminary views near the threshold boundary.
+	const stock = 35
+	r, e := newRetailer(t, true, stock)
+	assignedTotal := 0
+	for {
+		res, err := r.PurchaseTicket(context.Background(), "concert")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SoldOut {
+			break
+		}
+		if ticket := <-res.Assigned; ticket != nil {
+			assignedTotal++
+		}
+		if assignedTotal > stock {
+			t.Fatal("oversold")
+		}
+	}
+	if assignedTotal != stock {
+		t.Errorf("assigned %d, want %d", assignedTotal, stock)
+	}
+	// Queue is empty on the leader.
+	kids, err := e.Leader().Tree().Children("/queues/concert")
+	if err != nil || len(kids) != 0 {
+		t.Errorf("leader queue after sellout: %v, %v", kids, err)
+	}
+}

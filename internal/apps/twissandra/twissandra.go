@@ -1,0 +1,236 @@
+// Package twissandra implements the paper's microblogging case study
+// (§6.3.1, Fig 11): a Twissandra-like service whose central operation,
+// get_timeline, proceeds in two steps — (1) fetch the timeline (tweet IDs),
+// (2) fetch each tweet by ID. With ICG, step (1) uses invoke and step (2)
+// runs speculatively on the preliminary timeline view, prefetching tweets
+// while the strongly consistent timeline is still in flight.
+//
+// The paper used a 65k-tweet corpus spread over 22k user timelines; Load
+// generates a deterministic synthetic corpus with the same shape.
+package twissandra
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/cassandra"
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+// Corpus shape from the paper.
+const (
+	DefaultTweets    = 65_000
+	DefaultTimelines = 22_000
+	// TimelinePage is how many recent tweets a timeline holds/serves.
+	TimelinePage = 10
+)
+
+// TimelineKey / TweetKey are the storage schema.
+func TimelineKey(user int) string { return fmt.Sprintf("timeline:%06d", user) }
+func TweetKey(id int) string      { return fmt.Sprintf("tweet:%08d", id) }
+
+func encodeIDs(ids []int) []byte {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return []byte(strings.Join(parts, ","))
+}
+
+func decodeIDs(b []byte) []int {
+	if len(b) == 0 {
+		return nil
+	}
+	parts := strings.Split(string(b), ",")
+	ids := make([]int, 0, len(parts))
+	for _, p := range parts {
+		var id int
+		if _, err := fmt.Sscanf(p, "%d", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// LoadOptions sizes the synthetic corpus.
+type LoadOptions struct {
+	Tweets, Timelines int
+	Seed              int64
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Tweets == 0 {
+		o.Tweets = DefaultTweets
+	}
+	if o.Timelines == 0 {
+		o.Timelines = DefaultTimelines
+	}
+	return o
+}
+
+// Load preloads the corpus: every tweet body, and per-user timelines
+// referencing up to TimelinePage random tweets.
+func Load(cluster *cassandra.Cluster, opts LoadOptions) LoadOptions {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed + 5))
+	for i := 0; i < opts.Tweets; i++ {
+		body := fmt.Sprintf("tweet %08d: the quick brown fox jumps over the lazy dog #%d", i, i%97)
+		cluster.Preload(TweetKey(i), []byte(body))
+	}
+	for u := 0; u < opts.Timelines; u++ {
+		n := 1 + rng.Intn(TimelinePage)
+		ids := make([]int, n)
+		for j := range ids {
+			ids[j] = rng.Intn(opts.Tweets)
+		}
+		cluster.Preload(TimelineKey(u), encodeIDs(ids))
+	}
+	return opts
+}
+
+// Tweet is one rendered tweet.
+type Tweet struct {
+	ID   int
+	Body string
+}
+
+// TimelineOutcome reports the timing of one GetTimeline call.
+type TimelineOutcome struct {
+	Tweets        []Tweet
+	PrelimAt      time.Duration
+	Latency       time.Duration
+	Speculative   bool
+	Misspeculated bool
+}
+
+// Service is the microblogging service over a cassandra binding.
+type Service struct {
+	client *binding.Client
+	clock  *netsim.Clock
+	nextID int64
+}
+
+// NewService builds a service over a cassandra binding.
+func NewService(b *cassandra.Binding) *Service {
+	return &Service{
+		client: binding.NewClient(b),
+		clock:  b.Client().Cluster().Transport().Clock(),
+	}
+}
+
+// Client exposes the underlying Correctables client.
+func (s *Service) Client() *binding.Client { return s.client }
+
+// fetchTweets loads tweet bodies by ID in parallel with strong reads
+// (step (2); the speculation function).
+func (s *Service) fetchTweets(encoded []byte) ([]Tweet, error) {
+	ids := decodeIDs(encoded)
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	type fetched struct {
+		i     int
+		tweet Tweet
+		err   error
+	}
+	ch := make(chan fetched, len(ids))
+	for i, id := range ids {
+		i, id := i, id
+		go func() {
+			v, err := s.client.InvokeStrong(context.Background(), binding.Get{Key: TweetKey(id)}).Final(context.Background())
+			if err != nil {
+				ch <- fetched{i: i, err: err}
+				return
+			}
+			body, _ := v.Value.([]byte)
+			ch <- fetched{i: i, tweet: Tweet{ID: id, Body: string(body)}}
+		}()
+	}
+	tweets := make([]Tweet, len(ids))
+	for range ids {
+		f := <-ch
+		if f.err != nil {
+			return nil, f.err
+		}
+		tweets[f.i] = f.tweet
+	}
+	return tweets, nil
+}
+
+// GetTimeline renders a user's timeline. With speculative=true it uses
+// invoke on the timeline key and prefetches tweets on the preliminary view;
+// otherwise it is the strong-read baseline.
+func (s *Service) GetTimeline(ctx context.Context, user int, speculative bool) (TimelineOutcome, error) {
+	sw := s.clock.StartStopwatch()
+	var out TimelineOutcome
+	out.Speculative = speculative
+	key := TimelineKey(user)
+
+	if !speculative {
+		v, err := s.client.InvokeStrong(ctx, binding.Get{Key: key}).Final(ctx)
+		if err != nil {
+			return out, err
+		}
+		encoded, _ := v.Value.([]byte)
+		tweets, err := s.fetchTweets(encoded)
+		if err != nil {
+			return out, err
+		}
+		out.Tweets = tweets
+		out.Latency = sw.ElapsedModel()
+		return out, nil
+	}
+
+	tlCor := s.client.Invoke(ctx, binding.Get{Key: key})
+	var prelimSeen core.View
+	tlCor.OnUpdate(func(v core.View) {
+		if !v.Final && out.PrelimAt == 0 {
+			out.PrelimAt = sw.ElapsedModel()
+			prelimSeen = v
+		}
+	})
+	tweetsCor := tlCor.Speculate(func(v core.View) (interface{}, error) {
+		encoded, _ := v.Value.([]byte)
+		return s.fetchTweets(encoded)
+	}, nil)
+	v, err := tweetsCor.Final(ctx)
+	if err != nil {
+		return out, err
+	}
+	out.Tweets, _ = v.Value.([]Tweet)
+	out.Latency = sw.ElapsedModel()
+	if fv, ok := tlCor.Latest(); ok && prelimSeen.Value != nil {
+		out.Misspeculated = !core.ValuesEqual(prelimSeen.Value, fv.Value)
+	}
+	return out, nil
+}
+
+// PostTweet writes a tweet body and prepends its ID to the author's
+// timeline (read-modify-write), trimming to TimelinePage. Returns the
+// model-time latency.
+func (s *Service) PostTweet(ctx context.Context, user int, body string, rng *rand.Rand) (time.Duration, error) {
+	sw := s.clock.StartStopwatch()
+	id := int(rng.Int31())
+	if _, err := s.client.InvokeStrong(ctx, binding.Put{Key: TweetKey(id), Value: []byte(body)}).Final(ctx); err != nil {
+		return 0, err
+	}
+	key := TimelineKey(user)
+	v, err := s.client.InvokeWeak(ctx, binding.Get{Key: key}).Final(ctx)
+	if err != nil {
+		return 0, err
+	}
+	encoded, _ := v.Value.([]byte)
+	ids := append([]int{id}, decodeIDs(encoded)...)
+	if len(ids) > TimelinePage {
+		ids = ids[:TimelinePage]
+	}
+	if _, err := s.client.InvokeStrong(ctx, binding.Put{Key: key, Value: encodeIDs(ids)}).Final(ctx); err != nil {
+		return 0, err
+	}
+	return sw.ElapsedModel(), nil
+}

@@ -1,0 +1,134 @@
+package twissandra
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"correctables/internal/cassandra"
+	"correctables/internal/netsim"
+)
+
+func newService(t *testing.T, correctable bool) *Service {
+	t.Helper()
+	clock := netsim.NewClock(0.1)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	// Twissandra's deployment in the paper: Virginia, N. California,
+	// Oregon; client in Ireland contacting Virginia.
+	cluster, err := cassandra.NewCluster(cassandra.Config{
+		Regions:          []netsim.Region{netsim.VRG, netsim.NCA, netsim.ORE},
+		Transport:        tr,
+		Correctable:      correctable,
+		ConfirmationOpt:  true,
+		ReadServiceTime:  50 * time.Microsecond,
+		WriteServiceTime: 50 * time.Microsecond,
+		FlushServiceTime: 20 * time.Microsecond,
+		Workers:          16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Load(cluster, LoadOptions{Tweets: 300, Timelines: 40, Seed: 1})
+	b := cassandra.NewBinding(cassandra.NewClient(cluster, netsim.IRL, netsim.VRG), cassandra.BindingConfig{})
+	return NewService(b)
+}
+
+func TestGetTimelineBaseline(t *testing.T) {
+	s := newService(t, false)
+	out, err := s.GetTimeline(context.Background(), 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tweets) == 0 {
+		t.Fatal("empty timeline")
+	}
+	for _, tw := range out.Tweets {
+		if tw.Body == "" {
+			t.Errorf("tweet %d has empty body", tw.ID)
+		}
+	}
+}
+
+func TestGetTimelineSpeculativeFaster(t *testing.T) {
+	spec := newService(t, true)
+	base := newService(t, false)
+	var specTotal, baseTotal time.Duration
+	const n = 6
+	for u := 0; u < n; u++ {
+		so, err := spec.GetTimeline(context.Background(), u, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bo, err := base.GetTimeline(context.Background(), u, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if so.Misspeculated {
+			t.Errorf("misspeculation on quiescent corpus (user %d)", u)
+		}
+		if len(so.Tweets) != len(bo.Tweets) {
+			t.Errorf("user %d: %d vs %d tweets", u, len(so.Tweets), len(bo.Tweets))
+		}
+		specTotal += so.Latency
+		baseTotal += bo.Latency
+	}
+	if specTotal >= baseTotal {
+		t.Errorf("speculation slower: %v vs %v", specTotal/n, baseTotal/n)
+	}
+}
+
+func TestPostTweetAppearsInTimeline(t *testing.T) {
+	s := newService(t, true)
+	rng := rand.New(rand.NewSource(2))
+	lat, err := s.PostTweet(context.Background(), 3, "hello incremental world", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Error("post latency not measured")
+	}
+	out, err := s.GetTimeline(context.Background(), 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tweets) == 0 || out.Tweets[0].Body != "hello incremental world" {
+		t.Errorf("timeline head = %+v", out.Tweets)
+	}
+}
+
+func TestTimelineTrimsToPage(t *testing.T) {
+	s := newService(t, false)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < TimelinePage+5; i++ {
+		if _, err := s.PostTweet(context.Background(), 9, "spam", rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.GetTimeline(context.Background(), 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tweets) != TimelinePage {
+		t.Errorf("timeline length = %d, want %d", len(out.Tweets), TimelinePage)
+	}
+}
+
+func TestEncodeDecodeIDs(t *testing.T) {
+	ids := []int{1, 42, 99999}
+	got := decodeIDs(encodeIDs(ids))
+	if len(got) != len(ids) {
+		t.Fatalf("roundtrip = %v", got)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("roundtrip = %v", got)
+		}
+	}
+	if decodeIDs(nil) != nil {
+		t.Error("decode(nil) should be nil")
+	}
+	if got := decodeIDs([]byte("7,bogus,9")); len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Errorf("malformed decode = %v", got)
+	}
+}

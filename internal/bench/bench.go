@@ -1,0 +1,127 @@
+// Package bench contains one driver per table/figure of the paper's
+// evaluation (§6). Each driver sets up the simulated deployment the paper
+// used, runs the experiment, and returns typed rows whose shape mirrors the
+// corresponding figure; cmd/icgbench prints them and EXPERIMENTS.md records
+// paper-vs-measured values.
+//
+// All drivers take a Config controlling the time scale (latencies are
+// always reported in model time, i.e. on the paper's axes) and a Quick flag
+// that shrinks sample counts and durations for use in tests and smoke runs.
+package bench
+
+import (
+	"time"
+
+	"correctables/internal/cassandra"
+	"correctables/internal/netsim"
+	"correctables/internal/zk"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale is the model-to-wall time scale (default 0.25; 1.0 = real
+	// time). Smaller is faster but, below ~0.1, sleep granularity starts
+	// to blur sub-10ms effects.
+	Scale float64
+	// Seed fixes all randomness.
+	Seed int64
+	// Quick shrinks sample counts and durations (tests, smoke runs).
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	return c
+}
+
+// pick returns full or quick depending on cfg.Quick.
+func (c Config) pick(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+func (c Config) pickDur(full, quick time.Duration) time.Duration {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// harness bundles the per-experiment simulation fabric.
+type harness struct {
+	clock *netsim.Clock
+	meter *netsim.Meter
+	tr    *netsim.Transport
+}
+
+func newHarness(cfg Config) *harness {
+	clock := netsim.NewClock(cfg.Scale)
+	meter := netsim.NewMeter()
+	return &harness{
+		clock: clock,
+		meter: meter,
+		tr:    netsim.NewTransport(clock, netsim.DefaultLatencies(), meter, cfg.Seed+1),
+	}
+}
+
+// cassandraOpts selects the store variant under test.
+type cassandraOpts struct {
+	regions     []netsim.Region
+	correctable bool
+	confirmOpt  bool
+	// replicationDelay overrides the default staleness window (0 = default).
+	replicationDelay time.Duration
+	// flushCost overrides the preliminary-flushing service time
+	// (0 = default).
+	flushCost time.Duration
+}
+
+// newCassandra builds a cluster on the harness fabric with the service-time
+// model used across the Cassandra experiments.
+func (h *harness) newCassandra(cfg Config, opts cassandraOpts) *cassandra.Cluster {
+	regions := opts.regions
+	if regions == nil {
+		regions = []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG}
+	}
+	flush := opts.flushCost
+	if flush == 0 {
+		flush = 500 * time.Microsecond
+	}
+	cluster, err := cassandra.NewCluster(cassandra.Config{
+		Regions:          regions,
+		Transport:        h.tr,
+		Correctable:      opts.correctable,
+		ConfirmationOpt:  opts.confirmOpt,
+		Workers:          4,
+		ReadServiceTime:  2 * time.Millisecond,
+		WriteServiceTime: 2 * time.Millisecond,
+		FlushServiceTime: flush,
+		ReplicationDelay: opts.replicationDelay,
+		ReadRepairChance: 0.1,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		panic("bench: " + err.Error()) // static configuration; cannot fail
+	}
+	return cluster
+}
+
+// newZK builds an ensemble on the harness fabric.
+func (h *harness) newZK(cfg Config, correctable bool, leader netsim.Region) *zk.Ensemble {
+	e, err := zk.NewEnsemble(zk.Config{
+		Regions:      []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		LeaderRegion: leader,
+		Transport:    h.tr,
+		Correctable:  correctable,
+		Workers:      4,
+		ServiceTime:  time.Millisecond,
+	})
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return e
+}

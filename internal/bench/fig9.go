@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"correctables/internal/metrics"
+	"correctables/internal/netsim"
+	"correctables/internal/zk"
+)
+
+// Fig9Row is one bar of Figure 9: enqueue latency in Correctable ZooKeeper
+// (preliminary/final) vs vanilla ZooKeeper, for one placement of the client
+// connection and the leader.
+type Fig9Row struct {
+	// Placement names the configuration, e.g. "Follower (FRK), leader IRL".
+	Placement string
+	// Series is "CZK preliminary", "CZK final" or "ZK".
+	Series string
+	// Avg and P99 are model-time latencies.
+	Avg, P99 time.Duration
+}
+
+// fig9Config is one of the paper's four placements; the client is in IRL.
+type fig9Config struct {
+	name    string
+	contact netsim.Region
+	leader  netsim.Region
+}
+
+func fig9Configs() []fig9Config {
+	return []fig9Config{
+		{"Follower (FRK), leader IRL", netsim.FRK, netsim.IRL},
+		{"Leader (IRL)", netsim.IRL, netsim.IRL},
+		{"Follower (IRL), leader VRG", netsim.IRL, netsim.VRG},
+		{"Leader (VRG)", netsim.VRG, netsim.VRG},
+	}
+}
+
+// Fig9 reproduces Figure 9: latency gaps between preliminary and final
+// views of enqueue operations in CZK vs ZK, for four placements of leader
+// and contact server; the client is in IRL, elements carry a ~20B
+// identifier.
+func Fig9(cfg Config) []Fig9Row {
+	cfg = cfg.withDefaults()
+	samples := cfg.pick(50, 6)
+
+	var rows []Fig9Row
+	for _, pc := range fig9Configs() {
+		// CZK: one run collecting both views.
+		h := newHarness(cfg)
+		e := h.newZK(cfg, true, pc.leader)
+		e.Bootstrap(zk.CreateTxn{Path: "/queues"})
+		e.Bootstrap(zk.CreateTxn{Path: "/queues/ev"})
+		qc := zk.NewQueueClient(e, netsim.IRL, pc.contact)
+		prelim, final := metrics.NewHistogram(), metrics.NewHistogram()
+		for i := 0; i < samples; i++ {
+			sw := h.clock.StartStopwatch()
+			_ = qc.Enqueue("ev", []byte(fmt.Sprintf("ticket-%013d", i)), true, func(v zk.QueueView) {
+				if v.Final {
+					final.Record(sw.ElapsedModel())
+				} else {
+					prelim.Record(sw.ElapsedModel())
+				}
+			})
+		}
+		rows = append(rows,
+			Fig9Row{pc.name, "CZK preliminary", prelim.Mean(), prelim.Percentile(99)},
+			Fig9Row{pc.name, "CZK final", final.Mean(), final.Percentile(99)},
+		)
+
+		// Vanilla ZK baseline.
+		h2 := newHarness(cfg)
+		e2 := h2.newZK(cfg, false, pc.leader)
+		e2.Bootstrap(zk.CreateTxn{Path: "/queues"})
+		e2.Bootstrap(zk.CreateTxn{Path: "/queues/ev"})
+		qc2 := zk.NewQueueClient(e2, netsim.IRL, pc.contact)
+		base := metrics.NewHistogram()
+		for i := 0; i < samples; i++ {
+			sw := h2.clock.StartStopwatch()
+			_ = qc2.Enqueue("ev", []byte(fmt.Sprintf("ticket-%013d", i)), false, func(v zk.QueueView) {
+				if v.Final {
+					base.Record(sw.ElapsedModel())
+				}
+			})
+		}
+		rows = append(rows, Fig9Row{pc.name, "ZK", base.Mean(), base.Percentile(99)})
+	}
+	return rows
+}

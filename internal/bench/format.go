@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"correctables/internal/metrics"
+)
+
+// table renders rows with aligned columns.
+func table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatFig5 renders Figure 5's rows.
+func FormatFig5(rows []Fig5Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Group, r.System,
+			fmt.Sprintf("%.1f", metrics.Ms(r.Avg)), fmt.Sprintf("%.1f", metrics.Ms(r.P99))}
+	}
+	return table("Figure 5: single-request read latency in Cassandra (ms)",
+		[]string{"group", "system", "avg", "p99"}, out)
+}
+
+// FormatFig6 renders Figure 6's rows.
+func FormatFig6(rows []Fig6Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Workload, r.System, fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.1f", metrics.Ms(r.Latency)), fmt.Sprintf("%.1f", metrics.Ms(r.P99))}
+	}
+	return table("Figure 6: YCSB latency vs throughput, Correctable Cassandra",
+		[]string{"workload", "system", "threads", "ops/s", "avg ms", "p99 ms"}, out)
+}
+
+// FormatFig7 renders Figure 7's rows.
+func FormatFig7(rows []Fig7Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Workload, string(r.Distribution), fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.1f", r.DivergencePct), fmt.Sprintf("%d", r.Reads)}
+	}
+	return table("Figure 7: divergence of preliminary from final views (%)",
+		[]string{"workload", "distribution", "threads", "divergence %", "reads"}, out)
+}
+
+// FormatFig8 renders Figure 8's rows.
+func FormatFig8(rows []Fig8Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Workload, string(r.Distribution), fmt.Sprintf("%d", r.Threads), r.System,
+			fmt.Sprintf("%.2f", r.KBPerOp), fmt.Sprintf("%+.0f%%", r.OverheadPct)}
+	}
+	return table("Figure 8: client-link efficiency (kB/op)",
+		[]string{"workload", "distribution", "threads", "system", "kB/op", "vs C1"}, out)
+}
+
+// FormatFig9 renders Figure 9's rows.
+func FormatFig9(rows []Fig9Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Placement, r.Series,
+			fmt.Sprintf("%.1f", metrics.Ms(r.Avg)), fmt.Sprintf("%.1f", metrics.Ms(r.P99))}
+	}
+	return table("Figure 9: enqueue latency, Correctable ZooKeeper vs ZooKeeper (ms)",
+		[]string{"placement", "series", "avg", "p99"}, out)
+}
+
+// FormatFig10 renders Figure 10's rows.
+func FormatFig10(rows []Fig10Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.System, fmt.Sprintf("%d", r.QueueSize), fmt.Sprintf("%d", r.Clients),
+			fmt.Sprintf("%.2f", r.KBPerOp)}
+	}
+	return table("Figure 10: dequeue efficiency (kB/op)",
+		[]string{"system", "queue size", "clients", "kB/op"}, out)
+}
+
+// FormatFig11 renders Figure 11's rows.
+func FormatFig11(rows []Fig11Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.App, r.Workload, r.System, fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.0f", r.Throughput), fmt.Sprintf("%.1f", metrics.Ms(r.Latency)),
+			fmt.Sprintf("%.1f", r.MisspeculationPct)}
+	}
+	return table("Figure 11: speculation case studies (ads, Twissandra)",
+		[]string{"app", "workload", "system", "threads", "ops/s", "avg ms", "misspec %"}, out)
+}
+
+// FormatAblationLag renders the replication-lag ablation.
+func FormatAblationLag(rows []AblationLagRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{fmt.Sprintf("%v", r.ReplicationDelay),
+			fmt.Sprintf("%.1f", r.DivergencePct), fmt.Sprintf("%d", r.Reads)}
+	}
+	return table("Ablation: divergence vs replication lag (workload A-Latest)",
+		[]string{"replication delay", "divergence %", "reads"}, out)
+}
+
+// FormatAblationFlush renders the preliminary-flushing cost ablation.
+func FormatAblationFlush(rows []AblationFlushRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{fmt.Sprintf("%v", r.FlushCost),
+			fmt.Sprintf("%.0f", r.Throughput), fmt.Sprintf("%.1f%%", r.DropPct)}
+	}
+	return table("Ablation: CC throughput vs preliminary-flushing cost",
+		[]string{"flush cost", "ops/s", "drop vs zero"}, out)
+}
+
+// FormatFig12 renders Figure 12's summaries plus a bucketed series.
+func FormatFig12(points []Fig12Point, summaries []Fig12Summary) string {
+	var out [][]string
+	for _, s := range summaries {
+		out = append(out, []string{s.System, "fast (preliminary)",
+			fmt.Sprintf("%d", s.FastCount), fmt.Sprintf("%.1f", metrics.Ms(s.FastAvg))})
+		out = append(out, []string{s.System, "slow (final)",
+			fmt.Sprintf("%d", s.SlowCount), fmt.Sprintf("%.1f", metrics.Ms(s.SlowAvg))})
+		out = append(out, []string{s.System, "revoked",
+			fmt.Sprintf("%d", s.Revoked), ""})
+	}
+	summary := table("Figure 12: ticket purchase latency regimes (ms)",
+		[]string{"system", "regime", "count", "avg ms"}, out)
+
+	// Bucketed series: average latency per 10% of the selling order.
+	buckets := map[string][]float64{}
+	counts := map[string][]int{}
+	const nb = 10
+	total := map[string]int{}
+	for _, p := range points {
+		total[p.System]++
+	}
+	for _, p := range points {
+		n := total[p.System]
+		if n == 0 {
+			continue
+		}
+		b := (p.TicketNumber - 1) * nb / n
+		if b >= nb {
+			b = nb - 1
+		}
+		if buckets[p.System] == nil {
+			buckets[p.System] = make([]float64, nb)
+			counts[p.System] = make([]int, nb)
+		}
+		buckets[p.System][b] += metrics.Ms(p.Latency)
+		counts[p.System][b]++
+	}
+	var series [][]string
+	for _, sys := range []string{"CZK", "ZK"} {
+		if buckets[sys] == nil {
+			continue
+		}
+		row := []string{sys}
+		for b := 0; b < nb; b++ {
+			if counts[sys][b] > 0 {
+				row = append(row, fmt.Sprintf("%.0f", buckets[sys][b]/float64(counts[sys][b])))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		series = append(series, row)
+	}
+	header := []string{"system"}
+	for b := 0; b < nb; b++ {
+		header = append(header, fmt.Sprintf("%d%%", (b+1)*10))
+	}
+	return summary + table("Figure 12 series: avg latency (ms) by decile of selling order", header, series)
+}

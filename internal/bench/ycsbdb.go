@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"correctables/internal/cassandra"
+	"correctables/internal/netsim"
+	"correctables/internal/ycsb"
+)
+
+// cassandraDB adapts a cassandra client to the YCSB runner: reads use the
+// configured quorum (with or without the ICG preliminary), writes use W=1
+// as in the paper.
+type cassandraDB struct {
+	client *cassandra.Client
+	clock  *netsim.Clock
+	quorum int
+	prelim bool
+}
+
+var _ ycsb.DB = (*cassandraDB)(nil)
+
+func newCassandraDB(cluster *cassandra.Cluster, clientRegion, coord netsim.Region, quorum int, prelim bool) *cassandraDB {
+	return &cassandraDB{
+		client: cassandra.NewClient(cluster, clientRegion, coord),
+		clock:  cluster.Transport().Clock(),
+		quorum: quorum,
+		prelim: prelim,
+	}
+}
+
+// Read implements ycsb.DB.
+func (db *cassandraDB) Read(rng *rand.Rand, key string) (ycsb.ReadOutcome, error) {
+	sw := db.clock.StartStopwatch()
+	var out ycsb.ReadOutcome
+	err := db.client.Read(key, db.quorum, db.prelim, func(v cassandra.ReadView) {
+		if v.Final {
+			out.FinalLatency = sw.ElapsedModel()
+			if out.HasPrelim {
+				out.Diverged = !v.Confirmed
+			}
+		} else {
+			out.HasPrelim = true
+			out.PrelimLatency = sw.ElapsedModel()
+		}
+	})
+	return out, err
+}
+
+// Update implements ycsb.DB.
+func (db *cassandraDB) Update(rng *rand.Rand, key string, value []byte) (time.Duration, error) {
+	sw := db.clock.StartStopwatch()
+	err := db.client.Write(key, value, 1)
+	return sw.ElapsedModel(), err
+}
+
+// preloadDataset installs the workload's records on every replica.
+func preloadDataset(cluster *cassandra.Cluster, w ycsb.Workload) {
+	val := make([]byte, w.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < w.RecordCount; i++ {
+		cluster.Preload(ycsb.Key(i), val)
+	}
+}
+
+// clientGroup is one regional client population of the paper's YCSB
+// deployment ("we deploy 3 clients, one per region, with each client
+// connecting to a remote replica").
+type clientGroup struct {
+	clientRegion netsim.Region
+	coordRegion  netsim.Region
+}
+
+func defaultGroups(cluster *cassandra.Cluster) []clientGroup {
+	var groups []clientGroup
+	for _, r := range cluster.Regions() {
+		groups = append(groups, clientGroup{clientRegion: r, coordRegion: cluster.NearestRemote(r)})
+	}
+	return groups
+}
+
+// runGroups drives the workload from all client groups concurrently and
+// returns the per-group results in group order.
+func runGroups(cluster *cassandra.Cluster, w ycsb.Workload, quorum int, prelim bool,
+	threadsPerGroup int, opts ycsb.Options) []*ycsb.Result {
+	groups := defaultGroups(cluster)
+	results := make([]*ycsb.Result, len(groups))
+	// One shared key chooser: popularity and recency are global properties
+	// of the workload, not per-region ones. (With per-group Latest anchors,
+	// every group would chase its own writes — which its own coordinator
+	// serves fresh — and divergence would vanish.)
+	shared := w.NewGenerator()
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		i, g := i, g
+		db := newCassandraDB(cluster, g.clientRegion, g.coordRegion, quorum, prelim)
+		groupOpts := opts
+		groupOpts.Threads = threadsPerGroup
+		groupOpts.Seed = opts.Seed + int64(i)*77
+		groupOpts.Generator = shared
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = ycsb.Run(w, db, cluster.Transport().Clock(), groupOpts)
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,91 @@
+// Package binding defines the storage-binding API of the paper (§5.1) and
+// the client library that turns binding callbacks into Correctables (§3.2).
+//
+// A binding encapsulates everything that is storage-system specific: the
+// concrete storage stack configuration, the consistency levels it offers,
+// and the protocols implementing them (quorum selection, cache coherence,
+// leader forwarding, ...). The library side is store-agnostic: it translates
+// API calls (InvokeWeak / InvokeStrong / Invoke) into SubmitOperation calls
+// and orchestrates the responses into Correctable state transitions.
+package binding
+
+import (
+	"context"
+	"fmt"
+
+	"correctables/internal/core"
+)
+
+// Operation is a request against a replicated object. Concrete operation
+// types are shared across stores where the data model allows (Get/Put for
+// key-value stores, Enqueue/Dequeue for queue objects); a binding rejects
+// operations its store does not support.
+type Operation interface {
+	// OpName returns a short human-readable operation name ("get", ...).
+	OpName() string
+}
+
+// Get reads the value of a key.
+type Get struct{ Key string }
+
+// OpName implements Operation.
+func (Get) OpName() string { return "get" }
+
+// Put writes the value of a key.
+type Put struct {
+	Key   string
+	Value []byte
+}
+
+// OpName implements Operation.
+func (Put) OpName() string { return "put" }
+
+// Enqueue appends an item to a replicated queue object.
+type Enqueue struct {
+	Queue string
+	Item  []byte
+}
+
+// OpName implements Operation.
+func (Enqueue) OpName() string { return "enqueue" }
+
+// Dequeue removes the head element of a replicated queue object.
+type Dequeue struct{ Queue string }
+
+// OpName implements Operation.
+func (Dequeue) OpName() string { return "dequeue" }
+
+// Result is one response from the storage, carrying the consistency level
+// it satisfies. A binding invokes the callback once per requested level (or
+// once with Err set).
+type Result struct {
+	Value interface{}
+	Level core.Level
+	Err   error
+}
+
+// Callback receives incremental results from a binding.
+type Callback func(Result)
+
+// Binding is the interface every storage binding implements (§5.1).
+type Binding interface {
+	// ConsistencyLevels advertises the supported levels, ordered weakest to
+	// strongest.
+	ConsistencyLevels() core.Levels
+	// SubmitOperation executes op against the underlying storage with the
+	// requested consistency levels, invoking cb once for each level as the
+	// corresponding view becomes available (weakest first), or once with an
+	// error. SubmitOperation must not block the caller; the protocol runs
+	// on binding-managed goroutines.
+	SubmitOperation(ctx context.Context, op Operation, levels core.Levels, cb Callback)
+	// Close releases binding resources.
+	Close() error
+}
+
+// ErrUnsupportedOperation is wrapped by bindings rejecting an operation
+// their store cannot execute.
+var ErrUnsupportedOperation = fmt.Errorf("binding: unsupported operation")
+
+// ErrUnsupportedLevel is wrapped by bindings rejecting a consistency level
+// they do not offer.
+var ErrUnsupportedLevel = fmt.Errorf("binding: unsupported consistency level")

@@ -1,0 +1,199 @@
+package binding
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"correctables/internal/core"
+)
+
+// fakeBinding is a deterministic in-memory binding for exercising the
+// client wiring: it answers Get with "<level>:<key>" at each requested
+// level, in order, optionally with a delay between levels.
+type fakeBinding struct {
+	levels core.Levels
+	delay  time.Duration
+	mu     sync.Mutex
+	calls  []core.Levels
+	closed bool
+}
+
+func (f *fakeBinding) ConsistencyLevels() core.Levels { return f.levels }
+
+func (f *fakeBinding) SubmitOperation(ctx context.Context, op Operation, levels core.Levels, cb Callback) {
+	f.mu.Lock()
+	f.calls = append(f.calls, levels)
+	f.mu.Unlock()
+	go func() {
+		get, ok := op.(Get)
+		if !ok {
+			cb(Result{Err: fmt.Errorf("%w: %s", ErrUnsupportedOperation, op.OpName())})
+			return
+		}
+		for _, l := range levels {
+			time.Sleep(f.delay)
+			cb(Result{Value: fmt.Sprintf("%s:%s", l, get.Key), Level: l})
+		}
+	}()
+}
+
+func (f *fakeBinding) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func newFake() *fakeBinding {
+	return &fakeBinding{levels: core.Levels{core.LevelWeak, core.LevelStrong}}
+}
+
+func TestInvokeDeliversAllLevelsInOrder(t *testing.T) {
+	c := NewClient(newFake())
+	cor := c.Invoke(context.Background(), Get{Key: "k"})
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != "strong:k" || v.Level != core.LevelStrong {
+		t.Errorf("final = %+v", v)
+	}
+	views := cor.Views()
+	if len(views) != 2 {
+		t.Fatalf("views = %v", views)
+	}
+	if views[0].Value != "weak:k" || views[0].Level != core.LevelWeak || views[0].Final {
+		t.Errorf("view[0] = %+v", views[0])
+	}
+}
+
+func TestInvokeWeakSingleView(t *testing.T) {
+	fb := newFake()
+	c := NewClient(fb)
+	cor := c.InvokeWeak(context.Background(), Get{Key: "k"})
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != "weak:k" || v.Level != core.LevelWeak || !v.Final {
+		t.Errorf("final = %+v", v)
+	}
+	if len(cor.Views()) != 1 {
+		t.Errorf("InvokeWeak delivered %d views, want 1", len(cor.Views()))
+	}
+	// The binding was asked for only the weak level, so it can avoid the
+	// extraneous work (§3.2).
+	if len(fb.calls) != 1 || len(fb.calls[0]) != 1 || fb.calls[0][0] != core.LevelWeak {
+		t.Errorf("binding received levels %v, want [weak]", fb.calls)
+	}
+}
+
+func TestInvokeStrongSingleView(t *testing.T) {
+	c := NewClient(newFake())
+	cor := c.InvokeStrong(context.Background(), Get{Key: "x"})
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != "strong:x" || v.Level != core.LevelStrong {
+		t.Errorf("final = %+v", v)
+	}
+	if len(cor.Views()) != 1 {
+		t.Errorf("InvokeStrong delivered %d views, want 1", len(cor.Views()))
+	}
+}
+
+func TestInvokeLevelSubset(t *testing.T) {
+	fb := &fakeBinding{levels: core.Levels{core.LevelCache, core.LevelWeak, core.LevelStrong}}
+	c := NewClient(fb)
+	cor := c.Invoke(context.Background(), Get{Key: "k"}, core.LevelCache, core.LevelStrong)
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Level != core.LevelStrong {
+		t.Errorf("final level = %v", v.Level)
+	}
+	views := cor.Views()
+	if len(views) != 2 || views[0].Level != core.LevelCache {
+		t.Errorf("views = %+v", views)
+	}
+}
+
+func TestInvokeUnsupportedLevelFails(t *testing.T) {
+	c := NewClient(newFake())
+	cor := c.Invoke(context.Background(), Get{Key: "k"}, core.LevelCausal)
+	if _, err := cor.Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
+		t.Errorf("err = %v, want ErrUnsupportedLevel", err)
+	}
+}
+
+func TestInvokeUnsupportedOperationFails(t *testing.T) {
+	c := NewClient(newFake())
+	cor := c.Invoke(context.Background(), Enqueue{Queue: "q", Item: []byte("x")})
+	if _, err := cor.Final(context.Background()); !errors.Is(err, ErrUnsupportedOperation) {
+		t.Errorf("err = %v, want ErrUnsupportedOperation", err)
+	}
+}
+
+func TestInvokeContextCancellation(t *testing.T) {
+	fb := newFake()
+	fb.delay = time.Second
+	c := NewClient(fb)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	cor := c.Invoke(ctx, Get{Key: "k"})
+	if _, err := cor.Final(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestEmptyLevelsBinding(t *testing.T) {
+	c := NewClient(&fakeBinding{})
+	if _, err := c.InvokeWeak(context.Background(), Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
+		t.Errorf("InvokeWeak on empty binding: %v", err)
+	}
+	if _, err := c.InvokeStrong(context.Background(), Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
+		t.Errorf("InvokeStrong on empty binding: %v", err)
+	}
+	if _, err := c.Invoke(context.Background(), Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
+		t.Errorf("Invoke on empty binding: %v", err)
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	fb := newFake()
+	c := NewClient(fb)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !fb.closed {
+		t.Error("Close did not reach the binding")
+	}
+}
+
+func TestOperationNames(t *testing.T) {
+	cases := map[string]Operation{
+		"get":     Get{},
+		"put":     Put{},
+		"enqueue": Enqueue{},
+		"dequeue": Dequeue{},
+	}
+	for want, op := range cases {
+		if got := op.OpName(); got != want {
+			t.Errorf("OpName = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestLevelsAccessor(t *testing.T) {
+	c := NewClient(newFake())
+	ls := c.Levels()
+	if len(ls) != 2 || ls.Weakest() != core.LevelWeak || ls.Strongest() != core.LevelStrong {
+		t.Errorf("Levels = %v", ls)
+	}
+}

@@ -1,0 +1,102 @@
+package binding
+
+import (
+	"context"
+	"fmt"
+
+	"correctables/internal/core"
+)
+
+// Client is the application-facing side of the Correctables library
+// (Figure 2): a thin, consistency-based interface over one binding.
+type Client struct {
+	b Binding
+}
+
+// NewClient wraps a binding.
+func NewClient(b Binding) *Client { return &Client{b: b} }
+
+// Binding returns the underlying binding.
+func (c *Client) Binding() Binding { return c.b }
+
+// Levels returns the consistency levels the underlying binding offers,
+// weakest first.
+func (c *Client) Levels() core.Levels { return c.b.ConsistencyLevels() }
+
+// Close releases the underlying binding.
+func (c *Client) Close() error { return c.b.Close() }
+
+// InvokeWeak executes op with the weakest available consistency level. The
+// returned Correctable never transitions updating -> updating; it closes
+// directly with the single result (§3.2).
+func (c *Client) InvokeWeak(ctx context.Context, op Operation) *core.Correctable {
+	levels := c.b.ConsistencyLevels()
+	if len(levels) == 0 {
+		return core.Failed(fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
+	}
+	return c.invoke(ctx, op, core.Levels{levels.Weakest()})
+}
+
+// InvokeStrong executes op with the strongest available consistency level.
+// The returned Correctable closes directly with the single result.
+func (c *Client) InvokeStrong(ctx context.Context, op Operation) *core.Correctable {
+	levels := c.b.ConsistencyLevels()
+	if len(levels) == 0 {
+		return core.Failed(fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
+	}
+	return c.invoke(ctx, op, core.Levels{levels.Strongest()})
+}
+
+// Invoke executes op with incremental consistency guarantees: the returned
+// Correctable delivers one view per requested level, weakest first, and
+// closes with the strongest. If levels is empty, all levels offered by the
+// binding are used (§3.2). Requesting a level the binding does not offer
+// fails the Correctable.
+func (c *Client) Invoke(ctx context.Context, op Operation, levels ...core.Level) *core.Correctable {
+	available := c.b.ConsistencyLevels()
+	var requested core.Levels
+	if len(levels) == 0 {
+		requested = available.Sorted()
+	} else {
+		requested = core.Levels(levels).Sorted()
+		for _, l := range requested {
+			if !available.Contains(l) {
+				return core.Failed(fmt.Errorf("%w: %v (binding offers %v)", ErrUnsupportedLevel, l, available))
+			}
+		}
+	}
+	if len(requested) == 0 {
+		return core.Failed(fmt.Errorf("%w: empty level set", ErrUnsupportedLevel))
+	}
+	return c.invoke(ctx, op, requested)
+}
+
+// invoke wires one SubmitOperation call to a fresh Correctable. The
+// strongest requested level closes the Correctable; weaker levels update
+// it. Responses that race past a terminal transition are dropped (the
+// Controller refuses them), which also makes duplicate binding callbacks
+// harmless.
+func (c *Client) invoke(ctx context.Context, op Operation, requested core.Levels) *core.Correctable {
+	cor, ctrl := core.NewWithLevels(requested)
+	strongest := requested.Strongest()
+	c.b.SubmitOperation(ctx, op, requested, func(r Result) {
+		switch {
+		case r.Err != nil:
+			_ = ctrl.Fail(r.Err)
+		case r.Level == strongest:
+			_ = ctrl.Close(r.Value, r.Level)
+		default:
+			_ = ctrl.Update(r.Value, r.Level)
+		}
+	})
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-cor.Done():
+			case <-ctx.Done():
+				_ = ctrl.Fail(ctx.Err())
+			}
+		}()
+	}
+	return cor
+}

@@ -1,0 +1,221 @@
+package cassandra
+
+import (
+	"fmt"
+
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+// ReadView is one response to a read, as observed at the client.
+type ReadView struct {
+	// Value is the (possibly nil) value bytes; a copy, safe to retain.
+	Value []byte
+	// Version identifies the value for divergence accounting.
+	Version Versioned
+	// Level is LevelWeak for single-replica views, LevelStrong for
+	// quorum-reconciled views.
+	Level core.Level
+	// Final marks the last view of this read.
+	Final bool
+	// Confirmed marks a final view that matched the preliminary (whether or
+	// not the confirmation optimization shrank it on the wire).
+	Confirmed bool
+}
+
+// Client issues operations against a cluster from a given client region via
+// a fixed coordinator (contact) replica, exactly like a storage driver
+// pinned to a contact point.
+type Client struct {
+	cluster     *Cluster
+	Region      netsim.Region
+	Coordinator netsim.Region
+}
+
+// NewClient creates a client in clientRegion contacting the coordinator
+// replica in coordRegion.
+func NewClient(cluster *Cluster, clientRegion, coordRegion netsim.Region) *Client {
+	// Validate eagerly: panics here are configuration bugs.
+	cluster.Replica(coordRegion)
+	return &Client{cluster: cluster, Region: clientRegion, Coordinator: coordRegion}
+}
+
+// Cluster returns the client's cluster.
+func (c *Client) Cluster() *Cluster { return c.cluster }
+
+// Read performs a read with the given read quorum size. If wantPrelim is
+// true (and the cluster is Correctable), the coordinator leaks a
+// preliminary view after its local read; onView is then called twice:
+// preliminary (weak) first, final (strong) second. Otherwise onView is
+// called once with the final view. Read blocks until the final view has
+// been delivered.
+func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadView)) error {
+	cfg := c.cluster.cfg
+	if quorum < 1 || quorum > len(c.cluster.order) {
+		return fmt.Errorf("cassandra: read quorum %d out of range [1,%d]", quorum, len(c.cluster.order))
+	}
+	wantPrelim = wantPrelim && cfg.Correctable && quorum > 1
+
+	tr := c.cluster.tr
+	coord := c.cluster.Replica(c.Coordinator)
+
+	// Client -> coordinator request.
+	tr.Travel(c.Region, c.Coordinator, netsim.LinkClient, readRequestSize(key))
+
+	// Coordinator local read.
+	coord.server.Process(cfg.ReadServiceTime)
+	local := coord.tab.get(key)
+
+	// Preliminary flushing (§5.2): leak the local value to the client before
+	// coordinating. The flush costs extra coordinator service time and one
+	// client-link response message.
+	prelimDelivered := make(chan struct{})
+	if wantPrelim {
+		coord.server.Process(cfg.FlushServiceTime)
+		prelim := local
+		go func() {
+			tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, readResponseSize(prelim.Value))
+			onView(ReadView{
+				Value:   append([]byte(nil), prelim.Value...),
+				Version: prelim,
+				Level:   core.LevelWeak,
+				Final:   false,
+			})
+			close(prelimDelivered)
+		}()
+	} else {
+		close(prelimDelivered)
+	}
+
+	// Quorum gathering: the coordinator counts itself and waits for the
+	// quorum-1 closest peers.
+	reconciled := local
+	if quorum > 1 {
+		need := quorum - 1
+		peers := c.cluster.othersByProximity(c.Coordinator)[:need]
+		results := make(chan Versioned, need)
+		for _, peer := range peers {
+			peer := peer
+			peerReplica := c.cluster.Replica(peer)
+			go func() {
+				tr.Travel(c.Coordinator, peer, netsim.LinkReplica, replicaReadRequestSize(key))
+				peerReplica.server.Process(cfg.ReadServiceTime)
+				v := peerReplica.tab.get(key)
+				tr.Travel(peer, c.Coordinator, netsim.LinkReplica, replicaReadResponseSize(v.Value))
+				results <- v
+			}()
+		}
+		for i := 0; i < need; i++ {
+			if v := <-results; v.Newer(reconciled) {
+				reconciled = v
+			}
+		}
+		// Blocking read repair among the participants (Cassandra always
+		// reconciles the replicas involved in the read): the coordinator
+		// already holds the winning version, so its local copy is fixed
+		// immediately — the first diverged read of a key heals subsequent
+		// preliminary views until the next foreign write.
+		if reconciled.Newer(local) {
+			coord.tab.apply(key, reconciled)
+		}
+		// Global read repair: asynchronously push the winning version to
+		// all replicas (sampled, like Cassandra's read_repair_chance).
+		if c.cluster.rollReadRepair() {
+			c.repairAsync(key, reconciled)
+		}
+	}
+
+	// Final response. With the confirmation optimization, a final view that
+	// matches the preliminary shrinks to a confirmation message.
+	confirmed := wantPrelim && reconciled.Same(local)
+	respSize := readResponseSize(reconciled.Value)
+	if confirmed && cfg.ConfirmationOpt {
+		respSize = ConfirmationSize
+	}
+	level := core.LevelStrong
+	final := ReadView{
+		Value:     append([]byte(nil), reconciled.Value...),
+		Version:   reconciled,
+		Level:     level,
+		Final:     true,
+		Confirmed: confirmed,
+	}
+	if quorum == 1 {
+		final.Level = core.LevelWeak
+	}
+	tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, respSize)
+	<-prelimDelivered // preserve view order even under jitter
+	onView(final)
+	return nil
+}
+
+// repairAsync pushes the reconciled version to every replica that may be
+// stale (fire and forget, off the critical path).
+func (c *Client) repairAsync(key string, v Versioned) {
+	for _, region := range c.cluster.order {
+		replica := c.cluster.Replica(region)
+		if region == c.Coordinator {
+			replica.tab.apply(key, v)
+			continue
+		}
+		c.cluster.tr.Send(c.Coordinator, region, netsim.LinkReplica,
+			replicationSize(key, v.Value), func() {
+				replica.tab.apply(key, v)
+			})
+	}
+}
+
+// Write performs a write with write quorum w (the paper's evaluation uses
+// W=1 throughout). The coordinator applies the mutation locally,
+// acknowledges once w replicas (itself included) have applied it, and
+// propagates to the remaining replicas asynchronously with the configured
+// replication delay — the staleness window behind Fig 7's divergence.
+// Write blocks until the acknowledgment reaches the client.
+func (c *Client) Write(key string, value []byte, w int) error {
+	cfg := c.cluster.cfg
+	if w < 1 || w > len(c.cluster.order) {
+		return fmt.Errorf("cassandra: write quorum %d out of range [1,%d]", w, len(c.cluster.order))
+	}
+	tr := c.cluster.tr
+	coord := c.cluster.Replica(c.Coordinator)
+
+	tr.Travel(c.Region, c.Coordinator, netsim.LinkClient, writeRequestSize(key, value))
+	coord.server.Process(cfg.WriteServiceTime)
+
+	v := Versioned{
+		Value:  append([]byte(nil), value...),
+		TS:     c.cluster.nextTS(),
+		NodeID: coord.ID,
+		Exists: true,
+	}
+	coord.tab.apply(key, v)
+
+	peers := c.cluster.othersByProximity(c.Coordinator)
+	needSync := w - 1
+	acks := make(chan struct{}, len(peers))
+	for i, peer := range peers {
+		peer := peer
+		peerReplica := c.cluster.Replica(peer)
+		if i < needSync {
+			// Synchronous propagation for the write quorum.
+			go func() {
+				tr.Travel(c.Coordinator, peer, netsim.LinkReplica, replicationSize(key, value))
+				peerReplica.server.Process(cfg.WriteServiceTime)
+				peerReplica.tab.apply(key, v)
+				tr.Travel(peer, c.Coordinator, netsim.LinkReplica, WriteAckSize)
+				acks <- struct{}{}
+			}()
+		} else {
+			// Asynchronous replication with batching delay.
+			tr.SendAfter(cfg.ReplicationDelay, c.Coordinator, peer, netsim.LinkReplica,
+				replicationSize(key, value), func() {
+					peerReplica.tab.apply(key, v)
+				})
+		}
+	}
+	for i := 0; i < needSync; i++ {
+		<-acks
+	}
+	tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, WriteAckSize)
+	return nil
+}

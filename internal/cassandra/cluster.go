@@ -1,0 +1,211 @@
+package cassandra
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// Config describes a simulated Cassandra cluster.
+type Config struct {
+	// Regions places one replica per region; len(Regions) is the
+	// replication factor (the paper uses 3).
+	Regions []netsim.Region
+	// Transport carries all messages (required).
+	Transport *netsim.Transport
+
+	// Correctable enables the CC server-side modification: the coordinator
+	// leaks a preliminary response after its local read, before gathering a
+	// quorum (§5.2).
+	Correctable bool
+	// ConfirmationOpt enables the *CC optimization: when the final view
+	// coincides with the preliminary, only a small confirmation message is
+	// sent (§6.2.1 "Bandwidth Overhead").
+	ConfirmationOpt bool
+
+	// Workers is the per-replica worker-slot count (default 4).
+	Workers int
+	// ReadServiceTime is the coordinator/replica local work per read
+	// (default 2ms model time).
+	ReadServiceTime time.Duration
+	// WriteServiceTime is the local work per write (default 2ms).
+	WriteServiceTime time.Duration
+	// FlushServiceTime is the extra coordinator work per preliminary flush
+	// (default 500µs). This is what costs CC its few percent of throughput
+	// (§6.2.1 "Performance Under Load").
+	FlushServiceTime time.Duration
+	// ReplicationDelay is the extra delay (beyond network latency) before an
+	// asynchronous write propagation is applied on a peer replica,
+	// modeling mutation batching and queueing. It governs the staleness
+	// window and hence divergence (Fig 7). Default 10ms.
+	ReplicationDelay time.Duration
+	// ReadRepairChance is the probability that a quorum read pushes the
+	// reconciled value to stale replicas (Cassandra's default is 0.1).
+	ReadRepairChance float64
+
+	// Seed fixes the cluster RNG (read repair sampling).
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers == 0 {
+		out.Workers = 4
+	}
+	if out.ReadServiceTime == 0 {
+		out.ReadServiceTime = 2 * time.Millisecond
+	}
+	if out.WriteServiceTime == 0 {
+		out.WriteServiceTime = 2 * time.Millisecond
+	}
+	if out.FlushServiceTime == 0 {
+		out.FlushServiceTime = 500 * time.Microsecond
+	}
+	if out.ReplicationDelay == 0 {
+		out.ReplicationDelay = 10 * time.Millisecond
+	}
+	return out
+}
+
+// Replica is one storage node.
+type Replica struct {
+	Region netsim.Region
+	ID     uint8
+	tab    *table
+	server *netsim.Server
+}
+
+// Get returns the replica's local version for key (for tests/harness).
+func (r *Replica) Get(key string) Versioned { return r.tab.get(key) }
+
+// Apply merges a version into the replica's local state.
+func (r *Replica) Apply(key string, v Versioned) bool { return r.tab.apply(key, v) }
+
+// Keys returns the number of keys stored locally.
+func (r *Replica) Keys() int { return r.tab.len() }
+
+// Cluster is a set of replicas plus the shared transport.
+type Cluster struct {
+	cfg      Config
+	tr       *netsim.Transport
+	replicas map[netsim.Region]*Replica
+	order    []netsim.Region
+	ts       atomic.Uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewCluster builds a cluster per cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("cassandra: Config.Transport is required")
+	}
+	if len(cfg.Regions) == 0 {
+		return nil, fmt.Errorf("cassandra: at least one replica region is required")
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		tr:       cfg.Transport,
+		replicas: make(map[netsim.Region]*Replica, len(cfg.Regions)),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 7)),
+	}
+	for i, region := range cfg.Regions {
+		if _, dup := c.replicas[region]; dup {
+			return nil, fmt.Errorf("cassandra: duplicate replica region %s", region)
+		}
+		c.replicas[region] = &Replica{
+			Region: region,
+			ID:     uint8(i),
+			tab:    newTable(),
+			server: netsim.NewServer(cfg.Transport.Clock(), cfg.Workers),
+		}
+		c.order = append(c.order, region)
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Transport returns the cluster transport.
+func (c *Cluster) Transport() *netsim.Transport { return c.tr }
+
+// Replica returns the replica in the given region.
+func (c *Cluster) Replica(region netsim.Region) *Replica {
+	r, ok := c.replicas[region]
+	if !ok {
+		panic(fmt.Sprintf("cassandra: no replica in region %s", region))
+	}
+	return r
+}
+
+// Regions returns the replica regions in declaration order.
+func (c *Cluster) Regions() []netsim.Region {
+	return append([]netsim.Region(nil), c.order...)
+}
+
+// ReplicationFactor returns the number of replicas.
+func (c *Cluster) ReplicationFactor() int { return len(c.order) }
+
+// nextTS issues a cluster-wide monotonically increasing write timestamp.
+// Real Cassandra uses client wall clocks; a logical counter gives the same
+// last-write-wins semantics deterministically.
+func (c *Cluster) nextTS() uint64 { return c.ts.Add(1) }
+
+// rollReadRepair samples the read-repair decision.
+func (c *Cluster) rollReadRepair() bool {
+	if c.cfg.ReadRepairChance <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < c.cfg.ReadRepairChance
+}
+
+// othersByProximity returns all replica regions except `from`, closest
+// first (quorum gathering order).
+func (c *Cluster) othersByProximity(from netsim.Region) []netsim.Region {
+	others := make([]netsim.Region, 0, len(c.order)-1)
+	for _, r := range c.order {
+		if r != from {
+			others = append(others, r)
+		}
+	}
+	return c.tr.Model().SortByProximity(from, others)
+}
+
+// NearestRemote returns the replica region closest to `from` that is not
+// `from` itself; used to emulate the paper's "client connects to a remote
+// replica" deployments (e.g. the IRL client contacting FRK).
+func (c *Cluster) NearestRemote(from netsim.Region) netsim.Region {
+	var best netsim.Region
+	var bestRTT time.Duration
+	for _, r := range c.order {
+		if r == from {
+			continue
+		}
+		rtt := c.tr.Model().RTT(from, r)
+		if best == "" || rtt < bestRTT {
+			best, bestRTT = r, rtt
+		}
+	}
+	if best == "" {
+		return from
+	}
+	return best
+}
+
+// Preload writes initial data directly into every replica (no traffic, no
+// latency): the dataset-loading phase of an experiment.
+func (c *Cluster) Preload(key string, value []byte) {
+	v := Versioned{Value: append([]byte(nil), value...), TS: c.nextTS(), Exists: true}
+	for _, r := range c.replicas {
+		r.tab.apply(key, v)
+	}
+}

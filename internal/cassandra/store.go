@@ -1,0 +1,89 @@
+// Package cassandra implements a quorum-replicated key-value store modeled
+// on Cassandra, together with the paper's server-side ICG support
+// ("Correctable Cassandra", §5.2): preliminary flushing at the coordinator
+// and the confirmation optimization that replaces a redundant final response
+// with a small confirmation message.
+//
+// The store reproduces the mechanics the paper's Figures 5-8 depend on:
+//
+//   - coordinator-based reads with configurable read quorum R (1, 2 or 3),
+//   - last-write-wins reconciliation by timestamp,
+//   - W=1 writes with asynchronous replication (the source of staleness and
+//     hence preliminary/final divergence),
+//   - per-replica bounded processing capacity (the source of the
+//     latency/throughput saturation curves and of CC's throughput drop),
+//   - explicit wire sizes on every message (the source of the bandwidth
+//     figures).
+package cassandra
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Versioned is a timestamped value; reconciliation is last-write-wins by
+// (TS, NodeID).
+type Versioned struct {
+	Value  []byte
+	TS     uint64
+	NodeID uint8
+	Exists bool
+}
+
+// Newer reports whether v is strictly newer than other.
+func (v Versioned) Newer(other Versioned) bool {
+	if !v.Exists {
+		return false
+	}
+	if !other.Exists {
+		return true
+	}
+	if v.TS != other.TS {
+		return v.TS > other.TS
+	}
+	return v.NodeID > other.NodeID
+}
+
+// Same reports whether two versions are identical (same version and bytes).
+func (v Versioned) Same(other Versioned) bool {
+	return v.Exists == other.Exists && v.TS == other.TS && v.NodeID == other.NodeID &&
+		bytes.Equal(v.Value, other.Value)
+}
+
+// table is a concurrency-safe LWW register map: one partition of replica
+// state.
+type table struct {
+	mu   sync.RWMutex
+	data map[string]Versioned
+}
+
+func newTable() *table {
+	return &table{data: make(map[string]Versioned)}
+}
+
+// get returns the stored version for key (Exists=false if absent).
+func (t *table) get(key string) Versioned {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.data[key]
+}
+
+// apply merges v into the table if it is newer than the current version,
+// reporting whether it was applied.
+func (t *table) apply(key string, v Versioned) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.data[key]
+	if v.Newer(cur) {
+		t.data[key] = v
+		return true
+	}
+	return false
+}
+
+// len returns the number of stored keys.
+func (t *table) len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.data)
+}

@@ -1,0 +1,146 @@
+package causal
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+// Client is a cache-equipped client of a causal store, pinned to a region.
+type Client struct {
+	store  *Store
+	Region netsim.Region
+
+	mu    sync.Mutex
+	cache map[string]Entry
+}
+
+// NewClient creates a client in the given region with an empty cache.
+func NewClient(store *Store, region netsim.Region) *Client {
+	return &Client{store: store, Region: region, cache: map[string]Entry{}}
+}
+
+// Store returns the client's store.
+func (c *Client) Store() *Store { return c.store }
+
+// CacheGet returns the cached entry for key.
+func (c *Client) CacheGet(key string) Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache[key]
+}
+
+// cacheMerge installs e if newer than the cached entry (coherence on reads
+// and write-through on writes — the manual juggling Listing 1 does, hidden
+// behind the binding as Listing 2 advocates).
+func (c *Client) cacheMerge(key string, e Entry) {
+	c.mu.Lock()
+	if e.newer(c.cache[key]) {
+		c.cache[key] = e
+	}
+	c.mu.Unlock()
+}
+
+// Binding adapts a Client to the Correctables binding API with three
+// levels: cache, causal (nearest backup), strong (primary).
+type Binding struct {
+	client *Client
+}
+
+var _ binding.Binding = (*Binding)(nil)
+
+// NewBinding wraps a client.
+func NewBinding(client *Client) *Binding { return &Binding{client: client} }
+
+// Client returns the underlying client.
+func (b *Binding) Client() *Client { return b.client }
+
+// ConsistencyLevels implements binding.Binding.
+func (b *Binding) ConsistencyLevels() core.Levels {
+	return core.Levels{core.LevelCache, core.LevelCausal, core.LevelStrong}
+}
+
+// Close implements binding.Binding.
+func (b *Binding) Close() error { return nil }
+
+// SubmitOperation implements binding.Binding.
+func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
+	go func() {
+		switch o := op.(type) {
+		case binding.Get:
+			b.get(o, levels, cb)
+		case binding.Put:
+			b.put(o, levels, cb)
+		default:
+			cb(binding.Result{Err: fmt.Errorf("%w: causal store has no %q", binding.ErrUnsupportedOperation, op.OpName())})
+		}
+	}()
+}
+
+// get fans one logical access out to up to three actual requests (§4.4) and
+// delivers their responses in level order. A cache miss simply skips the
+// cache-level view.
+func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
+	c := b.client
+	strongest := levels.Strongest()
+	emit := func(e Entry, level core.Level) {
+		var val []byte
+		if e.Exists {
+			val = append([]byte(nil), e.Value...)
+		}
+		cb(binding.Result{Value: val, Level: level})
+	}
+
+	// Launch the remote reads in parallel.
+	type readResult struct {
+		e  Entry
+		ok bool
+	}
+	var causalCh, strongCh chan readResult
+	if levels.Contains(core.LevelCausal) {
+		causalCh = make(chan readResult, 1)
+		go func() {
+			e := c.store.read(c.Region, c.store.nearestBackup(c.Region), op.Key)
+			c.cacheMerge(op.Key, e)
+			causalCh <- readResult{e, true}
+		}()
+	}
+	if levels.Contains(core.LevelStrong) {
+		strongCh = make(chan readResult, 1)
+		go func() {
+			e := c.store.read(c.Region, c.store.cfg.Primary, op.Key)
+			c.cacheMerge(op.Key, e)
+			strongCh <- readResult{e, true}
+		}()
+	}
+
+	// Deliver in level order: cache (immediately, if hit), causal, strong.
+	if levels.Contains(core.LevelCache) {
+		if e := c.CacheGet(op.Key); e.Exists {
+			emit(e, core.LevelCache)
+		} else if strongest == core.LevelCache {
+			// Cache-only request with a miss: report absence.
+			emit(Entry{}, core.LevelCache)
+		}
+	}
+	if causalCh != nil {
+		r := <-causalCh
+		emit(r.e, core.LevelCausal)
+	}
+	if strongCh != nil {
+		r := <-strongCh
+		emit(r.e, core.LevelStrong)
+	}
+}
+
+// put writes through the primary and the local cache.
+func (b *Binding) put(op binding.Put, levels core.Levels, cb binding.Callback) {
+	c := b.client
+	e := c.store.write(c.Region, op.Key, op.Value)
+	c.cacheMerge(op.Key, e)
+	cb(binding.Result{Value: nil, Level: levels.Strongest()})
+}

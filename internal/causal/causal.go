@@ -1,0 +1,204 @@
+// Package causal implements the paper's third binding substrate (§5.2
+// "Causal Consistency and Caching"): a primary/backup replicated store with
+// causally ordered propagation, complemented by a client-side write-through
+// cache. The binding exposes three incremental levels:
+//
+//	cache  — client-local cache hit (near-zero latency, possibly stale)
+//	causal — the closest backup replica's causally consistent state
+//	strong — the primary replica (most up-to-date)
+//
+// This is the substrate behind the smartphone news reader of §4.4
+// (Listing 6): one logical invoke translates to three actual requests whose
+// responses refresh the display incrementally.
+package causal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// Entry is a versioned value.
+type Entry struct {
+	Value  []byte
+	Ver    uint64
+	Exists bool
+}
+
+// newer reports whether e supersedes other.
+func (e Entry) newer(other Entry) bool {
+	if !e.Exists {
+		return false
+	}
+	return !other.Exists || e.Ver > other.Ver
+}
+
+// Config describes a primary/backup store.
+type Config struct {
+	// Primary hosts the authoritative replica.
+	Primary netsim.Region
+	// Backups host causally consistent replicas, updated asynchronously in
+	// version order.
+	Backups []netsim.Region
+	// Transport carries all messages (required).
+	Transport *netsim.Transport
+	// ServiceTime is the per-request processing cost (default 500µs).
+	ServiceTime time.Duration
+	// PropagationDelay is the extra delay before a write reaches backups
+	// (default 15ms) — the causal staleness window.
+	PropagationDelay time.Duration
+}
+
+// Store is the replicated store.
+type Store struct {
+	cfg      Config
+	tr       *netsim.Transport
+	mu       sync.Mutex
+	nextVer  uint64
+	replicas map[netsim.Region]*replica
+}
+
+type replica struct {
+	region netsim.Region
+	proc   *netsim.Server
+	mu     sync.Mutex
+	data   map[string]Entry
+	// pending buffers out-of-order propagations so backups apply writes in
+	// version order (causal ordering under a single primary).
+	pending map[uint64]propagation
+	applied uint64
+}
+
+type propagation struct {
+	key   string
+	entry Entry
+}
+
+// NewStore builds a store per cfg.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("causal: Config.Transport is required")
+	}
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("causal: Config.Primary is required")
+	}
+	if cfg.ServiceTime == 0 {
+		cfg.ServiceTime = 500 * time.Microsecond
+	}
+	if cfg.PropagationDelay == 0 {
+		cfg.PropagationDelay = 15 * time.Millisecond
+	}
+	s := &Store{cfg: cfg, tr: cfg.Transport, replicas: map[netsim.Region]*replica{}}
+	for _, region := range append([]netsim.Region{cfg.Primary}, cfg.Backups...) {
+		if _, dup := s.replicas[region]; dup {
+			return nil, fmt.Errorf("causal: duplicate region %s", region)
+		}
+		s.replicas[region] = &replica{
+			region:  region,
+			proc:    netsim.NewServer(cfg.Transport.Clock(), 4),
+			data:    map[string]Entry{},
+			pending: map[uint64]propagation{},
+		}
+	}
+	return s, nil
+}
+
+// Config returns the store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Replica state accessors (tests/harness).
+func (s *Store) ReplicaEntry(region netsim.Region, key string) Entry {
+	r := s.replicas[region]
+	if r == nil {
+		return Entry{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.data[key]
+}
+
+// Preload installs a value on every replica without traffic.
+func (s *Store) Preload(key string, value []byte) {
+	s.mu.Lock()
+	s.nextVer++
+	e := Entry{Value: append([]byte(nil), value...), Ver: s.nextVer, Exists: true}
+	s.mu.Unlock()
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		r.data[key] = e
+		if e.Ver > r.applied {
+			r.applied = e.Ver
+		}
+		r.mu.Unlock()
+	}
+}
+
+// nearestBackup returns the backup region closest to from (or the primary
+// if there are no backups).
+func (s *Store) nearestBackup(from netsim.Region) netsim.Region {
+	if len(s.cfg.Backups) == 0 {
+		return s.cfg.Primary
+	}
+	sorted := s.tr.Model().SortByProximity(from, s.cfg.Backups)
+	return sorted[0]
+}
+
+// read serves a key from one replica, charging network and service time.
+func (s *Store) read(clientRegion, replicaRegion netsim.Region, key string) Entry {
+	r := s.replicas[replicaRegion]
+	s.tr.Travel(clientRegion, replicaRegion, netsim.LinkClient, 64+len(key))
+	r.proc.Process(s.cfg.ServiceTime)
+	r.mu.Lock()
+	e := r.data[key]
+	r.mu.Unlock()
+	s.tr.Travel(replicaRegion, clientRegion, netsim.LinkClient, 96+len(e.Value))
+	return e
+}
+
+// write applies a value at the primary and propagates to backups in version
+// order, returning the committed entry.
+func (s *Store) write(clientRegion netsim.Region, key string, value []byte) Entry {
+	primary := s.replicas[s.cfg.Primary]
+	s.tr.Travel(clientRegion, s.cfg.Primary, netsim.LinkClient, 96+len(key)+len(value))
+	primary.proc.Process(s.cfg.ServiceTime)
+
+	s.mu.Lock()
+	s.nextVer++
+	e := Entry{Value: append([]byte(nil), value...), Ver: s.nextVer, Exists: true}
+	s.mu.Unlock()
+
+	primary.mu.Lock()
+	primary.data[key] = e
+	primary.applied = e.Ver
+	primary.mu.Unlock()
+
+	for _, region := range s.cfg.Backups {
+		backup := s.replicas[region]
+		s.tr.SendAfter(s.cfg.PropagationDelay, s.cfg.Primary, region, netsim.LinkReplica,
+			96+len(key)+len(value), func() {
+				backup.deliver(e.Ver, key, e)
+			})
+	}
+	s.tr.Travel(s.cfg.Primary, clientRegion, netsim.LinkClient, 32)
+	return e
+}
+
+// deliver applies propagations in version order, buffering gaps.
+func (r *replica) deliver(ver uint64, key string, e Entry) {
+	r.mu.Lock()
+	r.pending[ver] = propagation{key: key, entry: e}
+	for {
+		p, ok := r.pending[r.applied+1]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.applied+1)
+		if p.entry.newer(r.data[p.key]) {
+			r.data[p.key] = p.entry
+		}
+		r.applied++
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,97 @@
+package chain
+
+import (
+	"context"
+	"fmt"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+)
+
+// SubmitTx is the binding operation for submitting a transaction and
+// tracking it to finality.
+type SubmitTx struct {
+	ID   string
+	Data []byte
+}
+
+// OpName implements binding.Operation.
+func (SubmitTx) OpName() string { return "submitTx" }
+
+// Binding adapts a Chain to the Correctables binding API. A SubmitTx
+// operation yields one weak view per confirmation — inclusion in a block,
+// then each deepening — and closes with a strong view once the transaction
+// is Depth blocks deep (irrevocable with high probability). This is the
+// "arbitrarily many views" case of §4.5: the interface is unchanged, only
+// the number of updates grows.
+type Binding struct {
+	chain *Chain
+	depth int
+}
+
+var _ binding.Binding = (*Binding)(nil)
+
+// NewBinding wraps a chain; depth is the confirmation count considered
+// final (Bitcoin folklore uses 6).
+func NewBinding(chain *Chain, depth int) *Binding {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Binding{chain: chain, depth: depth}
+}
+
+// Chain returns the underlying chain.
+func (b *Binding) Chain() *Chain { return b.chain }
+
+// ConsistencyLevels implements binding.Binding.
+func (b *Binding) ConsistencyLevels() core.Levels {
+	return core.Levels{core.LevelWeak, core.LevelStrong}
+}
+
+// Close implements binding.Binding.
+func (b *Binding) Close() error { return nil }
+
+// SubmitOperation implements binding.Binding.
+func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
+	tx, ok := op.(SubmitTx)
+	if !ok {
+		go cb(binding.Result{Err: fmt.Errorf("%w: chain has no %q", binding.ErrUnsupportedOperation, op.OpName())})
+		return
+	}
+	wantWeak := levels.Contains(core.LevelWeak)
+	blocks, cancel := b.chain.Watch()
+	b.chain.Submit(Tx{ID: tx.ID, Data: tx.Data})
+	go func() {
+		defer cancel()
+		includedAt := 0
+		for {
+			var blk Block
+			select {
+			case blk = <-blocks:
+			case <-ctx.Done():
+				cb(binding.Result{Err: ctx.Err()})
+				return
+			}
+			if includedAt == 0 {
+				for _, id := range blk.TxIDs {
+					if id == tx.ID {
+						includedAt = blk.Height
+						break
+					}
+				}
+				if includedAt == 0 {
+					continue
+				}
+			}
+			conf := blk.Height - includedAt + 1
+			status := TxStatus{TxID: tx.ID, Confirmations: conf, BlockHeight: includedAt}
+			if conf >= b.depth {
+				cb(binding.Result{Value: status, Level: core.LevelStrong})
+				return
+			}
+			if wantWeak {
+				cb(binding.Result{Value: status, Level: core.LevelWeak})
+			}
+		}
+	}()
+}

@@ -1,0 +1,197 @@
+// Package chain implements the blockchain use case of §4.5: a simulated
+// proof-of-work ledger in which a Correctable tracks a transaction's
+// confirmations as they accumulate. Each new block containing (or burying)
+// the transaction yields a preliminary view; once the transaction is K
+// blocks deep it is irrevocable with high probability — "strongly
+// consistent" — and the Correctable closes.
+//
+// The paper implemented this binding but omitted it for space; it is the
+// canonical demonstration that Correctables support arbitrarily many views
+// (more than the two levels of the Cassandra and ZooKeeper bindings)
+// without any interface change.
+package chain
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// Tx is a submitted transaction.
+type Tx struct {
+	ID   string
+	Data []byte
+}
+
+// TxStatus is the view value delivered for a pending transaction.
+type TxStatus struct {
+	TxID string
+	// Confirmations is the transaction's depth: 0 while in the mempool,
+	// 1 when first included in a block, and so on.
+	Confirmations int
+	// BlockHeight is the height of the including block (0 while pending).
+	BlockHeight int
+}
+
+// EqualValue implements core-style equality: two statuses refer to the same
+// outcome if the transaction landed in the same block. Confirmation counts
+// are monotone bookkeeping, not divergence.
+func (s TxStatus) EqualValue(other interface{}) bool {
+	o, ok := other.(TxStatus)
+	return ok && s.TxID == o.TxID && s.BlockHeight == o.BlockHeight
+}
+
+// Block is one ledger block.
+type Block struct {
+	Height int
+	TxIDs  []string
+}
+
+// Config describes a simulated chain.
+type Config struct {
+	// Transport provides the clock (required).
+	Transport *netsim.Transport
+	// BlockInterval is the mean time between blocks (default 10s model
+	// time; Bitcoin's is 10 minutes — scaled down so experiments are
+	// feasible, the shape is identical).
+	BlockInterval time.Duration
+	// Jitter is the +/- fraction of randomness on block intervals
+	// (default 0.5; block arrival is memoryless in reality).
+	Jitter float64
+	// Seed fixes the block-timing RNG.
+	Seed int64
+}
+
+// Chain is the simulated ledger. Blocks are mined on a background goroutine
+// until Stop is called.
+type Chain struct {
+	cfg   Config
+	clock *netsim.Clock
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	mempool  []Tx
+	blocks   []Block
+	watchers []chan Block
+	stopped  bool
+	stopCh   chan struct{}
+}
+
+// New starts a chain per cfg.
+func New(cfg Config) (*Chain, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("chain: Config.Transport is required")
+	}
+	if cfg.BlockInterval == 0 {
+		cfg.BlockInterval = 10 * time.Second
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.5
+	}
+	c := &Chain{
+		cfg:    cfg,
+		clock:  cfg.Transport.Clock(),
+		rng:    rand.New(rand.NewSource(cfg.Seed + 11)),
+		stopCh: make(chan struct{}),
+	}
+	go c.mine()
+	return c, nil
+}
+
+// Stop halts block production.
+func (c *Chain) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.stopped {
+		c.stopped = true
+		close(c.stopCh)
+	}
+}
+
+// Height returns the current chain height.
+func (c *Chain) Height() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.blocks)
+}
+
+// Submit places a transaction in the mempool.
+func (c *Chain) Submit(tx Tx) {
+	c.mu.Lock()
+	c.mempool = append(c.mempool, tx)
+	c.mu.Unlock()
+}
+
+// Watch returns a channel receiving every newly mined block (buffered;
+// slow consumers drop blocks rather than stall mining) and a cancel
+// function.
+func (c *Chain) Watch() (<-chan Block, func()) {
+	ch := make(chan Block, 64)
+	c.mu.Lock()
+	c.watchers = append(c.watchers, ch)
+	c.mu.Unlock()
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for i, w := range c.watchers {
+			if w == ch {
+				c.watchers = append(c.watchers[:i], c.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// ConfirmationsOf returns the depth of the block at the given height.
+func (c *Chain) ConfirmationsOf(height int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if height <= 0 || height > len(c.blocks) {
+		return 0
+	}
+	return len(c.blocks) - height + 1
+}
+
+// mine produces blocks forever, sweeping the mempool into each block.
+func (c *Chain) mine() {
+	for {
+		interval := c.nextInterval()
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+		c.clock.Sleep(interval)
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+		c.mu.Lock()
+		blk := Block{Height: len(c.blocks) + 1}
+		for _, tx := range c.mempool {
+			blk.TxIDs = append(blk.TxIDs, tx.ID)
+		}
+		c.mempool = nil
+		c.blocks = append(c.blocks, blk)
+		watchers := append([]chan Block(nil), c.watchers...)
+		c.mu.Unlock()
+		for _, w := range watchers {
+			select {
+			case w <- blk:
+			default:
+			}
+		}
+	}
+}
+
+func (c *Chain) nextInterval() time.Duration {
+	c.mu.Lock()
+	u := c.rng.Float64()*2 - 1
+	c.mu.Unlock()
+	return time.Duration(float64(c.cfg.BlockInterval) * (1 + c.cfg.Jitter*u))
+}

@@ -1,0 +1,166 @@
+package chain
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+func newTestChain(t *testing.T, interval time.Duration) *Chain {
+	t.Helper()
+	clock := netsim.NewClock(1.0)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), nil, 1)
+	c, err := New(Config{Transport: tr, BlockInterval: interval, Jitter: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing transport accepted")
+	}
+}
+
+func TestChainMinesBlocks(t *testing.T) {
+	c := newTestChain(t, 10*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Height() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("chain stuck at height %d", c.Height())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestChainStopHaltsMining(t *testing.T) {
+	c := newTestChain(t, 5*time.Millisecond)
+	for c.Height() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	h := c.Height()
+	time.Sleep(50 * time.Millisecond)
+	if got := c.Height(); got > h+1 {
+		t.Errorf("height advanced from %d to %d after Stop", h, got)
+	}
+	c.Stop() // idempotent
+}
+
+func TestConfirmationsOf(t *testing.T) {
+	c := newTestChain(t, 5*time.Millisecond)
+	for c.Height() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	h := c.Height()
+	if got := c.ConfirmationsOf(1); got < h-1 {
+		t.Errorf("ConfirmationsOf(1) = %d at height %d", got, h)
+	}
+	if c.ConfirmationsOf(0) != 0 || c.ConfirmationsOf(h+100) != 0 {
+		t.Error("out-of-range heights should report 0 confirmations")
+	}
+}
+
+func TestBindingTracksConfirmations(t *testing.T) {
+	c := newTestChain(t, 8*time.Millisecond)
+	const depth = 4
+	client := binding.NewClient(NewBinding(c, depth))
+	cor := client.Invoke(context.Background(), SubmitTx{ID: "tx-1", Data: []byte("pay")})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := cor.Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := v.Value.(TxStatus)
+	if status.Confirmations < depth {
+		t.Errorf("final confirmations = %d, want >= %d", status.Confirmations, depth)
+	}
+	if v.Level != core.LevelStrong {
+		t.Errorf("final level = %v", v.Level)
+	}
+	views := cor.Views()
+	// depth views total: conf 1..depth-1 weak, then strong.
+	if len(views) != depth {
+		t.Fatalf("got %d views, want %d: %+v", len(views), depth, views)
+	}
+	for i, view := range views {
+		st := view.Value.(TxStatus)
+		if st.Confirmations != i+1 {
+			t.Errorf("view %d confirmations = %d", i, st.Confirmations)
+		}
+		if st.BlockHeight != status.BlockHeight {
+			t.Errorf("view %d block height = %d, want %d (no reorgs in this sim)", i, st.BlockHeight, status.BlockHeight)
+		}
+	}
+}
+
+func TestBindingStrongOnlySingleView(t *testing.T) {
+	c := newTestChain(t, 5*time.Millisecond)
+	client := binding.NewClient(NewBinding(c, 3))
+	cor := client.InvokeStrong(context.Background(), SubmitTx{ID: "tx-2"})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cor.Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(cor.Views()) != 1 {
+		t.Errorf("strong-only views = %d, want 1", len(cor.Views()))
+	}
+}
+
+func TestBindingContextCancellation(t *testing.T) {
+	c := newTestChain(t, time.Hour) // no blocks will be mined
+	client := binding.NewClient(NewBinding(c, 2))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	cor := client.Invoke(ctx, SubmitTx{ID: "tx-3"})
+	if _, err := cor.Final(context.Background()); err == nil {
+		t.Error("expected cancellation error")
+	}
+}
+
+func TestBindingUnsupportedOp(t *testing.T) {
+	c := newTestChain(t, time.Hour)
+	client := binding.NewClient(NewBinding(c, 2))
+	if _, err := client.Invoke(context.Background(), binding.Get{Key: "x"}).Final(context.Background()); err == nil {
+		t.Error("Get on chain should fail")
+	}
+}
+
+func TestTxStatusEquality(t *testing.T) {
+	a := TxStatus{TxID: "t", Confirmations: 1, BlockHeight: 5}
+	b := TxStatus{TxID: "t", Confirmations: 3, BlockHeight: 5}
+	if !a.EqualValue(b) {
+		t.Error("same block, different depth should be equal outcome")
+	}
+	if a.EqualValue(TxStatus{TxID: "t", BlockHeight: 6}) {
+		t.Error("different block should differ")
+	}
+	if a.EqualValue(42) {
+		t.Error("cross-type equality")
+	}
+}
+
+func TestManyTxsAllConfirm(t *testing.T) {
+	c := newTestChain(t, 5*time.Millisecond)
+	client := binding.NewClient(NewBinding(c, 2))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var cors []*core.Correctable
+	for i := 0; i < 10; i++ {
+		cors = append(cors, client.Invoke(ctx, SubmitTx{ID: fmt.Sprintf("tx-%d", i)}))
+	}
+	for i, cor := range cors {
+		if _, err := cor.Final(ctx); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+}

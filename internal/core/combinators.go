@@ -1,0 +1,159 @@
+package core
+
+import "sync"
+
+// Then returns a Correctable whose views are f applied to each of c's views
+// (monadic chaining, inherited from modern Promises). f runs synchronously
+// in the delivery path and must be fast; use Speculate for heavy work. If f
+// returns an error on the final view the result fails; errors on preliminary
+// views suppress that view.
+func (c *Correctable) Then(f func(View) (interface{}, error)) *Correctable {
+	out, ctrl := NewWithLevels(c.Levels())
+	c.SetCallbacks(Callbacks{
+		OnUpdate: func(v View) {
+			mapped, err := f(v)
+			if err != nil {
+				if v.Final {
+					_ = ctrl.Fail(err)
+				}
+				return
+			}
+			if v.Final {
+				_ = ctrl.Close(mapped, v.Level)
+			} else {
+				_ = ctrl.Update(mapped, v.Level)
+			}
+		},
+		OnError: func(err error) { _ = ctrl.Fail(err) },
+	})
+	return out
+}
+
+// All aggregates several Correctables into one. Each update of any child
+// produces an update of the aggregate whose value is a []interface{} with
+// the latest value of every child (nil where none arrived yet). The
+// aggregate closes when all children have closed, at the weakest of the
+// children's final levels; it fails on the first child error.
+func All(cs ...*Correctable) *Correctable {
+	out, ctrl := NewWithLevels(nil)
+	if len(cs) == 0 {
+		_ = ctrl.Close([]interface{}{}, LevelStrong)
+		return out
+	}
+	var (
+		mu        sync.Mutex
+		latest    = make([]interface{}, len(cs))
+		finals    = make([]bool, len(cs))
+		levels    = make([]Level, len(cs))
+		remaining = len(cs)
+		failed    bool
+	)
+	snapshot := func() []interface{} {
+		cp := make([]interface{}, len(latest))
+		copy(cp, latest)
+		return cp
+	}
+	for i, c := range cs {
+		i := i
+		c.SetCallbacks(Callbacks{
+			OnUpdate: func(v View) {
+				mu.Lock()
+				if failed {
+					mu.Unlock()
+					return
+				}
+				latest[i] = v.Value
+				if v.Final && !finals[i] {
+					finals[i] = true
+					levels[i] = v.Level
+					remaining--
+				}
+				doClose := remaining == 0
+				val := snapshot()
+				lvl := v.Level
+				if doClose {
+					lvl = Levels(levels).Weakest()
+				}
+				mu.Unlock()
+				if doClose {
+					_ = ctrl.Close(val, lvl)
+				} else {
+					_ = ctrl.Update(val, lvl)
+				}
+			},
+			OnError: func(err error) {
+				mu.Lock()
+				already := failed
+				failed = true
+				mu.Unlock()
+				if !already {
+					_ = ctrl.Fail(err)
+				}
+			},
+		})
+	}
+	return out
+}
+
+// Any returns a Correctable mirroring whichever child closes first.
+// Preliminary views from all children are forwarded until then.
+func Any(cs ...*Correctable) *Correctable {
+	out, ctrl := NewWithLevels(nil)
+	if len(cs) == 0 {
+		_ = ctrl.Fail(ErrNoView)
+		return out
+	}
+	var (
+		mu       sync.Mutex
+		decided  bool
+		failures int
+	)
+	for _, c := range cs {
+		c.SetCallbacks(Callbacks{
+			OnUpdate: func(v View) {
+				mu.Lock()
+				if decided {
+					mu.Unlock()
+					return
+				}
+				if v.Final {
+					decided = true
+				}
+				mu.Unlock()
+				if v.Final {
+					_ = ctrl.Close(v.Value, v.Level)
+				} else {
+					_ = ctrl.Update(v.Value, v.Level)
+				}
+			},
+			OnError: func(err error) {
+				mu.Lock()
+				failures++
+				last := failures == len(cs) && !decided
+				if last {
+					decided = true
+				}
+				mu.Unlock()
+				if last {
+					_ = ctrl.Fail(err)
+				}
+			},
+		})
+	}
+	return out
+}
+
+// Resolved returns an already-final Correctable carrying value at level.
+// Useful for tests and for bindings that can answer from local state.
+func Resolved(value interface{}, level Level) *Correctable {
+	c, ctrl := New()
+	_ = ctrl.Close(value, level)
+	return c
+}
+
+// Failed returns an already-errored Correctable.
+func Failed(err error) *Correctable {
+	c, ctrl := New()
+	_ = ctrl.Fail(err)
+	return c
+}

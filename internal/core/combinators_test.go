@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestThenMapsViews(t *testing.T) {
+	c, ctrl := New()
+	out := c.Then(func(v View) (interface{}, error) {
+		return v.Value.(int) + 100, nil
+	})
+	var got []interface{}
+	out.OnUpdate(func(v View) { got = append(got, v.Value) })
+	_ = ctrl.Update(1, LevelWeak)
+	_ = ctrl.Close(2, LevelStrong)
+	v, err := out.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != 102 || v.Level != LevelStrong {
+		t.Errorf("final = %+v", v)
+	}
+	if len(got) != 2 || got[0] != 101 || got[1] != 102 {
+		t.Errorf("updates = %v", got)
+	}
+}
+
+func TestThenErrorOnFinalFails(t *testing.T) {
+	c, ctrl := New()
+	boom := errors.New("map fail")
+	out := c.Then(func(v View) (interface{}, error) { return nil, boom })
+	_ = ctrl.Close(1, LevelStrong)
+	if _, err := out.Final(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestThenErrorOnPrelimSuppressed(t *testing.T) {
+	c, ctrl := New()
+	out := c.Then(func(v View) (interface{}, error) {
+		if !v.Final {
+			return nil, errors.New("skip")
+		}
+		return v.Value, nil
+	})
+	_ = ctrl.Update(1, LevelWeak)
+	_ = ctrl.Close(2, LevelStrong)
+	v, err := out.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != 2 {
+		t.Errorf("final = %v", v.Value)
+	}
+	if len(out.Views()) != 1 {
+		t.Errorf("views = %v, want only the final", out.Views())
+	}
+}
+
+func TestThenPropagatesSourceError(t *testing.T) {
+	c, ctrl := New()
+	boom := errors.New("src")
+	out := c.Then(func(v View) (interface{}, error) { return v.Value, nil })
+	_ = ctrl.Fail(boom)
+	if _, err := out.Final(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAllAggregates(t *testing.T) {
+	c1, ctrl1 := New()
+	c2, ctrl2 := New()
+	out := All(c1, c2)
+	_ = ctrl1.Update("a0", LevelWeak)
+	_ = ctrl1.Close("a1", LevelStrong)
+	_ = ctrl2.Close("b1", LevelCausal)
+	v, err := out.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := v.Value.([]interface{})
+	if vals[0] != "a1" || vals[1] != "b1" {
+		t.Errorf("final aggregate = %v", vals)
+	}
+	// Weakest of the final levels.
+	if v.Level != LevelCausal {
+		t.Errorf("level = %v, want causal", v.Level)
+	}
+}
+
+func TestAllEmpty(t *testing.T) {
+	out := All()
+	v, err := out.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Value.([]interface{})) != 0 {
+		t.Errorf("value = %v", v.Value)
+	}
+}
+
+func TestAllFailsOnFirstError(t *testing.T) {
+	c1, ctrl1 := New()
+	c2, _ := New()
+	out := All(c1, c2)
+	boom := errors.New("child")
+	_ = ctrl1.Fail(boom)
+	if _, err := out.Final(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnyTakesFirstFinal(t *testing.T) {
+	c1, ctrl1 := New()
+	c2, ctrl2 := New()
+	out := Any(c1, c2)
+	_ = ctrl1.Update("slowprelim", LevelWeak)
+	_ = ctrl2.Close("fast", LevelWeak)
+	v, err := out.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != "fast" {
+		t.Errorf("value = %v", v.Value)
+	}
+	// Late close of the other child must be ignored without panicking.
+	_ = ctrl1.Close("slow", LevelStrong)
+	if got, _ := out.Latest(); got.Value != "fast" {
+		t.Errorf("latest = %v after late close", got.Value)
+	}
+}
+
+func TestAnyAllFail(t *testing.T) {
+	c1, ctrl1 := New()
+	c2, ctrl2 := New()
+	out := Any(c1, c2)
+	_ = ctrl1.Fail(errors.New("e1"))
+	e2 := errors.New("e2")
+	_ = ctrl2.Fail(e2)
+	if _, err := out.Final(context.Background()); !errors.Is(err, e2) {
+		t.Errorf("err = %v, want the last failure", err)
+	}
+}
+
+func TestAnyEmpty(t *testing.T) {
+	out := Any()
+	if _, err := out.Final(context.Background()); !errors.Is(err, ErrNoView) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestResolvedAndFailed(t *testing.T) {
+	r := Resolved(42, LevelStrong)
+	v, err := r.Final(context.Background())
+	if err != nil || v.Value != 42 {
+		t.Errorf("Resolved: %v, %v", v, err)
+	}
+	boom := errors.New("x")
+	f := Failed(boom)
+	if _, err := f.Final(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("Failed: %v", err)
+	}
+}
+
+// Property: All over n resolved children closes with exactly their values in
+// order.
+func TestPropertyAllOrder(t *testing.T) {
+	f := func(vals []int) bool {
+		cs := make([]*Correctable, len(vals))
+		for i, v := range vals {
+			cs[i] = Resolved(v, LevelStrong)
+		}
+		out := All(cs...)
+		fv, err := out.Final(context.Background())
+		if err != nil {
+			return false
+		}
+		got := fv.Value.([]interface{})
+		if len(got) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+)
+
+// State is the lifecycle state of a Correctable (§3.1, Figure 3).
+type State uint8
+
+const (
+	// StateUpdating: the operation is in progress; preliminary views may
+	// still arrive.
+	StateUpdating State = iota
+	// StateFinal: the Correctable closed with a final (strongest requested)
+	// view.
+	StateFinal
+	// StateError: the Correctable closed with an error.
+	StateError
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateUpdating:
+		return "updating"
+	case StateFinal:
+		return "final"
+	case StateError:
+		return "error"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// View is one incremental view of an operation's result: a value together
+// with the consistency level it satisfies.
+type View struct {
+	// Value is the operation result as provided by the binding.
+	Value interface{}
+	// Level is the consistency guarantee this view satisfies.
+	Level Level
+	// Index is the 0-based position of this view in the delivery sequence.
+	Index int
+	// Final reports whether this is the closing view.
+	Final bool
+	// At is the wall-clock delivery time (set by the library).
+	At time.Time
+}
+
+// Callbacks bundles the three per-state callbacks of a Correctable
+// (Figure 3). Any field may be nil. OnUpdate fires for every view, including
+// the final one (the final view is both an update and the closing view, so
+// code written against OnUpdate alone observes the full sequence, as in the
+// paper's Listing 5/6). OnFinal fires exactly once, after the last OnUpdate.
+// OnError fires exactly once if the Correctable closes with an error.
+//
+// Callbacks for one Correctable are delivered sequentially, in view order;
+// a callback may attach further callbacks or even deliver views through a
+// Controller, but it must not block waiting on the same Correctable.
+type Callbacks struct {
+	OnUpdate func(View)
+	OnFinal  func(View)
+	OnError  func(error)
+}
+
+// ErrClosed is returned by Controller methods invoked after the Correctable
+// has already closed.
+var ErrClosed = errors.New("correctable: already closed")
+
+// ErrNoView is returned when waiting on a Correctable that closed with no
+// view at the requested level.
+var ErrNoView = errors.New("correctable: closed without a view at the requested level")
+
+// cbEntry tracks how far delivery has progressed for one attached callback
+// bundle, so that late subscribers replay history without duplicates.
+type cbEntry struct {
+	cbs          Callbacks
+	next         int // index of next view to deliver
+	terminalSent bool
+}
+
+// Correctable represents the progressively improving result of an operation
+// on a replicated object. It is safe for concurrent use.
+type Correctable struct {
+	mu          sync.Mutex
+	state       State
+	views       []View
+	err         error
+	entries     []*cbEntry
+	dispatching bool
+	done        chan struct{}
+	waiters     []chan struct{} // broadcast on every transition
+	levelSet    Levels          // advisory: levels this correctable will deliver
+}
+
+// Controller is the producer-side handle of a Correctable. The library hands
+// the Correctable to the application and keeps the Controller for the
+// binding; this split keeps applications from closing results themselves.
+type Controller struct {
+	c *Correctable
+}
+
+// New creates a Correctable in the Updating state together with its
+// Controller.
+func New() (*Correctable, *Controller) {
+	c := &Correctable{done: make(chan struct{})}
+	return c, &Controller{c: c}
+}
+
+// NewWithLevels is New with an advisory set of levels the producer intends
+// to deliver (used by Invoke to record the requested level subset).
+func NewWithLevels(levels Levels) (*Correctable, *Controller) {
+	c, ctrl := New()
+	c.levelSet = levels.Sorted()
+	return c, ctrl
+}
+
+// Levels returns the advisory set of levels this Correctable was created
+// with (may be empty if the producer did not declare one).
+func (c *Correctable) Levels() Levels {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(Levels, len(c.levelSet))
+	copy(out, c.levelSet)
+	return out
+}
+
+// Update delivers a preliminary view (Updating -> Updating). It returns
+// ErrClosed if the Correctable has already closed.
+func (ctrl *Controller) Update(value interface{}, level Level) error {
+	return ctrl.c.deliver(value, level, false, nil)
+}
+
+// Close delivers the final view and transitions to StateFinal. It returns
+// ErrClosed if the Correctable has already closed.
+func (ctrl *Controller) Close(value interface{}, level Level) error {
+	return ctrl.c.deliver(value, level, true, nil)
+}
+
+// Fail closes the Correctable with an error (StateError). It returns
+// ErrClosed if the Correctable has already closed.
+func (ctrl *Controller) Fail(err error) error {
+	if err == nil {
+		err = errors.New("correctable: Fail called with nil error")
+	}
+	return ctrl.c.deliver(nil, LevelNone, false, err)
+}
+
+// Correctable returns the consumer-side handle (convenience for tests and
+// combinators that create both ends).
+func (ctrl *Controller) Correctable() *Correctable { return ctrl.c }
+
+// deliver is the single mutation point: it appends a view or records the
+// error, wakes waiters, runs the dispatch loop, and closes done on the
+// terminal transition.
+func (c *Correctable) deliver(value interface{}, level Level, final bool, failure error) error {
+	c.mu.Lock()
+	if c.state != StateUpdating {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if failure != nil {
+		c.state = StateError
+		c.err = failure
+	} else {
+		c.views = append(c.views, View{
+			Value: value, Level: level, Index: len(c.views), Final: final, At: time.Now(),
+		})
+		if final {
+			c.state = StateFinal
+		}
+	}
+	terminal := c.state != StateUpdating
+	waiters := c.waiters
+	c.waiters = nil
+	c.dispatch()
+	c.mu.Unlock()
+
+	for _, w := range waiters {
+		close(w)
+	}
+	if terminal {
+		close(c.done)
+	}
+	return nil
+}
+
+// dispatch drains pending notifications to all attached callbacks. It must
+// be called with c.mu held and returns with c.mu held. Callbacks run with
+// the lock released. Re-entrant calls (from inside a callback) return
+// immediately; the outer dispatch loop picks up whatever they enqueued.
+func (c *Correctable) dispatch() {
+	if c.dispatching {
+		return
+	}
+	c.dispatching = true
+	for {
+		progressed := false
+		for i := 0; i < len(c.entries); i++ {
+			e := c.entries[i]
+			for e.next < len(c.views) {
+				v := c.views[e.next]
+				e.next++
+				cb := e.cbs.OnUpdate
+				if cb != nil {
+					c.mu.Unlock()
+					cb(v)
+					c.mu.Lock()
+				}
+				progressed = true
+			}
+			if !e.terminalSent && c.state != StateUpdating && e.next == len(c.views) {
+				e.terminalSent = true
+				progressed = true
+				switch c.state {
+				case StateFinal:
+					if cb := e.cbs.OnFinal; cb != nil && len(c.views) > 0 {
+						v := c.views[len(c.views)-1]
+						c.mu.Unlock()
+						cb(v)
+						c.mu.Lock()
+					}
+				case StateError:
+					if cb := e.cbs.OnError; cb != nil {
+						err := c.err
+						c.mu.Unlock()
+						cb(err)
+						c.mu.Lock()
+					}
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	c.dispatching = false
+}
+
+// SetCallbacks attaches a callback bundle (§3.1). If views were already
+// delivered, they are replayed to the new callbacks (in order, without
+// duplicates) before SetCallbacks returns, so late subscribers observe the
+// complete history exactly as early ones did. It returns c to allow
+// chaining, mirroring the paper's fluent style:
+//
+//	invoke(op).Speculate(f).SetCallbacks(...)
+func (c *Correctable) SetCallbacks(cbs Callbacks) *Correctable {
+	c.mu.Lock()
+	c.entries = append(c.entries, &cbEntry{cbs: cbs})
+	c.dispatch()
+	c.mu.Unlock()
+	return c
+}
+
+// OnUpdate attaches an update-only callback.
+func (c *Correctable) OnUpdate(f func(View)) *Correctable {
+	return c.SetCallbacks(Callbacks{OnUpdate: f})
+}
+
+// OnFinal attaches a final-only callback.
+func (c *Correctable) OnFinal(f func(View)) *Correctable {
+	return c.SetCallbacks(Callbacks{OnFinal: f})
+}
+
+// OnError attaches an error-only callback.
+func (c *Correctable) OnError(f func(error)) *Correctable {
+	return c.SetCallbacks(Callbacks{OnError: f})
+}
+
+// State returns the current state.
+func (c *Correctable) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Err returns the closing error, if any.
+func (c *Correctable) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Views returns a copy of all views delivered so far, in order.
+func (c *Correctable) Views() []View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]View(nil), c.views...)
+}
+
+// Latest returns the most recent view, if any.
+func (c *Correctable) Latest() (View, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.views) == 0 {
+		return View{}, false
+	}
+	return c.views[len(c.views)-1], true
+}
+
+// Done returns a channel closed when the Correctable leaves the Updating
+// state.
+func (c *Correctable) Done() <-chan struct{} { return c.done }
+
+// Final blocks until the Correctable closes and returns the final view. If
+// the Correctable closed with an error, or ctx expires first, that error is
+// returned.
+func (c *Correctable) Final(ctx context.Context) (View, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return View{}, ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateError {
+		return View{}, c.err
+	}
+	if len(c.views) == 0 {
+		return View{}, ErrNoView
+	}
+	return c.views[len(c.views)-1], nil
+}
+
+// WaitLevel blocks until a view with level >= min has been delivered and
+// returns the first such view. If the Correctable closes without one, it
+// returns ErrNoView (or the closing error).
+func (c *Correctable) WaitLevel(ctx context.Context, min Level) (View, error) {
+	for {
+		c.mu.Lock()
+		for _, v := range c.views {
+			if v.Level.AtLeast(min) {
+				c.mu.Unlock()
+				return v, nil
+			}
+		}
+		if c.state == StateError {
+			err := c.err
+			c.mu.Unlock()
+			return View{}, err
+		}
+		if c.state == StateFinal {
+			c.mu.Unlock()
+			return View{}, ErrNoView
+		}
+		w := make(chan struct{})
+		c.waiters = append(c.waiters, w)
+		c.mu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return View{}, ctx.Err()
+		}
+	}
+}
+
+// First blocks until any view has been delivered and returns it. This is the
+// "settle for the preliminary" pattern (§2.2): applications with tight
+// latency SLAs can take the first view and abandon the rest.
+func (c *Correctable) First(ctx context.Context) (View, error) {
+	return c.WaitLevel(ctx, LevelNone+1)
+}
+
+// Equaler lets application values customize the divergence check used by
+// Speculate and by confirmation detection. If a view value implements
+// Equaler, it is consulted; otherwise reflect.DeepEqual is used.
+type Equaler interface {
+	EqualValue(other interface{}) bool
+}
+
+// ValuesEqual reports whether two view values are equal for the purpose of
+// confirmation / misspeculation detection.
+func ValuesEqual(a, b interface{}) bool {
+	if e, ok := a.(Equaler); ok {
+		return e.EqualValue(b)
+	}
+	if e, ok := b.(Equaler); ok {
+		return e.EqualValue(a)
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file holds the features Correctables inherit from modern Promises
+// that the paper mentions but elides for space (§3.2: "error handling,
+// timeouts, or other features inherited from modern Promises, such as
+// aggregation or monadic-style chaining").
+
+// ErrTimeout closes a Correctable abandoned by WithTimeout.
+var ErrTimeout = errors.New("correctable: timed out")
+
+// WithTimeout returns a Correctable mirroring c, except that if c has not
+// closed within d it resolves early: with the latest view received so far
+// (degraded but usable — the "tight latency SLA" pattern of §2.2), or with
+// ErrTimeout if no view arrived at all. Late views from c are ignored.
+func (c *Correctable) WithTimeout(d time.Duration) *Correctable {
+	out, ctrl := NewWithLevels(c.Levels())
+	timer := time.AfterFunc(d, func() {
+		if v, ok := c.Latest(); ok {
+			_ = ctrl.Close(v.Value, v.Level)
+		} else {
+			_ = ctrl.Fail(fmt.Errorf("%w after %v", ErrTimeout, d))
+		}
+	})
+	c.SetCallbacks(Callbacks{
+		OnUpdate: func(v View) {
+			if v.Final {
+				timer.Stop()
+				_ = ctrl.Close(v.Value, v.Level)
+			} else {
+				_ = ctrl.Update(v.Value, v.Level)
+			}
+		},
+		OnError: func(err error) {
+			timer.Stop()
+			_ = ctrl.Fail(err)
+		},
+	})
+	return out
+}
+
+// Catch returns a Correctable mirroring c, except that if c fails, handler
+// is consulted: a non-error return closes the result with the recovery
+// value (at LevelNone-adjacent weakest level LevelCache, since a recovered
+// value carries no storage guarantee); returning an error fails the result
+// with it. This is the Promise `catch` combinator.
+func (c *Correctable) Catch(handler func(error) (interface{}, error)) *Correctable {
+	out, ctrl := NewWithLevels(c.Levels())
+	c.SetCallbacks(Callbacks{
+		OnUpdate: func(v View) {
+			if v.Final {
+				_ = ctrl.Close(v.Value, v.Level)
+			} else {
+				_ = ctrl.Update(v.Value, v.Level)
+			}
+		},
+		OnError: func(err error) {
+			val, herr := handler(err)
+			if herr != nil {
+				_ = ctrl.Fail(herr)
+				return
+			}
+			_ = ctrl.Close(val, LevelCache)
+		},
+	})
+	return out
+}
+
+// Finally invokes f exactly once when c leaves the Updating state, whether
+// it closed with a view or an error, and returns c for chaining.
+func (c *Correctable) Finally(f func()) *Correctable {
+	return c.SetCallbacks(Callbacks{
+		OnFinal: func(View) { f() },
+		OnError: func(error) { f() },
+	})
+}
+
+// FilterLevels returns a Correctable that forwards only views at or above
+// min (the final view is always forwarded, whatever its level, so the
+// result still closes). Applications use it to ignore a too-weak cache view
+// while keeping the rest of the ICG stream.
+func (c *Correctable) FilterLevels(min Level) *Correctable {
+	out, ctrl := NewWithLevels(c.Levels())
+	c.SetCallbacks(Callbacks{
+		OnUpdate: func(v View) {
+			if v.Final {
+				_ = ctrl.Close(v.Value, v.Level)
+				return
+			}
+			if v.Level.AtLeast(min) {
+				_ = ctrl.Update(v.Value, v.Level)
+			}
+		},
+		OnError: func(err error) { _ = ctrl.Fail(err) },
+	})
+	return out
+}
+
+// Race returns a Correctable that closes with the first view (of any level)
+// delivered by any child — the "quick approximate result is sometimes
+// better than an overdue reply" pattern (§4.4). Children keep running; only
+// their first view matters. If every child fails, Race fails with the last
+// error.
+func Race(cs ...*Correctable) *Correctable {
+	out, ctrl := NewWithLevels(nil)
+	if len(cs) == 0 {
+		_ = ctrl.Fail(ErrNoView)
+		return out
+	}
+	failures := make(chan error, len(cs))
+	for _, c := range cs {
+		c := c
+		go func() {
+			v, err := c.First(context.Background())
+			if err != nil {
+				failures <- err
+				return
+			}
+			_ = ctrl.Close(v.Value, v.Level)
+		}()
+	}
+	go func() {
+		var last error
+		for i := 0; i < len(cs); i++ {
+			last = <-failures
+		}
+		_ = ctrl.Fail(last) // no-op if a view won the race
+	}()
+	return out
+}

@@ -1,0 +1,174 @@
+package core
+
+import "sync"
+
+// SpecFunc is a speculation function (§4.2, Listing 3). It receives a view
+// and performs — possibly expensive, possibly side-effecting — work based on
+// it, returning a result. It runs on its own goroutine.
+type SpecFunc func(View) (interface{}, error)
+
+// AbortFunc undoes the side effects of a superseded speculation. It receives
+// the view the speculation was based on and the result it produced (nil if
+// the speculation function returned an error). It is called at most once per
+// superseded speculation, after that speculation's SpecFunc has returned and
+// before the replacement speculation runs.
+type AbortFunc func(input View, result interface{})
+
+// specExec tracks one execution of the speculation function.
+type specExec struct {
+	input View
+	done  chan struct{}
+
+	// result and err are written by the executing goroutine before done is
+	// closed.
+	result interface{}
+	err    error
+
+	// The fields below are guarded by speculator.mu.
+	completed   bool  // finished() has run and published (or skipped)
+	closeOnDone bool  // confirmation arrived: close the output on completion
+	closeLevel  Level // level of the confirming final view
+}
+
+// Speculate captures the speculation pattern of the paper (Listing 3): it
+// applies spec to every new view delivered by c whose value differs from the
+// previous one, and returns a new Correctable that closes with the return
+// value of spec.
+//
+// If the final view matches the last speculated-on view (the common case),
+// the returned Correctable closes as soon as both the final view has arrived
+// and that speculation has finished — the speculation was correct and its
+// latency is hidden. Otherwise spec is automatically re-executed with the
+// correct (final) input, abort (if non-nil) is called first to undo the
+// preceding speculation's side effects, and the returned Correctable closes
+// only after the re-execution completes.
+//
+// Results of speculations on preliminary views are additionally delivered as
+// preliminary views of the returned Correctable (at the input view's level),
+// so speculation chains compose with OnUpdate-style progressive display.
+//
+// If c closes with an error, the returned Correctable fails with the same
+// error (after any outstanding speculation is aborted).
+func (c *Correctable) Speculate(spec SpecFunc, abort AbortFunc) *Correctable {
+	out, ctrl := NewWithLevels(c.Levels())
+	s := &speculator{spec: spec, abort: abort, ctrl: ctrl}
+	c.SetCallbacks(Callbacks{
+		OnUpdate: s.onUpdate,
+		OnError:  s.onError,
+	})
+	return out
+}
+
+type speculator struct {
+	mu     sync.Mutex
+	spec   SpecFunc
+	abort  AbortFunc
+	ctrl   *Controller
+	latest *specExec
+}
+
+// startLocked launches a speculation for v, superseding (and, once it
+// finishes, aborting) the previous one. Caller must hold s.mu.
+func (s *speculator) startLocked(v View) {
+	prev := s.latest
+	e := &specExec{input: v, done: make(chan struct{})}
+	s.latest = e
+	go func() {
+		if prev != nil {
+			s.waitAbort(prev)
+		}
+		e.result, e.err = s.spec(v)
+		close(e.done)
+		s.finished(e)
+	}()
+}
+
+// waitAbort waits for a superseded execution to finish and undoes its side
+// effects.
+func (s *speculator) waitAbort(e *specExec) {
+	<-e.done
+	if s.abort != nil {
+		var res interface{}
+		if e.err == nil {
+			res = e.result
+		}
+		s.abort(e.input, res)
+	}
+}
+
+// finished publishes the outcome of a completed execution.
+func (s *speculator) finished(e *specExec) {
+	s.mu.Lock()
+	e.completed = true
+	isLatest := s.latest == e
+	closeOnDone := e.closeOnDone
+	closeLevel := e.closeLevel
+	final := e.input.Final
+	s.mu.Unlock()
+	if !isLatest {
+		return // superseded; the superseding goroutine aborts it
+	}
+	if final || closeOnDone {
+		level := e.input.Level
+		if closeOnDone {
+			level = closeLevel
+		}
+		if e.err != nil {
+			_ = s.ctrl.Fail(e.err)
+		} else {
+			_ = s.ctrl.Close(e.result, level)
+		}
+		return
+	}
+	if e.err == nil {
+		// Preliminary speculation result; best effort (the output may have
+		// already closed if the source errored concurrently).
+		_ = s.ctrl.Update(e.result, e.input.Level)
+	}
+}
+
+func (s *speculator) onUpdate(v View) {
+	s.mu.Lock()
+	prev := s.latest
+	sameAsPrev := prev != nil && ValuesEqual(prev.input.Value, v.Value)
+	if !v.Final {
+		// Speculate only on views whose value differs from the previous one.
+		if !sameAsPrev {
+			s.startLocked(v)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if sameAsPrev {
+		// Confirmation: the final view matches the speculated-on input.
+		if prev.completed {
+			s.mu.Unlock()
+			if prev.err != nil {
+				_ = s.ctrl.Fail(prev.err)
+			} else {
+				_ = s.ctrl.Close(prev.result, v.Level)
+			}
+			return
+		}
+		prev.closeOnDone = true
+		prev.closeLevel = v.Level
+		s.mu.Unlock()
+		return
+	}
+	// Misspeculation, or no preliminary arrived at all: (re-)execute on the
+	// final view; startLocked's goroutine aborts the superseded execution
+	// before the re-execution runs.
+	s.startLocked(v)
+	s.mu.Unlock()
+}
+
+func (s *speculator) onError(err error) {
+	s.mu.Lock()
+	prev := s.latest
+	s.latest = nil
+	s.mu.Unlock()
+	if prev != nil {
+		go s.waitAbort(prev)
+	}
+	_ = s.ctrl.Fail(err)
+}

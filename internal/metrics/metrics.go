@@ -1,0 +1,166 @@
+// Package metrics provides the measurement primitives the benchmark harness
+// uses: latency histograms (average and percentiles, as reported in the
+// paper's figures), counters, and throughput accounting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram collects duration samples and reports summary statistics. It is
+// safe for concurrent use. Samples are retained exactly (the experiments in
+// this repository record at most a few hundred thousand points), so
+// percentiles are exact rather than approximated.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range h.samples {
+		total += float64(s)
+	}
+	return time.Duration(total / float64(len(h.samples)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sortLocked()
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return h.samples[rank-1]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// sortLocked sorts samples in place; callers hold h.mu.
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Summary is a value snapshot of a histogram.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+// String renders a Summary compactly in milliseconds.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fms p50=%.1fms p99=%.1fms",
+		s.Count, Ms(s.Mean), Ms(s.P50), Ms(s.P99))
+}
+
+// Ms converts a duration to float milliseconds (figure axes).
+func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Counter is an atomic event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Ratio returns c/total as a fraction, or 0 when total is zero.
+func Ratio(c, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c) / float64(total)
+}
+
+// Throughput returns operations per second of model time.
+func Throughput(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

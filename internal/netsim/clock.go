@@ -1,0 +1,122 @@
+package netsim
+
+import "time"
+
+// sleepSlack is the measured overhead/granularity of time.Sleep on this
+// host (Linux timer slack is commonly around a millisecond). Sleeps are
+// compensated by this amount so that scaled model delays stay accurate even
+// when they map to wall durations near the granularity floor.
+var sleepSlack = measureSleepSlack()
+
+func measureSleepSlack() time.Duration {
+	const n = 4
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		time.Sleep(50 * time.Microsecond)
+		total += time.Since(start)
+	}
+	s := total / n
+	if s < 100*time.Microsecond {
+		s = 100 * time.Microsecond
+	}
+	if s > 5*time.Millisecond {
+		s = 5 * time.Millisecond
+	}
+	return s
+}
+
+// sleepEps is the tolerated undershoot: remainders at or below it return
+// immediately instead of rounding up to the sleep floor. A 4x-10x overshoot
+// on sub-floor sleeps would distort scaled latencies far more than this
+// bounded early return does (capacity accounting is unaffected — it uses
+// absolute deadlines, not sleep outcomes).
+var sleepEps = minDuration(300*time.Microsecond, sleepSlack/4)
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sleepUntil blocks until the wall-clock deadline, compensating for the
+// sleep granularity floor. Overshoot is bounded by roughly one slack
+// quantum, undershoot by sleepEps, and neither accumulates across calls
+// that target absolute deadlines (Server capacity accounting relies on
+// this).
+func sleepUntil(deadline time.Time) {
+	for {
+		d := time.Until(deadline)
+		if d <= sleepEps {
+			return
+		}
+		if d > sleepSlack {
+			time.Sleep(d - sleepSlack)
+			continue
+		}
+		time.Sleep(d)
+		return
+	}
+}
+
+// Clock scales simulated ("model") durations to wall-clock durations. A
+// scale of 1.0 runs in real time (a 20 ms model RTT takes 20 ms); a scale of
+// 0.1 runs 10x faster. Tests and benchmarks use small scales; the icgbench
+// CLI defaults to a moderate scale and reports all latencies in model time,
+// so output matches the paper's axes regardless of scale.
+//
+// The zero value is unusable; use NewClock.
+type Clock struct {
+	scale float64
+}
+
+// NewClock returns a Clock with the given model-to-wall scale factor.
+// Scale must be > 0.
+func NewClock(scale float64) *Clock {
+	if scale <= 0 {
+		panic("netsim: clock scale must be positive")
+	}
+	return &Clock{scale: scale}
+}
+
+// Scale returns the configured scale factor.
+func (c *Clock) Scale() float64 { return c.scale }
+
+// Sleep blocks for the wall-clock equivalent of model duration d.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	sleepUntil(time.Now().Add(c.ToWall(d)))
+}
+
+// SleepUntilWall blocks until the given wall-clock deadline with slack
+// compensation.
+func (c *Clock) SleepUntilWall(deadline time.Time) { sleepUntil(deadline) }
+
+// ToWall converts a model duration to a wall-clock duration.
+func (c *Clock) ToWall(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * c.scale)
+}
+
+// ToModel converts a measured wall-clock duration back to model time.
+func (c *Clock) ToModel(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / c.scale)
+}
+
+// Stopwatch measures elapsed wall time and reports it in model time.
+type Stopwatch struct {
+	clock *Clock
+	start time.Time
+}
+
+// StartStopwatch begins timing.
+func (c *Clock) StartStopwatch() Stopwatch {
+	return Stopwatch{clock: c, start: time.Now()}
+}
+
+// ElapsedModel returns the model-time duration since the stopwatch started.
+func (s Stopwatch) ElapsedModel() time.Duration {
+	return s.clock.ToModel(time.Since(s.start))
+}

@@ -1,0 +1,79 @@
+package netsim
+
+import "sync"
+
+// Link classes used by the stores in this repository. The paper's bandwidth
+// figures (Fig 8, Fig 10) measure the client-replica link specifically, so
+// the meter aggregates by class rather than by region pair.
+const (
+	LinkClient  = "client"  // client <-> contact/coordinator replica
+	LinkReplica = "replica" // inter-replica traffic
+)
+
+// LinkStats is a snapshot of traffic on one link class.
+type LinkStats struct {
+	Bytes    int64
+	Messages int64
+}
+
+// Meter accumulates wire traffic by link class. It is safe for concurrent
+// use.
+type Meter struct {
+	mu    sync.Mutex
+	stats map[string]LinkStats
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{stats: make(map[string]LinkStats)}
+}
+
+// Account records one message of the given size on the given link class.
+func (m *Meter) Account(class string, bytes int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	s := m.stats[class]
+	s.Bytes += int64(bytes)
+	s.Messages++
+	m.stats[class] = s
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of the per-class statistics.
+func (m *Meter) Snapshot() map[string]LinkStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]LinkStats, len(m.stats))
+	for k, v := range m.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Class returns the statistics for one link class.
+func (m *Meter) Class(class string) LinkStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats[class]
+}
+
+// Reset zeroes all statistics.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.stats = make(map[string]LinkStats)
+	m.mu.Unlock()
+}
+
+// Diff returns the per-class difference snapshot-now minus base. Classes
+// absent from base count from zero.
+func (m *Meter) Diff(base map[string]LinkStats) map[string]LinkStats {
+	now := m.Snapshot()
+	out := make(map[string]LinkStats, len(now))
+	for k, v := range now {
+		b := base[k]
+		out[k] = LinkStats{Bytes: v.Bytes - b.Bytes, Messages: v.Messages - b.Messages}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultLatenciesPaperValues(t *testing.T) {
+	m := DefaultLatencies()
+	if got := m.RTT(IRL, FRK); got != 20*time.Millisecond {
+		t.Errorf("IRL-FRK RTT = %v, want 20ms (paper §6.2.1)", got)
+	}
+	if got := m.RTT(IRL, VRG); got != 83*time.Millisecond {
+		t.Errorf("IRL-VRG RTT = %v, want 83ms (paper §6.2.2)", got)
+	}
+	if got := m.RTT(IRL, IRL); got != 2*time.Millisecond {
+		t.Errorf("local RTT = %v, want 2ms", got)
+	}
+}
+
+func TestRTTSymmetry(t *testing.T) {
+	m := DefaultLatencies()
+	regions := []Region{FRK, IRL, VRG, NCA, ORE}
+	for _, a := range regions {
+		for _, b := range regions {
+			if m.RTT(a, b) != m.RTT(b, a) {
+				t.Errorf("RTT(%s,%s) != RTT(%s,%s)", a, b, b, a)
+			}
+			if m.OneWay(a, b)*2 != m.RTT(a, b) {
+				t.Errorf("OneWay(%s,%s)*2 != RTT", a, b)
+			}
+		}
+	}
+}
+
+func TestRTTUnknownPairPanics(t *testing.T) {
+	m := &LatencyModel{RTTs: map[[2]Region]time.Duration{}, LocalRTT: time.Millisecond}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown region pair")
+		}
+	}()
+	m.RTT(FRK, IRL)
+}
+
+func TestSortByProximity(t *testing.T) {
+	m := DefaultLatencies()
+	got := m.SortByProximity(FRK, []Region{VRG, IRL, FRK})
+	want := []Region{FRK, IRL, VRG}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortByProximity = %v, want %v", got, want)
+		}
+	}
+	// Input slice must not be mutated.
+	in := []Region{VRG, FRK}
+	_ = m.SortByProximity(FRK, in)
+	if in[0] != VRG {
+		t.Error("SortByProximity mutated its input")
+	}
+}
+
+func TestClockScaling(t *testing.T) {
+	c := NewClock(0.5)
+	if got := c.ToWall(100 * time.Millisecond); got != 50*time.Millisecond {
+		t.Errorf("ToWall = %v", got)
+	}
+	if got := c.ToModel(50 * time.Millisecond); got != 100*time.Millisecond {
+		t.Errorf("ToModel = %v", got)
+	}
+	start := time.Now()
+	c.Sleep(20 * time.Millisecond) // 10ms wall
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond || elapsed > 100*time.Millisecond {
+		t.Errorf("scaled sleep took %v, want ~10ms", elapsed)
+	}
+}
+
+func TestClockZeroSleep(t *testing.T) {
+	c := NewClock(1.0)
+	start := time.Now()
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("non-positive sleep should return immediately")
+	}
+}
+
+func TestClockInvalidScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive scale")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestStopwatchModelTime(t *testing.T) {
+	c := NewClock(0.1)
+	sw := c.StartStopwatch()
+	time.Sleep(5 * time.Millisecond) // = 50ms model
+	got := sw.ElapsedModel()
+	if got < 30*time.Millisecond || got > 300*time.Millisecond {
+		t.Errorf("ElapsedModel = %v, want ~50ms", got)
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := NewMeter()
+	m.Account(LinkClient, 100)
+	m.Account(LinkClient, 50)
+	m.Account(LinkReplica, 10)
+	if s := m.Class(LinkClient); s.Bytes != 150 || s.Messages != 2 {
+		t.Errorf("client stats = %+v", s)
+	}
+	if s := m.Class(LinkReplica); s.Bytes != 10 || s.Messages != 1 {
+		t.Errorf("replica stats = %+v", s)
+	}
+	snap := m.Snapshot()
+	m.Account(LinkClient, 1)
+	d := m.Diff(snap)
+	if d[LinkClient].Bytes != 1 || d[LinkClient].Messages != 1 {
+		t.Errorf("diff = %+v", d[LinkClient])
+	}
+	m.Reset()
+	if s := m.Class(LinkClient); s.Bytes != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestNilMeterAccountIsNoop(t *testing.T) {
+	var m *Meter
+	m.Account(LinkClient, 10) // must not panic
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m.Account(LinkClient, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := m.Class(LinkClient); s.Bytes != workers*per || s.Messages != workers*per {
+		t.Errorf("concurrent accounting lost updates: %+v", s)
+	}
+}
+
+func TestTransportTravelLatencyAndAccounting(t *testing.T) {
+	clock := NewClock(0.05) // 20x speedup: 10ms one-way -> 0.5ms wall
+	meter := NewMeter()
+	tr := NewTransport(clock, DefaultLatencies(), meter, 1)
+	sw := clock.StartStopwatch()
+	tr.Travel(IRL, FRK, LinkClient, 100)
+	elapsed := sw.ElapsedModel()
+	// One-way IRL->FRK is 10ms model; allow generous tolerance for jitter
+	// plus goroutine scheduling at small scale.
+	if elapsed < 6*time.Millisecond || elapsed > 60*time.Millisecond {
+		t.Errorf("one-way model latency = %v, want ~10ms", elapsed)
+	}
+	if s := meter.Class(LinkClient); s.Bytes != 100 || s.Messages != 1 {
+		t.Errorf("meter = %+v", s)
+	}
+}
+
+func TestTransportSendAsync(t *testing.T) {
+	clock := NewClock(0.01)
+	tr := NewTransport(clock, DefaultLatencies(), NewMeter(), 2)
+	done := make(chan time.Time, 1)
+	start := time.Now()
+	tr.Send(IRL, VRG, LinkReplica, 10, func() { done <- time.Now() })
+	// Send returns immediately.
+	if time.Since(start) > 5*time.Millisecond {
+		t.Error("Send blocked the caller")
+	}
+	select {
+	case at := <-done:
+		wall := at.Sub(start)
+		model := clock.ToModel(wall)
+		if model < 25*time.Millisecond || model > 300*time.Millisecond {
+			t.Errorf("async delivery after %v model, want ~41.5ms", model)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("async message never delivered")
+	}
+}
+
+func TestTransportSendAfterExtraDelay(t *testing.T) {
+	clock := NewClock(0.01)
+	tr := NewTransport(clock, DefaultLatencies(), NewMeter(), 3)
+	done := make(chan struct{})
+	start := time.Now()
+	tr.SendAfter(200*time.Millisecond, IRL, IRL, LinkReplica, 1, func() { close(done) })
+	<-done
+	model := clock.ToModel(time.Since(start))
+	if model < 150*time.Millisecond {
+		t.Errorf("SendAfter delivered at %v model, want >= ~201ms", model)
+	}
+}
+
+// Property: sampled one-way delays are positive and within the configured
+// jitter+tail envelope of the base latency.
+func TestPropertyTransportJitterBounds(t *testing.T) {
+	clock := NewClock(1.0)
+	tr := NewTransport(clock, DefaultLatencies(), nil, 42)
+	f := func(seed int64) bool {
+		d := tr.sample(IRL, FRK)
+		base := 10 * time.Millisecond
+		min := time.Duration(float64(base) * (1 - tr.JitterFrac - 0.001))
+		// Exponential tail is unbounded in theory; 12x mean is astronomically
+		// unlikely (e^-12) across the samples quick generates.
+		max := time.Duration(float64(base) * (1 + tr.JitterFrac + 12*tr.TailMeanFrac))
+		return d >= min && d <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerCapacityAndQueueing(t *testing.T) {
+	clock := NewClock(1.0)
+	s := NewServer(clock, 1)
+	const cost = 5 * time.Millisecond
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Process(cost)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 4 jobs x 5ms on 1 worker must take at least ~20ms.
+	if elapsed < 18*time.Millisecond {
+		t.Errorf("4 serialized jobs took %v, want >= ~20ms", elapsed)
+	}
+	if s.Handled() != 4 {
+		t.Errorf("Handled = %d", s.Handled())
+	}
+	if s.BusyModelTime() != 4*cost {
+		t.Errorf("BusyModelTime = %v", s.BusyModelTime())
+	}
+}
+
+func TestServerParallelism(t *testing.T) {
+	clock := NewClock(1.0)
+	s := NewServer(clock, 4)
+	const cost = 10 * time.Millisecond
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Process(cost)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 3*cost {
+		t.Errorf("4 parallel jobs on 4 workers took %v, want ~%v", elapsed, cost)
+	}
+}
+
+func TestServerTryProcessSheds(t *testing.T) {
+	clock := NewClock(1.0)
+	s := NewServer(clock, 1)
+	done := make(chan struct{})
+	go func() {
+		s.Process(80 * time.Millisecond) // hold the only slot
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if s.TryProcess(time.Millisecond) {
+		t.Error("TryProcess should shed when saturated")
+	}
+	<-done
+	// Process may return up to sleepEps early; let the reservation lapse.
+	time.Sleep(2 * time.Millisecond)
+	if !s.TryProcess(time.Millisecond) {
+		t.Error("TryProcess should succeed when idle")
+	}
+}
+
+func TestServerZeroWorkersClamped(t *testing.T) {
+	s := NewServer(NewClock(1.0), 0)
+	s.Process(0) // must not deadlock
+}

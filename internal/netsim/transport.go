@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Transport carries messages between regions, charging one-way latency
+// (with jitter and an exponential tail) and accounting bytes on the meter.
+// It is the only path through which simulated components may exchange data,
+// which is what makes the bandwidth figures (Fig 8, Fig 10) trustworthy.
+type Transport struct {
+	clock *Clock
+	model *LatencyModel
+	meter *Meter
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// JitterFrac is the +/- uniform jitter fraction applied to every one-way
+	// delay (default 0.04).
+	JitterFrac float64
+	// TailMeanFrac is the mean of the additive exponential tail, as a
+	// fraction of the base one-way delay (default 0.03). This produces the
+	// heavier 99th-percentile latencies visible in the paper's Figures 5
+	// and 9 without changing averages much.
+	TailMeanFrac float64
+}
+
+// NewTransport creates a transport over the given clock, latency model and
+// meter. The meter may be nil (no accounting). Seed fixes the jitter RNG for
+// reproducible runs.
+func NewTransport(clock *Clock, model *LatencyModel, meter *Meter, seed int64) *Transport {
+	return &Transport{
+		clock:        clock,
+		model:        model,
+		meter:        meter,
+		rng:          rand.New(rand.NewSource(seed)),
+		JitterFrac:   0.04,
+		TailMeanFrac: 0.03,
+	}
+}
+
+// Clock returns the transport's clock.
+func (t *Transport) Clock() *Clock { return t.clock }
+
+// Model returns the transport's latency model.
+func (t *Transport) Model() *LatencyModel { return t.model }
+
+// Meter returns the transport's meter (may be nil).
+func (t *Transport) Meter() *Meter { return t.meter }
+
+// sample returns a jittered one-way delay between two regions.
+func (t *Transport) sample(from, to Region) time.Duration {
+	base := float64(t.model.OneWay(from, to))
+	t.mu.Lock()
+	u := t.rng.Float64()*2 - 1 // [-1, 1)
+	e := t.rng.ExpFloat64()
+	t.mu.Unlock()
+	d := base * (1 + t.JitterFrac*u)
+	d += base * t.TailMeanFrac * e
+	return time.Duration(math.Max(d, 0))
+}
+
+// Travel synchronously delivers a message: it accounts size bytes on the
+// link class and sleeps the (scaled) one-way delay. Callers run protocol
+// logic as straight-line code in their own goroutine and call Travel at
+// each hop.
+func (t *Transport) Travel(from, to Region, class string, size int) {
+	t.meter.Account(class, size)
+	t.clock.Sleep(t.sample(from, to))
+}
+
+// Send asynchronously delivers a message: fn runs on a fresh goroutine
+// after the one-way delay. Used for off-critical-path traffic such as
+// asynchronous replication and commit notifications.
+func (t *Transport) Send(from, to Region, class string, size int, fn func()) {
+	t.meter.Account(class, size)
+	d := t.sample(from, to)
+	go func() {
+		t.clock.Sleep(d)
+		fn()
+	}()
+}
+
+// SendAfter is Send with an additional model-time delay before the message
+// leaves (e.g. replication batching delay).
+func (t *Transport) SendAfter(extra time.Duration, from, to Region, class string, size int, fn func()) {
+	t.meter.Account(class, size)
+	d := t.sample(from, to) + extra
+	go func() {
+		t.clock.Sleep(d)
+		fn()
+	}()
+}

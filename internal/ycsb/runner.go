@@ -1,0 +1,186 @@
+package ycsb
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"correctables/internal/metrics"
+	"correctables/internal/netsim"
+)
+
+// ReadOutcome reports what one read observed: latency of the preliminary
+// view (if any), latency of the final view, and whether they diverged. All
+// latencies are in model time.
+type ReadOutcome struct {
+	HasPrelim     bool
+	PrelimLatency time.Duration
+	FinalLatency  time.Duration
+	Diverged      bool
+}
+
+// DB is the system under test. Implementations wrap a storage client (or an
+// application-level operation, for the case studies of Fig 11) and report
+// model-time latencies.
+type DB interface {
+	Read(rng *rand.Rand, key string) (ReadOutcome, error)
+	Update(rng *rand.Rand, key string, value []byte) (time.Duration, error)
+}
+
+// Options configures a closed-loop run.
+type Options struct {
+	// Threads is the number of closed-loop client threads.
+	Threads int
+	// WallDuration is how long to run, in wall-clock time (the model-time
+	// equivalent is WallDuration / clock scale).
+	WallDuration time.Duration
+	// Warmup is an initial wall-clock span whose samples are discarded
+	// (the paper elides the first and last 15s of its 60s trials).
+	Warmup time.Duration
+	// Seed derives the per-thread RNGs.
+	Seed int64
+	// Generator overrides the workload's key chooser. Pass one shared
+	// generator to several concurrent Run calls to model client
+	// populations with a *global* notion of popularity/recency (essential
+	// for the Latest distribution: "recently updated" must mean recently
+	// updated by anyone, not by this client group).
+	Generator Generator
+}
+
+// Result aggregates a run's measurements (model time throughout).
+type Result struct {
+	Workload Workload
+	Threads  int
+
+	Ops, Reads, Updates int64
+	// Elapsed is the measured span in model time.
+	Elapsed time.Duration
+	// ThroughputOps is operations per model second.
+	ThroughputOps float64
+
+	// ReadFinal is the latency of final views; ReadPrelim of preliminary
+	// views (empty when the DB yields none).
+	ReadFinal  *metrics.Histogram
+	ReadPrelim *metrics.Histogram
+	UpdateLat  *metrics.Histogram
+
+	// PrelimReads counts reads that had a preliminary view; Diverged counts
+	// those whose preliminary differed from the final (Fig 7's numerator).
+	PrelimReads int64
+	Diverged    int64
+
+	// Errors counts failed operations (excluded from latency stats).
+	Errors int64
+}
+
+// DivergencePct returns 100 * diverged / reads-with-preliminary.
+func (r *Result) DivergencePct() float64 {
+	return 100 * metrics.Ratio(r.Diverged, r.PrelimReads)
+}
+
+// Run drives the workload against db with closed-loop threads and returns
+// aggregated measurements.
+func Run(w Workload, db DB, clock *netsim.Clock, opts Options) *Result {
+	if opts.Threads <= 0 {
+		opts.Threads = 1
+	}
+	res := &Result{
+		Workload:   w,
+		Threads:    opts.Threads,
+		ReadFinal:  metrics.NewHistogram(),
+		ReadPrelim: metrics.NewHistogram(),
+		UpdateLat:  metrics.NewHistogram(),
+	}
+	gen := opts.Generator
+	if gen == nil {
+		gen = w.NewGenerator()
+	}
+	latest, _ := gen.(*LatestGenerator)
+
+	start := time.Now()
+	recordAfter := start.Add(opts.Warmup)
+	deadline := start.Add(opts.WallDuration)
+
+	var (
+		mu                  sync.Mutex
+		ops, reads, updates int64
+		prelims, diverged   int64
+		errs                int64
+		measuredStart       time.Time
+		measuredEnd         time.Time
+	)
+
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Threads; t++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(t)*1_000_003))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				record := !now.Before(recordAfter)
+				key := Key(gen.Next(rng))
+				isRead := rng.Float64() < w.ReadProportion
+				if isRead {
+					out, err := db.Read(rng, key)
+					if !record {
+						continue
+					}
+					mu.Lock()
+					if measuredStart.IsZero() {
+						measuredStart = now
+					}
+					measuredEnd = time.Now()
+					if err != nil {
+						errs++
+					} else {
+						ops++
+						reads++
+						res.ReadFinal.Record(out.FinalLatency)
+						if out.HasPrelim {
+							prelims++
+							res.ReadPrelim.Record(out.PrelimLatency)
+							if out.Diverged {
+								diverged++
+							}
+						}
+					}
+					mu.Unlock()
+				} else {
+					lat, err := db.Update(rng, key, w.Value(rng))
+					if latest != nil {
+						latest.Advance()
+					}
+					if !record {
+						continue
+					}
+					mu.Lock()
+					if measuredStart.IsZero() {
+						measuredStart = now
+					}
+					measuredEnd = time.Now()
+					if err != nil {
+						errs++
+					} else {
+						ops++
+						updates++
+						res.UpdateLat.Record(lat)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res.Ops, res.Reads, res.Updates = ops, reads, updates
+	res.PrelimReads, res.Diverged, res.Errors = prelims, diverged, errs
+	if !measuredStart.IsZero() {
+		res.Elapsed = clock.ToModel(measuredEnd.Sub(measuredStart))
+	}
+	res.ThroughputOps = metrics.Throughput(ops, res.Elapsed)
+	return res
+}

@@ -1,0 +1,120 @@
+package zk
+
+import (
+	"context"
+	"fmt"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+)
+
+// QueueResult is the view value delivered by the queue binding: the element
+// plus the remaining queue length. Divergence (for speculation and
+// confirmation) is judged on the element identity only — the remaining
+// count is an estimate on preliminary views.
+type QueueResult struct {
+	Element   *QueueElement
+	Remaining int
+}
+
+// EqualValue implements core.Equaler.
+func (r QueueResult) EqualValue(other interface{}) bool {
+	o, ok := other.(QueueResult)
+	return ok && r.Element.EqualValue(o.Element)
+}
+
+// Binding adapts a QueueClient to the Correctables binding API. It offers
+// weak (local simulation on the contact server) and strong (committed
+// through the ordered protocol) levels for enqueue and dequeue.
+type Binding struct {
+	qc *QueueClient
+}
+
+var _ binding.Binding = (*Binding)(nil)
+
+// NewBinding wraps a queue client.
+func NewBinding(qc *QueueClient) *Binding { return &Binding{qc: qc} }
+
+// QueueClient returns the underlying queue client.
+func (b *Binding) QueueClient() *QueueClient { return b.qc }
+
+// ConsistencyLevels implements binding.Binding. Vanilla ZooKeeper offers a
+// single, strong level (§5.2); the weak level (local simulation) exists
+// only with the CZK server-side support.
+func (b *Binding) ConsistencyLevels() core.Levels {
+	if b.qc.Ensemble().Config().Correctable {
+		return core.Levels{core.LevelWeak, core.LevelStrong}
+	}
+	return core.Levels{core.LevelStrong}
+}
+
+// Close implements binding.Binding.
+func (b *Binding) Close() error { return nil }
+
+// SubmitOperation implements binding.Binding.
+func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
+	wantWeak := levels.Contains(core.LevelWeak)
+	wantStrong := levels.Contains(core.LevelStrong)
+	if !wantWeak && !wantStrong {
+		go cb(binding.Result{Err: fmt.Errorf("%w: %v", binding.ErrUnsupportedLevel, levels)})
+		return
+	}
+	go func() {
+		var run func(wantPrelim bool, onView func(QueueView)) error
+		switch o := op.(type) {
+		case binding.Enqueue:
+			run = func(wantPrelim bool, onView func(QueueView)) error {
+				return b.qc.Enqueue(o.Queue, o.Item, wantPrelim, onView)
+			}
+		case binding.Dequeue:
+			run = func(wantPrelim bool, onView func(QueueView)) error {
+				return b.qc.Dequeue(o.Queue, wantPrelim, onView)
+			}
+		default:
+			cb(binding.Result{Err: fmt.Errorf("%w: zk queues have no %q", binding.ErrUnsupportedOperation, op.OpName())})
+			return
+		}
+
+		forward := func(v QueueView) {
+			level := v.Level
+			cb(binding.Result{
+				Value: QueueResult{Element: v.Element, Remaining: v.Remaining},
+				Level: level,
+			})
+		}
+
+		switch {
+		case wantWeak && wantStrong:
+			if err := run(true, forward); err != nil {
+				cb(binding.Result{Err: err})
+			}
+		case wantStrong:
+			if err := run(false, func(v QueueView) {
+				forward(QueueView{Element: v.Element, Remaining: v.Remaining, Level: core.LevelStrong})
+			}); err != nil {
+				cb(binding.Result{Err: err})
+			}
+		case wantWeak:
+			// InvokeWeak semantics (§4.3): answer from the local simulation
+			// immediately; the operation itself completes in the background.
+			delivered := make(chan struct{})
+			var once bool
+			err := run(true, func(v QueueView) {
+				if !once {
+					once = true
+					forward(QueueView{Element: v.Element, Remaining: v.Remaining, Level: core.LevelWeak})
+					close(delivered)
+				}
+				// The final (committed) view is dropped: the caller asked
+				// for weak only.
+			})
+			if err != nil {
+				select {
+				case <-delivered:
+				default:
+					cb(binding.Result{Err: err})
+				}
+			}
+		}
+	}()
+}

@@ -1,0 +1,284 @@
+package zk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// Config describes a simulated ZooKeeper ensemble.
+type Config struct {
+	// Regions places one server per region (the paper uses 3).
+	Regions []netsim.Region
+	// LeaderRegion selects the leader (must appear in Regions).
+	LeaderRegion netsim.Region
+	// Transport carries all messages (required).
+	Transport *netsim.Transport
+	// Correctable enables the CZK fast path: local simulation of operations
+	// for preliminary responses and the server-side atomic dequeue.
+	Correctable bool
+	// Workers is the per-server worker-slot count (default 4).
+	Workers int
+	// ServiceTime is the per-message local processing cost (default 1ms).
+	ServiceTime time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.ServiceTime == 0 {
+		c.ServiceTime = time.Millisecond
+	}
+	return c
+}
+
+// Server is one ensemble member.
+type Server struct {
+	Region   netsim.Region
+	ensemble *Ensemble
+	proc     *netsim.Server
+	tree     *Tree
+
+	mu          sync.Mutex
+	lastApplied uint64
+	pending     map[uint64]Txn
+	waiters     map[uint64][]chan struct{}
+}
+
+// Tree exposes the server's local (committed) state for local reads and
+// CZK simulations.
+func (s *Server) Tree() *Tree { return s.tree }
+
+// IsLeader reports whether this server is the ensemble leader.
+func (s *Server) IsLeader() bool { return s.ensemble.leader == s }
+
+// LastApplied returns the highest zxid applied locally.
+func (s *Server) LastApplied() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastApplied
+}
+
+// Ensemble is the replicated coordination service.
+type Ensemble struct {
+	cfg     Config
+	tr      *netsim.Transport
+	servers map[netsim.Region]*Server
+	order   []netsim.Region
+	leader  *Server
+
+	// propMu serializes proposal numbering and leader prep-application,
+	// establishing the Zab total order.
+	propMu   sync.Mutex
+	nextZxid uint64
+}
+
+// NewEnsemble builds an ensemble per cfg.
+func NewEnsemble(cfg Config) (*Ensemble, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("zk: Config.Transport is required")
+	}
+	if len(cfg.Regions) == 0 {
+		return nil, fmt.Errorf("zk: at least one server region is required")
+	}
+	e := &Ensemble{
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		servers: make(map[netsim.Region]*Server, len(cfg.Regions)),
+	}
+	for _, region := range cfg.Regions {
+		if _, dup := e.servers[region]; dup {
+			return nil, fmt.Errorf("zk: duplicate server region %s", region)
+		}
+		e.servers[region] = &Server{
+			Region:   region,
+			ensemble: e,
+			proc:     netsim.NewServer(cfg.Transport.Clock(), cfg.Workers),
+			tree:     NewTree(),
+			pending:  make(map[uint64]Txn),
+			waiters:  make(map[uint64][]chan struct{}),
+		}
+		e.order = append(e.order, region)
+	}
+	leader, ok := e.servers[cfg.LeaderRegion]
+	if !ok {
+		return nil, fmt.Errorf("zk: leader region %s not in ensemble", cfg.LeaderRegion)
+	}
+	e.leader = leader
+	return e, nil
+}
+
+// Config returns the effective configuration.
+func (e *Ensemble) Config() Config { return e.cfg }
+
+// Transport returns the ensemble transport.
+func (e *Ensemble) Transport() *netsim.Transport { return e.tr }
+
+// Server returns the server in the given region.
+func (e *Ensemble) Server(region netsim.Region) *Server {
+	s, ok := e.servers[region]
+	if !ok {
+		panic(fmt.Sprintf("zk: no server in region %s", region))
+	}
+	return s
+}
+
+// Leader returns the leader server.
+func (e *Ensemble) Leader() *Server { return e.leader }
+
+// Regions returns the server regions in declaration order.
+func (e *Ensemble) Regions() []netsim.Region {
+	return append([]netsim.Region(nil), e.order...)
+}
+
+// quorum returns the ack count the leader needs from followers (majority
+// minus the leader's own implicit ack).
+func (e *Ensemble) quorum() int {
+	return (len(e.order)/2 + 1) - 1
+}
+
+// Bootstrap applies a transaction directly to every server, bypassing the
+// protocol and the meter: experiment setup (creating queue directories,
+// preloading elements).
+func (e *Ensemble) Bootstrap(txn Txn) TxnResult {
+	e.propMu.Lock()
+	defer e.propMu.Unlock()
+	e.nextZxid++
+	zxid := e.nextZxid
+	var res TxnResult
+	for _, region := range e.order {
+		s := e.servers[region]
+		r := txn.Apply(s.tree)
+		s.mu.Lock()
+		s.lastApplied = zxid
+		s.mu.Unlock()
+		res = r
+	}
+	return res
+}
+
+// Propose runs txn through the ordered-commit protocol on behalf of a
+// request that has already reached the leader (the caller models the
+// contact->leader hop). It returns the transaction's zxid and result after
+// a majority has acknowledged. Commits propagate to followers
+// asynchronously except the contact server's own commit, which the caller
+// delivers synchronously with DeliverCommit (modeling the single
+// commit+reply message on that link).
+//
+// Fail-fast validation errors (bad version, missing node) return with
+// zxid 0 and no broadcast, like ZooKeeper's prep processor.
+func (e *Ensemble) Propose(txn Txn, contact *Server) (uint64, TxnResult) {
+	leader := e.leader
+	leader.proc.Process(e.cfg.ServiceTime)
+
+	e.propMu.Lock()
+	// Prep-apply on the leader's tree: the leader state is authoritative
+	// and strictly ordered.
+	res := txn.Apply(leader.tree)
+	if failsFast(res) {
+		e.propMu.Unlock()
+		return 0, res
+	}
+	e.nextZxid++
+	zxid := e.nextZxid
+	leader.mu.Lock()
+	leader.lastApplied = zxid
+	leader.mu.Unlock()
+	e.propMu.Unlock()
+
+	// Gather follower acks; majority includes the leader itself.
+	need := e.quorum()
+	acks := make(chan struct{}, len(e.order))
+	for _, region := range e.order {
+		if region == leader.Region {
+			continue
+		}
+		region := region
+		follower := e.servers[region]
+		go func() {
+			e.tr.Travel(leader.Region, region, netsim.LinkReplica, proposalSize(txn))
+			follower.proc.Process(e.cfg.ServiceTime)
+			e.tr.Travel(region, leader.Region, netsim.LinkReplica, AckSize)
+			acks <- struct{}{}
+		}()
+	}
+	for i := 0; i < need; i++ {
+		<-acks
+	}
+
+	// Broadcast commits asynchronously to all followers except the contact
+	// (whose commit rides on the reply message the caller models).
+	for _, region := range e.order {
+		if region == leader.Region || (contact != nil && region == contact.Region) {
+			continue
+		}
+		follower := e.servers[region]
+		e.tr.Send(leader.Region, region, netsim.LinkReplica, commitSize(txn), func() {
+			follower.DeliverCommit(zxid, txn)
+		})
+	}
+	return zxid, res
+}
+
+// ForwardAndCommit models the contact->leader forwarding hop, runs the
+// proposal, and delivers the commit+result back to the contact server on a
+// single return message (the common client-request path).
+func (e *Ensemble) ForwardAndCommit(contact *Server, txn Txn) (uint64, TxnResult) {
+	leader := e.leader
+	if contact != leader {
+		e.tr.Travel(contact.Region, leader.Region, netsim.LinkReplica, proposalSize(txn))
+	}
+	zxid, res := e.Propose(txn, contact)
+	if contact != leader {
+		// Commit + result ride back to the contact on one message.
+		e.tr.Travel(leader.Region, contact.Region, netsim.LinkReplica, commitSize(txn))
+		if zxid != 0 {
+			contact.DeliverCommit(zxid, txn)
+			contact.WaitApplied(zxid)
+		}
+	}
+	return zxid, res
+}
+
+// DeliverCommit hands a committed transaction to a server, which applies
+// committed transactions strictly in zxid order (buffering gaps).
+func (s *Server) DeliverCommit(zxid uint64, txn Txn) {
+	s.mu.Lock()
+	s.pending[zxid] = txn
+	for {
+		next, ok := s.pending[s.lastApplied+1]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.lastApplied+1)
+		next.Apply(s.tree)
+		s.lastApplied++
+		if ws, ok := s.waiters[s.lastApplied]; ok {
+			for _, w := range ws {
+				close(w)
+			}
+			delete(s.waiters, s.lastApplied)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// WaitApplied blocks until the server has applied the given zxid.
+func (s *Server) WaitApplied(zxid uint64) {
+	s.mu.Lock()
+	if s.lastApplied >= zxid {
+		s.mu.Unlock()
+		return
+	}
+	w := make(chan struct{})
+	s.waiters[zxid] = append(s.waiters[zxid], w)
+	s.mu.Unlock()
+	<-w
+}
+
+// process charges one message's local work on the server.
+func (s *Server) process() { s.proc.Process(s.ensemble.cfg.ServiceTime) }

@@ -1,0 +1,539 @@
+package zk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+const testScale = 0.1
+
+func newTestEnsemble(t *testing.T, correctable bool, leader netsim.Region) (*Ensemble, *netsim.Meter, *netsim.Clock) {
+	return newTestEnsembleScale(t, correctable, leader, testScale)
+}
+
+func newTestEnsembleScale(t *testing.T, correctable bool, leader netsim.Region, scale float64) (*Ensemble, *netsim.Meter, *netsim.Clock) {
+	t.Helper()
+	clock := netsim.NewClock(scale)
+	meter := netsim.NewMeter()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), meter, 1)
+	e, err := NewEnsemble(Config{
+		Regions:      []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		LeaderRegion: leader,
+		Transport:    tr,
+		Correctable:  correctable,
+		ServiceTime:  50 * time.Microsecond,
+		Workers:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, meter, clock
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := NewEnsemble(Config{}); err == nil {
+		t.Error("missing transport accepted")
+	}
+	tr := netsim.NewTransport(netsim.NewClock(1), netsim.DefaultLatencies(), nil, 1)
+	if _, err := NewEnsemble(Config{Transport: tr}); err == nil {
+		t.Error("empty regions accepted")
+	}
+	if _, err := NewEnsemble(Config{Transport: tr, Regions: []netsim.Region{netsim.FRK}, LeaderRegion: netsim.IRL}); err == nil {
+		t.Error("foreign leader accepted")
+	}
+	if _, err := NewEnsemble(Config{Transport: tr, Regions: []netsim.Region{netsim.FRK, netsim.FRK}, LeaderRegion: netsim.FRK}); err == nil {
+		t.Error("duplicate regions accepted")
+	}
+}
+
+func TestProposeReplicatesInOrder(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/q"})
+	contact := e.Server(netsim.FRK)
+	const n = 10
+	for i := 0; i < n; i++ {
+		qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
+		zxid, res := qc.forwardAndCommit(contact, CreateTxn{Path: "/q/item-", Data: []byte{byte(i)}, Sequential: true})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if zxid == 0 {
+			t.Fatal("zxid 0 for successful txn")
+		}
+	}
+	// All servers converge to the same sorted child list. Async commits may
+	// still be in flight to VRG; wait briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		kids, err := e.Server(netsim.VRG).Tree().Children("/q")
+		if err == nil && len(kids) == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("VRG never converged: %v, %v", kids, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want, _ := e.Leader().Tree().Children("/q")
+	for _, region := range e.Regions() {
+		got, err := e.Server(region).Tree().Children("/q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s children = %v, leader has %v", region, got, want)
+		}
+	}
+}
+
+func TestProposeFailFastNoCommit(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	contact := e.Server(netsim.FRK)
+	qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
+	zxid, res := qc.forwardAndCommit(contact, DeleteTxn{Path: "/missing", Version: -1})
+	if !errors.Is(res.Err, ErrNoNode) {
+		t.Errorf("err = %v", res.Err)
+	}
+	if zxid != 0 {
+		t.Error("failed validation must not consume a zxid broadcast")
+	}
+}
+
+func TestDeliverCommitBuffersGaps(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	s := e.Server(netsim.FRK)
+	// Deliver 2 before 1: nothing applies until 1 arrives.
+	s.DeliverCommit(2, CreateTxn{Path: "/b"})
+	if s.Tree().Exists("/b") {
+		t.Fatal("gap commit applied out of order")
+	}
+	s.DeliverCommit(1, CreateTxn{Path: "/a"})
+	if !s.Tree().Exists("/a") || !s.Tree().Exists("/b") {
+		t.Fatal("commits not applied after gap filled")
+	}
+	if s.LastApplied() != 2 {
+		t.Errorf("lastApplied = %d", s.LastApplied())
+	}
+}
+
+func TestWaitApplied(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	s := e.Server(netsim.FRK)
+	done := make(chan struct{})
+	go func() {
+		s.WaitApplied(1)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitApplied returned before apply")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.DeliverCommit(1, CreateTxn{Path: "/a"})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitApplied never woke")
+	}
+	// Already-applied zxid returns immediately.
+	s.WaitApplied(1)
+}
+
+// Property: any interleaving of commit deliveries applies in zxid order
+// (the tree ends identical to sequential application).
+func TestPropertyCommitOrderIndependence(t *testing.T) {
+	f := func(perm []uint8) bool {
+		n := len(perm)
+		if n == 0 || n > 20 {
+			return true
+		}
+		e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+		s := e.Server(netsim.FRK)
+		// Build a permutation of 1..n from perm.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i + 1
+		}
+		for i := range order {
+			j := int(perm[i]) % (i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		_ = s.Tree().EnsurePath("/q")
+		s.DeliverCommit(0, CreateTxn{Path: "/unused"}) // no-op guard: zxid 0 ignored by lastApplied
+		for _, z := range order {
+			s.DeliverCommit(uint64(z), CreateTxn{Path: "/q/q-", Data: []byte{byte(z)}, Sequential: true})
+		}
+		// After all deliveries the items must be in zxid order: item i has
+		// sequence number i-1 and data byte i.
+		for i := 1; i <= n; i++ {
+			path := fmt.Sprintf("/q/q-%010d", i-1)
+			data, _, err := s.Tree().Get(path)
+			if err != nil || len(data) != 1 || data[0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnqueueVanillaLatency(t *testing.T) {
+	// Client IRL, contact follower FRK, leader IRL (paper Fig 9 group 1):
+	// ~10+10 (client RTT) + 10+10 (forward+commit) + quorum RTT(IRL-FRK=20)
+	// => around 60ms.
+	e, _, clock := newTestEnsemble(t, false, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	qc := NewQueueClient(e, netsim.IRL, netsim.FRK)
+	sw := clock.StartStopwatch()
+	var views []QueueView
+	if err := qc.Enqueue("t", []byte("ticket-001"), false, func(v QueueView) { views = append(views, v) }); err != nil {
+		t.Fatal(err)
+	}
+	lat := sw.ElapsedModel()
+	if lat < 45*time.Millisecond || lat > 110*time.Millisecond {
+		t.Errorf("vanilla enqueue latency = %v, want ~60ms", lat)
+	}
+	if len(views) != 1 || !views[0].Final || views[0].Element.Seq != 0 {
+		t.Errorf("views = %+v", views)
+	}
+}
+
+func TestEnqueueCZKPrelimGap(t *testing.T) {
+	// CZK: preliminary latency = client<->contact RTT (20ms); final as
+	// vanilla (~60ms). Gap ~40ms (paper Fig 9).
+	e, _, clock := newTestEnsemble(t, true, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	qc := NewQueueClient(e, netsim.IRL, netsim.FRK)
+	sw := clock.StartStopwatch()
+	type timed struct {
+		v  QueueView
+		at time.Duration
+	}
+	var views []timed
+	if err := qc.Enqueue("t", []byte("ticket-001"), true, func(v QueueView) {
+		views = append(views, timed{v, sw.ElapsedModel()})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 {
+		t.Fatalf("views = %+v", views)
+	}
+	prelim, final := views[0], views[1]
+	if prelim.v.Final || prelim.v.Level != core.LevelWeak {
+		t.Errorf("prelim = %+v", prelim.v)
+	}
+	if prelim.at < 12*time.Millisecond || prelim.at > 45*time.Millisecond {
+		t.Errorf("prelim latency = %v, want ~20ms", prelim.at)
+	}
+	if !final.v.Confirmed {
+		t.Error("uncontended enqueue prediction should be confirmed")
+	}
+	if gap := final.at - prelim.at; gap < 25*time.Millisecond {
+		t.Errorf("prelim/final gap = %v, want ~40ms", gap)
+	}
+	if prelim.v.Element.Name != final.v.Element.Name {
+		t.Errorf("prediction %q != actual %q", prelim.v.Element.Name, final.v.Element.Name)
+	}
+}
+
+func TestEnqueueLeaderContactSmallGap(t *testing.T) {
+	// Client IRL connected to the leader in IRL: preliminary ~2ms, final
+	// ~2+20 (quorum to FRK) ~22ms (paper Fig 9 group 2). Run at scale 1.0:
+	// millisecond-level assertions need real-time accuracy.
+	e, _, clock := newTestEnsembleScale(t, true, netsim.IRL, 1.0)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	qc := NewQueueClient(e, netsim.IRL, netsim.IRL)
+	sw := clock.StartStopwatch()
+	var at []time.Duration
+	if err := qc.Enqueue("t", []byte("x"), true, func(QueueView) {
+		at = append(at, sw.ElapsedModel())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if at[0] > 15*time.Millisecond {
+		t.Errorf("prelim latency = %v, want ~2ms", at[0])
+	}
+	if at[1] < 15*time.Millisecond || at[1] > 60*time.Millisecond {
+		t.Errorf("final latency = %v, want ~22ms", at[1])
+	}
+}
+
+func TestDequeueCZKAtomicNoDuplicates(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, true, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	const n = 30
+	for i := 0; i < n; i++ {
+		e.Bootstrap(CreateTxn{Path: "/queues/t/q-", Data: []byte{byte(i)}, Sequential: true})
+	}
+	var mu sync.Mutex
+	got := map[string]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
+			for {
+				var final QueueView
+				if err := qc.Dequeue("t", true, func(v QueueView) {
+					if v.Final {
+						final = v
+					}
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if final.Element == nil {
+					return
+				}
+				mu.Lock()
+				got[final.Element.Name]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("dequeued %d distinct elements, want %d", len(got), n)
+	}
+	for name, count := range got {
+		if count != 1 {
+			t.Errorf("element %s dequeued %d times", name, count)
+		}
+	}
+}
+
+func TestDequeueRecipeContentionNoDuplicates(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	const n = 20
+	for i := 0; i < n; i++ {
+		e.Bootstrap(CreateTxn{Path: "/queues/t/q-", Data: []byte{byte(i)}, Sequential: true})
+	}
+	var mu sync.Mutex
+	got := map[string]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
+			for {
+				var final QueueView
+				if err := qc.Dequeue("t", false, func(v QueueView) { final = v }); err != nil {
+					t.Error(err)
+					return
+				}
+				if final.Element == nil {
+					return
+				}
+				mu.Lock()
+				got[final.Element.Name]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("dequeued %d distinct elements, want %d", len(got), n)
+	}
+	for name, count := range got {
+		if count != 1 {
+			t.Errorf("element %s dequeued %d times (recipe must not double-dequeue)", name, count)
+		}
+	}
+}
+
+func TestDequeueRecipeBandwidthGrowsWithQueue(t *testing.T) {
+	cost := func(size int) int64 {
+		e, meter, _ := newTestEnsemble(t, false, netsim.IRL)
+		e.Bootstrap(CreateTxn{Path: "/queues"})
+		e.Bootstrap(CreateTxn{Path: "/queues/t"})
+		for i := 0; i < size; i++ {
+			e.Bootstrap(CreateTxn{Path: "/queues/t/q-", Data: []byte("tkt"), Sequential: true})
+		}
+		qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
+		base := meter.Class(netsim.LinkClient).Bytes
+		if err := qc.Dequeue("t", false, func(QueueView) {}); err != nil {
+			t.Fatal(err)
+		}
+		return meter.Class(netsim.LinkClient).Bytes - base
+	}
+	small, large := cost(50), cost(500)
+	// Vanilla getChildren returns the whole listing: 10x queue => much more
+	// data (Fig 10's ZK growth).
+	if large < small+4000 {
+		t.Errorf("dequeue bytes: queue 50 -> %d, queue 500 -> %d; expected strong growth", small, large)
+	}
+}
+
+func TestDequeueCZKBandwidthConstant(t *testing.T) {
+	cost := func(size int) int64 {
+		e, meter, _ := newTestEnsemble(t, true, netsim.IRL)
+		e.Bootstrap(CreateTxn{Path: "/queues"})
+		e.Bootstrap(CreateTxn{Path: "/queues/t"})
+		for i := 0; i < size; i++ {
+			e.Bootstrap(CreateTxn{Path: "/queues/t/q-", Data: []byte("tkt"), Sequential: true})
+		}
+		qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
+		base := meter.Class(netsim.LinkClient).Bytes
+		if err := qc.Dequeue("t", true, func(QueueView) {}); err != nil {
+			t.Fatal(err)
+		}
+		return meter.Class(netsim.LinkClient).Bytes - base
+	}
+	small, large := cost(50), cost(500)
+	if small != large {
+		t.Errorf("CZK dequeue bytes must be independent of queue size: 50 -> %d, 500 -> %d", small, large)
+	}
+}
+
+func TestEnqueueBandwidthMatchesPaper(t *testing.T) {
+	// §6.2.2: vanilla enqueue ~270 B/op; with the preliminary response
+	// ~400 B/op (+~50%).
+	run := func(correctable bool) int64 {
+		e, meter, _ := newTestEnsemble(t, correctable, netsim.IRL)
+		e.Bootstrap(CreateTxn{Path: "/queues"})
+		e.Bootstrap(CreateTxn{Path: "/queues/t"})
+		qc := NewQueueClient(e, netsim.IRL, netsim.FRK)
+		base := meter.Class(netsim.LinkClient).Bytes
+		if err := qc.Enqueue("t", []byte("ticket-0000000001ab"), correctable, func(QueueView) {}); err != nil {
+			t.Fatal(err)
+		}
+		return meter.Class(netsim.LinkClient).Bytes - base
+	}
+	vanilla, czk := run(false), run(true)
+	if vanilla < 230 || vanilla > 320 {
+		t.Errorf("vanilla enqueue = %d B/op, want ~270", vanilla)
+	}
+	if czk < 350 || czk > 470 {
+		t.Errorf("CZK enqueue = %d B/op, want ~400", czk)
+	}
+	ratio := float64(czk) / float64(vanilla)
+	if ratio < 1.3 || ratio > 1.7 {
+		t.Errorf("CZK/vanilla enqueue ratio = %.2f, want ~1.5", ratio)
+	}
+}
+
+func TestQueueBindingInvoke(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, true, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t/q-", Data: []byte("first"), Sequential: true})
+	b := NewBinding(NewQueueClient(e, netsim.IRL, netsim.FRK))
+	client := binding.NewClient(b)
+
+	cor := client.Invoke(context.Background(), binding.Dequeue{Queue: "t"})
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.Value.(QueueResult)
+	if res.Element == nil || string(res.Element.Data) != "first" {
+		t.Errorf("final = %+v", res)
+	}
+	views := cor.Views()
+	if len(views) != 2 || views[0].Level != core.LevelWeak {
+		t.Errorf("views = %+v", views)
+	}
+	prelim := views[0].Value.(QueueResult)
+	if !prelim.EqualValue(res) {
+		t.Errorf("prelim %v != final %v in uncontended dequeue", prelim.Element, res.Element)
+	}
+}
+
+func TestQueueBindingVanillaSingleLevel(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	b := NewBinding(NewQueueClient(e, netsim.IRL, netsim.FRK))
+	if got := b.ConsistencyLevels(); len(got) != 1 || got[0] != core.LevelStrong {
+		t.Fatalf("vanilla levels = %v", got)
+	}
+	client := binding.NewClient(b)
+	cor := client.Invoke(context.Background(), binding.Enqueue{Queue: "t", Item: []byte("x")})
+	if _, err := cor.Final(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(cor.Views()) != 1 {
+		t.Errorf("vanilla invoke views = %+v", cor.Views())
+	}
+}
+
+func TestQueueBindingInvokeWeakBackground(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, true, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/queues"})
+	e.Bootstrap(CreateTxn{Path: "/queues/t"})
+	for i := 0; i < 5; i++ {
+		e.Bootstrap(CreateTxn{Path: "/queues/t/q-", Data: []byte{byte(i)}, Sequential: true})
+	}
+	b := NewBinding(NewQueueClient(e, netsim.IRL, netsim.FRK))
+	client := binding.NewClient(b)
+	cor := client.InvokeWeak(context.Background(), binding.Dequeue{Queue: "t"})
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.Value.(QueueResult)
+	if res.Element == nil || res.Element.Seq != 0 {
+		t.Errorf("weak dequeue = %+v", res)
+	}
+	// The dequeue itself completes in the background: eventually the leader
+	// has only 4 elements.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		kids, _ := e.Leader().Tree().Children("/queues/t")
+		if len(kids) == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background dequeue never committed; leader has %d elements", len(kids))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueueBindingUnsupportedOp(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, true, netsim.IRL)
+	b := NewBinding(NewQueueClient(e, netsim.IRL, netsim.FRK))
+	client := binding.NewClient(b)
+	if _, err := client.Invoke(context.Background(), binding.Get{Key: "k"}).Final(context.Background()); err == nil {
+		t.Error("Get on a queue binding should fail")
+	}
+}
+
+func TestDequeueEmptyQueue(t *testing.T) {
+	for _, correctable := range []bool{false, true} {
+		e, _, _ := newTestEnsemble(t, correctable, netsim.IRL)
+		e.Bootstrap(CreateTxn{Path: "/queues"})
+		e.Bootstrap(CreateTxn{Path: "/queues/t"})
+		qc := NewQueueClient(e, netsim.IRL, netsim.FRK)
+		var final QueueView
+		if err := qc.Dequeue("t", correctable, func(v QueueView) {
+			if v.Final {
+				final = v
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if final.Element != nil || final.Remaining != 0 {
+			t.Errorf("correctable=%v: empty dequeue = %+v", correctable, final)
+		}
+	}
+}

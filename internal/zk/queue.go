@@ -1,0 +1,246 @@
+package zk
+
+import (
+	"fmt"
+
+	"correctables/internal/core"
+	"correctables/internal/netsim"
+)
+
+// QueueView is one response to a queue operation as observed at the client.
+type QueueView struct {
+	// Element is the enqueued/dequeued element. For enqueue it carries the
+	// assigned (or, for preliminary views, predicted) name and sequence
+	// number. For dequeue it is nil when the queue is empty.
+	Element *QueueElement
+	// Remaining is the number of elements left in the queue (dequeue only;
+	// for preliminary views it is the local estimate).
+	Remaining int
+	// Level is LevelWeak for local simulations, LevelStrong for committed
+	// results.
+	Level core.Level
+	// Final marks the last view of this operation.
+	Final bool
+	// Confirmed marks a final view that matched the preliminary.
+	Confirmed bool
+}
+
+// QueueClient issues queue operations against an ensemble from a client
+// region via a fixed contact server, following the standard ZooKeeper queue
+// recipe (vanilla) or the CZK fast path (correctable ensembles).
+type QueueClient struct {
+	ensemble *Ensemble
+	Region   netsim.Region
+	Contact  netsim.Region
+}
+
+// NewQueueClient creates a client in clientRegion connected to the server
+// in contactRegion.
+func NewQueueClient(e *Ensemble, clientRegion, contactRegion netsim.Region) *QueueClient {
+	e.Server(contactRegion) // validate eagerly
+	return &QueueClient{ensemble: e, Region: clientRegion, Contact: contactRegion}
+}
+
+// Ensemble returns the client's ensemble.
+func (c *QueueClient) Ensemble() *Ensemble { return c.ensemble }
+
+// CreateQueue creates the queue directory through the ordered protocol.
+func (c *QueueClient) CreateQueue(queue string) error {
+	dir := queueDir(queue)
+	tr := c.ensemble.tr
+	contact := c.ensemble.Server(c.Contact)
+	tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(dir)))
+	contact.process()
+	_ = c.ensemble.Bootstrap(CreateTxn{Path: "/queues"})
+	zxid, res := c.forwardAndCommit(contact, CreateTxn{Path: dir})
+	_ = zxid
+	tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(len(dir)))
+	return res.Err
+}
+
+// Enqueue appends data to the queue. On a correctable ensemble with
+// wantPrelim, the contact server first simulates the create on its local
+// state and leaks the predicted element name (weak view); the committed
+// result follows (strong view). Blocks until the final view is delivered.
+func (c *QueueClient) Enqueue(queue string, data []byte, wantPrelim bool, onView func(QueueView)) error {
+	wantPrelim = wantPrelim && c.ensemble.cfg.Correctable
+	tr := c.ensemble.tr
+	contact := c.ensemble.Server(c.Contact)
+	prefix := queueItemPrefix(queue)
+
+	tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(prefix)+len(data)))
+	contact.process()
+
+	prelimDelivered := make(chan struct{})
+	var prelim *QueueElement
+	if wantPrelim {
+		// Local simulation: predict the sequence number from local state.
+		seq, err := contact.tree.NextSeq(queueDir(queue))
+		if err == nil {
+			name := fmt.Sprintf("q-%010d", seq)
+			prelim = &QueueElement{Name: name, Seq: seq, Data: append([]byte(nil), data...)}
+			go func() {
+				tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)))
+				onView(QueueView{Element: prelim, Level: core.LevelWeak})
+				close(prelimDelivered)
+			}()
+		} else {
+			close(prelimDelivered)
+		}
+	} else {
+		close(prelimDelivered)
+	}
+
+	_, res := c.forwardAndCommit(contact, CreateTxn{Path: prefix, Data: data, Sequential: true})
+	if res.Err != nil {
+		<-prelimDelivered
+		return res.Err
+	}
+	name := baseOf(res.CreatedPath)
+	elem := &QueueElement{Name: name, Seq: seqOf(name), Data: append([]byte(nil), data...)}
+	confirmed := prelim != nil && prelim.Name == elem.Name
+
+	tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(elem)))
+	<-prelimDelivered
+	onView(QueueView{Element: elem, Level: core.LevelStrong, Final: true, Confirmed: confirmed})
+	return nil
+}
+
+// Dequeue removes the queue head.
+//
+// On a vanilla ensemble it runs the standard recipe: getChildren (the
+// response carries the whole child list, whose size grows with the queue —
+// Fig 10), pick the smallest, delete it; on a version race with a
+// concurrent consumer, retry. The single final view is the removed element.
+//
+// On a correctable ensemble it uses the CZK fast path: the contact reads
+// only the constant-size queue tail locally and (with wantPrelim) leaks it
+// as the preliminary view, then submits an atomic server-side dequeue
+// transaction; the committed element is the final view. Blocks until the
+// final view is delivered.
+func (c *QueueClient) Dequeue(queue string, wantPrelim bool, onView func(QueueView)) error {
+	if c.ensemble.cfg.Correctable {
+		return c.dequeueCZK(queue, wantPrelim, onView)
+	}
+	return c.dequeueRecipe(queue, onView)
+}
+
+func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(QueueView)) error {
+	tr := c.ensemble.tr
+	contact := c.ensemble.Server(c.Contact)
+	dir := queueDir(queue)
+
+	tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(dir)))
+	contact.process()
+
+	prelimDelivered := make(chan struct{})
+	var prelim *QueueElement
+	prelimRemaining := 0
+	if wantPrelim {
+		// Constant-size tail read on local state, simulating the dequeue.
+		name, data, count, err := contact.tree.FirstChild(dir)
+		if err == nil {
+			if name != "" {
+				prelim = &QueueElement{Name: name, Seq: seqOf(name), Data: data}
+			}
+			prelimRemaining = count - 1
+			if prelimRemaining < 0 {
+				prelimRemaining = 0
+			}
+			go func() {
+				tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)))
+				onView(QueueView{Element: prelim, Remaining: prelimRemaining, Level: core.LevelWeak})
+				close(prelimDelivered)
+			}()
+		} else {
+			close(prelimDelivered)
+		}
+	} else {
+		close(prelimDelivered)
+	}
+
+	_, res := c.forwardAndCommit(contact, DequeueMinTxn{Dir: dir})
+	if res.Err != nil {
+		<-prelimDelivered
+		return res.Err
+	}
+	confirmed := prelim.EqualValue(res.Element)
+	tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(res.Element)))
+	<-prelimDelivered
+	onView(QueueView{
+		Element:   res.Element,
+		Remaining: res.Remaining,
+		Level:     core.LevelStrong,
+		Final:     true,
+		Confirmed: confirmed,
+	})
+	return nil
+}
+
+func (c *QueueClient) dequeueRecipe(queue string, onView func(QueueView)) error {
+	tr := c.ensemble.tr
+	contact := c.ensemble.Server(c.Contact)
+	dir := queueDir(queue)
+
+	for {
+		// getChildren: the whole child list crosses the client link.
+		tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(dir)))
+		contact.process()
+		children, err := contact.tree.Children(dir)
+		if err != nil {
+			return err
+		}
+		tr.Travel(c.Contact, c.Region, netsim.LinkClient, childrenResponseSize(children))
+		if len(children) == 0 {
+			onView(QueueView{Element: nil, Remaining: 0, Level: core.LevelStrong, Final: true})
+			return nil
+		}
+		head := children[0]
+		path := elementPath(queue, head)
+
+		// getData for the head element.
+		tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(path)))
+		contact.process()
+		data, _, err := contact.tree.Get(path)
+		if err != nil {
+			// Removed under us between the two reads; retry.
+			tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(4))
+			continue
+		}
+		tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(len(data)))
+
+		// delete through the ordered protocol.
+		tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(path)))
+		contact.process()
+		_, res := c.forwardAndCommit(contact, DeleteTxn{Path: path, Version: -1})
+		tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(4))
+		if res.Err != nil {
+			// Another consumer won the race (NoNode): retry from the top —
+			// this is the contention cost of the client-side recipe.
+			continue
+		}
+		count := len(children) - 1
+		onView(QueueView{
+			Element:   &QueueElement{Name: head, Seq: seqOf(head), Data: data},
+			Remaining: count,
+			Level:     core.LevelStrong,
+			Final:     true,
+		})
+		return nil
+	}
+}
+
+// Len returns the queue length as seen by the contact server's local state
+// (no protocol traffic; harness helper).
+func (c *QueueClient) Len(queue string) int {
+	children, err := c.ensemble.Server(c.Contact).tree.Children(queueDir(queue))
+	if err != nil {
+		return 0
+	}
+	return len(children)
+}
+
+// forwardAndCommit delegates to the ensemble's common client-request path.
+func (c *QueueClient) forwardAndCommit(contact *Server, txn Txn) (uint64, TxnResult) {
+	return c.ensemble.ForwardAndCommit(contact, txn)
+}

@@ -1,0 +1,134 @@
+package zk
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"correctables/internal/netsim"
+)
+
+// sessionCounter issues ensemble-unique session IDs.
+var sessionCounter atomic.Uint64
+
+// Session is a client session with ephemeral-znode ownership, pinned to a
+// contact server. Ephemeral znodes created through it are removed — on
+// every replica, through the ordered protocol — when the session closes.
+type Session struct {
+	ID       string
+	ensemble *Ensemble
+	Region   netsim.Region
+	Contact  netsim.Region
+	closed   atomic.Bool
+}
+
+// NewSession opens a session from clientRegion via the contact server.
+func (e *Ensemble) NewSession(clientRegion, contactRegion netsim.Region) *Session {
+	e.Server(contactRegion) // validate eagerly
+	return &Session{
+		ID:       fmt.Sprintf("sess-%06d", sessionCounter.Add(1)),
+		ensemble: e,
+		Region:   clientRegion,
+		Contact:  contactRegion,
+	}
+}
+
+// commit runs a transaction through the ordered protocol on behalf of the
+// session, charging the client and forwarding hops.
+func (s *Session) commit(txn Txn) (TxnResult, error) {
+	if s.closed.Load() {
+		return TxnResult{}, fmt.Errorf("zk: session %s is closed", s.ID)
+	}
+	tr := s.ensemble.tr
+	contact := s.ensemble.Server(s.Contact)
+	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(txn.PayloadSize()))
+	contact.process()
+	_, res := s.ensemble.ForwardAndCommit(contact, txn)
+	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(len(res.CreatedPath)+8))
+	return res, nil
+}
+
+// Create makes a persistent znode.
+func (s *Session) Create(path string, data []byte, sequential bool) (string, error) {
+	res, err := s.commit(CreateTxn{Path: path, Data: data, Sequential: sequential})
+	if err != nil {
+		return "", err
+	}
+	return res.CreatedPath, res.Err
+}
+
+// CreateEphemeral makes a znode owned by this session.
+func (s *Session) CreateEphemeral(path string, data []byte, sequential bool) (string, error) {
+	res, err := s.commit(CreateTxn{Path: path, Data: data, Sequential: sequential, Owner: s.ID})
+	if err != nil {
+		return "", err
+	}
+	return res.CreatedPath, res.Err
+}
+
+// SetData replaces a znode's data (version -1 skips the check).
+func (s *Session) SetData(path string, data []byte, version int32) error {
+	res, err := s.commit(SetDataTxn{Path: path, Data: data, Version: version})
+	if err != nil {
+		return err
+	}
+	return res.Err
+}
+
+// Delete removes a znode (version -1 skips the check).
+func (s *Session) Delete(path string, version int32) error {
+	res, err := s.commit(DeleteTxn{Path: path, Version: version})
+	if err != nil {
+		return err
+	}
+	return res.Err
+}
+
+// Get reads from the contact server's local (committed) state, charging the
+// client link, like a ZooKeeper read.
+func (s *Session) Get(path string) ([]byte, int32, error) {
+	tr := s.ensemble.tr
+	contact := s.ensemble.Server(s.Contact)
+	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(path)))
+	contact.process()
+	data, ver, err := contact.tree.Get(path)
+	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(len(data)))
+	return data, ver, err
+}
+
+// ChildrenW lists children on the contact server and leaves a one-shot
+// watch that fires when the child set changes on that server.
+func (s *Session) ChildrenW(path string) ([]string, <-chan Event, error) {
+	tr := s.ensemble.tr
+	contact := s.ensemble.Server(s.Contact)
+	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(path)))
+	contact.process()
+	kids, watch, err := contact.tree.ChildrenW(path)
+	tr.Travel(s.Contact, s.Region, netsim.LinkClient, childrenResponseSize(kids))
+	return kids, watch, err
+}
+
+// ExistsW reports existence on the contact server with a one-shot watch.
+func (s *Session) ExistsW(path string) (bool, <-chan Event) {
+	tr := s.ensemble.tr
+	contact := s.ensemble.Server(s.Contact)
+	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(path)))
+	contact.process()
+	ok, watch := contact.tree.ExistsW(path)
+	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(1))
+	return ok, watch
+}
+
+// Close ends the session, removing its ephemeral znodes on every replica.
+// Further operations fail. Close is idempotent.
+func (s *Session) Close() ([]string, error) {
+	if s.closed.Swap(true) {
+		return nil, nil
+	}
+	tr := s.ensemble.tr
+	contact := s.ensemble.Server(s.Contact)
+	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(s.ID)))
+	contact.process()
+	_, res := s.ensemble.ForwardAndCommit(contact, CloseSessionTxn{SessionID: s.ID})
+	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(4))
+	return res.RemovedPaths, res.Err
+}

@@ -1,0 +1,291 @@
+package zk
+
+import (
+	"testing"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+func TestWatchFiresOnDataChange(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.Create("/a", []byte("v0"), false); err != nil {
+		t.Fatal(err)
+	}
+	data, _, watch, err := tr.GetW("/a")
+	if err != nil || string(data) != "v0" {
+		t.Fatalf("GetW = %q, %v", data, err)
+	}
+	select {
+	case <-watch:
+		t.Fatal("watch fired before any change")
+	default:
+	}
+	if err := tr.SetData("/a", []byte("v1"), -1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-watch:
+		if ev.Type != EventDataChanged || ev.Path != "/a" {
+			t.Errorf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("watch did not fire on SetData")
+	}
+	// One-shot: a second change produces no further event.
+	if err := tr.SetData("/a", []byte("v2"), -1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-watch:
+		t.Fatalf("one-shot watch fired twice: %+v", ev)
+	default:
+	}
+}
+
+func TestWatchFiresOnDelete(t *testing.T) {
+	tr := NewTree()
+	_, _ = tr.Create("/a", nil, false)
+	_, _, watch, err := tr.GetW("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Delete("/a", -1)
+	select {
+	case ev := <-watch:
+		if ev.Type != EventDeleted {
+			t.Errorf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("watch did not fire on delete")
+	}
+}
+
+func TestExistsWatchFiresOnCreate(t *testing.T) {
+	tr := NewTree()
+	ok, watch := tr.ExistsW("/pending")
+	if ok {
+		t.Fatal("node should not exist yet")
+	}
+	if _, err := tr.Create("/pending", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-watch:
+		if ev.Type != EventCreated || ev.Path != "/pending" {
+			t.Errorf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("exists watch did not fire on create")
+	}
+}
+
+func TestChildrenWatch(t *testing.T) {
+	tr := NewTree()
+	_ = tr.EnsurePath("/q")
+	kids, watch, err := tr.ChildrenW("/q")
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("ChildrenW = %v, %v", kids, err)
+	}
+	if _, err := tr.Create("/q/a", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-watch:
+		if ev.Type != EventChildrenChanged || ev.Path != "/q" {
+			t.Errorf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("children watch did not fire on child create")
+	}
+	// Child deletion also fires a (fresh) children watch.
+	_, watch2, err := tr.ChildrenW("/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Delete("/q/a", -1)
+	select {
+	case <-watch2:
+	default:
+		t.Fatal("children watch did not fire on child delete")
+	}
+}
+
+func TestWatchEventTypeStrings(t *testing.T) {
+	for typ, want := range map[EventType]string{
+		EventCreated:         "created",
+		EventDeleted:         "deleted",
+		EventDataChanged:     "dataChanged",
+		EventChildrenChanged: "childrenChanged",
+		EventType(99):        "unknown",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("EventType(%d) = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestEphemeralLifecycle(t *testing.T) {
+	tr := NewTree()
+	_ = tr.EnsurePath("/locks")
+	if _, err := tr.CreateOwned("/locks/me", nil, false, "sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CreateOwned("/locks/me2", nil, false, "sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CreateOwned("/locks/other", nil, false, "sess-2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Owner("/locks/me"); got != "sess-1" {
+		t.Errorf("Owner = %q", got)
+	}
+	removed := tr.DeleteOwned("sess-1")
+	if len(removed) != 2 || removed[0] != "/locks/me" || removed[1] != "/locks/me2" {
+		t.Errorf("removed = %v", removed)
+	}
+	if tr.Exists("/locks/me") || !tr.Exists("/locks/other") {
+		t.Error("wrong ephemerals removed")
+	}
+	if got := tr.DeleteOwned(""); got != nil {
+		t.Errorf("DeleteOwned(\"\") = %v", got)
+	}
+}
+
+func TestSessionEphemeralReplicatedAndCleaned(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/members"})
+	sess := e.NewSession(netsim.IRL, netsim.FRK)
+
+	created, err := sess.CreateEphemeral("/members/node-", []byte("me"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created == "" {
+		t.Fatal("no created path")
+	}
+	// The ephemeral reaches every replica (async commits may lag briefly).
+	waitForAll := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			allMatch := true
+			for _, region := range e.Regions() {
+				if e.Server(region).Tree().Exists(created) != want {
+					allMatch = false
+				}
+			}
+			if allMatch {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replicas never converged to exists=%v for %s", want, created)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitForAll(true)
+	if got := e.Leader().Tree().Owner(created); got != sess.ID {
+		t.Errorf("owner = %q, want %q", got, sess.ID)
+	}
+
+	removed, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != created {
+		t.Errorf("removed = %v", removed)
+	}
+	waitForAll(false)
+
+	// Closed sessions refuse further work; Close is idempotent.
+	if _, err := sess.CreateEphemeral("/members/node-", nil, true); err == nil {
+		t.Error("create on closed session succeeded")
+	}
+	if again, err := sess.Close(); err != nil || again != nil {
+		t.Errorf("second Close = %v, %v", again, err)
+	}
+}
+
+func TestSessionCRUDAndWatch(t *testing.T) {
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	sess := e.NewSession(netsim.IRL, netsim.FRK)
+	t.Cleanup(func() { _, _ = sess.Close() })
+
+	if _, err := sess.Create("/cfg", []byte("v0"), false); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := sess.Get("/cfg")
+	if err != nil || string(data) != "v0" || ver != 0 {
+		t.Fatalf("Get = %q, %d, %v", data, ver, err)
+	}
+	if err := sess.SetData("/cfg", []byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch on the contact server fires when a foreign commit applies there.
+	ok, watch := sess.ExistsW("/flag")
+	if ok {
+		t.Fatal("flag should not exist")
+	}
+	other := e.NewSession(netsim.VRG, netsim.IRL)
+	t.Cleanup(func() { _, _ = other.Close() })
+	if _, err := other.Create("/flag", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-watch:
+		if ev.Type != EventCreated {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch never fired for replicated create")
+	}
+
+	if err := sess.Delete("/cfg", -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionChildrenWatchCoordination(t *testing.T) {
+	// The classic group-membership pattern: watch a directory, react when a
+	// member joins.
+	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e.Bootstrap(CreateTxn{Path: "/group"})
+	watcher := e.NewSession(netsim.IRL, netsim.FRK)
+	t.Cleanup(func() { _, _ = watcher.Close() })
+	kids, watch, err := watcher.ChildrenW("/group")
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("ChildrenW = %v, %v", kids, err)
+	}
+
+	member := e.NewSession(netsim.FRK, netsim.FRK)
+	if _, err := member.CreateEphemeral("/group/m-", []byte("w1"), true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-watch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("membership watch never fired")
+	}
+	kids, _, err = watcher.ChildrenW("/group")
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("group = %v, %v", kids, err)
+	}
+
+	// Member crashes (session closes): the group empties everywhere.
+	if _, err := member.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		kids, err := e.Server(netsim.FRK).Tree().Children("/group")
+		if err == nil && len(kids) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group never emptied: %v", kids)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,298 @@
+// Package zk implements a ZooKeeper-like replicated coordination service:
+// a znode tree replicated over a leader-based atomic broadcast (Zab-style
+// propose/ack/commit), the standard distributed-queue recipe on top of
+// sequential znodes, and the paper's "Correctable ZooKeeper" (CZK)
+// modifications (§5.2): a fast path in which a replica first simulates an
+// operation on its local state and returns the preliminary (weak) result,
+// then applies the operation after coordination and returns the strong
+// response; and a dequeue that reads a constant-sized queue tail instead of
+// the whole child list (§6.2.2, Fig 10).
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tree errors, mirroring ZooKeeper's error codes.
+var (
+	ErrNoNode     = errors.New("zk: node does not exist")
+	ErrNodeExists = errors.New("zk: node already exists")
+	ErrNotEmpty   = errors.New("zk: node has children")
+	ErrBadVersion = errors.New("zk: version conflict")
+)
+
+// node is one znode.
+type node struct {
+	data     []byte
+	version  int32
+	children map[string]bool
+	// nextSeq numbers sequential children created under this node.
+	nextSeq uint64
+	// owner is the session ID for ephemeral znodes ("" = persistent).
+	owner string
+}
+
+// Tree is a concurrency-safe znode tree. All mutation goes through
+// deterministic transactions so that replicas applying the same committed
+// sequence reach identical states. Watches are local observer state (each
+// server fires its own as commits apply) and do not participate in
+// replication.
+type Tree struct {
+	mu           sync.RWMutex
+	nodes        map[string]*node
+	dataWatches  map[string][]chan Event
+	childWatches map[string][]chan Event
+}
+
+// NewTree returns a tree containing only the root node "/".
+func NewTree() *Tree {
+	return &Tree{
+		nodes:        map[string]*node{"/": {children: map[string]bool{}}},
+		dataWatches:  map[string][]chan Event{},
+		childWatches: map[string][]chan Event{},
+	}
+}
+
+func errNoNode(path string) error { return fmt.Errorf("%w: %s", ErrNoNode, path) }
+
+func parentOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+func baseOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	return path[i+1:]
+}
+
+func validPath(path string) error {
+	if path == "" || path[0] != '/' {
+		return fmt.Errorf("zk: invalid path %q", path)
+	}
+	if path != "/" && strings.HasSuffix(path, "/") {
+		return fmt.Errorf("zk: invalid path %q (trailing slash)", path)
+	}
+	return nil
+}
+
+// EnsurePath creates path and any missing ancestors with empty data
+// (a helper clients use during setup, like Curator's mkdirs).
+func (t *Tree) EnsurePath(path string) error {
+	if err := validPath(path); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ensureLocked(path)
+}
+
+func (t *Tree) ensureLocked(path string) error {
+	if _, ok := t.nodes[path]; ok {
+		return nil
+	}
+	if path != "/" {
+		if err := t.ensureLocked(parentOf(path)); err != nil {
+			return err
+		}
+	}
+	t.nodes[path] = &node{children: map[string]bool{}}
+	if path != "/" {
+		t.nodes[parentOf(path)].children[baseOf(path)] = true
+	}
+	return nil
+}
+
+// Create adds a znode. If sequential, the final name is path plus a
+// zero-padded 10-digit monotonically increasing counter scoped to the
+// parent, and the created path is returned.
+func (t *Tree) Create(path string, data []byte, sequential bool) (string, error) {
+	return t.CreateOwned(path, data, sequential, "")
+}
+
+// CreateOwned is Create with an owning session: a non-empty owner makes the
+// znode ephemeral — DeleteOwned removes it when the session closes.
+func (t *Tree) CreateOwned(path string, data []byte, sequential bool, owner string) (string, error) {
+	if err := validPath(path); err != nil {
+		return "", err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent, ok := t.nodes[parentOf(path)]
+	if !ok {
+		return "", fmt.Errorf("%w: parent of %s", ErrNoNode, path)
+	}
+	actual := path
+	if sequential {
+		actual = fmt.Sprintf("%s%010d", path, parent.nextSeq)
+		parent.nextSeq++
+	}
+	if _, exists := t.nodes[actual]; exists {
+		return "", fmt.Errorf("%w: %s", ErrNodeExists, actual)
+	}
+	t.nodes[actual] = &node{
+		data:     append([]byte(nil), data...),
+		children: map[string]bool{},
+		owner:    owner,
+	}
+	parent.children[baseOf(actual)] = true
+	t.fireData(actual, EventCreated)
+	t.fireChildren(parentOf(actual))
+	return actual, nil
+}
+
+// Owner returns the owning session of a znode ("" if persistent or absent).
+func (t *Tree) Owner(path string) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n, ok := t.nodes[path]; ok {
+		return n.owner
+	}
+	return ""
+}
+
+// DeleteOwned removes every childless znode owned by the session, in sorted
+// path order (deterministic across replicas), and returns the removed
+// paths. Owned znodes that still have children are skipped (ZooKeeper
+// forbids children under ephemerals; this guards hand-built states).
+func (t *Tree) DeleteOwned(owner string) []string {
+	if owner == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var victims []string
+	for path, n := range t.nodes {
+		if n.owner == owner && len(n.children) == 0 {
+			victims = append(victims, path)
+		}
+	}
+	sort.Strings(victims)
+	for _, path := range victims {
+		delete(t.nodes, path)
+		delete(t.nodes[parentOf(path)].children, baseOf(path))
+		t.fireData(path, EventDeleted)
+		t.fireChildren(parentOf(path))
+	}
+	return victims
+}
+
+// NextSeq returns the sequence number the next sequential child of dir
+// would receive (used by the CZK local simulation of enqueue).
+func (t *Tree) NextSeq(dir string) (uint64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[dir]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoNode, dir)
+	}
+	return n.nextSeq, nil
+}
+
+// Get returns the data and version of a znode.
+func (t *Tree) Get(path string) ([]byte, int32, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	return append([]byte(nil), n.data...), n.version, nil
+}
+
+// Exists reports whether a znode exists.
+func (t *Tree) Exists(path string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.nodes[path]
+	return ok
+}
+
+// SetData replaces a znode's data; version -1 skips the version check.
+func (t *Tree) SetData(path string, data []byte, version int32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if version >= 0 && version != n.version {
+		return fmt.Errorf("%w: %s (have %d, want %d)", ErrBadVersion, path, n.version, version)
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	t.fireData(path, EventDataChanged)
+	return nil
+}
+
+// Delete removes a childless znode; version -1 skips the version check.
+func (t *Tree) Delete(path string, version int32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if version >= 0 && version != n.version {
+		return fmt.Errorf("%w: %s (have %d, want %d)", ErrBadVersion, path, n.version, version)
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	delete(t.nodes, path)
+	delete(t.nodes[parentOf(path)].children, baseOf(path))
+	t.fireData(path, EventDeleted)
+	t.fireChildren(parentOf(path))
+	return nil
+}
+
+// Children returns the sorted child names of a znode.
+func (t *Tree) Children(path string) ([]string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	out := make([]string, 0, len(n.children))
+	for c := range n.children {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FirstChild returns the lexicographically smallest child of path together
+// with its data and the child count — the constant-size "queue tail" read
+// CZK uses instead of a full Children listing.
+func (t *Tree) FirstChild(path string) (name string, data []byte, count int, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return "", nil, 0, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	for c := range n.children {
+		if name == "" || c < name {
+			name = c
+		}
+	}
+	if name == "" {
+		return "", nil, 0, nil
+	}
+	child := t.nodes[path+"/"+name]
+	return name, append([]byte(nil), child.data...), len(n.children), nil
+}
+
+// NodeCount returns the total number of znodes (including the root).
+func (t *Tree) NodeCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}

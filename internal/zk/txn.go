@@ -1,0 +1,205 @@
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TxnResult is the deterministic outcome of applying a transaction to a
+// tree. Every replica applying the same committed sequence computes the
+// same results; the client receives the leader's copy.
+type TxnResult struct {
+	// CreatedPath is the actual path of a created znode (sequential names
+	// resolved).
+	CreatedPath string
+	// Element is the dequeued element for DequeueMinTxn (nil if the queue
+	// was empty).
+	Element *QueueElement
+	// Remaining is the number of elements left in the queue after a
+	// DequeueMinTxn.
+	Remaining int
+	// RemovedPaths lists the znodes a CloseSessionTxn removed.
+	RemovedPaths []string
+	// Err is the operation error (ErrNoNode, ErrBadVersion, ...); a failed
+	// transaction is still a deterministic no-op everywhere.
+	Err error
+}
+
+// QueueElement is one element of a replicated queue.
+type QueueElement struct {
+	// Name is the znode name ("q-0000000042").
+	Name string
+	// Seq is the sequence number parsed from the name: the paper's "ticket
+	// number", the element's position in enqueue order.
+	Seq uint64
+	// Data is the element payload.
+	Data []byte
+}
+
+// EqualValue lets QueueElement participate in Correctable divergence checks
+// by identity (name), ignoring payload copies.
+func (e *QueueElement) EqualValue(other interface{}) bool {
+	o, ok := other.(*QueueElement)
+	if !ok {
+		return false
+	}
+	if e == nil || o == nil {
+		return e == o
+	}
+	return e.Name == o.Name
+}
+
+// seqOf parses the trailing sequence number of a sequential znode name.
+func seqOf(name string) uint64 {
+	if len(name) < 10 {
+		return 0
+	}
+	n, err := strconv.ParseUint(name[len(name)-10:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Txn is a deterministic state transition on the znode tree.
+type Txn interface {
+	// Apply mutates the tree and returns the outcome.
+	Apply(t *Tree) TxnResult
+	// PayloadSize is the wire footprint of the transaction body.
+	PayloadSize() int
+	// TxnName names the transaction type for diagnostics.
+	TxnName() string
+}
+
+// CreateTxn creates a znode (optionally sequential; a non-empty Owner makes
+// it ephemeral, removed when that session closes).
+type CreateTxn struct {
+	Path       string
+	Data       []byte
+	Sequential bool
+	Owner      string
+}
+
+// Apply implements Txn.
+func (x CreateTxn) Apply(t *Tree) TxnResult {
+	created, err := t.CreateOwned(x.Path, x.Data, x.Sequential, x.Owner)
+	return TxnResult{CreatedPath: created, Err: err}
+}
+
+// PayloadSize implements Txn.
+func (x CreateTxn) PayloadSize() int { return len(x.Path) + len(x.Data) }
+
+// TxnName implements Txn.
+func (x CreateTxn) TxnName() string { return "create" }
+
+// DeleteTxn removes a znode, optionally guarded by a version.
+type DeleteTxn struct {
+	Path    string
+	Version int32
+}
+
+// Apply implements Txn.
+func (x DeleteTxn) Apply(t *Tree) TxnResult {
+	return TxnResult{Err: t.Delete(x.Path, x.Version)}
+}
+
+// PayloadSize implements Txn.
+func (x DeleteTxn) PayloadSize() int { return len(x.Path) + 4 }
+
+// TxnName implements Txn.
+func (x DeleteTxn) TxnName() string { return "delete" }
+
+// SetDataTxn replaces a znode's data.
+type SetDataTxn struct {
+	Path    string
+	Data    []byte
+	Version int32
+}
+
+// Apply implements Txn.
+func (x SetDataTxn) Apply(t *Tree) TxnResult {
+	return TxnResult{Err: t.SetData(x.Path, x.Data, x.Version)}
+}
+
+// PayloadSize implements Txn.
+func (x SetDataTxn) PayloadSize() int { return len(x.Path) + len(x.Data) + 4 }
+
+// TxnName implements Txn.
+func (x SetDataTxn) TxnName() string { return "setData" }
+
+// DequeueMinTxn atomically removes the head (smallest sequential child) of
+// a queue directory and returns it. This is the CZK server-side dequeue:
+// because the pick happens inside the totally ordered transaction, clients
+// never race each other and never retry (§6.2.2).
+type DequeueMinTxn struct {
+	Dir string
+}
+
+// Apply implements Txn.
+func (x DequeueMinTxn) Apply(t *Tree) TxnResult {
+	name, data, count, err := t.FirstChild(x.Dir)
+	if err != nil {
+		return TxnResult{Err: err}
+	}
+	if name == "" {
+		return TxnResult{Element: nil, Remaining: 0}
+	}
+	if err := t.Delete(x.Dir+"/"+name, -1); err != nil {
+		return TxnResult{Err: err}
+	}
+	return TxnResult{
+		Element:   &QueueElement{Name: name, Seq: seqOf(name), Data: data},
+		Remaining: count - 1,
+	}
+}
+
+// PayloadSize implements Txn.
+func (x DequeueMinTxn) PayloadSize() int { return len(x.Dir) }
+
+// TxnName implements Txn.
+func (x DequeueMinTxn) TxnName() string { return "dequeueMin" }
+
+// CloseSessionTxn removes every ephemeral znode owned by a session — the
+// replicated half of session teardown/expiry.
+type CloseSessionTxn struct {
+	SessionID string
+}
+
+// Apply implements Txn.
+func (x CloseSessionTxn) Apply(t *Tree) TxnResult {
+	removed := t.DeleteOwned(x.SessionID)
+	return TxnResult{RemovedPaths: removed}
+}
+
+// PayloadSize implements Txn.
+func (x CloseSessionTxn) PayloadSize() int { return len(x.SessionID) }
+
+// TxnName implements Txn.
+func (x CloseSessionTxn) TxnName() string { return "closeSession" }
+
+// failsFast reports whether a failed prep-time validation should abort the
+// transaction without committing (ZooKeeper returns BadVersion/NoNode
+// errors from the leader's prep processor without broadcasting).
+func failsFast(res TxnResult) bool {
+	return res.Err != nil && (errors.Is(res.Err, ErrNoNode) ||
+		errors.Is(res.Err, ErrBadVersion) ||
+		errors.Is(res.Err, ErrNodeExists) ||
+		errors.Is(res.Err, ErrNotEmpty))
+}
+
+// queueDir returns the canonical directory for a named queue.
+func queueDir(queue string) string {
+	return "/queues/" + strings.Trim(queue, "/")
+}
+
+// queueItemPrefix returns the sequential-create path prefix for a queue.
+func queueItemPrefix(queue string) string {
+	return queueDir(queue) + "/q-"
+}
+
+// elementPath returns the full path of a queue element znode.
+func elementPath(queue, name string) string {
+	return fmt.Sprintf("%s/%s", queueDir(queue), name)
+}

@@ -1,0 +1,107 @@
+package zk
+
+import "sort"
+
+// EventType classifies znode watch events, mirroring ZooKeeper's.
+type EventType int
+
+const (
+	// EventCreated fires when a watched path comes into existence.
+	EventCreated EventType = iota + 1
+	// EventDeleted fires when a watched znode is removed.
+	EventDeleted
+	// EventDataChanged fires when a watched znode's data is replaced.
+	EventDataChanged
+	// EventChildrenChanged fires when a child is added to or removed from
+	// a watched znode.
+	EventChildrenChanged
+)
+
+// String returns the event name.
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "dataChanged"
+	case EventChildrenChanged:
+		return "childrenChanged"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one watch notification.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Watches are one-shot, as in ZooKeeper: a channel receives at most one
+// event (buffered, never blocking the mutation path) and is then forgotten.
+
+// GetW is Get plus a one-shot watch on the znode (data change or deletion).
+func (t *Tree) GetW(path string) ([]byte, int32, <-chan Event, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return nil, 0, nil, errNoNode(path)
+	}
+	ch := make(chan Event, 1)
+	t.dataWatches[path] = append(t.dataWatches[path], ch)
+	return append([]byte(nil), n.data...), n.version, ch, nil
+}
+
+// ExistsW reports existence plus a one-shot watch that fires on the next
+// creation, deletion or data change of the path.
+func (t *Tree) ExistsW(path string) (bool, <-chan Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch := make(chan Event, 1)
+	t.dataWatches[path] = append(t.dataWatches[path], ch)
+	_, ok := t.nodes[path]
+	return ok, ch
+}
+
+// ChildrenW is Children plus a one-shot watch on the child set.
+func (t *Tree) ChildrenW(path string) ([]string, <-chan Event, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return nil, nil, errNoNode(path)
+	}
+	ch := make(chan Event, 1)
+	t.childWatches[path] = append(t.childWatches[path], ch)
+	out := make([]string, 0, len(n.children))
+	for c := range n.children {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out, ch, nil
+}
+
+// fireData delivers a data event to the path's one-shot watches. Caller
+// holds t.mu.
+func (t *Tree) fireData(path string, typ EventType) {
+	if ws := t.dataWatches[path]; len(ws) > 0 {
+		delete(t.dataWatches, path)
+		for _, ch := range ws {
+			ch <- Event{Type: typ, Path: path} // buffered, never blocks
+		}
+	}
+}
+
+// fireChildren delivers a children event to the parent's one-shot watches.
+// Caller holds t.mu.
+func (t *Tree) fireChildren(parent string) {
+	if ws := t.childWatches[parent]; len(ws) > 0 {
+		delete(t.childWatches, parent)
+		for _, ch := range ws {
+			ch <- Event{Type: EventChildrenChanged, Path: parent}
+		}
+	}
+}

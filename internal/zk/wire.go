@@ -1,0 +1,42 @@
+package zk
+
+// Wire-size model for the client and replica links. The constants are tuned
+// so that a vanilla enqueue of a ~20-byte element costs roughly 270 bytes on
+// the client link and the preliminary response adds roughly 130 more —
+// matching the paper's §6.2.2 measurement of 270 -> 400 bytes/op (+~50%).
+const (
+	// RequestOverhead is the client request envelope (TCP/IP + ZK framing +
+	// session headers).
+	RequestOverhead = 140
+	// ResponseOverhead is the client response envelope.
+	ResponseOverhead = 90
+	// ChildEntryOverhead is the per-child-name overhead in a getChildren
+	// response (length prefix etc.).
+	ChildEntryOverhead = 4
+	// ProposalOverhead / AckSize / CommitOverhead are replica-link Zab
+	// messages.
+	ProposalOverhead = 96
+	AckSize          = 48
+	CommitOverhead   = 96
+)
+
+func requestSize(payload int) int  { return RequestOverhead + payload }
+func responseSize(payload int) int { return ResponseOverhead + payload }
+
+func childrenResponseSize(names []string) int {
+	sz := ResponseOverhead
+	for _, n := range names {
+		sz += len(n) + ChildEntryOverhead
+	}
+	return sz
+}
+
+func proposalSize(txn Txn) int { return ProposalOverhead + txn.PayloadSize() }
+func commitSize(txn Txn) int   { return CommitOverhead + txn.PayloadSize() }
+
+func elementPayload(e *QueueElement) int {
+	if e == nil {
+		return 4
+	}
+	return len(e.Name) + len(e.Data) + 8
+}
