@@ -1,13 +1,20 @@
 // Command icgbench regenerates the tables and figures of the paper's
 // evaluation (§6) on the simulated substrates. Each experiment prints rows
-// mirroring the corresponding figure; latencies are reported in model time
-// (the paper's axes) regardless of the -scale speedup.
+// mirroring the corresponding figure; latencies are always reported in
+// model time (the paper's axes).
+//
+// By default experiments run on the virtual clock: a deterministic
+// discrete-event scheduler that never sleeps, so whole-figure sweeps
+// finish at CPU speed and the same seed reproduces byte-identical output.
+// -clock=wall selects the scaled real-time mode instead (useful for
+// watching an experiment unfold); -scale then sets the model-to-wall
+// speedup.
 //
 // Usage:
 //
-//	icgbench -exp fig5            # one experiment
-//	icgbench -exp all -quick      # smoke-run everything
-//	icgbench -exp fig6 -scale 0.5 # slower, more accurate
+//	icgbench -exp fig5                       # one experiment, virtual time
+//	icgbench -exp all -quick                 # smoke-run everything
+//	icgbench -exp fig6 -clock=wall -scale .5 # real-time-ish demo run
 //
 // Experiments: fig5 (single-request latency), fig6 (YCSB latency vs
 // throughput), fig7 (divergence), fig8 (bandwidth), fig9 (ZK latency gaps),
@@ -44,14 +51,24 @@ var experiments = map[string]func(bench.Config) string{
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (fig5..fig12, or 'all')")
-		scale = flag.Float64("scale", 0.25, "model-to-wall time scale (1.0 = real time)")
-		seed  = flag.Int64("seed", 42, "random seed")
-		quick = flag.Bool("quick", false, "reduced samples/durations (smoke run)")
+		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, or 'all')")
+		clockMode = flag.String("clock", "virtual", "clock mode: 'virtual' (deterministic, CPU speed) or 'wall' (scaled real time)")
+		scale     = flag.Float64("scale", 0.25, "model-to-wall time scale in -clock=wall mode (1.0 = real time)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		quick     = flag.Bool("quick", false, "reduced samples/durations (smoke run)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	var wall bool
+	switch *clockMode {
+	case "virtual":
+	case "wall":
+		wall = true
+	default:
+		fmt.Fprintf(os.Stderr, "icgbench: unknown -clock mode %q (have virtual, wall)\n", *clockMode)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Wall: wall, Scale: *scale, Seed: *seed, Quick: *quick}
 
 	var names []string
 	if *exp == "all" {

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	transport := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 7)
 
 	newCluster := func(correctable bool) *cassandra.Cluster {

@@ -6,6 +6,10 @@
 // transaction is irrevocable with high probability and the Correctable
 // closes with a strong view — same interface, arbitrarily many views.
 //
+// The ledger runs on the deterministic virtual clock: six Bitcoin-scale
+// block intervals elapse in model time while the demo itself completes
+// instantly, printing the model-time arrival of each confirmation.
+//
 // Run with: go run ./examples/blockchain
 package main
 
@@ -21,11 +25,11 @@ import (
 )
 
 func main() {
-	clock := netsim.NewClock(1.0)
+	clock := netsim.NewVirtualClock()
 	transport := netsim.NewTransport(clock, netsim.DefaultLatencies(), nil, 9)
 	ledger, err := chain.New(chain.Config{
 		Transport:     transport,
-		BlockInterval: 300 * time.Millisecond, // Bitcoin: 10 minutes; same shape
+		BlockInterval: 10 * time.Minute, // Bitcoin's interval, at no wall cost
 		Seed:          9,
 	})
 	if err != nil {
@@ -35,7 +39,7 @@ func main() {
 
 	const depth = 6
 	client := correctables.NewClient(chain.NewBinding(ledger, depth))
-	start := time.Now()
+	sw := clock.StartStopwatch()
 
 	fmt.Printf("submitting payment; waiting for %d confirmations...\n", depth)
 	cor := client.Invoke(context.Background(), chain.SubmitTx{ID: "pay-coffee", Data: []byte("0.0042 BTC")})
@@ -45,12 +49,14 @@ func main() {
 		for i := 0; i < st.Confirmations; i++ {
 			bar += "#"
 		}
-		fmt.Printf("[%7v] %-6s %-6s confirmations: %d %s\n",
-			time.Since(start).Round(10*time.Millisecond), v.Level, state(v), st.Confirmations, bar)
+		fmt.Printf("[%9v] %-6s %-6s confirmations: %d %s\n",
+			sw.ElapsedModel().Round(time.Second), v.Level, state(v), st.Confirmations, bar)
 	})
 	if _, err := cor.Final(context.Background()); err != nil {
 		log.Fatal(err)
 	}
+	ledger.Stop()
+	clock.Drain()
 	fmt.Println("\nthe merchant could hand over the coffee at 1 confirmation (weak view)")
 	fmt.Println("and reconcile at 6 (strong view) — speculation over incremental trust.")
 }

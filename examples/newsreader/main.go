@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	transport := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 5)
 	store, err := causal.NewStore(causal.Config{
 		Primary:   netsim.VRG,

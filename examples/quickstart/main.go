@@ -22,8 +22,11 @@ import (
 )
 
 func main() {
-	// Simulation fabric: 1/10 wall time; reported latencies are model time.
-	clock := netsim.NewClock(0.1)
+	// Simulation fabric: deterministic virtual time. The demo completes
+	// instantly; all printed latencies are model time — what a client in
+	// Ireland contacting the Frankfurt coordinator would observe on the
+	// real WAN.
+	clock := netsim.NewVirtualClock()
 	transport := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 
 	cluster, err := cassandra.NewCluster(cassandra.Config{

@@ -7,6 +7,10 @@
 // preliminary (locally simulated) dequeue in ~2ms; the last 20 tickets wait
 // for the atomic dequeue (~60ms) to avoid overselling.
 //
+// The whole sale runs on the deterministic virtual clock, so it completes
+// instantly while still reporting the model-time latencies a real WAN
+// deployment would observe.
+//
 // Run with: go run ./examples/tickets
 package main
 
@@ -23,7 +27,7 @@ import (
 )
 
 func main() {
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	transport := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 3)
 	ensemble, err := zk.NewEnsemble(zk.Config{
 		Regions:      []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
@@ -46,10 +50,10 @@ func main() {
 	}
 	var mu sync.Mutex
 	var sales []sale
-	var wg sync.WaitGroup
+	wg := clock.NewGroup()
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
-		go func(id int) {
+		clock.Go(func() {
 			defer wg.Done()
 			retailer := tickets.NewRetailer(zk.NewBinding(zk.NewQueueClient(ensemble, netsim.FRK, netsim.FRK)))
 			for {
@@ -63,16 +67,17 @@ func main() {
 				// Closed loop: the purchase decision is fast, but serve the
 				// next customer only once this dequeue committed (the
 				// decision latency is what counts for the buyer).
-				if ticket := <-res.Assigned; ticket == nil {
+				if ticket, _ := res.Assigned.Get().(*zk.QueueElement); ticket == nil {
 					continue // revoked near the boundary; not a sale
 				}
 				mu.Lock()
 				sales = append(sales, sale{res.Latency, res.UsedPreliminary})
 				mu.Unlock()
 			}
-		}(w)
+		})
 	}
 	wg.Wait()
+	clock.Drain()
 
 	var fastN, slowN int
 	var fastT, slowT time.Duration

@@ -1,0 +1,3 @@
+module correctables
+
+go 1.24

@@ -119,7 +119,7 @@ type FetchOutcome struct {
 // Service serves ads from a cassandra-backed store.
 type Service struct {
 	client *binding.Client
-	clock  *netsim.Clock
+	clock  netsim.Clock
 	// MaxAdsPerRequest caps how many referenced ads are actually fetched
 	// per request (a realistic page size; keeps load experiments bounded).
 	MaxAdsPerRequest int
@@ -154,26 +154,31 @@ func (s *Service) getAds(refsEncoded []byte) ([]Ad, error) {
 		ad  Ad
 		err error
 	}
-	ch := make(chan fetched, len(refs))
+	q := s.clock.NewQueue()
 	for i, ref := range refs {
 		i, ref := i, ref
-		go func() {
+		s.clock.Go(func() {
 			v, err := s.client.InvokeStrong(context.Background(), binding.Get{Key: AdKey(ref)}).Final(context.Background())
 			if err != nil {
-				ch <- fetched{i: i, err: err}
+				q.Put(fetched{i: i, err: err})
 				return
 			}
 			body, _ := v.Value.([]byte)
-			ch <- fetched{i: i, ad: Ad{Ref: ref, Body: body}}
-		}()
+			q.Put(fetched{i: i, ad: Ad{Ref: ref, Body: body}})
+		})
 	}
 	ads := make([]Ad, len(refs))
+	var firstErr error
 	for range refs {
-		f := <-ch
-		if f.err != nil {
-			return nil, f.err
+		f := q.Get().(fetched)
+		if f.err != nil && firstErr == nil {
+			firstErr = f.err
+			continue
 		}
 		ads[f.i] = f.ad
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return ads, nil
 }

@@ -12,7 +12,7 @@ import (
 
 func newService(t *testing.T, correctable bool) (*Service, *cassandra.Cluster) {
 	t.Helper()
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 	cluster, err := cassandra.NewCluster(cassandra.Config{
 		Regions:          []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
@@ -139,7 +139,7 @@ func TestUpdateProfileAndRefetch(t *testing.T) {
 func TestMisspeculationDetectedAndCorrected(t *testing.T) {
 	// Force divergence: write through a colocated IRL coordinator with a
 	// long replication delay, then immediately fetch through FRK.
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 	cluster, err := cassandra.NewCluster(cassandra.Config{
 		Regions:          []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},

@@ -40,7 +40,7 @@ type Update struct {
 // Reader is the news reader app over a cache+causal binding.
 type Reader struct {
 	client *binding.Client
-	clock  *netsim.Clock
+	clock  netsim.Clock
 }
 
 // NewReader builds a reader over a causal-store binding.

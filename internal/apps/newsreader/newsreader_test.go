@@ -12,7 +12,7 @@ import (
 
 func newReader(t *testing.T) (*Reader, *causal.Store) {
 	t.Helper()
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 	store, err := causal.NewStore(causal.Config{
 		Primary:     netsim.VRG,

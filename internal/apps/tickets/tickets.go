@@ -40,16 +40,17 @@ type PurchaseResult struct {
 	Latency time.Duration
 	// Remaining is the stock estimate at decision time.
 	Remaining int
-	// Assigned resolves (buffered, exactly one send) with the ticket the
-	// committed dequeue assigned — nil if the final view found the queue
-	// empty (a revoked preliminary confirmation, or a sold-out decision).
-	Assigned <-chan *zk.QueueElement
+	// Assigned resolves (exactly one Put) with the ticket the committed
+	// dequeue assigned — nil if the final view found the queue empty (a
+	// revoked preliminary confirmation, or a sold-out decision). Read it
+	// with Assigned.Get().(*zk.QueueElement).
+	Assigned netsim.Queue
 }
 
 // Retailer sells tickets from a queue-backed stock.
 type Retailer struct {
 	client    *binding.Client
-	clock     *netsim.Clock
+	clock     netsim.Clock
 	Threshold int
 
 	mu      sync.Mutex
@@ -86,12 +87,12 @@ func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseRe
 	sw := r.clock.StartStopwatch()
 	cor := r.client.Invoke(ctx, binding.Dequeue{Queue: event})
 
-	assigned := make(chan *zk.QueueElement, 1)
+	assigned := r.clock.NewQueue()
 	type decision struct {
 		res PurchaseResult
 		err error
 	}
-	decided := make(chan decision, 1)
+	decided := r.clock.NewQueue()
 	var once sync.Once
 	decidedEarly := false
 
@@ -107,19 +108,19 @@ func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseRe
 				if q.Element != nil && q.Remaining > r.Threshold {
 					decidedEarly = true
 					once.Do(func() {
-						decided <- decision{res: PurchaseResult{
+						decided.Put(decision{res: PurchaseResult{
 							Confirmed:       true,
 							UsedPreliminary: true,
 							Latency:         sw.ElapsedModel(),
 							Remaining:       q.Remaining,
 							Assigned:        assigned,
-						}}
+						}})
 					})
 				}
 				return
 			}
 			// Listing 5's onFinal: the committed outcome.
-			assigned <- q.Element
+			assigned.Put(q.Element)
 			if decidedEarly {
 				if q.Element == nil {
 					r.mu.Lock()
@@ -129,26 +130,22 @@ func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseRe
 				return
 			}
 			once.Do(func() {
-				decided <- decision{res: PurchaseResult{
+				decided.Put(decision{res: PurchaseResult{
 					Confirmed: q.Element != nil,
 					SoldOut:   q.Element == nil,
 					Latency:   sw.ElapsedModel(),
 					Remaining: q.Remaining,
 					Assigned:  assigned,
-				}}
+				}})
 			})
 		},
 		OnError: func(err error) {
-			once.Do(func() { decided <- decision{err: err} })
+			once.Do(func() { decided.Put(decision{err: err}) })
 		},
 	})
 
-	select {
-	case d := <-decided:
-		return d.res, d.err
-	case <-ctx.Done():
-		return PurchaseResult{}, ctx.Err()
-	}
+	d := decided.Get().(decision)
+	return d.res, d.err
 }
 
 // PurchaseTicketStrong is the vanilla-ZooKeeper baseline: always wait for
@@ -163,8 +160,8 @@ func (r *Retailer) PurchaseTicketStrong(ctx context.Context, event string) (Purc
 	if !ok {
 		return PurchaseResult{}, fmt.Errorf("tickets: unexpected result type %T", v.Value)
 	}
-	assigned := make(chan *zk.QueueElement, 1)
-	assigned <- q.Element
+	assigned := r.clock.NewQueue()
+	assigned.Put(q.Element)
 	return PurchaseResult{
 		Confirmed: q.Element != nil,
 		SoldOut:   q.Element == nil,

@@ -11,8 +11,13 @@ import (
 )
 
 func newRetailer(t *testing.T, correctable bool, stock int) (*Retailer, *zk.Ensemble) {
+	r, e, _ := newRetailerClock(t, correctable, stock)
+	return r, e
+}
+
+func newRetailerClock(t *testing.T, correctable bool, stock int) (*Retailer, *zk.Ensemble, netsim.Clock) {
 	t.Helper()
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 	// Fig 12 deployment: retailers colocated with the FRK follower, leader
 	// in IRL.
@@ -29,7 +34,13 @@ func newRetailer(t *testing.T, correctable bool, stock int) (*Retailer, *zk.Ense
 	}
 	Stock(e, "concert", stock)
 	b := zk.NewBinding(zk.NewQueueClient(e, netsim.FRK, netsim.FRK))
-	return NewRetailer(b), e
+	return NewRetailer(b), e, clock
+}
+
+// assignedTicket reads the committed dequeue outcome of one purchase.
+func assignedTicket(res PurchaseResult) *zk.QueueElement {
+	e, _ := res.Assigned.Get().(*zk.QueueElement)
+	return e
 }
 
 func TestPurchaseAboveThresholdUsesPreliminary(t *testing.T) {
@@ -51,7 +62,7 @@ func TestPurchaseAboveThresholdUsesPreliminary(t *testing.T) {
 		t.Errorf("preliminary purchase latency = %v, want well under coordination latency", res.Latency)
 	}
 	// The background dequeue assigns a concrete ticket.
-	if ticket := <-res.Assigned; ticket == nil {
+	if assignedTicket(res) == nil {
 		t.Error("no ticket assigned despite large stock")
 	}
 	if r.Revoked() != 0 {
@@ -74,21 +85,21 @@ func TestPurchaseBelowThresholdWaitsForFinal(t *testing.T) {
 	if res.Latency < 40*time.Millisecond {
 		t.Errorf("final-view purchase latency = %v, want coordination-scale (~60ms)", res.Latency)
 	}
-	if ticket := <-res.Assigned; ticket == nil {
+	if assignedTicket(res) == nil {
 		t.Error("no assigned ticket")
 	}
 }
 
 func TestSellOutExactlyOnce(t *testing.T) {
 	const stock = 40
-	r, _ := newRetailer(t, true, stock)
+	r, _, clock := newRetailerClock(t, true, stock)
 	var mu sync.Mutex
 	sold := map[string]int{}
 	soldOut, confirmed := 0, 0
-	var wg sync.WaitGroup
+	wg := clock.NewGroup()
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
-		go func() {
+		clock.Go(func() {
 			defer wg.Done()
 			for {
 				res, err := r.PurchaseTicket(context.Background(), "concert")
@@ -102,7 +113,7 @@ func TestSellOutExactlyOnce(t *testing.T) {
 					mu.Unlock()
 					return
 				}
-				ticket := <-res.Assigned
+				ticket := assignedTicket(res)
 				mu.Lock()
 				confirmed++
 				if ticket != nil {
@@ -110,7 +121,7 @@ func TestSellOutExactlyOnce(t *testing.T) {
 				}
 				mu.Unlock()
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	if len(sold) != stock {
@@ -150,7 +161,7 @@ func TestThresholdSwitchesLatencyRegime(t *testing.T) {
 		} else {
 			slow = append(slow, res.Latency)
 		}
-		<-res.Assigned // serialize purchases so the regime boundary is crisp
+		assignedTicket(res) // serialize purchases so the regime boundary is crisp
 	}
 	if len(fast) == 0 || len(slow) == 0 {
 		t.Fatalf("fast=%d slow=%d; both regimes expected", len(fast), len(slow))
@@ -183,7 +194,7 @@ func TestVanillaBaselineAlwaysSlow(t *testing.T) {
 	if res.Latency < 40*time.Millisecond {
 		t.Errorf("vanilla purchase latency = %v, want coordination-scale", res.Latency)
 	}
-	if ticket := <-res.Assigned; ticket == nil {
+	if assignedTicket(res) == nil {
 		t.Error("no assigned ticket")
 	}
 }
@@ -213,7 +224,7 @@ func TestNoOversellAcrossRegimes(t *testing.T) {
 		if res.SoldOut {
 			break
 		}
-		if ticket := <-res.Assigned; ticket != nil {
+		if assignedTicket(res) != nil {
 			assignedTotal++
 		}
 		if assignedTotal > stock {

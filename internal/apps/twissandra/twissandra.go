@@ -111,7 +111,7 @@ type TimelineOutcome struct {
 // Service is the microblogging service over a cassandra binding.
 type Service struct {
 	client *binding.Client
-	clock  *netsim.Clock
+	clock  netsim.Clock
 	nextID int64
 }
 
@@ -138,26 +138,31 @@ func (s *Service) fetchTweets(encoded []byte) ([]Tweet, error) {
 		tweet Tweet
 		err   error
 	}
-	ch := make(chan fetched, len(ids))
+	q := s.clock.NewQueue()
 	for i, id := range ids {
 		i, id := i, id
-		go func() {
+		s.clock.Go(func() {
 			v, err := s.client.InvokeStrong(context.Background(), binding.Get{Key: TweetKey(id)}).Final(context.Background())
 			if err != nil {
-				ch <- fetched{i: i, err: err}
+				q.Put(fetched{i: i, err: err})
 				return
 			}
 			body, _ := v.Value.([]byte)
-			ch <- fetched{i: i, tweet: Tweet{ID: id, Body: string(body)}}
-		}()
+			q.Put(fetched{i: i, tweet: Tweet{ID: id, Body: string(body)}})
+		})
 	}
 	tweets := make([]Tweet, len(ids))
+	var firstErr error
 	for range ids {
-		f := <-ch
-		if f.err != nil {
-			return nil, f.err
+		f := q.Get().(fetched)
+		if f.err != nil && firstErr == nil {
+			firstErr = f.err
+			continue
 		}
 		tweets[f.i] = f.tweet
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return tweets, nil
 }

@@ -12,7 +12,7 @@ import (
 
 func newService(t *testing.T, correctable bool) *Service {
 	t.Helper()
-	clock := netsim.NewClock(0.1)
+	clock := netsim.NewVirtualClock()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 	// Twissandra's deployment in the paper: Virginia, N. California,
 	// Oregon; client in Ireland contacting Virginia.

@@ -29,7 +29,7 @@ type AblationLagRow struct {
 // Latest distribution, 1K objects).
 func AblationReplicationLag(cfg Config) []AblationLagRow {
 	cfg = cfg.withDefaults()
-	wall := cfg.pickDur(2500*time.Millisecond, 500*time.Millisecond)
+	dur := cfg.pickDur(10*time.Second, 2*time.Second) // model time
 	threadsTotal := cfg.pick(120, 24)
 	delays := []time.Duration{0, 5 * time.Millisecond, 10 * time.Millisecond,
 		20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
@@ -48,9 +48,10 @@ func AblationReplicationLag(cfg Config) []AblationLagRow {
 		cluster := h.newCassandra(cfg, cassandraOpts{correctable: true, replicationDelay: d})
 		preloadDataset(cluster, w)
 		results := runGroups(cluster, w, 2, true, threadsTotal/3, ycsb.Options{
-			WallDuration: wall,
-			Seed:         cfg.Seed,
+			Duration: dur,
+			Seed:     cfg.Seed,
 		})
+		h.drain()
 		var diverged, prelims int64
 		for _, r := range results {
 			diverged += r.Diverged
@@ -82,7 +83,7 @@ type AblationFlushRow struct {
 // every operation exercises the flush path).
 func AblationFlushCost(cfg Config) []AblationFlushRow {
 	cfg = cfg.withDefaults()
-	wall := cfg.pickDur(2500*time.Millisecond, 500*time.Millisecond)
+	dur := cfg.pickDur(10*time.Second, 2*time.Second) // model time
 	threadsTotal := cfg.pick(96, 24)
 	costs := []time.Duration{time.Nanosecond, 250 * time.Microsecond,
 		500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond}
@@ -98,9 +99,10 @@ func AblationFlushCost(cfg Config) []AblationFlushRow {
 		cluster := h.newCassandra(cfg, cassandraOpts{correctable: true, flushCost: cost})
 		preloadDataset(cluster, w)
 		results := runGroups(cluster, w, 2, true, threadsTotal/3, ycsb.Options{
-			WallDuration: wall,
-			Seed:         cfg.Seed,
+			Duration: dur,
+			Seed:     cfg.Seed,
 		})
+		h.drain()
 		var tp float64
 		for _, r := range results {
 			tp += r.ThroughputOps

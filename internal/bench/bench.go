@@ -19,9 +19,14 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
-	// Scale is the model-to-wall time scale (default 0.25; 1.0 = real
-	// time). Smaller is faster but, below ~0.1, sleep granularity starts
-	// to blur sub-10ms effects.
+	// Wall selects the wall-clock simulation mode: model durations are
+	// scaled to real sleeps. The default (false) is the virtual clock — a
+	// deterministic discrete-event scheduler that runs every experiment at
+	// CPU speed, with same-seed runs producing byte-identical results.
+	Wall bool
+	// Scale is the model-to-wall time scale in wall mode (default 0.25;
+	// 1.0 = real time). Smaller is faster but, below ~0.1, sleep
+	// granularity starts to blur sub-10ms effects. Ignored in virtual mode.
 	Scale float64
 	// Seed fixes all randomness.
 	Seed int64
@@ -53,18 +58,32 @@ func (c Config) pickDur(full, quick time.Duration) time.Duration {
 
 // harness bundles the per-experiment simulation fabric.
 type harness struct {
-	clock *netsim.Clock
+	clock netsim.Clock
 	meter *netsim.Meter
 	tr    *netsim.Transport
 }
 
 func newHarness(cfg Config) *harness {
-	clock := netsim.NewClock(cfg.Scale)
+	var clock netsim.Clock
+	if cfg.Wall {
+		clock = netsim.NewClock(cfg.Scale)
+	} else {
+		clock = netsim.NewVirtualClock()
+	}
 	meter := netsim.NewMeter()
 	return &harness{
 		clock: clock,
 		meter: meter,
 		tr:    netsim.NewTransport(clock, netsim.DefaultLatencies(), meter, cfg.Seed+1),
+	}
+}
+
+// drain runs the harness's background traffic (async replication, commit
+// broadcasts) to completion after an experiment. Wall-clock harnesses just
+// let it finish in real time.
+func (h *harness) drain() {
+	if vc, ok := h.clock.(*netsim.VirtualClock); ok {
+		vc.Drain()
 	}
 }
 

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"sync"
 
 	"correctables/internal/netsim"
 	"correctables/internal/zk"
@@ -66,18 +65,19 @@ func Fig10(cfg Config) []Fig10Row {
 				if perClient == 0 {
 					perClient = 1
 				}
-				var wg sync.WaitGroup
+				wg := h.clock.NewGroup()
 				for c := 0; c < clients; c++ {
 					wg.Add(1)
-					go func() {
+					h.clock.Go(func() {
 						defer wg.Done()
 						qc := zk.NewQueueClient(e, netsim.FRK, netsim.FRK)
 						for i := 0; i < perClient; i++ {
 							_ = qc.Dequeue("ev", sys.correctable, func(zk.QueueView) {})
 						}
-					}()
+					})
 				}
 				wg.Wait()
+				h.drain()
 				ops := perClient * clients
 				bytes := h.meter.Class(netsim.LinkClient).Bytes - base
 				rows = append(rows, Fig10Row{

@@ -113,8 +113,8 @@ func keyIndex(key string) int {
 // with divergence consistently under 1%.
 func Fig11(cfg Config) []Fig11Row {
 	cfg = cfg.withDefaults()
-	wall := cfg.pickDur(3*time.Second, 500*time.Millisecond)
-	warmup := cfg.pickDur(400*time.Millisecond, 50*time.Millisecond)
+	dur := cfg.pickDur(12*time.Second, 2*time.Second) // model time
+	warmup := cfg.pickDur(1600*time.Millisecond, 200*time.Millisecond)
 
 	adsLoad := adserver.LoadOptions{Profiles: 400, Ads: 2000, MaxRefs: 8, AdBodySize: 600, Seed: cfg.Seed}
 	twLoad := twissandra.LoadOptions{Tweets: 2000, Timelines: 400, Seed: cfg.Seed}
@@ -179,11 +179,12 @@ func Fig11(cfg Config) []Fig11Row {
 					w := workloadByName(wname, ycsb.DistZipfian, ac.records, 128)
 					db := ac.makeDB(cluster, sys.speculative)
 					res := ycsb.Run(w, db, h.clock, ycsb.Options{
-						Threads:      threads,
-						WallDuration: wall,
-						Warmup:       warmup,
-						Seed:         cfg.Seed,
+						Threads:  threads,
+						Duration: dur,
+						Warmup:   warmup,
+						Seed:     cfg.Seed,
 					})
+					h.drain()
 					missPct := 0.0
 					if res.PrelimReads > 0 {
 						missPct = 100 * float64(res.Diverged) / float64(res.PrelimReads)

@@ -57,10 +57,10 @@ func Fig12(cfg Config) ([]Fig12Point, []Fig12Summary) {
 		var mu sync.Mutex
 		var results []Fig12Point
 		revokedTotal := 0
-		var wg sync.WaitGroup
+		wg := h.clock.NewGroup()
 		for w := 0; w < retailers; w++ {
 			wg.Add(1)
-			go func() {
+			h.clock.Go(func() {
 				defer wg.Done()
 				r := tickets.NewRetailer(zk.NewBinding(zk.NewQueueClient(e, netsim.FRK, netsim.FRK)))
 				for {
@@ -85,7 +85,7 @@ func Fig12(cfg Config) ([]Fig12Point, []Fig12Summary) {
 					// Closed loop, as in the paper: the decision latency is
 					// what Fig 12 plots, but the retailer serves the next
 					// customer only once this dequeue has committed.
-					ticket := <-res.Assigned
+					ticket, _ := res.Assigned.Get().(*zk.QueueElement)
 					if ticket == nil {
 						continue // revoked preliminary confirmation; not a sale
 					}
@@ -98,9 +98,10 @@ func Fig12(cfg Config) ([]Fig12Point, []Fig12Summary) {
 					})
 					mu.Unlock()
 				}
-			}()
+			})
 		}
 		wg.Wait()
+		h.drain()
 
 		fast, slow := metrics.NewHistogram(), metrics.NewHistogram()
 		for _, p := range results {

@@ -39,6 +39,7 @@ func Fig5(cfg Config) []Fig5Row {
 			cluster.Preload(ycsb.Key(i), val)
 		}
 		client := cassandra.NewClient(cluster, netsim.IRL, netsim.FRK)
+		defer h.drain()
 		prelim, final = metrics.NewHistogram(), metrics.NewHistogram()
 		for i := 0; i < samples; i++ {
 			sw := h.clock.StartStopwatch()

@@ -38,8 +38,8 @@ func fig6ThreadSweep(cfg Config) []int {
 // CC trades a few percent of throughput for the preliminary flushing work.
 func Fig6(cfg Config) []Fig6Row {
 	cfg = cfg.withDefaults()
-	wall := cfg.pickDur(3*time.Second, 400*time.Millisecond)
-	warmup := cfg.pickDur(500*time.Millisecond, 50*time.Millisecond)
+	dur := cfg.pickDur(12*time.Second, 1600*time.Millisecond) // model time
+	warmup := cfg.pickDur(2*time.Second, 200*time.Millisecond)
 	records := 1000
 	valueSize := 1024 // YCSB default record size
 
@@ -64,10 +64,11 @@ func Fig6(cfg Config) []Fig6Row {
 				cluster := h.newCassandra(cfg, cassandraOpts{correctable: sys.correctable})
 				preloadDataset(cluster, w)
 				results := runGroups(cluster, w, sys.quorum, sys.prelim, threadsTotal/3, ycsb.Options{
-					WallDuration: wall,
-					Warmup:       warmup,
-					Seed:         cfg.Seed,
+					Duration: dur,
+					Warmup:   warmup,
+					Seed:     cfg.Seed,
 				})
+				h.drain()
 				var totalThroughput float64
 				for _, r := range results {
 					totalThroughput += r.ThroughputOps

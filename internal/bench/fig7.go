@@ -38,8 +38,8 @@ func fig7ThreadSweep(cfg Config) []int {
 // still in flight.
 func Fig7(cfg Config) []Fig7Row {
 	cfg = cfg.withDefaults()
-	wall := cfg.pickDur(3*time.Second, 500*time.Millisecond)
-	warmup := cfg.pickDur(500*time.Millisecond, 50*time.Millisecond)
+	dur := cfg.pickDur(12*time.Second, 2*time.Second) // model time
+	warmup := cfg.pickDur(2*time.Second, 200*time.Millisecond)
 	const records = 1000 // "a small 1K objects dataset"
 	const valueSize = 1024
 
@@ -52,10 +52,11 @@ func Fig7(cfg Config) []Fig7Row {
 				cluster := h.newCassandra(cfg, cassandraOpts{correctable: true})
 				preloadDataset(cluster, w)
 				results := runGroups(cluster, w, 2, true, threadsTotal/3, ycsb.Options{
-					WallDuration: wall,
-					Warmup:       warmup,
-					Seed:         cfg.Seed,
+					Duration: dur,
+					Warmup:   warmup,
+					Seed:     cfg.Seed,
 				})
+				h.drain()
 				var diverged, prelims int64
 				for _, r := range results {
 					diverged += r.Diverged

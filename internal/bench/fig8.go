@@ -32,7 +32,7 @@ type Fig8Row struct {
 // workload B, +90% down to +15%.
 func Fig8(cfg Config) []Fig8Row {
 	cfg = cfg.withDefaults()
-	wall := cfg.pickDur(3*time.Second, 500*time.Millisecond)
+	dur := cfg.pickDur(12*time.Second, 2*time.Second) // model time
 	const records = 1000
 	const valueSize = 1024
 
@@ -71,9 +71,10 @@ func Fig8(cfg Config) []Fig8Row {
 					// No warmup: the meter integrates the whole run, so ops
 					// and bytes must cover the same span.
 					results := runGroups(cluster, w, sys.quorum, sys.prelim, threadsTotal/3, ycsb.Options{
-						WallDuration: wall,
-						Seed:         cfg.Seed,
+						Duration: dur,
+						Seed:     cfg.Seed,
 					})
+					h.drain()
 					var ops int64
 					for _, r := range results {
 						ops += r.Ops

@@ -64,6 +64,7 @@ func Fig9(cfg Config) []Fig9Row {
 				}
 			})
 		}
+		h.drain()
 		rows = append(rows,
 			Fig9Row{pc.name, "CZK preliminary", prelim.Mean(), prelim.Percentile(99)},
 			Fig9Row{pc.name, "CZK final", final.Mean(), final.Percentile(99)},
@@ -84,6 +85,7 @@ func Fig9(cfg Config) []Fig9Row {
 				}
 			})
 		}
+		h2.drain()
 		rows = append(rows, Fig9Row{pc.name, "ZK", base.Mean(), base.Percentile(99)})
 	}
 	return rows

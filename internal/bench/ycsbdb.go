@@ -2,7 +2,6 @@ package bench
 
 import (
 	"math/rand"
-	"sync"
 	"time"
 
 	"correctables/internal/cassandra"
@@ -15,7 +14,7 @@ import (
 // as in the paper.
 type cassandraDB struct {
 	client *cassandra.Client
-	clock  *netsim.Clock
+	clock  netsim.Clock
 	quorum int
 	prelim bool
 }
@@ -94,7 +93,8 @@ func runGroups(cluster *cassandra.Cluster, w ycsb.Workload, quorum int, prelim b
 	// every group would chase its own writes — which its own coordinator
 	// serves fresh — and divergence would vanish.)
 	shared := w.NewGenerator()
-	var wg sync.WaitGroup
+	clock := cluster.Transport().Clock()
+	wg := clock.NewGroup()
 	for i, g := range groups {
 		i, g := i, g
 		db := newCassandraDB(cluster, g.clientRegion, g.coordRegion, quorum, prelim)
@@ -103,10 +103,10 @@ func runGroups(cluster *cassandra.Cluster, w ycsb.Workload, quorum int, prelim b
 		groupOpts.Seed = opts.Seed + int64(i)*77
 		groupOpts.Generator = shared
 		wg.Add(1)
-		go func() {
+		clock.Go(func() {
 			defer wg.Done()
-			results[i] = ycsb.Run(w, db, cluster.Transport().Clock(), groupOpts)
-		}()
+			results[i] = ycsb.Run(w, db, clock, groupOpts)
+		})
 	}
 	wg.Wait()
 	return results

@@ -10,11 +10,19 @@ import (
 // Client is the application-facing side of the Correctables library
 // (Figure 2): a thin, consistency-based interface over one binding.
 type Client struct {
-	b Binding
+	b     Binding
+	sched core.Scheduler // from SchedulerProvider bindings; nil = default
 }
 
-// NewClient wraps a binding.
-func NewClient(b Binding) *Client { return &Client{b: b} }
+// NewClient wraps a binding. If the binding implements SchedulerProvider,
+// Correctables created through this client use the binding's scheduler.
+func NewClient(b Binding) *Client {
+	c := &Client{b: b}
+	if sp, ok := b.(SchedulerProvider); ok {
+		c.sched = sp.Scheduler()
+	}
+	return c
+}
 
 // Binding returns the underlying binding.
 func (c *Client) Binding() Binding { return c.b }
@@ -77,7 +85,7 @@ func (c *Client) Invoke(ctx context.Context, op Operation, levels ...core.Level)
 // Controller refuses them), which also makes duplicate binding callbacks
 // harmless.
 func (c *Client) invoke(ctx context.Context, op Operation, requested core.Levels) *core.Correctable {
-	cor, ctrl := core.NewWithLevels(requested)
+	cor, ctrl := core.NewScheduled(c.sched, requested)
 	strongest := requested.Strongest()
 	c.b.SubmitOperation(ctx, op, requested, func(r Result) {
 		switch {

@@ -6,6 +6,7 @@ import (
 
 	"correctables/internal/binding"
 	"correctables/internal/core"
+	"correctables/internal/netsim"
 )
 
 // BindingConfig tunes the Correctables binding for a cassandra cluster.
@@ -59,7 +60,7 @@ func (b *Binding) Close() error { return nil }
 
 // SubmitOperation implements binding.Binding.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
-	go func() {
+	b.clock().Go(func() {
 		switch o := op.(type) {
 		case binding.Get:
 			b.get(o, levels, cb)
@@ -68,8 +69,11 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 		default:
 			cb(binding.Result{Err: fmt.Errorf("%w: cassandra has no %q", binding.ErrUnsupportedOperation, op.OpName())})
 		}
-	}()
+	})
 }
+
+// clock returns the cluster's simulation clock.
+func (b *Binding) clock() netsim.Clock { return b.client.cluster.tr.Clock() }
 
 func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 	wantWeak := levels.Contains(core.LevelWeak)
@@ -92,15 +96,15 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 		// Vanilla store: two independent requests (weak first). The strong
 		// one determines completion; this is the baseline the paper notes
 		// costs extra bandwidth and risks WAN reordering.
-		weakDone := make(chan struct{})
-		go func() {
-			defer close(weakDone)
+		weakDone := b.clock().NewEvent()
+		b.clock().Go(func() {
+			defer weakDone.Fire()
 			_ = b.client.Read(op.Key, 1, false, func(v ReadView) {
 				emit(v, core.LevelWeak)
 			})
-		}()
+		})
 		err := b.client.Read(op.Key, b.cfg.StrongQuorum, false, func(v ReadView) {
-			<-weakDone // keep view order monotone
+			weakDone.Wait() // keep view order monotone
 			emit(v, core.LevelStrong)
 		})
 		if err != nil {
@@ -132,4 +136,10 @@ func (b *Binding) put(op binding.Put, levels core.Levels, cb binding.Callback) {
 		return
 	}
 	cb(binding.Result{Value: nil, Level: levels.Strongest()})
+}
+
+// Scheduler implements binding.SchedulerProvider: Correctables over this
+// binding block through the cluster's simulation clock.
+func (b *Binding) Scheduler() core.Scheduler {
+	return binding.SchedulerFor(b.client.cluster.tr.Clock())
 }

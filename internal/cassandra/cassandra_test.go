@@ -13,13 +13,12 @@ import (
 	"correctables/internal/netsim"
 )
 
-// testScale runs model time 10x faster than wall time in tests. (Smaller
-// scales hit the host's sleep-granularity floor and distort latencies.)
-const testScale = 0.1
+// Tests run on the virtual clock: deterministic, instant, and exact — no
+// sleep-granularity noise in latency assertions.
 
-func newTestCluster(t *testing.T, correctable, confirmOpt bool) (*Cluster, *netsim.Meter, *netsim.Clock) {
+func newTestCluster(t *testing.T, correctable, confirmOpt bool) (*Cluster, *netsim.Meter, netsim.Clock) {
 	t.Helper()
-	clock := netsim.NewClock(testScale)
+	clock := netsim.NewVirtualClock()
 	meter := netsim.NewMeter()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), meter, 1)
 	cluster, err := NewCluster(Config{
@@ -199,7 +198,7 @@ func TestCC3GapLargerThanCC2(t *testing.T) {
 }
 
 func TestDivergenceAndConvergence(t *testing.T) {
-	cluster, _, _ := newDivergenceCluster(t, false)
+	cluster, _, clock := newDivergenceCluster(t, false)
 	cluster.Preload("k", []byte("old"))
 	// Writer colocated with the IRL coordinator: IRL is fresh immediately;
 	// FRK/VRG converge only after the (long) replication delay, so a prompt
@@ -224,8 +223,8 @@ func TestDivergenceAndConvergence(t *testing.T) {
 	if views[1].Confirmed {
 		t.Error("diverged read must not be confirmed")
 	}
-	// After the replication delay, the preliminary catches up.
-	time.Sleep(time.Duration(float64(cluster.cfg.ReplicationDelay+120*time.Millisecond) * testScale))
+	// After the replication delay (model time), the preliminary catches up.
+	clock.Sleep(cluster.cfg.ReplicationDelay + 120*time.Millisecond)
 	views = views[:0]
 	if err := reader.Read("k", 2, true, func(v ReadView) { views = append(views, v) }); err != nil {
 		t.Fatal(err)
@@ -237,9 +236,9 @@ func TestDivergenceAndConvergence(t *testing.T) {
 
 // newDivergenceCluster builds a correctable cluster with a long replication
 // delay so that prompt reads reliably observe staleness.
-func newDivergenceCluster(t *testing.T, confirmOpt bool) (*Cluster, *netsim.Meter, *netsim.Clock) {
+func newDivergenceCluster(t *testing.T, confirmOpt bool) (*Cluster, *netsim.Meter, netsim.Clock) {
 	t.Helper()
-	clock := netsim.NewClock(testScale)
+	clock := netsim.NewVirtualClock()
 	meter := netsim.NewMeter()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), meter, 1)
 	cluster, err := NewCluster(Config{
@@ -484,7 +483,23 @@ func TestBindingVanillaICGFallback(t *testing.T) {
 }
 
 func TestConcurrentClientsNoRace(t *testing.T) {
-	cluster, _, _ := newTestCluster(t, true, true)
+	// Wall clock on purpose:true parallelism exercises the locking that the
+	// cooperative virtual scheduler would serialize away.
+	clock := netsim.NewClock(0.01)
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	cluster, err := NewCluster(Config{
+		Regions:          []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		Transport:        tr,
+		Correctable:      true,
+		ConfirmationOpt:  true,
+		ReadServiceTime:  50 * time.Microsecond,
+		WriteServiceTime: 50 * time.Microsecond,
+		Workers:          8,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 20; i++ {
 		cluster.Preload(fmt.Sprintf("k%d", i), []byte("v"))
 	}

@@ -57,6 +57,7 @@ func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadV
 	wantPrelim = wantPrelim && cfg.Correctable && quorum > 1
 
 	tr := c.cluster.tr
+	clock := tr.Clock()
 	coord := c.cluster.Replica(c.Coordinator)
 
 	// Client -> coordinator request.
@@ -69,11 +70,11 @@ func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadV
 	// Preliminary flushing (§5.2): leak the local value to the client before
 	// coordinating. The flush costs extra coordinator service time and one
 	// client-link response message.
-	prelimDelivered := make(chan struct{})
+	prelimDelivered := clock.NewEvent()
 	if wantPrelim {
 		coord.server.Process(cfg.FlushServiceTime)
 		prelim := local
-		go func() {
+		clock.Go(func() {
 			tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, readResponseSize(prelim.Value))
 			onView(ReadView{
 				Value:   append([]byte(nil), prelim.Value...),
@@ -81,10 +82,10 @@ func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadV
 				Level:   core.LevelWeak,
 				Final:   false,
 			})
-			close(prelimDelivered)
-		}()
+			prelimDelivered.Fire()
+		})
 	} else {
-		close(prelimDelivered)
+		prelimDelivered.Fire()
 	}
 
 	// Quorum gathering: the coordinator counts itself and waits for the
@@ -93,20 +94,20 @@ func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadV
 	if quorum > 1 {
 		need := quorum - 1
 		peers := c.cluster.othersByProximity(c.Coordinator)[:need]
-		results := make(chan Versioned, need)
+		results := clock.NewQueue()
 		for _, peer := range peers {
 			peer := peer
 			peerReplica := c.cluster.Replica(peer)
-			go func() {
+			clock.Go(func() {
 				tr.Travel(c.Coordinator, peer, netsim.LinkReplica, replicaReadRequestSize(key))
 				peerReplica.server.Process(cfg.ReadServiceTime)
 				v := peerReplica.tab.get(key)
 				tr.Travel(peer, c.Coordinator, netsim.LinkReplica, replicaReadResponseSize(v.Value))
-				results <- v
-			}()
+				results.Put(v)
+			})
 		}
 		for i := 0; i < need; i++ {
-			if v := <-results; v.Newer(reconciled) {
+			if v := results.Get().(Versioned); v.Newer(reconciled) {
 				reconciled = v
 			}
 		}
@@ -120,7 +121,7 @@ func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadV
 		}
 		// Global read repair: asynchronously push the winning version to
 		// all replicas (sampled, like Cassandra's read_repair_chance).
-		if c.cluster.rollReadRepair() {
+		if c.cluster.rollReadRepair(key) {
 			c.repairAsync(key, reconciled)
 		}
 	}
@@ -144,7 +145,7 @@ func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadV
 		final.Level = core.LevelWeak
 	}
 	tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, respSize)
-	<-prelimDelivered // preserve view order even under jitter
+	prelimDelivered.Wait() // preserve view order even under jitter
 	onView(final)
 	return nil
 }
@@ -177,6 +178,7 @@ func (c *Client) Write(key string, value []byte, w int) error {
 		return fmt.Errorf("cassandra: write quorum %d out of range [1,%d]", w, len(c.cluster.order))
 	}
 	tr := c.cluster.tr
+	clock := tr.Clock()
 	coord := c.cluster.Replica(c.Coordinator)
 
 	tr.Travel(c.Region, c.Coordinator, netsim.LinkClient, writeRequestSize(key, value))
@@ -192,19 +194,20 @@ func (c *Client) Write(key string, value []byte, w int) error {
 
 	peers := c.cluster.othersByProximity(c.Coordinator)
 	needSync := w - 1
-	acks := make(chan struct{}, len(peers))
+	acks := clock.NewGroup()
 	for i, peer := range peers {
 		peer := peer
 		peerReplica := c.cluster.Replica(peer)
 		if i < needSync {
 			// Synchronous propagation for the write quorum.
-			go func() {
+			acks.Add(1)
+			clock.Go(func() {
+				defer acks.Done()
 				tr.Travel(c.Coordinator, peer, netsim.LinkReplica, replicationSize(key, value))
 				peerReplica.server.Process(cfg.WriteServiceTime)
 				peerReplica.tab.apply(key, v)
 				tr.Travel(peer, c.Coordinator, netsim.LinkReplica, WriteAckSize)
-				acks <- struct{}{}
-			}()
+			})
 		} else {
 			// Asynchronous replication with batching delay.
 			tr.SendAfter(cfg.ReplicationDelay, c.Coordinator, peer, netsim.LinkReplica,
@@ -213,9 +216,7 @@ func (c *Client) Write(key string, value []byte, w int) error {
 				})
 		}
 	}
-	for i := 0; i < needSync; i++ {
-		<-acks
-	}
+	acks.Wait()
 	tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, WriteAckSize)
 	return nil
 }

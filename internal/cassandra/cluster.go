@@ -2,7 +2,8 @@ package cassandra
 
 import (
 	"fmt"
-	"math/rand"
+	"hash/fnv"
+	randv2 "math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +89,11 @@ func (r *Replica) Apply(key string, v Versioned) bool { return r.tab.apply(key, 
 // Keys returns the number of keys stored locally.
 func (r *Replica) Keys() int { return r.tab.len() }
 
+// readRepairShards spreads the read-repair RNG over independently locked
+// PCG states (keyed by the read key) so concurrent clients don't serialize
+// on one RNG lock.
+const readRepairShards = 16
+
 // Cluster is a set of replicas plus the shared transport.
 type Cluster struct {
 	cfg      Config
@@ -96,8 +102,10 @@ type Cluster struct {
 	order    []netsim.Region
 	ts       atomic.Uint64
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	repair [readRepairShards]struct {
+		mu  sync.Mutex
+		rng *randv2.Rand
+	}
 }
 
 // NewCluster builds a cluster per cfg.
@@ -113,7 +121,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg:      cfg,
 		tr:       cfg.Transport,
 		replicas: make(map[netsim.Region]*Replica, len(cfg.Regions)),
-		rng:      rand.New(rand.NewSource(cfg.Seed + 7)),
+	}
+	for i := range c.repair {
+		c.repair[i].rng = randv2.New(randv2.NewPCG(uint64(cfg.Seed+7), uint64(i)))
 	}
 	for i, region := range cfg.Regions {
 		if _, dup := c.replicas[region]; dup {
@@ -158,14 +168,17 @@ func (c *Cluster) ReplicationFactor() int { return len(c.order) }
 // last-write-wins semantics deterministically.
 func (c *Cluster) nextTS() uint64 { return c.ts.Add(1) }
 
-// rollReadRepair samples the read-repair decision.
-func (c *Cluster) rollReadRepair() bool {
+// rollReadRepair samples the read-repair decision from the key's RNG shard.
+func (c *Cluster) rollReadRepair(key string) bool {
 	if c.cfg.ReadRepairChance <= 0 {
 		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.rng.Float64() < c.cfg.ReadRepairChance
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	shard := &c.repair[h.Sum32()%readRepairShards]
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	return shard.rng.Float64() < c.cfg.ReadRepairChance
 }
 
 // othersByProximity returns all replica regions except `from`, closest

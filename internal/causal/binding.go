@@ -69,7 +69,7 @@ func (b *Binding) Close() error { return nil }
 
 // SubmitOperation implements binding.Binding.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
-	go func() {
+	b.client.store.tr.Clock().Go(func() {
 		switch o := op.(type) {
 		case binding.Get:
 			b.get(o, levels, cb)
@@ -78,7 +78,13 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 		default:
 			cb(binding.Result{Err: fmt.Errorf("%w: causal store has no %q", binding.ErrUnsupportedOperation, op.OpName())})
 		}
-	}()
+	})
+}
+
+// Scheduler implements binding.SchedulerProvider: Correctables over this
+// binding block through the store's simulation clock.
+func (b *Binding) Scheduler() core.Scheduler {
+	return binding.SchedulerFor(b.client.store.tr.Clock())
 }
 
 // get fans one logical access out to up to three actual requests (§4.4) and
@@ -96,26 +102,23 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 	}
 
 	// Launch the remote reads in parallel.
-	type readResult struct {
-		e  Entry
-		ok bool
-	}
-	var causalCh, strongCh chan readResult
+	clock := c.store.tr.Clock()
+	var causalQ, strongQ netsim.Queue
 	if levels.Contains(core.LevelCausal) {
-		causalCh = make(chan readResult, 1)
-		go func() {
+		causalQ = clock.NewQueue()
+		clock.Go(func() {
 			e := c.store.read(c.Region, c.store.nearestBackup(c.Region), op.Key)
 			c.cacheMerge(op.Key, e)
-			causalCh <- readResult{e, true}
-		}()
+			causalQ.Put(e)
+		})
 	}
 	if levels.Contains(core.LevelStrong) {
-		strongCh = make(chan readResult, 1)
-		go func() {
+		strongQ = clock.NewQueue()
+		clock.Go(func() {
 			e := c.store.read(c.Region, c.store.cfg.Primary, op.Key)
 			c.cacheMerge(op.Key, e)
-			strongCh <- readResult{e, true}
-		}()
+			strongQ.Put(e)
+		})
 	}
 
 	// Deliver in level order: cache (immediately, if hit), causal, strong.
@@ -127,13 +130,11 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 			emit(Entry{}, core.LevelCache)
 		}
 	}
-	if causalCh != nil {
-		r := <-causalCh
-		emit(r.e, core.LevelCausal)
+	if causalQ != nil {
+		emit(causalQ.Get().(Entry), core.LevelCausal)
 	}
-	if strongCh != nil {
-		r := <-strongCh
-		emit(r.e, core.LevelStrong)
+	if strongQ != nil {
+		emit(strongQ.Get().(Entry), core.LevelStrong)
 	}
 }
 

@@ -11,11 +11,9 @@ import (
 	"correctables/internal/netsim"
 )
 
-const testScale = 0.1
-
-func newTestStore(t *testing.T) (*Store, *netsim.Clock) {
+func newTestStore(t *testing.T) (*Store, *netsim.VirtualClock) {
 	t.Helper()
-	clock := netsim.NewClock(testScale)
+	clock := netsim.NewVirtualClock()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 	s, err := NewStore(Config{
 		Primary:          netsim.VRG,
@@ -44,7 +42,7 @@ func TestStoreValidation(t *testing.T) {
 }
 
 func TestWritePropagatesInOrder(t *testing.T) {
-	s, _ := newTestStore(t)
+	s, clock := newTestStore(t)
 	for i, v := range []string{"v1", "v2", "v3"} {
 		_ = i
 		s.write(netsim.IRL, "k", []byte(v))
@@ -53,17 +51,10 @@ func TestWritePropagatesInOrder(t *testing.T) {
 	if got := s.ReplicaEntry(netsim.VRG, "k"); string(got.Value) != "v3" {
 		t.Errorf("primary = %q", got.Value)
 	}
-	// Backups converge to v3 (never regress) after propagation delay.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		e := s.ReplicaEntry(netsim.FRK, "k")
-		if string(e.Value) == "v3" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("backup never converged: %q", e.Value)
-		}
-		time.Sleep(time.Millisecond)
+	// Backups converge to v3 (never regress) once propagation drains.
+	clock.Drain()
+	if e := s.ReplicaEntry(netsim.FRK, "k"); string(e.Value) != "v3" {
+		t.Fatalf("backup never converged: %q", e.Value)
 	}
 }
 

@@ -51,25 +51,58 @@ func (b *Binding) ConsistencyLevels() core.Levels {
 // Close implements binding.Binding.
 func (b *Binding) Close() error { return nil }
 
+// ErrChainStopped fails a tracked transaction when the chain halts before
+// the transaction reached the requested depth.
+var ErrChainStopped = fmt.Errorf("chain: stopped before the transaction was confirmed")
+
+// cancelSentinel marks a context cancellation in a watcher queue.
+var cancelSentinel = Block{Height: -2}
+
+// Scheduler implements binding.SchedulerProvider: Correctables over this
+// binding block through the chain's simulation clock.
+func (b *Binding) Scheduler() core.Scheduler {
+	return binding.SchedulerFor(b.chain.clock)
+}
+
 // SubmitOperation implements binding.Binding.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
+	clock := b.chain.clock
 	tx, ok := op.(SubmitTx)
 	if !ok {
-		go cb(binding.Result{Err: fmt.Errorf("%w: chain has no %q", binding.ErrUnsupportedOperation, op.OpName())})
+		clock.Go(func() {
+			cb(binding.Result{Err: fmt.Errorf("%w: chain has no %q", binding.ErrUnsupportedOperation, op.OpName())})
+		})
 		return
 	}
 	wantWeak := levels.Contains(core.LevelWeak)
 	blocks, cancel := b.chain.Watch()
 	b.chain.Submit(Tx{ID: tx.ID, Data: tx.Data})
-	go func() {
+	// Cancellable contexts are driven by host time, which the simulation
+	// clock knows nothing about: bridge them with a sentinel fed from a
+	// plain goroutine. Simulation workloads pass context.Background() and
+	// never take this path.
+	finished := make(chan struct{})
+	if ctxDone := ctx.Done(); ctxDone != nil {
+		go func() {
+			select {
+			case <-ctxDone:
+				blocks.Put(cancelSentinel)
+			case <-finished:
+			}
+		}()
+	}
+	clock.Go(func() {
 		defer cancel()
+		defer close(finished)
 		includedAt := 0
 		for {
-			var blk Block
-			select {
-			case blk = <-blocks:
-			case <-ctx.Done():
+			blk := blocks.Get().(Block)
+			if blk.Height == cancelSentinel.Height {
 				cb(binding.Result{Err: ctx.Err()})
+				return
+			}
+			if blk.Height < 0 {
+				cb(binding.Result{Err: ErrChainStopped})
 				return
 			}
 			if includedAt == 0 {
@@ -93,5 +126,5 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 				cb(binding.Result{Value: status, Level: core.LevelWeak})
 			}
 		}
-	}()
+	})
 }

@@ -13,7 +13,7 @@ package chain
 
 import (
 	"fmt"
-	"math/rand"
+	randv2 "math/rand/v2"
 	"sync"
 	"time"
 
@@ -65,19 +65,19 @@ type Config struct {
 	Seed int64
 }
 
-// Chain is the simulated ledger. Blocks are mined on a background goroutine
-// until Stop is called.
+// Chain is the simulated ledger. Blocks are mined on a background clock
+// actor until Stop is called. Stop the chain before draining a
+// VirtualClock, or the miner keeps the simulation alive forever.
 type Chain struct {
 	cfg   Config
-	clock *netsim.Clock
+	clock netsim.Clock
 
 	mu       sync.Mutex
-	rng      *rand.Rand
+	rng      *randv2.Rand
 	mempool  []Tx
 	blocks   []Block
-	watchers []chan Block
+	watchers []netsim.Queue
 	stopped  bool
-	stopCh   chan struct{}
 }
 
 // New starts a chain per cfg.
@@ -92,22 +92,28 @@ func New(cfg Config) (*Chain, error) {
 		cfg.Jitter = 0.5
 	}
 	c := &Chain{
-		cfg:    cfg,
-		clock:  cfg.Transport.Clock(),
-		rng:    rand.New(rand.NewSource(cfg.Seed + 11)),
-		stopCh: make(chan struct{}),
+		cfg:   cfg,
+		clock: cfg.Transport.Clock(),
+		rng:   randv2.New(randv2.NewPCG(uint64(cfg.Seed+11), 0xc4a1)),
 	}
-	go c.mine()
+	c.clock.Go(c.mine)
 	return c, nil
 }
 
-// Stop halts block production.
+// stopSentinel is delivered to every watcher when the chain stops.
+var stopSentinel = Block{Height: -1}
+
+// Stop halts block production (effective at the next mining deadline) and
+// delivers a stop sentinel to every watcher.
 func (c *Chain) Stop() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.stopped {
-		c.stopped = true
-		close(c.stopCh)
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, w := range c.watchers {
+		w.Put(stopSentinel)
 	}
 }
 
@@ -125,25 +131,28 @@ func (c *Chain) Submit(tx Tx) {
 	c.mu.Unlock()
 }
 
-// Watch returns a channel receiving every newly mined block (buffered;
-// slow consumers drop blocks rather than stall mining) and a cancel
-// function.
-func (c *Chain) Watch() (<-chan Block, func()) {
-	ch := make(chan Block, 64)
+// Watch returns a queue receiving every newly mined block and a cancel
+// function. A Block with Height < 0 signals that the chain stopped. The
+// queue is unbounded, so slow consumers never stall mining.
+func (c *Chain) Watch() (netsim.Queue, func()) {
+	q := c.clock.NewQueue()
 	c.mu.Lock()
-	c.watchers = append(c.watchers, ch)
+	if c.stopped {
+		q.Put(stopSentinel)
+	}
+	c.watchers = append(c.watchers, q)
 	c.mu.Unlock()
 	cancel := func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		for i, w := range c.watchers {
-			if w == ch {
+			if w == q {
 				c.watchers = append(c.watchers[:i], c.watchers[i+1:]...)
 				return
 			}
 		}
 	}
-	return ch, cancel
+	return q, cancel
 }
 
 // ConfirmationsOf returns the depth of the block at the given height.
@@ -156,20 +165,16 @@ func (c *Chain) ConfirmationsOf(height int) int {
 	return len(c.blocks) - height + 1
 }
 
-// mine produces blocks forever, sweeping the mempool into each block.
+// mine produces blocks until stopped, sweeping the mempool into each block.
 func (c *Chain) mine() {
 	for {
 		interval := c.nextInterval()
-		select {
-		case <-c.stopCh:
+		if c.isStopped() {
 			return
-		default:
 		}
 		c.clock.Sleep(interval)
-		select {
-		case <-c.stopCh:
+		if c.isStopped() {
 			return
-		default:
 		}
 		c.mu.Lock()
 		blk := Block{Height: len(c.blocks) + 1}
@@ -178,15 +183,18 @@ func (c *Chain) mine() {
 		}
 		c.mempool = nil
 		c.blocks = append(c.blocks, blk)
-		watchers := append([]chan Block(nil), c.watchers...)
+		watchers := append([]netsim.Queue(nil), c.watchers...)
 		c.mu.Unlock()
 		for _, w := range watchers {
-			select {
-			case w <- blk:
-			default:
-			}
+			w.Put(blk)
 		}
 	}
+}
+
+func (c *Chain) isStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
 }
 
 func (c *Chain) nextInterval() time.Duration {

@@ -8,7 +8,7 @@ import "sync"
 // returns an error on the final view the result fails; errors on preliminary
 // views suppress that view.
 func (c *Correctable) Then(f func(View) (interface{}, error)) *Correctable {
-	out, ctrl := NewWithLevels(c.Levels())
+	out, ctrl := c.derive(c.Levels())
 	c.SetCallbacks(Callbacks{
 		OnUpdate: func(v View) {
 			mapped, err := f(v)
@@ -35,7 +35,7 @@ func (c *Correctable) Then(f func(View) (interface{}, error)) *Correctable {
 // aggregate closes when all children have closed, at the weakest of the
 // children's final levels; it fails on the first child error.
 func All(cs ...*Correctable) *Correctable {
-	out, ctrl := NewWithLevels(nil)
+	out, ctrl := NewScheduled(schedOf(cs), nil)
 	if len(cs) == 0 {
 		_ = ctrl.Close([]interface{}{}, LevelStrong)
 		return out
@@ -98,7 +98,7 @@ func All(cs ...*Correctable) *Correctable {
 // Any returns a Correctable mirroring whichever child closes first.
 // Preliminary views from all children are forwarded until then.
 func Any(cs ...*Correctable) *Correctable {
-	out, ctrl := NewWithLevels(nil)
+	out, ctrl := NewScheduled(schedOf(cs), nil)
 	if len(cs) == 0 {
 		_ = ctrl.Fail(ErrNoView)
 		return out
@@ -141,6 +141,18 @@ func Any(cs ...*Correctable) *Correctable {
 		})
 	}
 	return out
+}
+
+// schedOf returns the scheduler shared by a combinator's children: the
+// first explicitly scheduled child's scheduler (children of one combinator
+// come from one binding in practice), or nil for the default.
+func schedOf(cs []*Correctable) Scheduler {
+	for _, c := range cs {
+		if c.sched != nil {
+			return c.sched
+		}
+	}
+	return nil
 }
 
 // Resolved returns an already-final Correctable carrying value at level.

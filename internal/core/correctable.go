@@ -87,6 +87,8 @@ type cbEntry struct {
 // Correctable represents the progressively improving result of an operation
 // on a replicated object. It is safe for concurrent use.
 type Correctable struct {
+	sched Scheduler // fixed at creation; nil means DefaultScheduler
+
 	mu          sync.Mutex
 	state       State
 	views       []View
@@ -94,8 +96,16 @@ type Correctable struct {
 	entries     []*cbEntry
 	dispatching bool
 	done        chan struct{}
-	waiters     []chan struct{} // broadcast on every transition
-	levelSet    Levels          // advisory: levels this correctable will deliver
+	waiters     []Event // fired on every transition
+	levelSet    Levels  // advisory: levels this correctable will deliver
+}
+
+// scheduler returns the Correctable's scheduler, defaulting when unset.
+func (c *Correctable) scheduler() Scheduler {
+	if c.sched == nil {
+		return DefaultScheduler
+	}
+	return c.sched
 }
 
 // Controller is the producer-side handle of a Correctable. The library hands
@@ -120,11 +130,31 @@ func NewWithLevels(levels Levels) (*Correctable, *Controller) {
 	return c, ctrl
 }
 
+// NewScheduled is NewWithLevels with an explicit Scheduler governing how
+// this Correctable spawns goroutines (Speculate) and how its consumers
+// block (Final, WaitLevel). Bindings over simulated substrates pass their
+// clock's scheduler here; sched == nil means DefaultScheduler. Derived
+// Correctables (Then, Speculate, combinators) inherit the scheduler.
+func NewScheduled(sched Scheduler, levels Levels) (*Correctable, *Controller) {
+	c, ctrl := NewWithLevels(levels)
+	c.sched = sched
+	return c, ctrl
+}
+
+// derive creates a child Correctable sharing c's scheduler.
+func (c *Correctable) derive(levels Levels) (*Correctable, *Controller) {
+	return NewScheduled(c.sched, levels)
+}
+
 // Levels returns the advisory set of levels this Correctable was created
-// with (may be empty if the producer did not declare one).
+// with (nil if the producer did not declare one — no allocation in that
+// common case).
 func (c *Correctable) Levels() Levels {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if len(c.levelSet) == 0 {
+		return nil
+	}
 	out := make(Levels, len(c.levelSet))
 	copy(out, c.levelSet)
 	return out
@@ -182,7 +212,7 @@ func (c *Correctable) deliver(value interface{}, level Level, final bool, failur
 	c.mu.Unlock()
 
 	for _, w := range waiters {
-		close(w)
+		w.Fire()
 	}
 	if terminal {
 		close(c.done)
@@ -309,12 +339,18 @@ func (c *Correctable) Done() <-chan struct{} { return c.done }
 
 // Final blocks until the Correctable closes and returns the final view. If
 // the Correctable closed with an error, or ctx expires first, that error is
-// returned.
+// returned. Cancellable contexts are honored only under the default
+// scheduler; a simulation scheduler cannot select on host-time
+// cancellation (simulated operations always terminate instead).
 func (c *Correctable) Final(ctx context.Context) (View, error) {
-	select {
-	case <-c.done:
-	case <-ctx.Done():
-		return View{}, ctx.Err()
+	if ctxDone := ctxDoneChan(ctx); ctxDone != nil && c.sched == nil {
+		select {
+		case <-c.done:
+		case <-ctxDone:
+			return View{}, ctx.Err()
+		}
+	} else {
+		c.awaitTerminal()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -327,14 +363,34 @@ func (c *Correctable) Final(ctx context.Context) (View, error) {
 	return c.views[len(c.views)-1], nil
 }
 
-// WaitLevel blocks until a view with level >= min has been delivered and
-// returns the first such view. If the Correctable closes without one, it
-// returns ErrNoView (or the closing error).
-func (c *Correctable) WaitLevel(ctx context.Context, min Level) (View, error) {
+// awaitTerminal blocks through scheduler events until the Correctable
+// leaves the Updating state.
+func (c *Correctable) awaitTerminal() {
 	for {
 		c.mu.Lock()
-		for _, v := range c.views {
-			if v.Level.AtLeast(min) {
+		if c.state != StateUpdating {
+			c.mu.Unlock()
+			return
+		}
+		w := c.scheduler().NewEvent()
+		c.waiters = append(c.waiters, w)
+		c.mu.Unlock()
+		w.Wait()
+	}
+}
+
+// WaitLevel blocks until a view with level >= min has been delivered and
+// returns the first such view. If the Correctable closes without one, it
+// returns ErrNoView (or the closing error). Views already scanned on a
+// previous wakeup are not re-examined, so waiting costs O(new views).
+// Context cancellation is honored as in Final.
+func (c *Correctable) WaitLevel(ctx context.Context, min Level) (View, error) {
+	ctxDone := ctxDoneChan(ctx)
+	scanned := 0
+	for {
+		c.mu.Lock()
+		for ; scanned < len(c.views); scanned++ {
+			if v := c.views[scanned]; v.Level.AtLeast(min) {
 				c.mu.Unlock()
 				return v, nil
 			}
@@ -348,15 +404,28 @@ func (c *Correctable) WaitLevel(ctx context.Context, min Level) (View, error) {
 			c.mu.Unlock()
 			return View{}, ErrNoView
 		}
-		w := make(chan struct{})
+		w := c.scheduler().NewEvent()
 		c.waiters = append(c.waiters, w)
 		c.mu.Unlock()
-		select {
-		case <-w:
-		case <-ctx.Done():
-			return View{}, ctx.Err()
+		if ce, ok := w.(*chanEvent); ok && ctxDone != nil {
+			select {
+			case <-ce.ch:
+			case <-ctxDone:
+				return View{}, ctx.Err()
+			}
+		} else {
+			w.Wait()
 		}
 	}
+}
+
+// ctxDoneChan returns ctx's cancellation channel, or nil for nil /
+// non-cancellable contexts.
+func ctxDoneChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // First blocks until any view has been delivered and returns it. This is the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -19,9 +20,12 @@ var ErrTimeout = errors.New("correctable: timed out")
 // closed within d it resolves early: with the latest view received so far
 // (degraded but usable — the "tight latency SLA" pattern of §2.2), or with
 // ErrTimeout if no view arrived at all. Late views from c are ignored.
+// The deadline runs on the Correctable's scheduler time axis: host time by
+// default, model time under a simulation scheduler.
 func (c *Correctable) WithTimeout(d time.Duration) *Correctable {
-	out, ctrl := NewWithLevels(c.Levels())
-	timer := time.AfterFunc(d, func() {
+	out, ctrl := c.derive(c.Levels())
+	c.scheduler().After(d, func() {
+		// No-op if the source already closed the output (ErrClosed).
 		if v, ok := c.Latest(); ok {
 			_ = ctrl.Close(v.Value, v.Level)
 		} else {
@@ -31,14 +35,12 @@ func (c *Correctable) WithTimeout(d time.Duration) *Correctable {
 	c.SetCallbacks(Callbacks{
 		OnUpdate: func(v View) {
 			if v.Final {
-				timer.Stop()
 				_ = ctrl.Close(v.Value, v.Level)
 			} else {
 				_ = ctrl.Update(v.Value, v.Level)
 			}
 		},
 		OnError: func(err error) {
-			timer.Stop()
 			_ = ctrl.Fail(err)
 		},
 	})
@@ -51,7 +53,7 @@ func (c *Correctable) WithTimeout(d time.Duration) *Correctable {
 // value carries no storage guarantee); returning an error fails the result
 // with it. This is the Promise `catch` combinator.
 func (c *Correctable) Catch(handler func(error) (interface{}, error)) *Correctable {
-	out, ctrl := NewWithLevels(c.Levels())
+	out, ctrl := c.derive(c.Levels())
 	c.SetCallbacks(Callbacks{
 		OnUpdate: func(v View) {
 			if v.Final {
@@ -86,7 +88,7 @@ func (c *Correctable) Finally(f func()) *Correctable {
 // result still closes). Applications use it to ignore a too-weak cache view
 // while keeping the rest of the ICG stream.
 func (c *Correctable) FilterLevels(min Level) *Correctable {
-	out, ctrl := NewWithLevels(c.Levels())
+	out, ctrl := c.derive(c.Levels())
 	c.SetCallbacks(Callbacks{
 		OnUpdate: func(v View) {
 			if v.Final {
@@ -105,32 +107,33 @@ func (c *Correctable) FilterLevels(min Level) *Correctable {
 // Race returns a Correctable that closes with the first view (of any level)
 // delivered by any child — the "quick approximate result is sometimes
 // better than an overdue reply" pattern (§4.4). Children keep running; only
-// their first view matters. If every child fails, Race fails with the last
-// error.
+// their first view matters. If every child fails, Race fails with the
+// last-observed error. Watchers run on the children's scheduler, so racing
+// simulation-backed Correctables parks actors instead of bare goroutines.
 func Race(cs ...*Correctable) *Correctable {
-	out, ctrl := NewWithLevels(nil)
+	out, ctrl := NewScheduled(schedOf(cs), nil)
 	if len(cs) == 0 {
 		_ = ctrl.Fail(ErrNoView)
 		return out
 	}
-	failures := make(chan error, len(cs))
+	var mu sync.Mutex
+	failures := 0
 	for _, c := range cs {
 		c := c
-		go func() {
+		out.scheduler().Go(func() {
 			v, err := c.First(context.Background())
 			if err != nil {
-				failures <- err
+				mu.Lock()
+				failures++
+				allFailed := failures == len(cs)
+				mu.Unlock()
+				if allFailed {
+					_ = ctrl.Fail(err) // no-op if a view won the race
+				}
 				return
 			}
 			_ = ctrl.Close(v.Value, v.Level)
-		}()
+		})
 	}
-	go func() {
-		var last error
-		for i := 0; i < len(cs); i++ {
-			last = <-failures
-		}
-		_ = ctrl.Fail(last) // no-op if a view won the race
-	}()
 	return out
 }

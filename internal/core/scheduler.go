@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is a one-shot broadcast: Wait blocks until Fire has been called.
+// Fire is idempotent.
+type Event interface {
+	Fire()
+	Wait()
+}
+
+// Scheduler abstracts how a Correctable spawns helper goroutines and how
+// its consumers block. The default scheduler uses plain goroutines and
+// channels. Bindings backed by a simulated substrate supply the
+// substrate's clock instead, so that waiting on a Correctable parks a
+// simulation actor rather than freezing a discrete-event scheduler: under
+// netsim's VirtualClock this is what lets a whole experiment run at CPU
+// speed, deterministically.
+type Scheduler interface {
+	// Go runs fn on a new goroutine/actor.
+	Go(fn func())
+	// NewEvent returns a one-shot broadcast usable by this scheduler's
+	// goroutines.
+	NewEvent() Event
+	// After runs fn once d has elapsed on this scheduler's time axis:
+	// host time for the default scheduler, model time for simulation
+	// schedulers. There is no cancellation — late fns must be no-ops
+	// (Controller methods after closure already are).
+	After(d time.Duration, fn func())
+}
+
+// DefaultScheduler spawns plain goroutines and blocks on channels — the
+// right choice outside a simulation.
+var DefaultScheduler Scheduler = goScheduler{}
+
+type goScheduler struct{}
+
+func (goScheduler) Go(fn func())                     { go fn() }
+func (goScheduler) NewEvent() Event                  { return &chanEvent{ch: make(chan struct{})} }
+func (goScheduler) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// chanEvent is the default chan-backed Event. Its channel is also used
+// directly by context-aware waits (select on cancellation).
+type chanEvent struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (e *chanEvent) Fire() { e.once.Do(func() { close(e.ch) }) }
+func (e *chanEvent) Wait() { <-e.ch }

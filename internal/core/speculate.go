@@ -17,10 +17,10 @@ type AbortFunc func(input View, result interface{})
 // specExec tracks one execution of the speculation function.
 type specExec struct {
 	input View
-	done  chan struct{}
+	done  Event
 
 	// result and err are written by the executing goroutine before done is
-	// closed.
+	// fired.
 	result interface{}
 	err    error
 
@@ -50,8 +50,8 @@ type specExec struct {
 // If c closes with an error, the returned Correctable fails with the same
 // error (after any outstanding speculation is aborted).
 func (c *Correctable) Speculate(spec SpecFunc, abort AbortFunc) *Correctable {
-	out, ctrl := NewWithLevels(c.Levels())
-	s := &speculator{spec: spec, abort: abort, ctrl: ctrl}
+	out, ctrl := c.derive(c.Levels())
+	s := &speculator{spec: spec, abort: abort, ctrl: ctrl, sched: c.scheduler()}
 	c.SetCallbacks(Callbacks{
 		OnUpdate: s.onUpdate,
 		OnError:  s.onError,
@@ -64,6 +64,7 @@ type speculator struct {
 	spec   SpecFunc
 	abort  AbortFunc
 	ctrl   *Controller
+	sched  Scheduler
 	latest *specExec
 }
 
@@ -71,22 +72,22 @@ type speculator struct {
 // finishes, aborting) the previous one. Caller must hold s.mu.
 func (s *speculator) startLocked(v View) {
 	prev := s.latest
-	e := &specExec{input: v, done: make(chan struct{})}
+	e := &specExec{input: v, done: s.sched.NewEvent()}
 	s.latest = e
-	go func() {
+	s.sched.Go(func() {
 		if prev != nil {
 			s.waitAbort(prev)
 		}
 		e.result, e.err = s.spec(v)
-		close(e.done)
+		e.done.Fire()
 		s.finished(e)
-	}()
+	})
 }
 
 // waitAbort waits for a superseded execution to finish and undoes its side
 // effects.
 func (s *speculator) waitAbort(e *specExec) {
-	<-e.done
+	e.done.Wait()
 	if s.abort != nil {
 		var res interface{}
 		if e.err == nil {
@@ -168,7 +169,7 @@ func (s *speculator) onError(err error) {
 	s.latest = nil
 	s.mu.Unlock()
 	if prev != nil {
-		go s.waitAbort(prev)
+		s.sched.Go(func() { s.waitAbort(prev) })
 	}
 	_ = s.ctrl.Fail(err)
 }

@@ -1,11 +1,88 @@
 package netsim
 
-import "time"
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time substrate of the simulation. All deadline math is done
+// in model time: a monotonically increasing time.Duration measured from the
+// clock's creation. Two implementations exist:
+//
+//   - VirtualClock: a deterministic discrete-event scheduler. Nothing ever
+//     sleeps on the host; whenever every registered actor is blocked, model
+//     time jumps straight to the earliest pending deadline. Experiments run
+//     at CPU speed and are bit-for-bit reproducible from a seed.
+//   - WallClock: scales model durations to wall-clock durations and really
+//     sleeps (with granularity compensation). Used for real-time demos.
+//
+// Code running under a clock is organized into actors. The goroutine that
+// created the clock is the root actor; further actors must be spawned with
+// Go (never the bare go statement) and may only block through the clock:
+// Sleep/SleepUntil, or the Event/Queue/Group primitives. A goroutine that
+// must block on something foreign (an unconverted channel, an external
+// process) has to bracket the wait with BlockOn, at the price of
+// determinism for that wait.
+type Clock interface {
+	// Now returns the current model time.
+	Now() time.Duration
+	// Sleep blocks the calling actor for the model duration d.
+	Sleep(d time.Duration)
+	// SleepUntil blocks the calling actor until the absolute model instant t.
+	SleepUntil(t time.Duration)
+	// Go spawns fn as a new actor tracked by the clock.
+	Go(fn func())
+	// BlockOn runs wait (which may block on non-clock primitives) while the
+	// rest of the simulation continues. Escape hatch; see the type comment.
+	BlockOn(wait func())
+	// NewEvent returns a one-shot broadcast usable by actors of this clock.
+	NewEvent() Event
+	// NewQueue returns an unbounded FIFO usable by actors of this clock.
+	NewQueue() Queue
+	// NewGroup returns a WaitGroup analogue usable by actors of this clock.
+	NewGroup() Group
+	// StartStopwatch begins measuring model time.
+	StartStopwatch() Stopwatch
+}
+
+// Event is a one-shot broadcast: Wait blocks until Fire has been called.
+// Fire is idempotent; Wait after Fire returns immediately.
+type Event interface {
+	Fire()
+	Wait()
+}
+
+// Queue is an unbounded FIFO. Put never blocks; Get blocks until an item is
+// available. Under a VirtualClock, items are handed to waiting actors in
+// deterministic FIFO order.
+type Queue interface {
+	Put(v any)
+	Get() any
+}
+
+// Group counts outstanding work like sync.WaitGroup: Wait blocks until the
+// counter, moved by Add and Done, reaches zero.
+type Group interface {
+	Add(n int)
+	Done()
+	Wait()
+}
+
+// Stopwatch measures elapsed model time on any Clock.
+type Stopwatch struct {
+	clock Clock
+	start time.Duration
+}
+
+// ElapsedModel returns the model time elapsed since the stopwatch started.
+func (s Stopwatch) ElapsedModel() time.Duration {
+	return s.clock.Now() - s.start
+}
 
 // sleepSlack is the measured overhead/granularity of time.Sleep on this
-// host (Linux timer slack is commonly around a millisecond). Sleeps are
-// compensated by this amount so that scaled model delays stay accurate even
-// when they map to wall durations near the granularity floor.
+// host (Linux timer slack is commonly around a millisecond). WallClock
+// sleeps are compensated by this amount so that scaled model delays stay
+// accurate even when they map to wall durations near the granularity floor.
 var sleepSlack = measureSleepSlack()
 
 func measureSleepSlack() time.Duration {
@@ -43,8 +120,7 @@ func minDuration(a, b time.Duration) time.Duration {
 // sleepUntil blocks until the wall-clock deadline, compensating for the
 // sleep granularity floor. Overshoot is bounded by roughly one slack
 // quantum, undershoot by sleepEps, and neither accumulates across calls
-// that target absolute deadlines (Server capacity accounting relies on
-// this).
+// that target absolute deadlines.
 func sleepUntil(deadline time.Time) {
 	for {
 		d := time.Until(deadline)
@@ -60,63 +136,119 @@ func sleepUntil(deadline time.Time) {
 	}
 }
 
-// Clock scales simulated ("model") durations to wall-clock durations. A
-// scale of 1.0 runs in real time (a 20 ms model RTT takes 20 ms); a scale of
-// 0.1 runs 10x faster. Tests and benchmarks use small scales; the icgbench
-// CLI defaults to a moderate scale and reports all latencies in model time,
-// so output matches the paper's axes regardless of scale.
+// WallClock scales simulated ("model") durations to wall-clock durations
+// and really sleeps. A scale of 1.0 runs in real time (a 20 ms model RTT
+// takes 20 ms); a scale of 0.1 runs 10x faster. Latencies are reported in
+// model time, so output matches the paper's axes regardless of scale.
 //
 // The zero value is unusable; use NewClock.
-type Clock struct {
+type WallClock struct {
 	scale float64
+	epoch time.Time
 }
 
-// NewClock returns a Clock with the given model-to-wall scale factor.
+var _ Clock = (*WallClock)(nil)
+
+// NewClock returns a WallClock with the given model-to-wall scale factor.
 // Scale must be > 0.
-func NewClock(scale float64) *Clock {
+func NewClock(scale float64) *WallClock {
 	if scale <= 0 {
 		panic("netsim: clock scale must be positive")
 	}
-	return &Clock{scale: scale}
+	return &WallClock{scale: scale, epoch: time.Now()}
 }
 
 // Scale returns the configured scale factor.
-func (c *Clock) Scale() float64 { return c.scale }
+func (c *WallClock) Scale() float64 { return c.scale }
+
+// Now implements Clock: the model time elapsed since the clock's creation.
+func (c *WallClock) Now() time.Duration { return c.ToModel(time.Since(c.epoch)) }
 
 // Sleep blocks for the wall-clock equivalent of model duration d.
-func (c *Clock) Sleep(d time.Duration) {
+func (c *WallClock) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	sleepUntil(time.Now().Add(c.ToWall(d)))
 }
 
-// SleepUntilWall blocks until the given wall-clock deadline with slack
-// compensation.
-func (c *Clock) SleepUntilWall(deadline time.Time) { sleepUntil(deadline) }
+// SleepUntil blocks until the wall instant corresponding to model time t.
+func (c *WallClock) SleepUntil(t time.Duration) {
+	sleepUntil(c.epoch.Add(c.ToWall(t)))
+}
+
+// Go implements Clock: a plain goroutine (the OS scheduler interleaves
+// wall-clock actors).
+func (c *WallClock) Go(fn func()) { go fn() }
+
+// BlockOn implements Clock: wall actors may block on anything.
+func (c *WallClock) BlockOn(wait func()) { wait() }
+
+// NewEvent implements Clock.
+func (c *WallClock) NewEvent() Event { return &wallEvent{ch: make(chan struct{})} }
+
+// NewQueue implements Clock.
+func (c *WallClock) NewQueue() Queue {
+	q := &wallQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// NewGroup implements Clock.
+func (c *WallClock) NewGroup() Group { return &wallGroup{} }
+
+// StartStopwatch begins timing.
+func (c *WallClock) StartStopwatch() Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
 
 // ToWall converts a model duration to a wall-clock duration.
-func (c *Clock) ToWall(d time.Duration) time.Duration {
+func (c *WallClock) ToWall(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * c.scale)
 }
 
 // ToModel converts a measured wall-clock duration back to model time.
-func (c *Clock) ToModel(d time.Duration) time.Duration {
+func (c *WallClock) ToModel(d time.Duration) time.Duration {
 	return time.Duration(float64(d) / c.scale)
 }
 
-// Stopwatch measures elapsed wall time and reports it in model time.
-type Stopwatch struct {
-	clock *Clock
-	start time.Time
+// wallEvent is a chan-backed one-shot broadcast.
+type wallEvent struct {
+	once sync.Once
+	ch   chan struct{}
 }
 
-// StartStopwatch begins timing.
-func (c *Clock) StartStopwatch() Stopwatch {
-	return Stopwatch{clock: c, start: time.Now()}
+func (e *wallEvent) Fire() { e.once.Do(func() { close(e.ch) }) }
+func (e *wallEvent) Wait() { <-e.ch }
+
+// wallQueue is an unbounded cond-backed FIFO.
+type wallQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []any
 }
 
-// ElapsedModel returns the model-time duration since the stopwatch started.
-func (s Stopwatch) ElapsedModel() time.Duration {
-	return s.clock.ToModel(time.Since(s.start))
+func (q *wallQueue) Put(v any) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.cond.Signal()
 }
+
+func (q *wallQueue) Get() any {
+	q.mu.Lock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	return v
+}
+
+// wallGroup wraps sync.WaitGroup.
+type wallGroup struct{ wg sync.WaitGroup }
+
+func (g *wallGroup) Add(n int) { g.wg.Add(n) }
+func (g *wallGroup) Done()     { g.wg.Done() }
+func (g *wallGroup) Wait()     { g.wg.Wait() }

@@ -62,7 +62,7 @@ func TestSortByProximity(t *testing.T) {
 	}
 }
 
-func TestClockScaling(t *testing.T) {
+func TestWallClockScaling(t *testing.T) {
 	c := NewClock(0.5)
 	if got := c.ToWall(100 * time.Millisecond); got != 50*time.Millisecond {
 		t.Errorf("ToWall = %v", got)
@@ -77,7 +77,7 @@ func TestClockScaling(t *testing.T) {
 	}
 }
 
-func TestClockZeroSleep(t *testing.T) {
+func TestWallClockZeroSleep(t *testing.T) {
 	c := NewClock(1.0)
 	start := time.Now()
 	c.Sleep(0)
@@ -103,6 +103,15 @@ func TestStopwatchModelTime(t *testing.T) {
 	got := sw.ElapsedModel()
 	if got < 30*time.Millisecond || got > 300*time.Millisecond {
 		t.Errorf("ElapsedModel = %v, want ~50ms", got)
+	}
+}
+
+func TestVirtualStopwatchExact(t *testing.T) {
+	c := NewVirtualClock()
+	sw := c.StartStopwatch()
+	c.Sleep(50 * time.Millisecond)
+	if got := sw.ElapsedModel(); got != 50*time.Millisecond {
+		t.Errorf("ElapsedModel = %v, want exactly 50ms", got)
 	}
 }
 
@@ -154,15 +163,14 @@ func TestMeterConcurrent(t *testing.T) {
 }
 
 func TestTransportTravelLatencyAndAccounting(t *testing.T) {
-	clock := NewClock(0.05) // 20x speedup: 10ms one-way -> 0.5ms wall
+	clock := NewVirtualClock()
 	meter := NewMeter()
 	tr := NewTransport(clock, DefaultLatencies(), meter, 1)
 	sw := clock.StartStopwatch()
 	tr.Travel(IRL, FRK, LinkClient, 100)
 	elapsed := sw.ElapsedModel()
-	// One-way IRL->FRK is 10ms model; allow generous tolerance for jitter
-	// plus goroutine scheduling at small scale.
-	if elapsed < 6*time.Millisecond || elapsed > 60*time.Millisecond {
+	// One-way IRL->FRK is 10ms model, plus bounded jitter/tail.
+	if elapsed < 9*time.Millisecond || elapsed > 16*time.Millisecond {
 		t.Errorf("one-way model latency = %v, want ~10ms", elapsed)
 	}
 	if s := meter.Class(LinkClient); s.Bytes != 100 || s.Messages != 1 {
@@ -171,44 +179,36 @@ func TestTransportTravelLatencyAndAccounting(t *testing.T) {
 }
 
 func TestTransportSendAsync(t *testing.T) {
-	clock := NewClock(0.01)
+	clock := NewVirtualClock()
 	tr := NewTransport(clock, DefaultLatencies(), NewMeter(), 2)
-	done := make(chan time.Time, 1)
-	start := time.Now()
-	tr.Send(IRL, VRG, LinkReplica, 10, func() { done <- time.Now() })
-	// Send returns immediately.
-	if time.Since(start) > 5*time.Millisecond {
-		t.Error("Send blocked the caller")
+	var deliveredAt time.Duration = -1
+	tr.Send(IRL, VRG, LinkReplica, 10, func() { deliveredAt = clock.Now() })
+	// Send returns without advancing model time.
+	if clock.Now() != 0 {
+		t.Error("Send advanced model time for the caller")
 	}
-	select {
-	case at := <-done:
-		wall := at.Sub(start)
-		model := clock.ToModel(wall)
-		if model < 25*time.Millisecond || model > 300*time.Millisecond {
-			t.Errorf("async delivery after %v model, want ~41.5ms", model)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("async message never delivered")
+	clock.Drain()
+	// One-way IRL->VRG is 41.5ms model, plus bounded jitter/tail.
+	if deliveredAt < 35*time.Millisecond || deliveredAt > 60*time.Millisecond {
+		t.Errorf("async delivery at %v model, want ~41.5ms", deliveredAt)
 	}
 }
 
 func TestTransportSendAfterExtraDelay(t *testing.T) {
-	clock := NewClock(0.01)
+	clock := NewVirtualClock()
 	tr := NewTransport(clock, DefaultLatencies(), NewMeter(), 3)
-	done := make(chan struct{})
-	start := time.Now()
-	tr.SendAfter(200*time.Millisecond, IRL, IRL, LinkReplica, 1, func() { close(done) })
-	<-done
-	model := clock.ToModel(time.Since(start))
-	if model < 150*time.Millisecond {
-		t.Errorf("SendAfter delivered at %v model, want >= ~201ms", model)
+	var deliveredAt time.Duration = -1
+	tr.SendAfter(200*time.Millisecond, IRL, IRL, LinkReplica, 1, func() { deliveredAt = clock.Now() })
+	clock.Drain()
+	if deliveredAt < 200*time.Millisecond {
+		t.Errorf("SendAfter delivered at %v model, want >= ~201ms", deliveredAt)
 	}
 }
 
 // Property: sampled one-way delays are positive and within the configured
 // jitter+tail envelope of the base latency.
 func TestPropertyTransportJitterBounds(t *testing.T) {
-	clock := NewClock(1.0)
+	clock := NewVirtualClock()
 	tr := NewTransport(clock, DefaultLatencies(), nil, 42)
 	f := func(seed int64) bool {
 		d := tr.sample(IRL, FRK)
@@ -225,23 +225,21 @@ func TestPropertyTransportJitterBounds(t *testing.T) {
 }
 
 func TestServerCapacityAndQueueing(t *testing.T) {
-	clock := NewClock(1.0)
+	clock := NewVirtualClock()
 	s := NewServer(clock, 1)
 	const cost = 5 * time.Millisecond
-	start := time.Now()
-	var wg sync.WaitGroup
+	g := clock.NewGroup()
 	for i := 0; i < 4; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		g.Add(1)
+		clock.Go(func() {
+			defer g.Done()
 			s.Process(cost)
-		}()
+		})
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	// 4 jobs x 5ms on 1 worker must take at least ~20ms.
-	if elapsed < 18*time.Millisecond {
-		t.Errorf("4 serialized jobs took %v, want >= ~20ms", elapsed)
+	g.Wait()
+	// 4 jobs x 5ms on 1 worker take exactly 20ms of model time.
+	if got := clock.Now(); got != 4*cost {
+		t.Errorf("4 serialized jobs finished at %v model, want %v", got, 4*cost)
 	}
 	if s.Handled() != 4 {
 		t.Errorf("Handled = %d", s.Handled())
@@ -252,45 +250,42 @@ func TestServerCapacityAndQueueing(t *testing.T) {
 }
 
 func TestServerParallelism(t *testing.T) {
-	clock := NewClock(1.0)
+	clock := NewVirtualClock()
 	s := NewServer(clock, 4)
 	const cost = 10 * time.Millisecond
-	start := time.Now()
-	var wg sync.WaitGroup
+	g := clock.NewGroup()
 	for i := 0; i < 4; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		g.Add(1)
+		clock.Go(func() {
+			defer g.Done()
 			s.Process(cost)
-		}()
+		})
 	}
-	wg.Wait()
-	if elapsed := time.Since(start); elapsed > 3*cost {
-		t.Errorf("4 parallel jobs on 4 workers took %v, want ~%v", elapsed, cost)
+	g.Wait()
+	if got := clock.Now(); got != cost {
+		t.Errorf("4 parallel jobs on 4 workers finished at %v model, want %v", got, cost)
 	}
 }
 
 func TestServerTryProcessSheds(t *testing.T) {
-	clock := NewClock(1.0)
+	clock := NewVirtualClock()
 	s := NewServer(clock, 1)
-	done := make(chan struct{})
-	go func() {
+	done := clock.NewEvent()
+	clock.Go(func() {
 		s.Process(80 * time.Millisecond) // hold the only slot
-		close(done)
-	}()
-	time.Sleep(10 * time.Millisecond)
+		done.Fire()
+	})
+	clock.Sleep(10 * time.Millisecond)
 	if s.TryProcess(time.Millisecond) {
 		t.Error("TryProcess should shed when saturated")
 	}
-	<-done
-	// Process may return up to sleepEps early; let the reservation lapse.
-	time.Sleep(2 * time.Millisecond)
+	done.Wait()
 	if !s.TryProcess(time.Millisecond) {
 		t.Error("TryProcess should succeed when idle")
 	}
 }
 
 func TestServerZeroWorkersClamped(t *testing.T) {
-	s := NewServer(NewClock(1.0), 0)
+	s := NewServer(NewVirtualClock(), 0)
 	s.Process(0) // must not deadlock
 }

@@ -7,52 +7,51 @@ import (
 
 // Server models the finite processing capacity of one storage node. Every
 // message handled by the node passes through Process, which reserves one of
-// the node's worker slots for the (scaled) service time. Under load,
-// requests queue for a slot, which is what bends the latency/throughput
-// curves of Figure 6 and caps attainable throughput.
+// the node's worker slots for the service time. Under load, requests queue
+// for a slot, which is what bends the latency/throughput curves of Figure 6
+// and caps attainable throughput.
 //
-// Capacity is tracked with virtual per-slot busy-until deadlines: the
-// reservation math is exact in wall time even though the actual blocking
-// uses granular sleeps, so saturation throughput is not distorted by the
-// host's sleep resolution.
+// Capacity is tracked with per-slot busy-until deadlines in model time: the
+// reservation math is exact whatever the clock implementation, so
+// saturation throughput is not distorted by the host's sleep resolution
+// (and under a VirtualClock there is no sleeping at all).
 //
 // Preliminary flushing in Correctable Cassandra consumes extra coordinator
 // service time per read (§6.2.1 "Performance Under Load"), which is why CC
 // saturates slightly earlier than the baseline — call Process once more with
 // the flush cost to model it.
 type Server struct {
-	clock *Clock
+	clock Clock
 
 	mu       sync.Mutex
-	slotFree []time.Time   // wall-clock instant each slot becomes free
-	busy     time.Duration // accumulated model-time service
+	slotFree []time.Duration // model instant each slot becomes free
+	busy     time.Duration   // accumulated model-time service
 	handled  int64
 }
 
 // NewServer creates a server with the given number of worker slots.
-func NewServer(clock *Clock, workers int) *Server {
+func NewServer(clock Clock, workers int) *Server {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Server{clock: clock, slotFree: make([]time.Time, workers)}
+	return &Server{clock: clock, slotFree: make([]time.Duration, workers)}
 }
 
-// reserve books the earliest available slot for wallCost and returns the
-// completion deadline.
-func (s *Server) reserve(cost time.Duration, now time.Time) time.Time {
-	wallCost := s.clock.ToWall(cost)
+// reserve books the earliest available slot for cost and returns the
+// completion deadline (model time).
+func (s *Server) reserve(cost time.Duration, now time.Duration) time.Duration {
 	s.mu.Lock()
 	idx := 0
 	for i := 1; i < len(s.slotFree); i++ {
-		if s.slotFree[i].Before(s.slotFree[idx]) {
+		if s.slotFree[i] < s.slotFree[idx] {
 			idx = i
 		}
 	}
 	start := s.slotFree[idx]
-	if start.Before(now) {
+	if start < now {
 		start = now
 	}
-	end := start.Add(wallCost)
+	end := start + cost
 	s.slotFree[idx] = end
 	s.busy += cost
 	s.handled++
@@ -63,18 +62,18 @@ func (s *Server) reserve(cost time.Duration, now time.Time) time.Time {
 // Process occupies a worker slot for the model-time cost, blocking through
 // any queueing delay plus the service time itself.
 func (s *Server) Process(cost time.Duration) {
-	sleepUntil(s.reserve(cost, time.Now()))
+	s.clock.SleepUntil(s.reserve(cost, s.clock.Now()))
 }
 
 // TryProcess is Process but gives up immediately if every slot is already
 // busy, reporting whether the work was done. Used for strictly optional
 // work that an overloaded node would shed.
 func (s *Server) TryProcess(cost time.Duration) bool {
-	now := time.Now()
+	now := s.clock.Now()
 	s.mu.Lock()
 	idx := -1
 	for i := range s.slotFree {
-		if !s.slotFree[i].After(now) {
+		if s.slotFree[i] <= now {
 			idx = i
 			break
 		}
@@ -83,12 +82,12 @@ func (s *Server) TryProcess(cost time.Duration) bool {
 		s.mu.Unlock()
 		return false
 	}
-	end := now.Add(s.clock.ToWall(cost))
+	end := now + cost
 	s.slotFree[idx] = end
 	s.busy += cost
 	s.handled++
 	s.mu.Unlock()
-	sleepUntil(end)
+	s.clock.SleepUntil(end)
 	return true
 }
 

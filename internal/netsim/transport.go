@@ -1,8 +1,9 @@
 package netsim
 
 import (
+	"hash/fnv"
 	"math"
-	"math/rand"
+	randv2 "math/rand/v2"
 	"sync"
 	"time"
 )
@@ -11,13 +12,20 @@ import (
 // (with jitter and an exponential tail) and accounting bytes on the meter.
 // It is the only path through which simulated components may exchange data,
 // which is what makes the bandwidth figures (Fig 8, Fig 10) trustworthy.
+//
+// Jitter is drawn from per-region-pair PCG generators rather than one
+// global locked source, so concurrent clients (wall mode) don't serialize
+// on a single RNG lock, and the draw sequence of each link is independent
+// of traffic on other links.
 type Transport struct {
-	clock *Clock
+	clock Clock
 	model *LatencyModel
 	meter *Meter
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	shards map[[2]Region]*rngShard
+	// local is the fallback jitter source for same-region links of regions
+	// absent from the model's RTT map (single-region custom models).
+	local *rngShard
 
 	// JitterFrac is the +/- uniform jitter fraction applied to every one-way
 	// delay (default 0.04).
@@ -29,22 +37,50 @@ type Transport struct {
 	TailMeanFrac float64
 }
 
+// rngShard is one link's jitter source.
+type rngShard struct {
+	mu  sync.Mutex
+	rng *randv2.Rand
+}
+
 // NewTransport creates a transport over the given clock, latency model and
-// meter. The meter may be nil (no accounting). Seed fixes the jitter RNG for
-// reproducible runs.
-func NewTransport(clock *Clock, model *LatencyModel, meter *Meter, seed int64) *Transport {
-	return &Transport{
+// meter. The meter may be nil (no accounting). Seed fixes the jitter RNGs
+// for reproducible runs.
+func NewTransport(clock Clock, model *LatencyModel, meter *Meter, seed int64) *Transport {
+	t := &Transport{
 		clock:        clock,
 		model:        model,
 		meter:        meter,
-		rng:          rand.New(rand.NewSource(seed)),
+		shards:       make(map[[2]Region]*rngShard),
 		JitterFrac:   0.04,
 		TailMeanFrac: 0.03,
 	}
+	// One generator per link (including each region's local link), seeded
+	// from the run seed and a stable hash of the pair so the sequence on a
+	// given link is the same whatever other links exist. Regions are taken
+	// from the RTT map itself, not a canonical list, so custom geographies
+	// get jittered local links too.
+	addShard := func(key [2]Region) {
+		if _, ok := t.shards[key]; ok {
+			return
+		}
+		h := fnv.New64a()
+		h.Write([]byte(key[0]))
+		h.Write([]byte{0})
+		h.Write([]byte(key[1]))
+		t.shards[key] = &rngShard{rng: randv2.New(randv2.NewPCG(uint64(seed), h.Sum64()))}
+	}
+	for key := range model.RTTs {
+		addShard(key)
+		addShard(pairKey(key[0], key[0]))
+		addShard(pairKey(key[1], key[1]))
+	}
+	t.local = &rngShard{rng: randv2.New(randv2.NewPCG(uint64(seed), 0x10ca1))}
+	return t
 }
 
 // Clock returns the transport's clock.
-func (t *Transport) Clock() *Clock { return t.clock }
+func (t *Transport) Clock() Clock { return t.clock }
 
 // Model returns the transport's latency model.
 func (t *Transport) Model() *LatencyModel { return t.model }
@@ -55,34 +91,41 @@ func (t *Transport) Meter() *Meter { return t.meter }
 // sample returns a jittered one-way delay between two regions.
 func (t *Transport) sample(from, to Region) time.Duration {
 	base := float64(t.model.OneWay(from, to))
-	t.mu.Lock()
-	u := t.rng.Float64()*2 - 1 // [-1, 1)
-	e := t.rng.ExpFloat64()
-	t.mu.Unlock()
+	s, ok := t.shards[pairKey(from, to)]
+	if !ok {
+		// Same-region link of a region with no RTT entries (OneWay panics
+		// for unmodelled cross-region pairs before reaching here): jitter
+		// from the shared local fallback shard.
+		s = t.local
+	}
+	s.mu.Lock()
+	u := s.rng.Float64()*2 - 1 // [-1, 1)
+	e := s.rng.ExpFloat64()
+	s.mu.Unlock()
 	d := base * (1 + t.JitterFrac*u)
 	d += base * t.TailMeanFrac * e
 	return time.Duration(math.Max(d, 0))
 }
 
 // Travel synchronously delivers a message: it accounts size bytes on the
-// link class and sleeps the (scaled) one-way delay. Callers run protocol
-// logic as straight-line code in their own goroutine and call Travel at
-// each hop.
+// link class and sleeps the one-way delay in model time. Callers run
+// protocol logic as straight-line code in their own actor and call Travel
+// at each hop.
 func (t *Transport) Travel(from, to Region, class string, size int) {
 	t.meter.Account(class, size)
 	t.clock.Sleep(t.sample(from, to))
 }
 
-// Send asynchronously delivers a message: fn runs on a fresh goroutine
-// after the one-way delay. Used for off-critical-path traffic such as
+// Send asynchronously delivers a message: fn runs on a fresh actor after
+// the one-way delay. Used for off-critical-path traffic such as
 // asynchronous replication and commit notifications.
 func (t *Transport) Send(from, to Region, class string, size int, fn func()) {
 	t.meter.Account(class, size)
 	d := t.sample(from, to)
-	go func() {
+	t.clock.Go(func() {
 		t.clock.Sleep(d)
 		fn()
-	}()
+	})
 }
 
 // SendAfter is Send with an additional model-time delay before the message
@@ -90,8 +133,8 @@ func (t *Transport) Send(from, to Region, class string, size int, fn func()) {
 func (t *Transport) SendAfter(extra time.Duration, from, to Region, class string, size int, fn func()) {
 	t.meter.Account(class, size)
 	d := t.sample(from, to) + extra
-	go func() {
+	t.clock.Go(func() {
 		t.clock.Sleep(d)
 		fn()
-	}()
+	})
 }

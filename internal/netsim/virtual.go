@@ -1,0 +1,364 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// VirtualClock is a deterministic discrete-event scheduler. Actors run one
+// at a time under a cooperative token: exactly one actor executes at any
+// moment, and every blocking operation (Sleep, Event.Wait, Queue.Get,
+// Group.Wait) hands the token to the next runnable actor. When no actor is
+// runnable, model time jumps straight to the earliest pending deadline —
+// no host sleeping, ever. Because the token handoff order is a pure
+// function of the program (spawn order, deadlines, FIFO wakeups), two runs
+// of the same seeded workload execute the exact same event sequence and
+// produce byte-identical metrics.
+//
+// Discipline (see the Clock interface comment): spawn actors with Go, block
+// only through the clock, and use BlockOn around any foreign blocking. An
+// actor that blocks on a bare channel without BlockOn freezes the whole
+// simulation, since the token is never handed on.
+//
+// The goroutine that calls NewVirtualClock is the root actor and initially
+// holds the token.
+type VirtualClock struct {
+	mu       sync.Mutex
+	now      time.Duration
+	seq      uint64
+	timers   timerHeap
+	ready    []*vactor // runnable actors, FIFO
+	blocked  int       // actors parked on events/queues/groups
+	detached int       // actors inside BlockOn
+	idler    *vactor   // Drain caller, woken only at quiescence
+	// tokenFree marks the token as unheld: set when the running actor had
+	// nothing to hand it to but detached actors may still rejoin.
+	tokenFree bool
+}
+
+var _ Clock = (*VirtualClock)(nil)
+
+// vactor is one parked actor: a rendezvous for the token handoff, plus the
+// wake deadline (timers) or the handed-off value (queues).
+type vactor struct {
+	at  time.Duration
+	seq uint64
+	ch  chan struct{}
+	val any
+}
+
+// NewVirtualClock returns a virtual clock at model time zero. The calling
+// goroutine becomes the root actor and holds the execution token.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{}
+}
+
+func (c *VirtualClock) newActor() *vactor {
+	p := &vactor{seq: c.seq, ch: make(chan struct{})}
+	c.seq++
+	return p
+}
+
+// dispatchLocked hands the token to the next runnable actor: ready actors
+// first (FIFO), then the earliest timer (advancing model time), then —
+// only at full quiescence — the Drain idler. If parked actors remain with
+// nothing left that could ever wake them, that is a deadlock and the
+// simulation fails fast instead of hanging.
+func (c *VirtualClock) dispatchLocked() {
+	if len(c.ready) > 0 {
+		p := c.ready[0]
+		c.ready = c.ready[1:]
+		close(p.ch)
+		return
+	}
+	if c.timers.Len() > 0 {
+		p := heap.Pop(&c.timers).(*vactor)
+		if p.at > c.now {
+			c.now = p.at
+		}
+		close(p.ch)
+		return
+	}
+	if c.detached > 0 {
+		// A BlockOn actor may rejoin with work; leave the token floating.
+		c.tokenFree = true
+		return
+	}
+	if c.idler != nil {
+		p := c.idler
+		c.idler = nil
+		close(p.ch)
+		return
+	}
+	if c.blocked > 0 {
+		// Parked actors can now only be woken by other actors — and none
+		// remain, whether the yielder parked itself or exited. Fail fast
+		// instead of hanging silently.
+		panic(fmt.Sprintf(
+			"netsim: virtual clock deadlock: %d actor(s) blocked with no runnable actors and no pending timers",
+			c.blocked))
+	}
+	c.tokenFree = true
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: parks the actor for d of model time.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.sleepUntilLocked(c.now + d)
+}
+
+// SleepUntil implements Clock: parks the actor until model instant t.
+func (c *VirtualClock) SleepUntil(t time.Duration) {
+	c.mu.Lock()
+	c.sleepUntilLocked(t)
+}
+
+// sleepUntilLocked parks the caller on the timer heap and hands the token
+// on. Enters with c.mu held, returns with it released.
+func (c *VirtualClock) sleepUntilLocked(t time.Duration) {
+	if t <= c.now {
+		c.mu.Unlock()
+		return
+	}
+	p := c.newActor()
+	p.at = t
+	heap.Push(&c.timers, p)
+	c.dispatchLocked()
+	c.mu.Unlock()
+	<-p.ch
+}
+
+// Go implements Clock: fn becomes a new actor, enqueued runnable behind the
+// current ready set. It starts executing when the token reaches it.
+func (c *VirtualClock) Go(fn func()) {
+	c.mu.Lock()
+	p := c.newActor()
+	c.ready = append(c.ready, p)
+	c.mu.Unlock()
+	go func() {
+		<-p.ch
+		fn()
+		// The actor exits: hand the token on without re-parking.
+		c.mu.Lock()
+		c.dispatchLocked()
+		c.mu.Unlock()
+	}()
+}
+
+// BlockOn implements Clock: the actor leaves the scheduler while wait runs
+// (so the simulation continues, advancing time if needed) and rejoins
+// afterwards. The rejoin order depends on the host scheduler, so a BlockOn
+// wait is the one place where determinism is forfeited — keep it out of
+// measured paths.
+func (c *VirtualClock) BlockOn(wait func()) {
+	c.mu.Lock()
+	c.detached++
+	c.dispatchLocked()
+	c.mu.Unlock()
+
+	wait()
+
+	c.mu.Lock()
+	c.detached--
+	if c.tokenFree {
+		c.tokenFree = false
+		c.mu.Unlock()
+		return
+	}
+	p := c.newActor()
+	c.ready = append(c.ready, p)
+	c.mu.Unlock()
+	<-p.ch
+}
+
+// Drain runs the simulation until quiescence: every remaining actor has
+// either exited or parked on an event/queue that can no longer fire, and
+// no timers are pending. Model time advances as far as the pending work
+// requires. Call it from the root actor at the end of an experiment so
+// background traffic (asynchronous replication, commit broadcasts) runs to
+// completion instead of leaking parked goroutines.
+func (c *VirtualClock) Drain() {
+	c.mu.Lock()
+	if len(c.ready) == 0 && c.timers.Len() == 0 && c.detached == 0 {
+		c.mu.Unlock()
+		return
+	}
+	if c.idler != nil {
+		c.mu.Unlock()
+		panic("netsim: concurrent Drain on the same VirtualClock")
+	}
+	p := c.newActor()
+	c.idler = p
+	c.dispatchLocked()
+	c.mu.Unlock()
+	<-p.ch
+}
+
+// NewEvent implements Clock.
+func (c *VirtualClock) NewEvent() Event { return &vEvent{c: c} }
+
+// NewQueue implements Clock.
+func (c *VirtualClock) NewQueue() Queue { return &vQueue{c: c} }
+
+// NewGroup implements Clock.
+func (c *VirtualClock) NewGroup() Group { return &vGroup{c: c} }
+
+// StartStopwatch begins timing.
+func (c *VirtualClock) StartStopwatch() Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// wakeLocked moves parked actors to the ready queue (FIFO order preserved).
+func (c *VirtualClock) wakeLocked(ps []*vactor) {
+	c.blocked -= len(ps)
+	c.ready = append(c.ready, ps...)
+}
+
+// parkLocked parks the calling actor outside the timer heap and hands the
+// token on. Enters with c.mu held, returns with it released, after the
+// token has come back.
+func (c *VirtualClock) parkLocked(p *vactor) {
+	c.blocked++
+	c.dispatchLocked()
+	c.mu.Unlock()
+	<-p.ch
+}
+
+// vEvent is the virtual one-shot broadcast.
+type vEvent struct {
+	c       *VirtualClock
+	fired   bool
+	waiters []*vactor
+}
+
+func (e *vEvent) Fire() {
+	e.c.mu.Lock()
+	if !e.fired {
+		e.fired = true
+		e.c.wakeLocked(e.waiters)
+		e.waiters = nil
+	}
+	e.c.mu.Unlock()
+}
+
+func (e *vEvent) Wait() {
+	e.c.mu.Lock()
+	if e.fired {
+		e.c.mu.Unlock()
+		return
+	}
+	p := e.c.newActor()
+	e.waiters = append(e.waiters, p)
+	e.c.parkLocked(p)
+}
+
+// vQueue is the virtual unbounded FIFO. A Put with waiters present hands
+// the item directly to the longest-waiting actor.
+type vQueue struct {
+	c       *VirtualClock
+	items   []any
+	waiters []*vactor
+}
+
+func (q *vQueue) Put(v any) {
+	q.c.mu.Lock()
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		p.val = v
+		q.c.wakeLocked([]*vactor{p})
+	} else {
+		q.items = append(q.items, v)
+	}
+	q.c.mu.Unlock()
+}
+
+func (q *vQueue) Get() any {
+	q.c.mu.Lock()
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.c.mu.Unlock()
+		return v
+	}
+	p := q.c.newActor()
+	q.waiters = append(q.waiters, p)
+	q.c.parkLocked(p)
+	return p.val
+}
+
+// vGroup is the virtual WaitGroup analogue.
+type vGroup struct {
+	c       *VirtualClock
+	n       int
+	waiters []*vactor
+}
+
+func (g *vGroup) Add(n int) {
+	g.c.mu.Lock()
+	g.n += n
+	if g.n < 0 {
+		g.c.mu.Unlock()
+		panic("netsim: negative Group counter")
+	}
+	g.c.mu.Unlock()
+}
+
+func (g *vGroup) Done() {
+	g.c.mu.Lock()
+	g.n--
+	if g.n < 0 {
+		g.c.mu.Unlock()
+		panic("netsim: negative Group counter")
+	}
+	if g.n == 0 {
+		g.c.wakeLocked(g.waiters)
+		g.waiters = nil
+	}
+	g.c.mu.Unlock()
+}
+
+func (g *vGroup) Wait() {
+	g.c.mu.Lock()
+	if g.n == 0 {
+		g.c.mu.Unlock()
+		return
+	}
+	p := g.c.newActor()
+	g.waiters = append(g.waiters, p)
+	g.c.parkLocked(p)
+}
+
+// timerHeap orders parked sleepers by (deadline, spawn sequence), making
+// same-instant wakeups deterministic.
+type timerHeap []*vactor
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*vactor)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,208 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestVirtualTimeJumps: with every actor parked, model time jumps straight
+// to the earliest deadline — a long model sleep costs no wall time.
+func TestVirtualTimeJumps(t *testing.T) {
+	c := NewVirtualClock()
+	wall := time.Now()
+	c.Sleep(10 * time.Hour)
+	if elapsed := time.Since(wall); elapsed > time.Second {
+		t.Fatalf("10h model sleep took %v wall, want ~0", elapsed)
+	}
+	if got := c.Now(); got != 10*time.Hour {
+		t.Errorf("Now = %v, want 10h", got)
+	}
+}
+
+// TestVirtualDeterministicOrder: actors woken from the same and different
+// deadlines interleave in a fixed order (deadline, then spawn order).
+func TestVirtualDeterministicOrder(t *testing.T) {
+	run := func() string {
+		c := NewVirtualClock()
+		var log []string
+		g := c.NewGroup()
+		for i, d := range []time.Duration{30, 10, 20, 10, 30} {
+			i, d := i, d*time.Millisecond
+			g.Add(1)
+			c.Go(func() {
+				defer g.Done()
+				c.Sleep(d)
+				log = append(log, fmt.Sprintf("%d@%v", i, c.Now()))
+			})
+		}
+		g.Wait()
+		return strings.Join(log, " ")
+	}
+	first := run()
+	want := "1@10ms 3@10ms 2@20ms 0@30ms 4@30ms"
+	if first != want {
+		t.Errorf("wake order = %q, want %q", first, want)
+	}
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d diverged: %q vs %q", i, got, first)
+		}
+	}
+}
+
+// TestVirtualQueueFIFO: queue handoff wakes waiters in arrival order and
+// never loses items.
+func TestVirtualQueueFIFO(t *testing.T) {
+	c := NewVirtualClock()
+	q := c.NewQueue()
+	var got []int
+	g := c.NewGroup()
+	for i := 0; i < 3; i++ {
+		g.Add(1)
+		c.Go(func() {
+			defer g.Done()
+			got = append(got, q.Get().(int))
+		})
+	}
+	c.Go(func() {
+		for i := 1; i <= 3; i++ {
+			q.Put(i)
+		}
+	})
+	g.Wait()
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Errorf("got %v, want [1 2 3]", got)
+	}
+}
+
+// TestVirtualEventBroadcast: Fire wakes every waiter; Wait after Fire
+// returns immediately; double Fire is harmless.
+func TestVirtualEventBroadcast(t *testing.T) {
+	c := NewVirtualClock()
+	e := c.NewEvent()
+	woken := 0
+	g := c.NewGroup()
+	for i := 0; i < 3; i++ {
+		g.Add(1)
+		c.Go(func() {
+			defer g.Done()
+			e.Wait()
+			woken++
+		})
+	}
+	c.Go(func() {
+		c.Sleep(time.Millisecond)
+		e.Fire()
+		e.Fire()
+	})
+	g.Wait()
+	e.Wait() // already fired: returns immediately
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+}
+
+// TestVirtualDrainRunsBackgroundWork: Drain advances time until pending
+// timers (async sends) have completed.
+func TestVirtualDrainRunsBackgroundWork(t *testing.T) {
+	c := NewVirtualClock()
+	ran := 0
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * 50 * time.Millisecond
+		c.Go(func() {
+			c.Sleep(d)
+			ran++
+		})
+	}
+	c.Drain()
+	if ran != 3 {
+		t.Errorf("ran = %d background actors, want 3", ran)
+	}
+	if got := c.Now(); got != 150*time.Millisecond {
+		t.Errorf("Now after drain = %v, want 150ms", got)
+	}
+	c.Drain() // idempotent on a quiescent clock
+}
+
+// TestVirtualBlockOn: a foreign wait detaches from the scheduler; the rest
+// of the simulation keeps running (and advancing time) meanwhile.
+func TestVirtualBlockOn(t *testing.T) {
+	c := NewVirtualClock()
+	ch := make(chan int, 1)
+	c.Go(func() {
+		c.Sleep(time.Second)
+		ch <- 42
+	})
+	var got int
+	c.BlockOn(func() { got = <-ch })
+	if got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+	if c.Now() < time.Second {
+		t.Errorf("Now = %v, want >= 1s (time must advance during BlockOn)", c.Now())
+	}
+}
+
+// TestVirtualDeadlockPanics: an actor blocking on an event nobody can fire
+// is reported as a deadlock instead of hanging the test binary.
+func TestVirtualDeadlockPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "deadlock") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c := NewVirtualClock()
+	c.NewEvent().Wait()
+}
+
+// TestVirtualSleepZeroAndPast: non-positive and past deadlines return
+// immediately without yielding.
+func TestVirtualSleepZeroAndPast(t *testing.T) {
+	c := NewVirtualClock()
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	c.Sleep(time.Millisecond)
+	c.SleepUntil(0) // in the past now
+	if got := c.Now(); got != time.Millisecond {
+		t.Errorf("Now = %v, want 1ms", got)
+	}
+}
+
+// TestVirtualTransportDeterminism: the full substrate (transport jitter,
+// server queueing, async sends) replays identically for a fixed seed.
+func TestVirtualTransportDeterminism(t *testing.T) {
+	run := func() string {
+		clock := NewVirtualClock()
+		meter := NewMeter()
+		tr := NewTransport(clock, DefaultLatencies(), meter, 7)
+		srv := NewServer(clock, 2)
+		var log []string
+		g := clock.NewGroup()
+		for i := 0; i < 6; i++ {
+			i := i
+			g.Add(1)
+			clock.Go(func() {
+				defer g.Done()
+				tr.Travel(IRL, FRK, LinkClient, 100)
+				srv.Process(2 * time.Millisecond)
+				tr.Travel(FRK, IRL, LinkClient, 200)
+				log = append(log, fmt.Sprintf("%d@%v", i, clock.Now()))
+			})
+		}
+		g.Wait()
+		clock.Drain()
+		return fmt.Sprint(log, meter.Snapshot()[LinkClient], clock.Now())
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("replay %d diverged:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}

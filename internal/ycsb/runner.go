@@ -27,14 +27,15 @@ type DB interface {
 	Update(rng *rand.Rand, key string, value []byte) (time.Duration, error)
 }
 
-// Options configures a closed-loop run.
+// Options configures a closed-loop run. All durations are model time, so a
+// run covers the same simulated span whatever the clock implementation —
+// instantly under a VirtualClock, scaled real time under a WallClock.
 type Options struct {
 	// Threads is the number of closed-loop client threads.
 	Threads int
-	// WallDuration is how long to run, in wall-clock time (the model-time
-	// equivalent is WallDuration / clock scale).
-	WallDuration time.Duration
-	// Warmup is an initial wall-clock span whose samples are discarded
+	// Duration is how long to run, in model time.
+	Duration time.Duration
+	// Warmup is an initial model-time span whose samples are discarded
 	// (the paper elides the first and last 15s of its 60s trials).
 	Warmup time.Duration
 	// Seed derives the per-thread RNGs.
@@ -79,8 +80,10 @@ func (r *Result) DivergencePct() float64 {
 }
 
 // Run drives the workload against db with closed-loop threads and returns
-// aggregated measurements.
-func Run(w Workload, db DB, clock *netsim.Clock, opts Options) *Result {
+// aggregated measurements. Threads are clock actors: under a VirtualClock
+// the whole run executes at CPU speed and, for a fixed seed, performs the
+// exact same operation sequence on every invocation.
+func Run(w Workload, db DB, clock netsim.Clock, opts Options) *Result {
 	if opts.Threads <= 0 {
 		opts.Threads = 1
 	}
@@ -97,31 +100,31 @@ func Run(w Workload, db DB, clock *netsim.Clock, opts Options) *Result {
 	}
 	latest, _ := gen.(*LatestGenerator)
 
-	start := time.Now()
-	recordAfter := start.Add(opts.Warmup)
-	deadline := start.Add(opts.WallDuration)
+	start := clock.Now()
+	recordAfter := start + opts.Warmup
+	deadline := start + opts.Duration
 
 	var (
 		mu                  sync.Mutex
 		ops, reads, updates int64
 		prelims, diverged   int64
 		errs                int64
-		measuredStart       time.Time
-		measuredEnd         time.Time
+		measuredStart       time.Duration = -1
+		measuredEnd         time.Duration
 	)
 
-	var wg sync.WaitGroup
+	g := clock.NewGroup()
 	for t := 0; t < opts.Threads; t++ {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(t)*1_000_003))
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		g.Add(1)
+		clock.Go(func() {
+			defer g.Done()
 			for {
-				now := time.Now()
-				if !now.Before(deadline) {
+				now := clock.Now()
+				if now >= deadline {
 					return
 				}
-				record := !now.Before(recordAfter)
+				record := now >= recordAfter
 				key := Key(gen.Next(rng))
 				isRead := rng.Float64() < w.ReadProportion
 				if isRead {
@@ -130,10 +133,10 @@ func Run(w Workload, db DB, clock *netsim.Clock, opts Options) *Result {
 						continue
 					}
 					mu.Lock()
-					if measuredStart.IsZero() {
+					if measuredStart < 0 {
 						measuredStart = now
 					}
-					measuredEnd = time.Now()
+					measuredEnd = clock.Now()
 					if err != nil {
 						errs++
 					} else {
@@ -158,10 +161,10 @@ func Run(w Workload, db DB, clock *netsim.Clock, opts Options) *Result {
 						continue
 					}
 					mu.Lock()
-					if measuredStart.IsZero() {
+					if measuredStart < 0 {
 						measuredStart = now
 					}
-					measuredEnd = time.Now()
+					measuredEnd = clock.Now()
 					if err != nil {
 						errs++
 					} else {
@@ -172,14 +175,14 @@ func Run(w Workload, db DB, clock *netsim.Clock, opts Options) *Result {
 					mu.Unlock()
 				}
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	g.Wait()
 
 	res.Ops, res.Reads, res.Updates = ops, reads, updates
 	res.PrelimReads, res.Diverged, res.Errors = prelims, diverged, errs
-	if !measuredStart.IsZero() {
-		res.Elapsed = clock.ToModel(measuredEnd.Sub(measuredStart))
+	if measuredStart >= 0 {
+		res.Elapsed = measuredEnd - measuredStart
 	}
 	res.ThroughputOps = metrics.Throughput(ops, res.Elapsed)
 	return res

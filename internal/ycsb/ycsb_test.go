@@ -185,8 +185,10 @@ func TestWorkloadGeneratorSelection(t *testing.T) {
 	Workload{Distribution: "bogus", RecordCount: 10}.NewGenerator()
 }
 
-// fakeDB counts operations and fabricates latencies/divergence.
+// fakeDB counts operations, fabricates latencies/divergence, and charges
+// each operation 1ms of model time so virtual runs make progress.
 type fakeDB struct {
+	clock    netsim.Clock
 	mu       sync.Mutex
 	reads    int
 	updates  int
@@ -198,7 +200,7 @@ func (f *fakeDB) Read(rng *rand.Rand, key string) (ReadOutcome, error) {
 	f.reads++
 	n := f.reads
 	f.mu.Unlock()
-	time.Sleep(100 * time.Microsecond)
+	f.clock.Sleep(time.Millisecond)
 	return ReadOutcome{
 		HasPrelim:     true,
 		PrelimLatency: 20 * time.Millisecond,
@@ -211,17 +213,17 @@ func (f *fakeDB) Update(rng *rand.Rand, key string, value []byte) (time.Duration
 	f.mu.Lock()
 	f.updates++
 	f.mu.Unlock()
-	time.Sleep(100 * time.Microsecond)
+	f.clock.Sleep(time.Millisecond)
 	return 21 * time.Millisecond, nil
 }
 
 func TestRunnerMixAndStats(t *testing.T) {
-	db := &fakeDB{divEvery: 4}
-	clock := netsim.NewClock(1.0)
+	clock := netsim.NewVirtualClock()
+	db := &fakeDB{clock: clock, divEvery: 4}
 	res := Run(WorkloadA(DistZipfian, 100, 10), db, clock, Options{
-		Threads:      4,
-		WallDuration: 300 * time.Millisecond,
-		Seed:         7,
+		Threads:  4,
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
 	})
 	if res.Ops == 0 {
 		t.Fatal("no operations completed")
@@ -249,12 +251,12 @@ func TestRunnerMixAndStats(t *testing.T) {
 }
 
 func TestRunnerReadOnly(t *testing.T) {
-	db := &fakeDB{}
-	clock := netsim.NewClock(1.0)
+	clock := netsim.NewVirtualClock()
+	db := &fakeDB{clock: clock}
 	res := Run(WorkloadC(DistZipfian, 100, 10), db, clock, Options{
-		Threads:      2,
-		WallDuration: 100 * time.Millisecond,
-		Seed:         1,
+		Threads:  2,
+		Duration: 100 * time.Millisecond,
+		Seed:     1,
 	})
 	if res.Updates != 0 {
 		t.Errorf("C produced %d updates", res.Updates)
@@ -265,22 +267,22 @@ func TestRunnerReadOnly(t *testing.T) {
 }
 
 func TestRunnerWarmupDiscardsSamples(t *testing.T) {
-	db := &fakeDB{}
-	clock := netsim.NewClock(1.0)
+	clock := netsim.NewVirtualClock()
+	db := &fakeDB{clock: clock}
 	res := Run(WorkloadC(DistZipfian, 100, 10), db, clock, Options{
-		Threads:      1,
-		WallDuration: 100 * time.Millisecond,
-		Warmup:       90 * time.Millisecond,
-		Seed:         1,
+		Threads:  1,
+		Duration: 100 * time.Millisecond,
+		Warmup:   90 * time.Millisecond,
+		Seed:     1,
 	})
-	// Roughly 10% of the run is recorded.
+	// Exactly the post-warmup 10% of the run is recorded.
 	if res.Ops == 0 {
-		t.Skip("machine too slow to record post-warmup ops")
+		t.Fatal("no post-warmup ops recorded")
 	}
 	full := Run(WorkloadC(DistZipfian, 100, 10), db, clock, Options{
-		Threads:      1,
-		WallDuration: 100 * time.Millisecond,
-		Seed:         1,
+		Threads:  1,
+		Duration: 100 * time.Millisecond,
+		Seed:     1,
 	})
 	if res.Ops >= full.Ops {
 		t.Errorf("warmup run recorded %d ops, full run %d", res.Ops, full.Ops)
@@ -288,11 +290,32 @@ func TestRunnerWarmupDiscardsSamples(t *testing.T) {
 }
 
 func TestRunnerDefaultsThreads(t *testing.T) {
-	db := &fakeDB{}
-	res := Run(WorkloadC(DistZipfian, 10, 10), db, netsim.NewClock(1.0), Options{
-		WallDuration: 20 * time.Millisecond,
+	clock := netsim.NewVirtualClock()
+	db := &fakeDB{clock: clock}
+	res := Run(WorkloadC(DistZipfian, 10, 10), db, clock, Options{
+		Duration: 20 * time.Millisecond,
 	})
 	if res.Threads != 1 {
 		t.Errorf("Threads defaulted to %d", res.Threads)
+	}
+}
+
+// TestRunnerDeterministicReplay: the same seed against the same DB model
+// performs the identical operation sequence under a VirtualClock.
+func TestRunnerDeterministicReplay(t *testing.T) {
+	run := func() *Result {
+		clock := netsim.NewVirtualClock()
+		db := &fakeDB{clock: clock, divEvery: 3}
+		return Run(WorkloadA(DistZipfian, 100, 10), db, clock, Options{
+			Threads:  4,
+			Duration: 250 * time.Millisecond,
+			Seed:     42,
+		})
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.Reads != b.Reads || a.Updates != b.Updates ||
+		a.Diverged != b.Diverged || a.Elapsed != b.Elapsed ||
+		a.ThroughputOps != b.ThroughputOps {
+		t.Errorf("replay diverged: %+v vs %+v", a, b)
 	}
 }

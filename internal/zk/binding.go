@@ -53,13 +53,14 @@ func (b *Binding) Close() error { return nil }
 
 // SubmitOperation implements binding.Binding.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
+	clock := b.qc.Ensemble().Transport().Clock()
 	wantWeak := levels.Contains(core.LevelWeak)
 	wantStrong := levels.Contains(core.LevelStrong)
 	if !wantWeak && !wantStrong {
-		go cb(binding.Result{Err: fmt.Errorf("%w: %v", binding.ErrUnsupportedLevel, levels)})
+		clock.Go(func() { cb(binding.Result{Err: fmt.Errorf("%w: %v", binding.ErrUnsupportedLevel, levels)}) })
 		return
 	}
-	go func() {
+	clock.Go(func() {
 		var run func(wantPrelim bool, onView func(QueueView)) error
 		switch o := op.(type) {
 		case binding.Enqueue:
@@ -116,5 +117,11 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 				}
 			}
 		}
-	}()
+	})
+}
+
+// Scheduler implements binding.SchedulerProvider: Correctables over this
+// binding block through the ensemble's simulation clock.
+func (b *Binding) Scheduler() core.Scheduler {
+	return binding.SchedulerFor(b.qc.Ensemble().Transport().Clock())
 }

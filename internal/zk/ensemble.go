@@ -45,7 +45,7 @@ type Server struct {
 	mu          sync.Mutex
 	lastApplied uint64
 	pending     map[uint64]Txn
-	waiters     map[uint64][]chan struct{}
+	waiters     map[uint64][]netsim.Event
 }
 
 // Tree exposes the server's local (committed) state for local reads and
@@ -100,7 +100,7 @@ func NewEnsemble(cfg Config) (*Ensemble, error) {
 			proc:     netsim.NewServer(cfg.Transport.Clock(), cfg.Workers),
 			tree:     NewTree(),
 			pending:  make(map[uint64]Txn),
-			waiters:  make(map[uint64][]chan struct{}),
+			waiters:  make(map[uint64][]netsim.Event),
 		}
 		e.order = append(e.order, region)
 	}
@@ -191,23 +191,24 @@ func (e *Ensemble) Propose(txn Txn, contact *Server) (uint64, TxnResult) {
 	e.propMu.Unlock()
 
 	// Gather follower acks; majority includes the leader itself.
+	clock := e.tr.Clock()
 	need := e.quorum()
-	acks := make(chan struct{}, len(e.order))
+	acks := clock.NewQueue()
 	for _, region := range e.order {
 		if region == leader.Region {
 			continue
 		}
 		region := region
 		follower := e.servers[region]
-		go func() {
+		clock.Go(func() {
 			e.tr.Travel(leader.Region, region, netsim.LinkReplica, proposalSize(txn))
 			follower.proc.Process(e.cfg.ServiceTime)
 			e.tr.Travel(region, leader.Region, netsim.LinkReplica, AckSize)
-			acks <- struct{}{}
-		}()
+			acks.Put(struct{}{})
+		})
 	}
 	for i := 0; i < need; i++ {
-		<-acks
+		acks.Get()
 	}
 
 	// Broadcast commits asynchronously to all followers except the contact
@@ -247,6 +248,7 @@ func (e *Ensemble) ForwardAndCommit(contact *Server, txn Txn) (uint64, TxnResult
 // DeliverCommit hands a committed transaction to a server, which applies
 // committed transactions strictly in zxid order (buffering gaps).
 func (s *Server) DeliverCommit(zxid uint64, txn Txn) {
+	var fire []netsim.Event
 	s.mu.Lock()
 	s.pending[zxid] = txn
 	for {
@@ -258,13 +260,14 @@ func (s *Server) DeliverCommit(zxid uint64, txn Txn) {
 		next.Apply(s.tree)
 		s.lastApplied++
 		if ws, ok := s.waiters[s.lastApplied]; ok {
-			for _, w := range ws {
-				close(w)
-			}
+			fire = append(fire, ws...)
 			delete(s.waiters, s.lastApplied)
 		}
 	}
 	s.mu.Unlock()
+	for _, w := range fire {
+		w.Fire()
+	}
 }
 
 // WaitApplied blocks until the server has applied the given zxid.
@@ -274,10 +277,10 @@ func (s *Server) WaitApplied(zxid uint64) {
 		s.mu.Unlock()
 		return
 	}
-	w := make(chan struct{})
+	w := s.ensemble.tr.Clock().NewEvent()
 	s.waiters[zxid] = append(s.waiters[zxid], w)
 	s.mu.Unlock()
-	<-w
+	w.Wait()
 }
 
 // process charges one message's local work on the server.

@@ -14,15 +14,9 @@ import (
 	"correctables/internal/netsim"
 )
 
-const testScale = 0.1
-
-func newTestEnsemble(t *testing.T, correctable bool, leader netsim.Region) (*Ensemble, *netsim.Meter, *netsim.Clock) {
-	return newTestEnsembleScale(t, correctable, leader, testScale)
-}
-
-func newTestEnsembleScale(t *testing.T, correctable bool, leader netsim.Region, scale float64) (*Ensemble, *netsim.Meter, *netsim.Clock) {
+func newTestEnsemble(t *testing.T, correctable bool, leader netsim.Region) (*Ensemble, *netsim.Meter, *netsim.VirtualClock) {
 	t.Helper()
-	clock := netsim.NewClock(scale)
+	clock := netsim.NewVirtualClock()
 	meter := netsim.NewMeter()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), meter, 1)
 	e, err := NewEnsemble(Config{
@@ -56,7 +50,7 @@ func TestEnsembleValidation(t *testing.T) {
 }
 
 func TestProposeReplicatesInOrder(t *testing.T) {
-	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, false, netsim.IRL)
 	e.Bootstrap(CreateTxn{Path: "/q"})
 	contact := e.Server(netsim.FRK)
 	const n = 10
@@ -70,18 +64,11 @@ func TestProposeReplicatesInOrder(t *testing.T) {
 			t.Fatal("zxid 0 for successful txn")
 		}
 	}
-	// All servers converge to the same sorted child list. Async commits may
-	// still be in flight to VRG; wait briefly.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		kids, err := e.Server(netsim.VRG).Tree().Children("/q")
-		if err == nil && len(kids) == n {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("VRG never converged: %v, %v", kids, err)
-		}
-		time.Sleep(time.Millisecond)
+	// All servers converge to the same sorted child list once the async
+	// commit broadcasts have been drained.
+	clock.Drain()
+	if kids, err := e.Server(netsim.VRG).Tree().Children("/q"); err != nil || len(kids) != n {
+		t.Fatalf("VRG never converged: %v, %v", kids, err)
 	}
 	want, _ := e.Leader().Tree().Children("/q")
 	for _, region := range e.Regions() {
@@ -126,22 +113,22 @@ func TestDeliverCommitBuffersGaps(t *testing.T) {
 }
 
 func TestWaitApplied(t *testing.T) {
-	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, false, netsim.IRL)
 	s := e.Server(netsim.FRK)
-	done := make(chan struct{})
-	go func() {
+	woken := false
+	done := clock.NewEvent()
+	clock.Go(func() {
 		s.WaitApplied(1)
-		close(done)
-	}()
-	select {
-	case <-done:
+		woken = true
+		done.Fire()
+	})
+	clock.Sleep(10 * time.Millisecond) // lets the waiter park
+	if woken {
 		t.Fatal("WaitApplied returned before apply")
-	case <-time.After(10 * time.Millisecond):
 	}
 	s.DeliverCommit(1, CreateTxn{Path: "/a"})
-	select {
-	case <-done:
-	case <-time.After(time.Second):
+	done.Wait()
+	if !woken {
 		t.Fatal("WaitApplied never woke")
 	}
 	// Already-applied zxid returns immediately.
@@ -251,9 +238,9 @@ func TestEnqueueCZKPrelimGap(t *testing.T) {
 
 func TestEnqueueLeaderContactSmallGap(t *testing.T) {
 	// Client IRL connected to the leader in IRL: preliminary ~2ms, final
-	// ~2+20 (quorum to FRK) ~22ms (paper Fig 9 group 2). Run at scale 1.0:
-	// millisecond-level assertions need real-time accuracy.
-	e, _, clock := newTestEnsembleScale(t, true, netsim.IRL, 1.0)
+	// ~2+20 (quorum to FRK) ~22ms (paper Fig 9 group 2). The virtual clock
+	// resolves millisecond-level assertions exactly.
+	e, _, clock := newTestEnsemble(t, true, netsim.IRL)
 	e.Bootstrap(CreateTxn{Path: "/queues"})
 	e.Bootstrap(CreateTxn{Path: "/queues/t"})
 	qc := NewQueueClient(e, netsim.IRL, netsim.IRL)
@@ -273,7 +260,7 @@ func TestEnqueueLeaderContactSmallGap(t *testing.T) {
 }
 
 func TestDequeueCZKAtomicNoDuplicates(t *testing.T) {
-	e, _, _ := newTestEnsemble(t, true, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, true, netsim.IRL)
 	e.Bootstrap(CreateTxn{Path: "/queues"})
 	e.Bootstrap(CreateTxn{Path: "/queues/t"})
 	const n = 30
@@ -282,10 +269,10 @@ func TestDequeueCZKAtomicNoDuplicates(t *testing.T) {
 	}
 	var mu sync.Mutex
 	got := map[string]int{}
-	var wg sync.WaitGroup
+	wg := clock.NewGroup()
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
-		go func() {
+		clock.Go(func() {
 			defer wg.Done()
 			qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
 			for {
@@ -305,7 +292,7 @@ func TestDequeueCZKAtomicNoDuplicates(t *testing.T) {
 				got[final.Element.Name]++
 				mu.Unlock()
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	if len(got) != n {
@@ -319,7 +306,7 @@ func TestDequeueCZKAtomicNoDuplicates(t *testing.T) {
 }
 
 func TestDequeueRecipeContentionNoDuplicates(t *testing.T) {
-	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, false, netsim.IRL)
 	e.Bootstrap(CreateTxn{Path: "/queues"})
 	e.Bootstrap(CreateTxn{Path: "/queues/t"})
 	const n = 20
@@ -328,10 +315,10 @@ func TestDequeueRecipeContentionNoDuplicates(t *testing.T) {
 	}
 	var mu sync.Mutex
 	got := map[string]int{}
-	var wg sync.WaitGroup
+	wg := clock.NewGroup()
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
-		go func() {
+		clock.Go(func() {
 			defer wg.Done()
 			qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
 			for {
@@ -347,7 +334,7 @@ func TestDequeueRecipeContentionNoDuplicates(t *testing.T) {
 				got[final.Element.Name]++
 				mu.Unlock()
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	if len(got) != n {
@@ -477,7 +464,7 @@ func TestQueueBindingVanillaSingleLevel(t *testing.T) {
 }
 
 func TestQueueBindingInvokeWeakBackground(t *testing.T) {
-	e, _, _ := newTestEnsemble(t, true, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, true, netsim.IRL)
 	e.Bootstrap(CreateTxn{Path: "/queues"})
 	e.Bootstrap(CreateTxn{Path: "/queues/t"})
 	for i := 0; i < 5; i++ {
@@ -494,18 +481,11 @@ func TestQueueBindingInvokeWeakBackground(t *testing.T) {
 	if res.Element == nil || res.Element.Seq != 0 {
 		t.Errorf("weak dequeue = %+v", res)
 	}
-	// The dequeue itself completes in the background: eventually the leader
-	// has only 4 elements.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		kids, _ := e.Leader().Tree().Children("/queues/t")
-		if len(kids) == 4 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("background dequeue never committed; leader has %d elements", len(kids))
-		}
-		time.Sleep(time.Millisecond)
+	// The dequeue itself completes in the background: after draining, the
+	// leader has only 4 elements.
+	clock.Drain()
+	if kids, _ := e.Leader().Tree().Children("/queues/t"); len(kids) != 4 {
+		t.Fatalf("background dequeue never committed; leader has %d elements", len(kids))
 	}
 }
 

@@ -65,13 +65,14 @@ func (c *QueueClient) CreateQueue(queue string) error {
 func (c *QueueClient) Enqueue(queue string, data []byte, wantPrelim bool, onView func(QueueView)) error {
 	wantPrelim = wantPrelim && c.ensemble.cfg.Correctable
 	tr := c.ensemble.tr
+	clock := tr.Clock()
 	contact := c.ensemble.Server(c.Contact)
 	prefix := queueItemPrefix(queue)
 
 	tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(prefix)+len(data)))
 	contact.process()
 
-	prelimDelivered := make(chan struct{})
+	prelimDelivered := clock.NewEvent()
 	var prelim *QueueElement
 	if wantPrelim {
 		// Local simulation: predict the sequence number from local state.
@@ -79,21 +80,21 @@ func (c *QueueClient) Enqueue(queue string, data []byte, wantPrelim bool, onView
 		if err == nil {
 			name := fmt.Sprintf("q-%010d", seq)
 			prelim = &QueueElement{Name: name, Seq: seq, Data: append([]byte(nil), data...)}
-			go func() {
+			clock.Go(func() {
 				tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)))
 				onView(QueueView{Element: prelim, Level: core.LevelWeak})
-				close(prelimDelivered)
-			}()
+				prelimDelivered.Fire()
+			})
 		} else {
-			close(prelimDelivered)
+			prelimDelivered.Fire()
 		}
 	} else {
-		close(prelimDelivered)
+		prelimDelivered.Fire()
 	}
 
 	_, res := c.forwardAndCommit(contact, CreateTxn{Path: prefix, Data: data, Sequential: true})
 	if res.Err != nil {
-		<-prelimDelivered
+		prelimDelivered.Wait()
 		return res.Err
 	}
 	name := baseOf(res.CreatedPath)
@@ -101,7 +102,7 @@ func (c *QueueClient) Enqueue(queue string, data []byte, wantPrelim bool, onView
 	confirmed := prelim != nil && prelim.Name == elem.Name
 
 	tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(elem)))
-	<-prelimDelivered
+	prelimDelivered.Wait()
 	onView(QueueView{Element: elem, Level: core.LevelStrong, Final: true, Confirmed: confirmed})
 	return nil
 }
@@ -127,13 +128,14 @@ func (c *QueueClient) Dequeue(queue string, wantPrelim bool, onView func(QueueVi
 
 func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(QueueView)) error {
 	tr := c.ensemble.tr
+	clock := tr.Clock()
 	contact := c.ensemble.Server(c.Contact)
 	dir := queueDir(queue)
 
 	tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(dir)))
 	contact.process()
 
-	prelimDelivered := make(chan struct{})
+	prelimDelivered := clock.NewEvent()
 	var prelim *QueueElement
 	prelimRemaining := 0
 	if wantPrelim {
@@ -147,26 +149,26 @@ func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(Queu
 			if prelimRemaining < 0 {
 				prelimRemaining = 0
 			}
-			go func() {
+			clock.Go(func() {
 				tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)))
 				onView(QueueView{Element: prelim, Remaining: prelimRemaining, Level: core.LevelWeak})
-				close(prelimDelivered)
-			}()
+				prelimDelivered.Fire()
+			})
 		} else {
-			close(prelimDelivered)
+			prelimDelivered.Fire()
 		}
 	} else {
-		close(prelimDelivered)
+		prelimDelivered.Fire()
 	}
 
 	_, res := c.forwardAndCommit(contact, DequeueMinTxn{Dir: dir})
 	if res.Err != nil {
-		<-prelimDelivered
+		prelimDelivered.Wait()
 		return res.Err
 	}
 	confirmed := prelim.EqualValue(res.Element)
 	tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(res.Element)))
-	<-prelimDelivered
+	prelimDelivered.Wait()
 	onView(QueueView{
 		Element:   res.Element,
 		Remaining: res.Remaining,

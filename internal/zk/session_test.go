@@ -2,7 +2,6 @@ package zk
 
 import (
 	"testing"
-	"time"
 
 	"correctables/internal/netsim"
 )
@@ -153,7 +152,7 @@ func TestEphemeralLifecycle(t *testing.T) {
 }
 
 func TestSessionEphemeralReplicatedAndCleaned(t *testing.T) {
-	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, false, netsim.IRL)
 	e.Bootstrap(CreateTxn{Path: "/members"})
 	sess := e.NewSession(netsim.IRL, netsim.FRK)
 
@@ -164,24 +163,14 @@ func TestSessionEphemeralReplicatedAndCleaned(t *testing.T) {
 	if created == "" {
 		t.Fatal("no created path")
 	}
-	// The ephemeral reaches every replica (async commits may lag briefly).
+	// The ephemeral reaches every replica once async commits are drained.
 	waitForAll := func(want bool) {
 		t.Helper()
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			allMatch := true
-			for _, region := range e.Regions() {
-				if e.Server(region).Tree().Exists(created) != want {
-					allMatch = false
-				}
+		clock.Drain()
+		for _, region := range e.Regions() {
+			if e.Server(region).Tree().Exists(created) != want {
+				t.Fatalf("replica %s never converged to exists=%v for %s", region, want, created)
 			}
-			if allMatch {
-				return
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("replicas never converged to exists=%v for %s", want, created)
-			}
-			time.Sleep(time.Millisecond)
 		}
 	}
 	waitForAll(true)
@@ -208,7 +197,7 @@ func TestSessionEphemeralReplicatedAndCleaned(t *testing.T) {
 }
 
 func TestSessionCRUDAndWatch(t *testing.T) {
-	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, false, netsim.IRL)
 	sess := e.NewSession(netsim.IRL, netsim.FRK)
 	t.Cleanup(func() { _, _ = sess.Close() })
 
@@ -233,12 +222,13 @@ func TestSessionCRUDAndWatch(t *testing.T) {
 	if _, err := other.Create("/flag", nil, false); err != nil {
 		t.Fatal(err)
 	}
+	clock.Drain() // let the async commit reach the contact server
 	select {
 	case ev := <-watch:
 		if ev.Type != EventCreated {
 			t.Errorf("event = %+v", ev)
 		}
-	case <-time.After(5 * time.Second):
+	default:
 		t.Fatal("watch never fired for replicated create")
 	}
 
@@ -250,7 +240,7 @@ func TestSessionCRUDAndWatch(t *testing.T) {
 func TestSessionChildrenWatchCoordination(t *testing.T) {
 	// The classic group-membership pattern: watch a directory, react when a
 	// member joins.
-	e, _, _ := newTestEnsemble(t, false, netsim.IRL)
+	e, _, clock := newTestEnsemble(t, false, netsim.IRL)
 	e.Bootstrap(CreateTxn{Path: "/group"})
 	watcher := e.NewSession(netsim.IRL, netsim.FRK)
 	t.Cleanup(func() { _, _ = watcher.Close() })
@@ -263,9 +253,10 @@ func TestSessionChildrenWatchCoordination(t *testing.T) {
 	if _, err := member.CreateEphemeral("/group/m-", []byte("w1"), true); err != nil {
 		t.Fatal(err)
 	}
+	clock.Drain()
 	select {
 	case <-watch:
-	case <-time.After(5 * time.Second):
+	default:
 		t.Fatal("membership watch never fired")
 	}
 	kids, _, err = watcher.ChildrenW("/group")
@@ -277,15 +268,8 @@ func TestSessionChildrenWatchCoordination(t *testing.T) {
 	if _, err := member.Close(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		kids, err := e.Server(netsim.FRK).Tree().Children("/group")
-		if err == nil && len(kids) == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("group never emptied: %v", kids)
-		}
-		time.Sleep(time.Millisecond)
+	clock.Drain()
+	if kids, err := e.Server(netsim.FRK).Tree().Children("/group"); err != nil || len(kids) != 0 {
+		t.Fatalf("group never emptied: %v", kids)
 	}
 }
