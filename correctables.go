@@ -8,23 +8,39 @@
 // A Correctable generalizes a Promise: instead of one future value it
 // represents several incremental views of the result of one operation on a
 // replicated object, each view satisfying a stronger consistency level than
-// the previous. Applications obtain Correctables through a Client bound to
-// a storage binding:
+// the previous. The API is generic: a Correctable[T] delivers View[T], so
+// applications never see interface{} and never assert types.
+//
+// Applications obtain Correctables through a Client bound to a storage
+// binding, using the typed Invoke functions (see ExampleInvoke and the
+// other Example functions for runnable versions of the snippets below):
 //
 //	client := correctables.NewClient(myBinding)
 //
-//	// Single-level access, one view:
-//	c := client.InvokeWeak(ctx, correctables.Get{Key: "user:42"})
-//	c := client.InvokeStrong(ctx, correctables.Get{Key: "user:42"})
+//	// Single-level access, one view (c is a *Correctable[[]byte]):
+//	c := correctables.InvokeWeak(ctx, client, correctables.Get{Key: "user:42"})
+//	c := correctables.InvokeStrong(ctx, client, correctables.Get{Key: "user:42"})
 //
 //	// Incremental consistency guarantees (ICG), one view per level:
-//	client.Invoke(ctx, correctables.Get{Key: "ads:7"}).
+//	correctables.Invoke(ctx, client, correctables.Get{Key: "ads:7"}).
 //		Speculate(fetchAds, nil).
-//		OnFinal(func(v correctables.View) { deliver(v.Value) })
+//		OnFinal(func(v correctables.View[[]byte]) { deliver(v.Value) })
 //
 // Speculate hides the latency of strong consistency: the speculation
 // function runs on the preliminary (fast, possibly stale) view, and is
 // automatically re-executed if the final view diverges.
+//
+// # Typed operations
+//
+// Every operation declares its result type: Get yields []byte, Put yields
+// Ack, Enqueue/Dequeue yield Item. Invoke[T] accepts any OperationFor[T],
+// so the compiler connects the operation to the view type. The per-store
+// facades (cassandra.KV, causal.KV, zk.Queue) wrap this once more, giving
+// method-style access (kv.Get(ctx, key) → *Correctable[[]byte]).
+//
+// The Client methods Invoke/InvokeWeak/InvokeStrong are deprecated boxed
+// shims returning *Correctable[any]; they remain only so pre-generics code
+// keeps compiling during migration.
 //
 // # Bindings
 //
@@ -38,33 +54,38 @@
 package correctables
 
 import (
+	"context"
+
 	"correctables/internal/binding"
 	"correctables/internal/core"
 )
 
-// Core types re-exported from the implementation packages.
+// Core generic types, re-exported as aliases from the implementation
+// packages.
 type (
 	// Correctable represents the progressively improving result of an
-	// operation on a replicated object.
-	Correctable = core.Correctable
+	// operation on a replicated object with value type T.
+	Correctable[T any] = core.Correctable[T]
 	// Controller is the producer-side handle used by bindings and tests.
-	Controller = core.Controller
-	// View is one incremental view: a value plus its consistency level.
-	View = core.View
+	Controller[T any] = core.Controller[T]
+	// View is one incremental view: a typed value plus its consistency
+	// level.
+	View[T any] = core.View[T]
+	// Callbacks bundles the OnUpdate/OnFinal/OnError callbacks.
+	Callbacks[T any] = core.Callbacks[T]
+	// SpecFunc is a speculation function (see Speculate).
+	SpecFunc[In, Out any] = core.SpecFunc[In, Out]
+	// AbortFunc undoes a superseded speculation's side effects.
+	AbortFunc[In, Out any] = core.AbortFunc[In, Out]
+	// Equaler customizes divergence checks for view values of type T.
+	Equaler[T any] = core.Equaler[T]
+
 	// Level identifies a consistency level.
 	Level = core.Level
 	// Levels is an ordered set of consistency levels.
 	Levels = core.Levels
 	// State is a Correctable lifecycle state.
 	State = core.State
-	// Callbacks bundles the OnUpdate/OnFinal/OnError callbacks.
-	Callbacks = core.Callbacks
-	// SpecFunc is a speculation function (see Correctable.Speculate).
-	SpecFunc = core.SpecFunc
-	// AbortFunc undoes a superseded speculation's side effects.
-	AbortFunc = core.AbortFunc
-	// Equaler customizes divergence checks for view values.
-	Equaler = core.Equaler
 
 	// Client is the application-facing, consistency-based interface.
 	Client = binding.Client
@@ -72,17 +93,23 @@ type (
 	Binding = binding.Binding
 	// Operation is a request against a replicated object.
 	Operation = binding.Operation
-	// Result is one binding response.
+	// OperationFor is a typed operation whose result decodes to T.
+	OperationFor[T any] = binding.OperationFor[T]
+	// Result is one binding response (the monomorphic wire type).
 	Result = binding.Result
 	// Callback receives incremental results from a binding.
 	Callback = binding.Callback
 
-	// Get reads a key. Put writes a key. Enqueue/Dequeue operate on
-	// replicated queue objects.
+	// Get reads a key (result: []byte). Put writes a key (result: Ack).
+	// Enqueue/Dequeue operate on replicated queue objects (result: Item).
 	Get     = binding.Get
 	Put     = binding.Put
 	Enqueue = binding.Enqueue
 	Dequeue = binding.Dequeue
+	// Ack is the typed result of write-style operations.
+	Ack = binding.Ack
+	// Item is the typed result of queue operations.
+	Item = binding.Item
 )
 
 // Consistency levels, weakest to strongest.
@@ -116,23 +143,57 @@ var (
 // NewClient wraps a binding in the application-facing Client.
 func NewClient(b Binding) *Client { return binding.NewClient(b) }
 
+// Invoke executes op with incremental consistency guarantees: one view per
+// requested level (all levels the binding offers when none are given),
+// weakest first, closing with the strongest (§3.2).
+func Invoke[T any](ctx context.Context, c *Client, op OperationFor[T], levels ...Level) *Correctable[T] {
+	return binding.Invoke[T](ctx, c, op, levels...)
+}
+
+// InvokeWeak executes op at the weakest available level (single view).
+func InvokeWeak[T any](ctx context.Context, c *Client, op OperationFor[T]) *Correctable[T] {
+	return binding.InvokeWeak[T](ctx, c, op)
+}
+
+// InvokeStrong executes op at the strongest available level (single view).
+func InvokeStrong[T any](ctx context.Context, c *Client, op OperationFor[T]) *Correctable[T] {
+	return binding.InvokeStrong[T](ctx, c, op)
+}
+
 // New creates an unresolved Correctable and its Controller (for binding
 // implementations and tests).
-func New() (*Correctable, *Controller) { return core.New() }
+func New[T any]() (*Correctable[T], Controller[T]) { return core.New[T]() }
+
+// Speculate applies spec to every distinct view of c, re-executing on
+// divergence; the result type may differ from the source type (§4.2). The
+// method form c.Speculate keeps the type.
+func Speculate[In, Out any](c *Correctable[In], spec SpecFunc[In, Out], abort AbortFunc[In, Out]) *Correctable[Out] {
+	return core.Speculate(c, spec, abort)
+}
+
+// Map chains a synchronous transformation over every view (the monadic
+// `then`); use Speculate for heavy work.
+func Map[In, Out any](c *Correctable[In], f func(View[In]) (Out, error)) *Correctable[Out] {
+	return core.Map(c, f)
+}
 
 // All aggregates several Correctables: updates carry the latest values of
-// every child; the aggregate closes when all children have.
-func All(cs ...*Correctable) *Correctable { return core.All(cs...) }
+// every child as a []T; the aggregate closes when all children have.
+func All[T any](cs ...*Correctable[T]) *Correctable[[]T] { return core.All(cs...) }
 
 // Any mirrors whichever Correctable closes first.
-func Any(cs ...*Correctable) *Correctable { return core.Any(cs...) }
+func Any[T any](cs ...*Correctable[T]) *Correctable[T] { return core.Any(cs...) }
+
+// Race closes with the first view delivered by any child (§4.4).
+func Race[T any](cs ...*Correctable[T]) *Correctable[T] { return core.Race(cs...) }
 
 // Resolved returns an already-final Correctable.
-func Resolved(value interface{}, level Level) *Correctable { return core.Resolved(value, level) }
+func Resolved[T any](value T, level Level) *Correctable[T] { return core.Resolved(value, level) }
 
 // Failed returns an already-errored Correctable.
-func Failed(err error) *Correctable { return core.Failed(err) }
+func Failed[T any](err error) *Correctable[T] { return core.Failed[T](err) }
 
 // ValuesEqual reports view-value equality as used for confirmation and
-// misspeculation detection.
-func ValuesEqual(a, b interface{}) bool { return core.ValuesEqual(a, b) }
+// misspeculation detection (Equaler[T] when implemented, bytes.Equal for
+// []byte, reflect.DeepEqual otherwise).
+func ValuesEqual[T any](a, b T) bool { return core.ValuesEqual(a, b) }

@@ -3,6 +3,7 @@ package correctables_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -33,16 +34,18 @@ func newFacadeCluster(t *testing.T) *correctables.Client {
 		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
 }
 
+// TestFacadeEndToEnd: a typed end-to-end ICG read — Invoke[[]byte] via the
+// Get operation, not a single type assertion anywhere.
 func TestFacadeEndToEnd(t *testing.T) {
 	client := newFacadeCluster(t)
 	ctx := context.Background()
 
-	cor := client.Invoke(ctx, correctables.Get{Key: "k"})
+	cor := correctables.Invoke(ctx, client, correctables.Get{Key: "k"})
 	v, err := cor.Final(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Level != correctables.LevelStrong || string(v.Value.([]byte)) != "v" {
+	if v.Level != correctables.LevelStrong || string(v.Value) != "v" {
 		t.Errorf("final = %+v", v)
 	}
 	views := cor.Views()
@@ -54,12 +57,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeSpeculate: the typed speculation path — []byte views in, string
+// result out, still no assertions.
 func TestFacadeSpeculate(t *testing.T) {
 	client := newFacadeCluster(t)
 	ctx := context.Background()
-	out := client.Invoke(ctx, correctables.Get{Key: "k"}).
-		Speculate(func(v correctables.View) (interface{}, error) {
-			return "spec:" + string(v.Value.([]byte)), nil
+	out := correctables.Speculate(
+		correctables.Invoke(ctx, client, correctables.Get{Key: "k"}),
+		func(v correctables.View[[]byte]) (string, error) {
+			return "spec:" + string(v.Value), nil
 		}, nil)
 	v, err := out.Final(ctx)
 	if err != nil {
@@ -70,6 +76,49 @@ func TestFacadeSpeculate(t *testing.T) {
 	}
 }
 
+// TestFacadeTypedNoAssertions is the acceptance test of the typed redesign:
+// an app can Invoke[[]byte] a Get, Speculate on it, wait on levels, and
+// aggregate results, with every value statically typed end to end.
+func TestFacadeTypedNoAssertions(t *testing.T) {
+	client := newFacadeCluster(t)
+	ctx := context.Background()
+
+	// Invoke → Speculate: View[[]byte] in, []string out.
+	words := correctables.Speculate(
+		correctables.Invoke(ctx, client, correctables.Get{Key: "k"}),
+		func(v correctables.View[[]byte]) ([]string, error) {
+			return strings.Fields(string(v.Value)), nil
+		}, nil)
+	wv, err := words.Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wv.Value) != 1 || wv.Value[0] != "v" {
+		t.Errorf("speculated words = %v", wv.Value)
+	}
+
+	// WaitLevel returns the typed preliminary view.
+	cor := correctables.Invoke(ctx, client, correctables.Get{Key: "k"})
+	weak, err := cor.WaitLevel(ctx, correctables.LevelWeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(weak.Value) != "v" {
+		t.Errorf("weak view = %q", weak.Value)
+	}
+
+	// All aggregates typed children into a []T.
+	g1 := correctables.InvokeStrong(ctx, client, correctables.Get{Key: "k"})
+	g2 := correctables.InvokeStrong(ctx, client, correctables.Get{Key: "k"})
+	all, err := correctables.All(g1, g2).Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Value) != 2 || string(all.Value[0]) != "v" || string(all.Value[1]) != "v" {
+		t.Errorf("All = %v", all.Value)
+	}
+}
+
 func TestFacadeCombinators(t *testing.T) {
 	r1 := correctables.Resolved(1, correctables.LevelStrong)
 	r2 := correctables.Resolved(2, correctables.LevelStrong)
@@ -77,16 +126,15 @@ func TestFacadeCombinators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals := all.Value.([]interface{})
-	if vals[0] != 1 || vals[1] != 2 {
-		t.Errorf("All = %v", vals)
+	if all.Value[0] != 1 || all.Value[1] != 2 {
+		t.Errorf("All = %v", all.Value)
 	}
-	any, err := correctables.Any(r1, r2).Final(context.Background())
-	if err != nil || (any.Value != 1 && any.Value != 2) {
-		t.Errorf("Any = %v, %v", any.Value, err)
+	anyV, err := correctables.Any(r1, r2).Final(context.Background())
+	if err != nil || (anyV.Value != 1 && anyV.Value != 2) {
+		t.Errorf("Any = %v, %v", anyV.Value, err)
 	}
 	boom := errors.New("x")
-	if _, err := correctables.Failed(boom).Final(context.Background()); !errors.Is(err, boom) {
+	if _, err := correctables.Failed[int](boom).Final(context.Background()); !errors.Is(err, boom) {
 		t.Errorf("Failed = %v", err)
 	}
 	if !correctables.ValuesEqual([]byte("a"), []byte("a")) {
@@ -94,8 +142,78 @@ func TestFacadeCombinators(t *testing.T) {
 	}
 }
 
+// TestFacadeAllWithFailedChild: All must fail as soon as any child fails,
+// even when the other children close successfully afterwards.
+func TestFacadeAllWithFailedChild(t *testing.T) {
+	ok, okCtrl := correctables.New[int]()
+	bad, badCtrl := correctables.New[int]()
+	out := correctables.All(ok, bad)
+	boom := errors.New("child down")
+	if err := badCtrl.Fail(boom); err != nil {
+		t.Fatal(err)
+	}
+	if err := okCtrl.Close(7, correctables.LevelStrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Final(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("All with failed child = %v, want %v", err, boom)
+	}
+}
+
+// TestFacadeAnyWithFailedChildren: Any must survive individual failures and
+// mirror the surviving child; it fails only when every child has failed.
+func TestFacadeAnyWithFailedChildren(t *testing.T) {
+	c1, ctrl1 := correctables.New[string]()
+	c2, ctrl2 := correctables.New[string]()
+	out := correctables.Any(c1, c2)
+	if err := ctrl1.Fail(errors.New("first down")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl2.Close("survivor", correctables.LevelStrong); err != nil {
+		t.Fatal(err)
+	}
+	v, err := out.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != "survivor" {
+		t.Errorf("Any = %q, want survivor", v.Value)
+	}
+
+	// All children failing: the last error surfaces.
+	f1, fctrl1 := correctables.New[string]()
+	f2, fctrl2 := correctables.New[string]()
+	allFail := correctables.Any(f1, f2)
+	_ = fctrl1.Fail(errors.New("e1"))
+	last := errors.New("e2")
+	_ = fctrl2.Fail(last)
+	if _, err := allFail.Final(context.Background()); !errors.Is(err, last) {
+		t.Errorf("Any all-failed = %v, want %v", err, last)
+	}
+}
+
+// TestFacadeInvokeUnsupportedLevels: requesting a level the binding does
+// not offer, or an effectively empty level set, fails the Correctable with
+// ErrUnsupportedLevel.
+func TestFacadeInvokeUnsupportedLevels(t *testing.T) {
+	client := newFacadeCluster(t)
+	ctx := context.Background()
+
+	// Cassandra offers weak+strong only.
+	cor := correctables.Invoke(ctx, client, correctables.Get{Key: "k"}, correctables.LevelCausal)
+	if _, err := cor.Final(ctx); !errors.Is(err, correctables.ErrUnsupportedLevel) {
+		t.Errorf("unsupported level err = %v", err)
+	}
+
+	// A level list that normalizes to the empty set (only LevelNone).
+	cor = correctables.Invoke(ctx, client, correctables.Get{Key: "k"}, correctables.LevelNone)
+	if _, err := cor.Final(ctx); !errors.Is(err, correctables.ErrUnsupportedLevel) {
+		t.Errorf("empty level set err = %v", err)
+	}
+}
+
 func TestFacadeControllerAndErrors(t *testing.T) {
-	cor, ctrl := correctables.New()
+	cor, ctrl := correctables.New[string]()
 	if err := ctrl.Update("p", correctables.LevelWeak); err != nil {
 		t.Fatal(err)
 	}
@@ -107,6 +225,41 @@ func TestFacadeControllerAndErrors(t *testing.T) {
 	}
 	if _, err := cor.WaitLevel(context.Background(), correctables.LevelStrong); err != nil {
 		t.Errorf("WaitLevel = %v", err)
+	}
+}
+
+// parityEqualer judges equality on value parity — a custom Equaler[T].
+type parityEqualer struct{ N int }
+
+func (p parityEqualer) EqualValue(other parityEqualer) bool { return p.N%2 == other.N%2 }
+
+// TestFacadeValuesEqualCustomEqualer: ValuesEqual consults Equaler[T] when
+// implemented, bytes.Equal for []byte, and reflect.DeepEqual otherwise.
+func TestFacadeValuesEqualCustomEqualer(t *testing.T) {
+	if !correctables.ValuesEqual(parityEqualer{2}, parityEqualer{8}) {
+		t.Error("custom Equaler[T] not consulted")
+	}
+	if correctables.ValuesEqual(parityEqualer{1}, parityEqualer{8}) {
+		t.Error("custom Equaler[T] mismatch not detected")
+	}
+	// Structurally different but parity-equal — only the Equaler view makes
+	// them equal, proving reflection was not used.
+	if !correctables.ValuesEqual(parityEqualer{4}, parityEqualer{100}) {
+		t.Error("Equaler should ignore structural differences")
+	}
+	// Fallbacks.
+	if !correctables.ValuesEqual([]byte{1, 2}, []byte{1, 2}) || correctables.ValuesEqual([]byte{1}, []byte{2}) {
+		t.Error("[]byte fast path broken")
+	}
+	type plain struct{ A, B int }
+	if !correctables.ValuesEqual(plain{1, 2}, plain{1, 2}) || correctables.ValuesEqual(plain{1, 2}, plain{2, 1}) {
+		t.Error("reflect fallback broken")
+	}
+	// Item judges identity, ignoring Data/Remaining.
+	a := correctables.Item{ID: "q-1", Exists: true, Remaining: 4}
+	b := correctables.Item{ID: "q-1", Data: []byte("x"), Exists: true}
+	if !correctables.ValuesEqual(a, b) {
+		t.Error("Item Equaler not consulted")
 	}
 }
 
@@ -128,16 +281,29 @@ func TestFacadeQueueOps(t *testing.T) {
 	client := correctables.NewClient(zk.NewBinding(zk.NewQueueClient(e, netsim.IRL, netsim.FRK)))
 	ctx := context.Background()
 
-	if _, err := client.Invoke(ctx, correctables.Enqueue{Queue: "q", Item: []byte("x")}).Final(ctx); err != nil {
+	if _, err := correctables.Invoke(ctx, client, correctables.Enqueue{Queue: "q", Item: []byte("x")}).Final(ctx); err != nil {
 		t.Fatal(err)
 	}
-	v, err := client.Invoke(ctx, correctables.Dequeue{Queue: "q"}).Final(ctx)
+	v, err := correctables.Invoke(ctx, client, correctables.Dequeue{Queue: "q"}).Final(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := v.Value.(zk.QueueResult)
-	if res.Element == nil || string(res.Element.Data) != "x" {
-		t.Errorf("dequeue = %+v", res)
+	if !v.Value.Exists || string(v.Value.Data) != "x" {
+		t.Errorf("dequeue = %+v", v.Value)
+	}
+}
+
+// TestFacadeBoxedShims: the deprecated interface{} methods still work for
+// pre-generics callers.
+func TestFacadeBoxedShims(t *testing.T) {
+	client := newFacadeCluster(t)
+	ctx := context.Background()
+	v, err := client.Invoke(ctx, correctables.Get{Key: "k"}).Final(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := v.Value.([]byte); !ok || string(b) != "v" {
+		t.Errorf("boxed value = %#v", v.Value)
 	}
 }
 

@@ -1,0 +1,117 @@
+package correctables_test
+
+import (
+	"context"
+	"fmt"
+
+	"correctables"
+	"correctables/internal/cassandra"
+	"correctables/internal/netsim"
+)
+
+// newExampleClient builds a three-region Correctable-Cassandra deployment
+// on the deterministic virtual clock, preloaded with one key. All examples
+// run instantly and print the same thing on every machine.
+func newExampleClient(key, value string) *correctables.Client {
+	clock := netsim.NewVirtualClock()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	cluster, err := cassandra.NewCluster(cassandra.Config{
+		Regions:         []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		Transport:       tr,
+		Correctable:     true,
+		ConfirmationOpt: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cluster.Preload(key, []byte(value))
+	return correctables.NewClient(cassandra.NewBinding(
+		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
+}
+
+// ExampleInvoke shows incremental consistency guarantees: one logical read,
+// one typed view per consistency level, weakest first.
+func ExampleInvoke() {
+	client := newExampleClient("user:42", "ada")
+	ctx := context.Background()
+
+	cor := correctables.Invoke(ctx, client, correctables.Get{Key: "user:42"})
+	cor.OnUpdate(func(v correctables.View[[]byte]) {
+		fmt.Printf("%s view: %s (final=%v)\n", v.Level, v.Value, v.Final)
+	})
+	if _, err := cor.Final(ctx); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// weak view: ada (final=false)
+	// strong view: ada (final=true)
+}
+
+// ExampleInvokeWeak reads at the weakest level only — a single fast view,
+// typed []byte, no assertions.
+func ExampleInvokeWeak() {
+	client := newExampleClient("greeting", "hello")
+	v, err := correctables.InvokeWeak(context.Background(), client, correctables.Get{Key: "greeting"}).
+		Final(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s at level %s\n", v.Value, v.Level)
+	// Output:
+	// hello at level weak
+}
+
+// ExampleSpeculate hides strong-consistency latency: the speculation
+// function runs on the preliminary view and the result is confirmed (or
+// recomputed) when the final view arrives. The result type may differ from
+// the source type — here []byte views become a rendered string.
+func ExampleSpeculate() {
+	client := newExampleClient("ads:7", "sneakers")
+	ctx := context.Background()
+
+	rendered := correctables.Speculate(
+		correctables.Invoke(ctx, client, correctables.Get{Key: "ads:7"}),
+		func(v correctables.View[[]byte]) (string, error) {
+			return "ad<" + string(v.Value) + ">", nil
+		}, nil)
+	v, err := rendered.Final(ctx)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(v.Value, "-", v.Level)
+	// Output:
+	// ad<sneakers> - strong
+}
+
+// ExampleAll aggregates typed Correctables: the result value is a []T with
+// every child's latest value.
+func ExampleAll() {
+	a := correctables.Resolved([]byte("x"), correctables.LevelStrong)
+	b := correctables.Resolved([]byte("y"), correctables.LevelWeak)
+	v, err := correctables.All(a, b).Final(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s%s at level %s\n", v.Value[0], v.Value[1], v.Level)
+	// Output:
+	// xy at level weak
+}
+
+// ExampleCorrectable_WaitLevel blocks until a view at least as strong as
+// the requested level has arrived.
+func ExampleCorrectable_WaitLevel() {
+	client := newExampleClient("k", "v")
+	ctx := context.Background()
+	cor := correctables.Invoke(ctx, client, correctables.Get{Key: "k"})
+	v, err := cor.WaitLevel(ctx, correctables.LevelWeak)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("first >=weak view: %s at %s\n", v.Value, v.Level)
+	// Output:
+	// first >=weak view: v at weak
+}

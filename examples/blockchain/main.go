@@ -42,9 +42,10 @@ func main() {
 	sw := clock.StartStopwatch()
 
 	fmt.Printf("submitting payment; waiting for %d confirmations...\n", depth)
-	cor := client.Invoke(context.Background(), chain.SubmitTx{ID: "pay-coffee", Data: []byte("0.0042 BTC")})
-	cor.OnUpdate(func(v correctables.View) {
-		st := v.Value.(chain.TxStatus)
+	// chain.Submit is the typed facade: views carry chain.TxStatus directly.
+	cor := chain.Submit(context.Background(), client, chain.SubmitTx{ID: "pay-coffee", Data: []byte("0.0042 BTC")})
+	cor.OnUpdate(func(v correctables.View[chain.TxStatus]) {
+		st := v.Value
 		bar := ""
 		for i := 0; i < st.Confirmations; i++ {
 			bar += "#"
@@ -61,7 +62,7 @@ func main() {
 	fmt.Println("and reconcile at 6 (strong view) — speculation over incremental trust.")
 }
 
-func state(v correctables.View) string {
+func state(v correctables.View[chain.TxStatus]) string {
 	if v.Final {
 		return "FINAL"
 	}

@@ -45,9 +45,10 @@ func main() {
 	client := correctables.NewClient(cassandra.NewBinding(store, cassandra.BindingConfig{StrongQuorum: 2}))
 	ctx := context.Background()
 
-	// --- invokeWeak: fastest, single weakly consistent view. ---
+	// --- invokeWeak: fastest, single weakly consistent view. The typed
+	// API means v.Value is a []byte — no assertions anywhere below. ---
 	sw := clock.StartStopwatch()
-	v, err := client.InvokeWeak(ctx, correctables.Get{Key: "greeting"}).Final(ctx)
+	v, err := correctables.InvokeWeak(ctx, client, correctables.Get{Key: "greeting"}).Final(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 
 	// --- invokeStrong: quorum-reconciled, single strong view. ---
 	sw = clock.StartStopwatch()
-	v, err = client.InvokeStrong(ctx, correctables.Get{Key: "greeting"}).Final(ctx)
+	v, err = correctables.InvokeStrong(ctx, client, correctables.Get{Key: "greeting"}).Final(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,8 +64,8 @@ func main() {
 
 	// --- invoke: incremental consistency guarantees, both views. ---
 	sw = clock.StartStopwatch()
-	cor := client.Invoke(ctx, correctables.Get{Key: "greeting"})
-	cor.OnUpdate(func(view correctables.View) {
+	cor := correctables.Invoke(ctx, client, correctables.Get{Key: "greeting"})
+	cor.OnUpdate(func(view correctables.View[[]byte]) {
 		fmt.Printf("invoke       -> %-28q level=%-6s after %v (final=%v)\n",
 			view.Value, view.Level, round(sw.ElapsedModel()), view.Final)
 	})
@@ -72,20 +73,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// --- speculate: hide strong-consistency latency behind work. ---
+	// --- speculate: hide strong-consistency latency behind work. The
+	// speculation maps []byte views to a rendered string. ---
 	sw = clock.StartStopwatch()
-	result := client.Invoke(ctx, correctables.Get{Key: "greeting"}).
-		Speculate(func(view correctables.View) (interface{}, error) {
+	result := correctables.Speculate(
+		correctables.Invoke(ctx, client, correctables.Get{Key: "greeting"}),
+		func(view correctables.View[[]byte]) (string, error) {
 			// Expensive post-processing (e.g. fetching dependent objects),
 			// started on the preliminary view.
 			clock.Sleep(15 * time.Millisecond)
 			return fmt.Sprintf("rendered(%s)", view.Value), nil
 		}, nil)
-	v, err = result.Final(ctx)
+	rendered, err := result.Final(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("speculate    -> %-28q level=%-6s after %v\n", v.Value, v.Level, round(sw.ElapsedModel()))
+	fmt.Printf("speculate    -> %-28q level=%-6s after %v\n", rendered.Value, rendered.Level, round(sw.ElapsedModel()))
 	fmt.Println()
 	fmt.Println("The speculative call finishes around the strong read's latency —")
 	fmt.Println("the 15ms of post-processing ran during the quorum round trip.")

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"correctables"
 	"correctables/internal/apps/tickets"
 	"correctables/internal/netsim"
 	"correctables/internal/zk"
@@ -67,7 +68,7 @@ func main() {
 				// Closed loop: the purchase decision is fast, but serve the
 				// next customer only once this dequeue committed (the
 				// decision latency is what counts for the buyer).
-				if ticket, _ := res.Assigned.Get().(*zk.QueueElement); ticket == nil {
+				if ticket, _ := res.Assigned.Get().(correctables.Item); !ticket.Exists {
 					continue // revoked near the boundary; not a sale
 				}
 				mu.Lock()

@@ -104,19 +104,20 @@ func TestInvariantSpeculationEquivalentToBaseline(t *testing.T) {
 		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
 	ctx := context.Background()
 
-	process := func(v correctables.View) (interface{}, error) {
-		return "processed:" + string(v.Value.([]byte)), nil
+	process := func(v correctables.View[[]byte]) (string, error) {
+		return "processed:" + string(v.Value), nil
 	}
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("key%d", i)
 		cluster.Preload(key, []byte(fmt.Sprintf("value%d", i)))
 
-		spec, err := client.Invoke(ctx, correctables.Get{Key: key}).
-			Speculate(process, nil).Final(ctx)
+		spec, err := correctables.Speculate(
+			correctables.Invoke(ctx, client, correctables.Get{Key: key}),
+			process, nil).Final(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		strong, err := client.InvokeStrong(ctx, correctables.Get{Key: key}).Final(ctx)
+		strong, err := correctables.InvokeStrong(ctx, client, correctables.Get{Key: key}).Final(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,26 +140,26 @@ func TestInvariantWeakStrongAgreeOnQuiescentData(t *testing.T) {
 		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
 	ctx := context.Background()
 
-	weak, err := client.InvokeWeak(ctx, correctables.Get{Key: "q"}).Final(ctx)
+	weak, err := correctables.InvokeWeak(ctx, client, correctables.Get{Key: "q"}).Final(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	strong, err := client.InvokeStrong(ctx, correctables.Get{Key: "q"}).Final(ctx)
+	strong, err := correctables.InvokeStrong(ctx, client, correctables.Get{Key: "q"}).Final(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	icg := client.Invoke(ctx, correctables.Get{Key: "q"})
+	icg := correctables.Invoke(ctx, client, correctables.Get{Key: "q"})
 	final, err := icg.Final(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range [][]byte{weak.Value.([]byte), strong.Value.([]byte), final.Value.([]byte)} {
+	for _, v := range [][]byte{weak.Value, strong.Value, final.Value} {
 		if string(v) != "settled" {
 			t.Errorf("level disagreement: %q", v)
 		}
 	}
 	for _, v := range icg.Views() {
-		if string(v.Value.([]byte)) != "settled" {
+		if string(v.Value) != "settled" {
 			t.Errorf("ICG view disagreement: %q", v.Value)
 		}
 	}

@@ -118,8 +118,8 @@ type FetchOutcome struct {
 
 // Service serves ads from a cassandra-backed store.
 type Service struct {
-	client *binding.Client
-	clock  netsim.Clock
+	kv    *cassandra.KV
+	clock netsim.Clock
 	// MaxAdsPerRequest caps how many referenced ads are actually fetched
 	// per request (a realistic page size; keeps load experiments bounded).
 	MaxAdsPerRequest int
@@ -128,14 +128,14 @@ type Service struct {
 // NewService builds a service over a cassandra binding.
 func NewService(b *cassandra.Binding) *Service {
 	return &Service{
-		client:           binding.NewClient(b),
+		kv:               cassandra.NewKV(b),
 		clock:            b.Client().Cluster().Transport().Clock(),
 		MaxAdsPerRequest: 5,
 	}
 }
 
 // Client exposes the underlying Correctables client.
-func (s *Service) Client() *binding.Client { return s.client }
+func (s *Service) Client() *binding.Client { return s.kv.Client() }
 
 // getAds fetches and post-processes the ads named by an encoded reference
 // list (the speculation function of Listing 4). Each ad is fetched with a
@@ -158,13 +158,12 @@ func (s *Service) getAds(refsEncoded []byte) ([]Ad, error) {
 	for i, ref := range refs {
 		i, ref := i, ref
 		s.clock.Go(func() {
-			v, err := s.client.InvokeStrong(context.Background(), binding.Get{Key: AdKey(ref)}).Final(context.Background())
+			v, err := s.kv.GetStrong(context.Background(), AdKey(ref)).Final(context.Background())
 			if err != nil {
 				q.Put(fetched{i: i, err: err})
 				return
 			}
-			body, _ := v.Value.([]byte)
-			q.Put(fetched{i: i, ad: Ad{Ref: ref, Body: body}})
+			q.Put(fetched{i: i, ad: Ad{Ref: ref, Body: v.Value}})
 		})
 	}
 	ads := make([]Ad, len(refs))
@@ -195,12 +194,11 @@ func (s *Service) FetchAdsByUserID(ctx context.Context, uid int, speculative boo
 	key := ProfileKey(uid)
 
 	if !speculative {
-		v, err := s.client.InvokeStrong(ctx, binding.Get{Key: key}).Final(ctx)
+		v, err := s.kv.GetStrong(ctx, key).Final(ctx)
 		if err != nil {
 			return out, err
 		}
-		refs, _ := v.Value.([]byte)
-		ads, err := s.getAds(refs)
+		ads, err := s.getAds(v.Value)
 		if err != nil {
 			return out, err
 		}
@@ -209,25 +207,26 @@ func (s *Service) FetchAdsByUserID(ctx context.Context, uid int, speculative boo
 		return out, nil
 	}
 
-	refsCor := s.client.Invoke(ctx, binding.Get{Key: key})
-	var prelimSeen core.View
-	refsCor.OnUpdate(func(v core.View) {
-		if !v.Final && out.PrelimAt == 0 {
+	refsCor := s.kv.Get(ctx, key)
+	var prelimSeen core.View[[]byte]
+	var sawPrelim bool
+	refsCor.OnUpdate(func(v core.View[[]byte]) {
+		if !v.Final && !sawPrelim {
 			out.PrelimAt = sw.ElapsedModel()
 			prelimSeen = v
+			sawPrelim = true
 		}
 	})
-	adsCor := refsCor.Speculate(func(v core.View) (interface{}, error) {
-		refs, _ := v.Value.([]byte)
-		return s.getAds(refs)
+	adsCor := core.Speculate(refsCor, func(v core.View[[]byte]) ([]Ad, error) {
+		return s.getAds(v.Value)
 	}, nil)
 	v, err := adsCor.Final(ctx)
 	if err != nil {
 		return out, err
 	}
-	out.Ads, _ = v.Value.([]Ad)
+	out.Ads = v.Value
 	out.Latency = sw.ElapsedModel()
-	if fv, ok := refsCor.Latest(); ok && prelimSeen.Value != nil {
+	if fv, ok := refsCor.Latest(); ok && sawPrelim {
 		out.Misspeculated = !core.ValuesEqual(prelimSeen.Value, fv.Value)
 	}
 	return out, nil
@@ -237,7 +236,7 @@ func (s *Service) FetchAdsByUserID(ctx context.Context, uid int, speculative boo
 // YCSB workloads in Fig 11). Returns the model-time latency.
 func (s *Service) UpdateProfile(ctx context.Context, uid int, refs []string) (time.Duration, error) {
 	sw := s.clock.StartStopwatch()
-	_, err := s.client.InvokeStrong(ctx, binding.Put{Key: ProfileKey(uid), Value: encodeRefs(refs)}).Final(ctx)
+	_, err := s.kv.Put(ctx, ProfileKey(uid), encodeRefs(refs)).Final(ctx)
 	return sw.ElapsedModel(), err
 }
 

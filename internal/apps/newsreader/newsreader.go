@@ -39,20 +39,20 @@ type Update struct {
 
 // Reader is the news reader app over a cache+causal binding.
 type Reader struct {
-	client *binding.Client
-	clock  netsim.Clock
+	kv    *causal.KV
+	clock netsim.Clock
 }
 
 // NewReader builds a reader over a causal-store binding.
 func NewReader(b *causal.Binding) *Reader {
 	return &Reader{
-		client: binding.NewClient(b),
-		clock:  b.Client().Store().Config().Transport.Clock(),
+		kv:    causal.NewKV(b),
+		clock: b.Client().Store().Config().Transport.Clock(),
 	}
 }
 
 // Client exposes the underlying Correctables client.
-func (r *Reader) Client() *binding.Client { return r.client }
+func (r *Reader) Client() *binding.Client { return r.kv.Client() }
 
 // GetLatestNews is Listing 6: one logical access, refreshDisplay on every
 // update. It returns after the final view has been displayed, reporting all
@@ -60,11 +60,10 @@ func (r *Reader) Client() *binding.Client { return r.client }
 func (r *Reader) GetLatestNews(ctx context.Context, refreshDisplay func(Update)) ([]Update, error) {
 	sw := r.clock.StartStopwatch()
 	var updates []Update
-	cor := r.client.Invoke(ctx, binding.Get{Key: FeedKey})
-	cor.OnUpdate(func(v core.View) {
-		raw, _ := v.Value.([]byte)
+	cor := r.kv.Get(ctx, FeedKey)
+	cor.OnUpdate(func(v core.View[[]byte]) {
 		u := Update{
-			Items: decodeItems(raw),
+			Items: decodeItems(v.Value),
 			Level: v.Level,
 			At:    sw.ElapsedModel(),
 			Final: v.Final,
@@ -83,15 +82,14 @@ func (r *Reader) GetLatestNews(ctx context.Context, refreshDisplay func(Update))
 // Publish prepends a headline to the feed (newsroom side; goes through the
 // primary with write-through coherence).
 func (r *Reader) Publish(ctx context.Context, headline string, keep int) error {
-	v, err := r.client.InvokeStrong(ctx, binding.Get{Key: FeedKey}).Final(ctx)
+	v, err := r.kv.GetStrong(ctx, FeedKey).Final(ctx)
 	if err != nil {
 		return err
 	}
-	raw, _ := v.Value.([]byte)
-	items := append([]string{headline}, decodeItems(raw)...)
+	items := append([]string{headline}, decodeItems(v.Value)...)
 	if keep > 0 && len(items) > keep {
 		items = items[:keep]
 	}
-	_, err = r.client.InvokeStrong(ctx, binding.Put{Key: FeedKey, Value: encodeItems(items)}).Final(ctx)
+	_, err = r.kv.Put(ctx, FeedKey, encodeItems(items)).Final(ctx)
 	return err
 }

@@ -41,15 +41,15 @@ type PurchaseResult struct {
 	// Remaining is the stock estimate at decision time.
 	Remaining int
 	// Assigned resolves (exactly one Put) with the ticket the committed
-	// dequeue assigned — nil if the final view found the queue empty (a
-	// revoked preliminary confirmation, or a sold-out decision). Read it
-	// with Assigned.Get().(*zk.QueueElement).
+	// dequeue assigned — a binding.Item with Exists == false if the final
+	// view found the queue empty (a revoked preliminary confirmation, or a
+	// sold-out decision). Read it with Assigned.Get().(binding.Item).
 	Assigned netsim.Queue
 }
 
 // Retailer sells tickets from a queue-backed stock.
 type Retailer struct {
-	client    *binding.Client
+	queue     *zk.Queue
 	clock     netsim.Clock
 	Threshold int
 
@@ -60,14 +60,14 @@ type Retailer struct {
 // NewRetailer builds a retailer over a zk queue binding.
 func NewRetailer(b *zk.Binding) *Retailer {
 	return &Retailer{
-		client:    binding.NewClient(b),
+		queue:     zk.NewQueue(b),
 		clock:     b.QueueClient().Ensemble().Transport().Clock(),
 		Threshold: DefaultThreshold,
 	}
 }
 
 // Client exposes the underlying Correctables client.
-func (r *Retailer) Client() *binding.Client { return r.client }
+func (r *Retailer) Client() *binding.Client { return r.queue.Client() }
 
 // Revoked returns how many preliminary-confirmed purchases were later
 // contradicted by an empty final view. (The paper reports on average the
@@ -85,7 +85,7 @@ func (r *Retailer) Revoked() int {
 // retailer waits for the final view.
 func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseResult, error) {
 	sw := r.clock.StartStopwatch()
-	cor := r.client.Invoke(ctx, binding.Dequeue{Queue: event})
+	cor := r.queue.Dequeue(ctx, event)
 
 	assigned := r.clock.NewQueue()
 	type decision struct {
@@ -96,16 +96,13 @@ func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseRe
 	var once sync.Once
 	decidedEarly := false
 
-	cor.SetCallbacks(core.Callbacks{
-		OnUpdate: func(v core.View) {
-			q, ok := v.Value.(zk.QueueResult)
-			if !ok {
-				return
-			}
+	cor.SetCallbacks(core.Callbacks[binding.Item]{
+		OnUpdate: func(v core.View[binding.Item]) {
+			q := v.Value
 			if !v.Final {
 				// Listing 5's onUpdate: many tickets left => confirm on the
 				// weak result; the dequeue completes in the background.
-				if q.Element != nil && q.Remaining > r.Threshold {
+				if q.Exists && q.Remaining > r.Threshold {
 					decidedEarly = true
 					once.Do(func() {
 						decided.Put(decision{res: PurchaseResult{
@@ -120,9 +117,9 @@ func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseRe
 				return
 			}
 			// Listing 5's onFinal: the committed outcome.
-			assigned.Put(q.Element)
+			assigned.Put(q)
 			if decidedEarly {
-				if q.Element == nil {
+				if !q.Exists {
 					r.mu.Lock()
 					r.revoked++
 					r.mu.Unlock()
@@ -131,8 +128,8 @@ func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseRe
 			}
 			once.Do(func() {
 				decided.Put(decision{res: PurchaseResult{
-					Confirmed: q.Element != nil,
-					SoldOut:   q.Element == nil,
+					Confirmed: q.Exists,
+					SoldOut:   !q.Exists,
 					Latency:   sw.ElapsedModel(),
 					Remaining: q.Remaining,
 					Assigned:  assigned,
@@ -152,19 +149,16 @@ func (r *Retailer) PurchaseTicket(ctx context.Context, event string) (PurchaseRe
 // the atomic dequeue.
 func (r *Retailer) PurchaseTicketStrong(ctx context.Context, event string) (PurchaseResult, error) {
 	sw := r.clock.StartStopwatch()
-	v, err := r.client.InvokeStrong(ctx, binding.Dequeue{Queue: event}).Final(ctx)
+	v, err := r.queue.DequeueStrong(ctx, event).Final(ctx)
 	if err != nil {
 		return PurchaseResult{}, err
 	}
-	q, ok := v.Value.(zk.QueueResult)
-	if !ok {
-		return PurchaseResult{}, fmt.Errorf("tickets: unexpected result type %T", v.Value)
-	}
+	q := v.Value
 	assigned := r.clock.NewQueue()
-	assigned.Put(q.Element)
+	assigned.Put(q)
 	return PurchaseResult{
-		Confirmed: q.Element != nil,
-		SoldOut:   q.Element == nil,
+		Confirmed: q.Exists,
+		SoldOut:   !q.Exists,
 		Latency:   sw.ElapsedModel(),
 		Remaining: q.Remaining,
 		Assigned:  assigned,

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"correctables/internal/binding"
 	"correctables/internal/netsim"
 	"correctables/internal/zk"
 )
@@ -38,9 +39,9 @@ func newRetailerClock(t *testing.T, correctable bool, stock int) (*Retailer, *zk
 }
 
 // assignedTicket reads the committed dequeue outcome of one purchase.
-func assignedTicket(res PurchaseResult) *zk.QueueElement {
-	e, _ := res.Assigned.Get().(*zk.QueueElement)
-	return e
+func assignedTicket(res PurchaseResult) binding.Item {
+	it, _ := res.Assigned.Get().(binding.Item)
+	return it
 }
 
 func TestPurchaseAboveThresholdUsesPreliminary(t *testing.T) {
@@ -62,7 +63,7 @@ func TestPurchaseAboveThresholdUsesPreliminary(t *testing.T) {
 		t.Errorf("preliminary purchase latency = %v, want well under coordination latency", res.Latency)
 	}
 	// The background dequeue assigns a concrete ticket.
-	if assignedTicket(res) == nil {
+	if !assignedTicket(res).Exists {
 		t.Error("no ticket assigned despite large stock")
 	}
 	if r.Revoked() != 0 {
@@ -85,7 +86,7 @@ func TestPurchaseBelowThresholdWaitsForFinal(t *testing.T) {
 	if res.Latency < 40*time.Millisecond {
 		t.Errorf("final-view purchase latency = %v, want coordination-scale (~60ms)", res.Latency)
 	}
-	if assignedTicket(res) == nil {
+	if !assignedTicket(res).Exists {
 		t.Error("no assigned ticket")
 	}
 }
@@ -116,8 +117,8 @@ func TestSellOutExactlyOnce(t *testing.T) {
 				ticket := assignedTicket(res)
 				mu.Lock()
 				confirmed++
-				if ticket != nil {
-					sold[ticket.Name]++
+				if ticket.Exists {
+					sold[ticket.ID]++
 				}
 				mu.Unlock()
 			}
@@ -194,7 +195,7 @@ func TestVanillaBaselineAlwaysSlow(t *testing.T) {
 	if res.Latency < 40*time.Millisecond {
 		t.Errorf("vanilla purchase latency = %v, want coordination-scale", res.Latency)
 	}
-	if assignedTicket(res) == nil {
+	if !assignedTicket(res).Exists {
 		t.Error("no assigned ticket")
 	}
 }
@@ -224,7 +225,7 @@ func TestNoOversellAcrossRegimes(t *testing.T) {
 		if res.SoldOut {
 			break
 		}
-		if assignedTicket(res) != nil {
+		if assignedTicket(res).Exists {
 			assignedTotal++
 		}
 		if assignedTotal > stock {

@@ -110,7 +110,7 @@ type TimelineOutcome struct {
 
 // Service is the microblogging service over a cassandra binding.
 type Service struct {
-	client *binding.Client
+	kv     *cassandra.KV
 	clock  netsim.Clock
 	nextID int64
 }
@@ -118,13 +118,13 @@ type Service struct {
 // NewService builds a service over a cassandra binding.
 func NewService(b *cassandra.Binding) *Service {
 	return &Service{
-		client: binding.NewClient(b),
-		clock:  b.Client().Cluster().Transport().Clock(),
+		kv:    cassandra.NewKV(b),
+		clock: b.Client().Cluster().Transport().Clock(),
 	}
 }
 
 // Client exposes the underlying Correctables client.
-func (s *Service) Client() *binding.Client { return s.client }
+func (s *Service) Client() *binding.Client { return s.kv.Client() }
 
 // fetchTweets loads tweet bodies by ID in parallel with strong reads
 // (step (2); the speculation function).
@@ -142,13 +142,12 @@ func (s *Service) fetchTweets(encoded []byte) ([]Tweet, error) {
 	for i, id := range ids {
 		i, id := i, id
 		s.clock.Go(func() {
-			v, err := s.client.InvokeStrong(context.Background(), binding.Get{Key: TweetKey(id)}).Final(context.Background())
+			v, err := s.kv.GetStrong(context.Background(), TweetKey(id)).Final(context.Background())
 			if err != nil {
 				q.Put(fetched{i: i, err: err})
 				return
 			}
-			body, _ := v.Value.([]byte)
-			q.Put(fetched{i: i, tweet: Tweet{ID: id, Body: string(body)}})
+			q.Put(fetched{i: i, tweet: Tweet{ID: id, Body: string(v.Value)}})
 		})
 	}
 	tweets := make([]Tweet, len(ids))
@@ -177,12 +176,11 @@ func (s *Service) GetTimeline(ctx context.Context, user int, speculative bool) (
 	key := TimelineKey(user)
 
 	if !speculative {
-		v, err := s.client.InvokeStrong(ctx, binding.Get{Key: key}).Final(ctx)
+		v, err := s.kv.GetStrong(ctx, key).Final(ctx)
 		if err != nil {
 			return out, err
 		}
-		encoded, _ := v.Value.([]byte)
-		tweets, err := s.fetchTweets(encoded)
+		tweets, err := s.fetchTweets(v.Value)
 		if err != nil {
 			return out, err
 		}
@@ -191,25 +189,26 @@ func (s *Service) GetTimeline(ctx context.Context, user int, speculative bool) (
 		return out, nil
 	}
 
-	tlCor := s.client.Invoke(ctx, binding.Get{Key: key})
-	var prelimSeen core.View
-	tlCor.OnUpdate(func(v core.View) {
-		if !v.Final && out.PrelimAt == 0 {
+	tlCor := s.kv.Get(ctx, key)
+	var prelimSeen core.View[[]byte]
+	var sawPrelim bool
+	tlCor.OnUpdate(func(v core.View[[]byte]) {
+		if !v.Final && !sawPrelim {
 			out.PrelimAt = sw.ElapsedModel()
 			prelimSeen = v
+			sawPrelim = true
 		}
 	})
-	tweetsCor := tlCor.Speculate(func(v core.View) (interface{}, error) {
-		encoded, _ := v.Value.([]byte)
-		return s.fetchTweets(encoded)
+	tweetsCor := core.Speculate(tlCor, func(v core.View[[]byte]) ([]Tweet, error) {
+		return s.fetchTweets(v.Value)
 	}, nil)
 	v, err := tweetsCor.Final(ctx)
 	if err != nil {
 		return out, err
 	}
-	out.Tweets, _ = v.Value.([]Tweet)
+	out.Tweets = v.Value
 	out.Latency = sw.ElapsedModel()
-	if fv, ok := tlCor.Latest(); ok && prelimSeen.Value != nil {
+	if fv, ok := tlCor.Latest(); ok && sawPrelim {
 		out.Misspeculated = !core.ValuesEqual(prelimSeen.Value, fv.Value)
 	}
 	return out, nil
@@ -221,20 +220,19 @@ func (s *Service) GetTimeline(ctx context.Context, user int, speculative bool) (
 func (s *Service) PostTweet(ctx context.Context, user int, body string, rng *rand.Rand) (time.Duration, error) {
 	sw := s.clock.StartStopwatch()
 	id := int(rng.Int31())
-	if _, err := s.client.InvokeStrong(ctx, binding.Put{Key: TweetKey(id), Value: []byte(body)}).Final(ctx); err != nil {
+	if _, err := s.kv.Put(ctx, TweetKey(id), []byte(body)).Final(ctx); err != nil {
 		return 0, err
 	}
 	key := TimelineKey(user)
-	v, err := s.client.InvokeWeak(ctx, binding.Get{Key: key}).Final(ctx)
+	v, err := s.kv.GetWeak(ctx, key).Final(ctx)
 	if err != nil {
 		return 0, err
 	}
-	encoded, _ := v.Value.([]byte)
-	ids := append([]int{id}, decodeIDs(encoded)...)
+	ids := append([]int{id}, decodeIDs(v.Value)...)
 	if len(ids) > TimelinePage {
 		ids = ids[:TimelinePage]
 	}
-	if _, err := s.client.InvokeStrong(ctx, binding.Put{Key: key, Value: encodeIDs(ids)}).Final(ctx); err != nil {
+	if _, err := s.kv.Put(ctx, key, encodeIDs(ids)).Final(ctx); err != nil {
 		return 0, err
 	}
 	return sw.ElapsedModel(), nil

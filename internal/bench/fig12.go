@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"correctables/internal/apps/tickets"
+	"correctables/internal/binding"
 	"correctables/internal/metrics"
 	"correctables/internal/netsim"
 	"correctables/internal/zk"
@@ -85,8 +86,8 @@ func Fig12(cfg Config) ([]Fig12Point, []Fig12Summary) {
 					// Closed loop, as in the paper: the decision latency is
 					// what Fig 12 plots, but the retailer serves the next
 					// customer only once this dequeue has committed.
-					ticket, _ := res.Assigned.Get().(*zk.QueueElement)
-					if ticket == nil {
+					ticket, _ := res.Assigned.Get().(binding.Item)
+					if !ticket.Exists {
 						continue // revoked preliminary confirmation; not a sale
 					}
 					mu.Lock()

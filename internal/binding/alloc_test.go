@@ -1,0 +1,106 @@
+//go:build !race
+
+package binding
+
+import (
+	"context"
+	"testing"
+
+	"correctables/internal/core"
+)
+
+// syncBinding answers synchronously from a pre-boxed value, isolating the
+// client library's own allocations: everything AllocsPerRun observes below
+// is invoke-path overhead, not storage work.
+type syncBinding struct {
+	levels core.Levels
+	value  any // pre-boxed []byte, so wire boxing is not attributed to either path
+}
+
+func (s *syncBinding) ConsistencyLevels() core.Levels { return s.levels }
+
+func (s *syncBinding) SubmitOperation(ctx context.Context, op Operation, levels core.Levels, cb Callback) {
+	for _, l := range levels {
+		cb(Result{Value: s.value, Level: l})
+	}
+}
+
+func (s *syncBinding) Close() error { return nil }
+
+func newSyncBinding() *syncBinding {
+	return &syncBinding{
+		levels: core.Levels{core.LevelWeak, core.LevelStrong},
+		value:  []byte("payload"),
+	}
+}
+
+// TestAllocGateTypedWeakRead is the allocation-regression gate for the
+// typed invoke path (run by CI without -race): the typed weak read must
+// allocate strictly less than the deprecated boxed shim, and stay within a
+// small absolute budget so regressions are caught even if both paths
+// regress together.
+func TestAllocGateTypedWeakRead(t *testing.T) {
+	c := NewClient(newSyncBinding())
+	ctx := context.Background()
+
+	typed := testing.AllocsPerRun(200, func() {
+		cor := InvokeWeak[[]byte](ctx, c, Get{Key: "k"})
+		if _, err := cor.Final(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	boxed := testing.AllocsPerRun(200, func() {
+		cor := c.InvokeWeak(ctx, Get{Key: "k"})
+		if _, err := cor.Final(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/invoke: typed=%.1f boxed=%.1f", typed, boxed)
+	if typed >= boxed {
+		t.Errorf("typed weak read allocates %.1f/op, boxed baseline %.1f/op; typed must be strictly lower", typed, boxed)
+	}
+	// Absolute budget: correctable + callback closure + op interface box.
+	// (The views themselves live in the correctable's inline buffer.)
+	const budget = 4
+	if typed > budget {
+		t.Errorf("typed weak read allocates %.1f/op, budget %d", typed, budget)
+	}
+}
+
+// TestAllocGateFullInvoke gates the two-view ICG read as well: the typed
+// path must not exceed the weak-read budget by more than the extra view
+// delivery.
+func TestAllocGateFullInvoke(t *testing.T) {
+	c := NewClient(newSyncBinding())
+	ctx := context.Background()
+	typed := testing.AllocsPerRun(200, func() {
+		cor := Invoke[[]byte](ctx, c, Get{Key: "k"})
+		if _, err := cor.Final(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/ICG invoke: typed=%.1f", typed)
+	const budget = 4
+	if typed > budget {
+		t.Errorf("typed ICG invoke allocates %.1f/op, budget %d", typed, budget)
+	}
+}
+
+// TestAllocGateWaitLevel: waiting for a level that has already been
+// delivered must not allocate at all.
+func TestAllocGateWaitLevel(t *testing.T) {
+	c := NewClient(newSyncBinding())
+	ctx := context.Background()
+	cor := Invoke[[]byte](ctx, c, Get{Key: "k"})
+	if _, err := cor.Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := cor.WaitLevel(ctx, core.LevelWeak); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("satisfied WaitLevel allocates %.1f/op, want 0", allocs)
+	}
+}

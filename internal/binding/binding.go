@@ -7,6 +7,14 @@
 // leader forwarding, ...). The library side is store-agnostic: it translates
 // API calls (InvokeWeak / InvokeStrong / Invoke) into SubmitOperation calls
 // and orchestrates the responses into Correctable state transitions.
+//
+// The wire between the client library and a binding is deliberately
+// monomorphic (Result carries an `any` value), so a binding implementation
+// is one concrete type whatever the operations' value types are. Typing is
+// restored one layer up: every concrete operation implements
+// OperationFor[T] by declaring how its wire value decodes to T, and the
+// generic Invoke/InvokeWeak/InvokeStrong adapters instantiate per T, so
+// applications only ever see core.Correctable[T].
 package binding
 
 import (
@@ -25,11 +33,66 @@ type Operation interface {
 	OpName() string
 }
 
+// OperationFor is a typed operation: an Operation that also declares its
+// result type T and how a wire-level result value decodes into it. All
+// operations in this repository implement it (Get → []byte, Put → Ack,
+// Enqueue/Dequeue → Item, chain.SubmitTx → chain.TxStatus); bindings stay
+// monomorphic and the generic Invoke adapters instantiate per T.
+type OperationFor[T any] interface {
+	Operation
+	// ResultOf converts a wire-level result value into T. It is called once
+	// per delivered view, on the binding's delivery path; implementations
+	// must be cheap and must not retain v.
+	ResultOf(v any) (T, error)
+}
+
+// Ack is the typed result of write-style operations (Put, Enqueue when the
+// element identity is irrelevant): the operation was applied at the view's
+// consistency level, and there is no payload.
+type Ack struct{}
+
+// Item is the typed result of queue operations (Enqueue, Dequeue): the
+// element the operation settled on, plus the remaining queue length. On
+// preliminary views both are estimates from the contact server's local
+// simulation.
+type Item struct {
+	// ID identifies the element within its queue (e.g. the ZooKeeper
+	// sequential znode name). Empty when Exists is false.
+	ID string
+	// Data is the element payload (nil when Exists is false).
+	Data []byte
+	// Exists reports whether the operation found/produced an element; a
+	// Dequeue of an empty queue yields Exists == false.
+	Exists bool
+	// Remaining is the queue length after the operation (an estimate on
+	// preliminary views).
+	Remaining int
+}
+
+// EqualValue implements core.Equaler[Item]: divergence (for speculation and
+// confirmation) is judged on the element identity only — Data is determined
+// by ID, and Remaining is an estimate on preliminary views.
+func (i Item) EqualValue(other Item) bool {
+	return i.Exists == other.Exists && i.ID == other.ID
+}
+
 // Get reads the value of a key.
 type Get struct{ Key string }
 
 // OpName implements Operation.
 func (Get) OpName() string { return "get" }
+
+// ResultOf implements OperationFor[[]byte].
+func (Get) ResultOf(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("binding: get result is %T, want []byte", v)
+	}
+	return b, nil
+}
 
 // Put writes the value of a key.
 type Put struct {
@@ -40,6 +103,21 @@ type Put struct {
 // OpName implements Operation.
 func (Put) OpName() string { return "put" }
 
+// ResultOf implements OperationFor[Ack].
+func (Put) ResultOf(any) (Ack, error) { return Ack{}, nil }
+
+// decodeItem is the shared Enqueue/Dequeue decoder.
+func decodeItem(v any) (Item, error) {
+	if v == nil {
+		return Item{}, nil
+	}
+	it, ok := v.(Item)
+	if !ok {
+		return Item{}, fmt.Errorf("binding: queue result is %T, want Item", v)
+	}
+	return it, nil
+}
+
 // Enqueue appends an item to a replicated queue object.
 type Enqueue struct {
 	Queue string
@@ -49,15 +127,22 @@ type Enqueue struct {
 // OpName implements Operation.
 func (Enqueue) OpName() string { return "enqueue" }
 
+// ResultOf implements OperationFor[Item].
+func (Enqueue) ResultOf(v any) (Item, error) { return decodeItem(v) }
+
 // Dequeue removes the head element of a replicated queue object.
 type Dequeue struct{ Queue string }
 
 // OpName implements Operation.
 func (Dequeue) OpName() string { return "dequeue" }
 
+// ResultOf implements OperationFor[Item].
+func (Dequeue) ResultOf(v any) (Item, error) { return decodeItem(v) }
+
 // Result is one response from the storage, carrying the consistency level
 // it satisfies. A binding invokes the callback once per requested level (or
-// once with Err set).
+// once with Err set). Value is the monomorphic wire representation; the
+// typed adapters decode it with the operation's ResultOf.
 type Result struct {
 	Value interface{}
 	Level core.Level

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -12,8 +13,8 @@ import (
 )
 
 // fakeBinding is a deterministic in-memory binding for exercising the
-// client wiring: it answers Get with "<level>:<key>" at each requested
-// level, in order, optionally with a delay between levels.
+// client wiring: it answers Get with "<level>:<key>" bytes at each
+// requested level, in order, optionally with a delay between levels.
 type fakeBinding struct {
 	levels core.Levels
 	delay  time.Duration
@@ -36,7 +37,7 @@ func (f *fakeBinding) SubmitOperation(ctx context.Context, op Operation, levels 
 		}
 		for _, l := range levels {
 			time.Sleep(f.delay)
-			cb(Result{Value: fmt.Sprintf("%s:%s", l, get.Key), Level: l})
+			cb(Result{Value: []byte(fmt.Sprintf("%s:%s", l, get.Key)), Level: l})
 		}
 	}()
 }
@@ -54,19 +55,19 @@ func newFake() *fakeBinding {
 
 func TestInvokeDeliversAllLevelsInOrder(t *testing.T) {
 	c := NewClient(newFake())
-	cor := c.Invoke(context.Background(), Get{Key: "k"})
+	cor := Invoke[[]byte](context.Background(), c, Get{Key: "k"})
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Value != "strong:k" || v.Level != core.LevelStrong {
+	if string(v.Value) != "strong:k" || v.Level != core.LevelStrong {
 		t.Errorf("final = %+v", v)
 	}
 	views := cor.Views()
 	if len(views) != 2 {
 		t.Fatalf("views = %v", views)
 	}
-	if views[0].Value != "weak:k" || views[0].Level != core.LevelWeak || views[0].Final {
+	if string(views[0].Value) != "weak:k" || views[0].Level != core.LevelWeak || views[0].Final {
 		t.Errorf("view[0] = %+v", views[0])
 	}
 }
@@ -74,12 +75,12 @@ func TestInvokeDeliversAllLevelsInOrder(t *testing.T) {
 func TestInvokeWeakSingleView(t *testing.T) {
 	fb := newFake()
 	c := NewClient(fb)
-	cor := c.InvokeWeak(context.Background(), Get{Key: "k"})
+	cor := InvokeWeak[[]byte](context.Background(), c, Get{Key: "k"})
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Value != "weak:k" || v.Level != core.LevelWeak || !v.Final {
+	if string(v.Value) != "weak:k" || v.Level != core.LevelWeak || !v.Final {
 		t.Errorf("final = %+v", v)
 	}
 	if len(cor.Views()) != 1 {
@@ -94,12 +95,12 @@ func TestInvokeWeakSingleView(t *testing.T) {
 
 func TestInvokeStrongSingleView(t *testing.T) {
 	c := NewClient(newFake())
-	cor := c.InvokeStrong(context.Background(), Get{Key: "x"})
+	cor := InvokeStrong[[]byte](context.Background(), c, Get{Key: "x"})
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Value != "strong:x" || v.Level != core.LevelStrong {
+	if string(v.Value) != "strong:x" || v.Level != core.LevelStrong {
 		t.Errorf("final = %+v", v)
 	}
 	if len(cor.Views()) != 1 {
@@ -110,7 +111,7 @@ func TestInvokeStrongSingleView(t *testing.T) {
 func TestInvokeLevelSubset(t *testing.T) {
 	fb := &fakeBinding{levels: core.Levels{core.LevelCache, core.LevelWeak, core.LevelStrong}}
 	c := NewClient(fb)
-	cor := c.Invoke(context.Background(), Get{Key: "k"}, core.LevelCache, core.LevelStrong)
+	cor := Invoke[[]byte](context.Background(), c, Get{Key: "k"}, core.LevelCache, core.LevelStrong)
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +127,7 @@ func TestInvokeLevelSubset(t *testing.T) {
 
 func TestInvokeUnsupportedLevelFails(t *testing.T) {
 	c := NewClient(newFake())
-	cor := c.Invoke(context.Background(), Get{Key: "k"}, core.LevelCausal)
+	cor := Invoke[[]byte](context.Background(), c, Get{Key: "k"}, core.LevelCausal)
 	if _, err := cor.Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
 		t.Errorf("err = %v, want ErrUnsupportedLevel", err)
 	}
@@ -134,7 +135,7 @@ func TestInvokeUnsupportedLevelFails(t *testing.T) {
 
 func TestInvokeUnsupportedOperationFails(t *testing.T) {
 	c := NewClient(newFake())
-	cor := c.Invoke(context.Background(), Enqueue{Queue: "q", Item: []byte("x")})
+	cor := Invoke[Item](context.Background(), c, Enqueue{Queue: "q", Item: []byte("x")})
 	if _, err := cor.Final(context.Background()); !errors.Is(err, ErrUnsupportedOperation) {
 		t.Errorf("err = %v, want ErrUnsupportedOperation", err)
 	}
@@ -146,7 +147,7 @@ func TestInvokeContextCancellation(t *testing.T) {
 	c := NewClient(fb)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	cor := c.Invoke(ctx, Get{Key: "k"})
+	cor := Invoke[[]byte](ctx, c, Get{Key: "k"})
 	if _, err := cor.Final(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want deadline exceeded", err)
 	}
@@ -154,13 +155,13 @@ func TestInvokeContextCancellation(t *testing.T) {
 
 func TestEmptyLevelsBinding(t *testing.T) {
 	c := NewClient(&fakeBinding{})
-	if _, err := c.InvokeWeak(context.Background(), Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
+	if _, err := InvokeWeak[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
 		t.Errorf("InvokeWeak on empty binding: %v", err)
 	}
-	if _, err := c.InvokeStrong(context.Background(), Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
+	if _, err := InvokeStrong[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
 		t.Errorf("InvokeStrong on empty binding: %v", err)
 	}
-	if _, err := c.Invoke(context.Background(), Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
+	if _, err := Invoke[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background()); !errors.Is(err, ErrUnsupportedLevel) {
 		t.Errorf("Invoke on empty binding: %v", err)
 	}
 }
@@ -197,3 +198,77 @@ func TestLevelsAccessor(t *testing.T) {
 		t.Errorf("Levels = %v", ls)
 	}
 }
+
+// --- Deprecated boxed shims: they must keep the pre-generics behavior,
+// including delivering the raw (boxed) wire value and unwrapping the
+// adapter operation before it reaches the binding's type switch. ---
+
+func TestBoxedShimDeliversWireValue(t *testing.T) {
+	c := NewClient(newFake())
+	cor := c.Invoke(context.Background(), Get{Key: "k"})
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := v.Value.([]byte)
+	if !ok || string(b) != "strong:k" {
+		t.Errorf("boxed final = %#v", v.Value)
+	}
+	if len(cor.Views()) != 2 {
+		t.Errorf("boxed views = %d, want 2", len(cor.Views()))
+	}
+}
+
+func TestBoxedShimSingleLevels(t *testing.T) {
+	c := NewClient(newFake())
+	if v, err := c.InvokeWeak(context.Background(), Get{Key: "k"}).Final(context.Background()); err != nil || v.Level != core.LevelWeak {
+		t.Errorf("boxed InvokeWeak = %+v, %v", v, err)
+	}
+	if v, err := c.InvokeStrong(context.Background(), Get{Key: "k"}).Final(context.Background()); err != nil || v.Level != core.LevelStrong {
+		t.Errorf("boxed InvokeStrong = %+v, %v", v, err)
+	}
+}
+
+// TestTypedResultDecodeMismatch: a binding delivering an unexpected wire
+// type fails the typed Correctable instead of panicking.
+type wrongTypeBinding struct{ fakeBinding }
+
+func (w *wrongTypeBinding) SubmitOperation(ctx context.Context, op Operation, levels core.Levels, cb Callback) {
+	go cb(Result{Value: 42, Level: levels.Strongest()})
+}
+
+func TestTypedResultDecodeMismatch(t *testing.T) {
+	c := NewClient(&wrongTypeBinding{fakeBinding{levels: core.Levels{core.LevelStrong}}})
+	if _, err := InvokeStrong[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background()); err == nil {
+		t.Error("decode mismatch did not fail the correctable")
+	}
+}
+
+// TestNoGoroutinePerInvoke: the cancellation watcher must not burn a
+// goroutine per in-flight operation (context.AfterFunc-based).
+func TestNoGoroutinePerInvoke(t *testing.T) {
+	fb := newFake()
+	fb.delay = 50 * time.Millisecond
+	c := NewClient(fb)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	before := runtimeNumGoroutine()
+	var cors []*core.Correctable[[]byte]
+	const n = 64
+	for i := 0; i < n; i++ {
+		cors = append(cors, Invoke[[]byte](ctx, c, Get{Key: "k"}))
+	}
+	// The fake binding spawns one goroutine per submission; anything well
+	// below 2n means no extra per-invoke watcher goroutine exists.
+	during := runtimeNumGoroutine()
+	if during-before > n+8 {
+		t.Errorf("goroutines grew by %d for %d invokes; per-invoke watcher goroutine suspected", during-before, n)
+	}
+	for _, cor := range cors {
+		if _, err := cor.Final(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runtimeNumGoroutine() int { return runtime.NumGoroutine() }

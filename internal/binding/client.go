@@ -9,15 +9,35 @@ import (
 
 // Client is the application-facing side of the Correctables library
 // (Figure 2): a thin, consistency-based interface over one binding.
+//
+// The typed entry points are the package-level generics Invoke, InvokeWeak
+// and InvokeStrong (plus the per-store facades built on them); they return
+// core.Correctable[T] for the operation's value type T. The methods of the
+// same names on Client are the deprecated boxed (interface{}) shims kept
+// for transition.
 type Client struct {
 	b     Binding
 	sched core.Scheduler // from SchedulerProvider bindings; nil = default
+
+	// Level sets are normalized once at construction so the invoke hot path
+	// never re-sorts or re-allocates them (they are handed to
+	// core.NewScheduled, which stores them without copying).
+	levels    core.Levels // ConsistencyLevels().Sorted()
+	weakSet   core.Levels // one-element set: weakest level
+	strongSet core.Levels // one-element set: strongest level
 }
 
 // NewClient wraps a binding. If the binding implements SchedulerProvider,
 // Correctables created through this client use the binding's scheduler.
+// The binding's consistency levels are read and normalized once here;
+// bindings whose level set changes over a client's lifetime are not
+// supported.
 func NewClient(b Binding) *Client {
-	c := &Client{b: b}
+	c := &Client{b: b, levels: b.ConsistencyLevels().Sorted()}
+	if len(c.levels) > 0 {
+		c.weakSet = c.levels[:1]
+		c.strongSet = c.levels[len(c.levels)-1:]
+	}
 	if sp, ok := b.(SchedulerProvider); ok {
 		c.sched = sp.Scheduler()
 	}
@@ -28,8 +48,10 @@ func NewClient(b Binding) *Client {
 func (c *Client) Binding() Binding { return c.b }
 
 // Levels returns the consistency levels the underlying binding offers,
-// weakest first.
-func (c *Client) Levels() core.Levels { return c.b.ConsistencyLevels() }
+// weakest first (a copy; the cached set backs the invoke hot path).
+func (c *Client) Levels() core.Levels {
+	return append(core.Levels(nil), c.levels...)
+}
 
 // Close releases the underlying binding.
 func (c *Client) Close() error { return c.b.Close() }
@@ -37,22 +59,20 @@ func (c *Client) Close() error { return c.b.Close() }
 // InvokeWeak executes op with the weakest available consistency level. The
 // returned Correctable never transitions updating -> updating; it closes
 // directly with the single result (§3.2).
-func (c *Client) InvokeWeak(ctx context.Context, op Operation) *core.Correctable {
-	levels := c.b.ConsistencyLevels()
-	if len(levels) == 0 {
-		return core.Failed(fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
+func InvokeWeak[T any](ctx context.Context, c *Client, op OperationFor[T]) *core.Correctable[T] {
+	if len(c.levels) == 0 {
+		return core.Failed[T](fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
 	}
-	return c.invoke(ctx, op, core.Levels{levels.Weakest()})
+	return submit(ctx, c, op, c.weakSet)
 }
 
 // InvokeStrong executes op with the strongest available consistency level.
 // The returned Correctable closes directly with the single result.
-func (c *Client) InvokeStrong(ctx context.Context, op Operation) *core.Correctable {
-	levels := c.b.ConsistencyLevels()
-	if len(levels) == 0 {
-		return core.Failed(fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
+func InvokeStrong[T any](ctx context.Context, c *Client, op OperationFor[T]) *core.Correctable[T] {
+	if len(c.levels) == 0 {
+		return core.Failed[T](fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
 	}
-	return c.invoke(ctx, op, core.Levels{levels.Strongest()})
+	return submit(ctx, c, op, c.strongSet)
 }
 
 // Invoke executes op with incremental consistency guarantees: the returned
@@ -60,51 +80,124 @@ func (c *Client) InvokeStrong(ctx context.Context, op Operation) *core.Correctab
 // closes with the strongest. If levels is empty, all levels offered by the
 // binding are used (§3.2). Requesting a level the binding does not offer
 // fails the Correctable.
-func (c *Client) Invoke(ctx context.Context, op Operation, levels ...core.Level) *core.Correctable {
-	available := c.b.ConsistencyLevels()
-	var requested core.Levels
+func Invoke[T any](ctx context.Context, c *Client, op OperationFor[T], levels ...core.Level) *core.Correctable[T] {
+	requested, err := c.requestedLevels(levels)
+	if err != nil {
+		return core.Failed[T](err)
+	}
+	return submit(ctx, c, op, requested)
+}
+
+// requestedLevels maps an Invoke level list onto the binding's offer: the
+// cached full set when empty, a freshly normalized subset otherwise.
+func (c *Client) requestedLevels(levels []core.Level) (core.Levels, error) {
 	if len(levels) == 0 {
-		requested = available.Sorted()
-	} else {
-		requested = core.Levels(levels).Sorted()
-		for _, l := range requested {
-			if !available.Contains(l) {
-				return core.Failed(fmt.Errorf("%w: %v (binding offers %v)", ErrUnsupportedLevel, l, available))
-			}
+		if len(c.levels) == 0 {
+			return nil, fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel)
+		}
+		return c.levels, nil
+	}
+	requested := core.Levels(levels).Sorted()
+	for _, l := range requested {
+		if !c.levels.Contains(l) {
+			return nil, fmt.Errorf("%w: %v (binding offers %v)", ErrUnsupportedLevel, l, c.levels)
 		}
 	}
 	if len(requested) == 0 {
-		return core.Failed(fmt.Errorf("%w: empty level set", ErrUnsupportedLevel))
+		return nil, fmt.Errorf("%w: empty level set", ErrUnsupportedLevel)
 	}
-	return c.invoke(ctx, op, requested)
+	return requested, nil
 }
 
-// invoke wires one SubmitOperation call to a fresh Correctable. The
+// submit wires one SubmitOperation call to a fresh typed Correctable. The
 // strongest requested level closes the Correctable; weaker levels update
 // it. Responses that race past a terminal transition are dropped (the
 // Controller refuses them), which also makes duplicate binding callbacks
-// harmless.
-func (c *Client) invoke(ctx context.Context, op Operation, requested core.Levels) *core.Correctable {
-	cor, ctrl := core.NewScheduled(c.sched, requested)
+// harmless. The wire value of each Result is decoded with op.ResultOf; a
+// decode failure fails the Correctable.
+func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested core.Levels) *core.Correctable[T] {
+	cor, ctrl := core.NewScheduled[T](c.sched, requested)
 	strongest := requested.Strongest()
-	c.b.SubmitOperation(ctx, op, requested, func(r Result) {
-		switch {
-		case r.Err != nil:
+	c.b.SubmitOperation(ctx, unwrapOperation(op), requested, func(r Result) {
+		if r.Err != nil {
 			_ = ctrl.Fail(r.Err)
+			return
+		}
+		v, err := op.ResultOf(r.Value)
+		switch {
+		case err != nil:
+			_ = ctrl.Fail(err)
 		case r.Level == strongest:
-			_ = ctrl.Close(r.Value, r.Level)
+			_ = ctrl.Close(v, r.Level)
 		default:
-			_ = ctrl.Update(r.Value, r.Level)
+			_ = ctrl.Update(v, r.Level)
 		}
 	})
-	if ctx != nil && ctx.Done() != nil {
-		go func() {
-			select {
-			case <-cor.Done():
-			case <-ctx.Done():
-				_ = ctrl.Fail(ctx.Err())
-			}
-		}()
-	}
+	watchContext(ctx, cor, ctrl)
 	return cor
+}
+
+// watchContext fails the Correctable when ctx is cancelled before the
+// operation completes. It uses context.AfterFunc instead of a dedicated
+// goroutine, so an idle invocation costs no goroutine — the difference
+// between 10^6 parked goroutines and none at million-client scale. The
+// registration is released as soon as the Correctable closes.
+func watchContext[T any](ctx context.Context, cor *core.Correctable[T], ctrl core.Controller[T]) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	stop := context.AfterFunc(ctx, func() {
+		_ = ctrl.Fail(ctx.Err())
+	})
+	cor.Finally(func() { stop() })
+}
+
+// operationUnwrapper is implemented by adapter operations (the boxed shims)
+// that wrap a real Operation; bindings must see the unwrapped value so
+// their type switches keep working.
+type operationUnwrapper interface {
+	unwrapOperation() Operation
+}
+
+// unwrapOperation strips adapter wrappers before an operation reaches a
+// binding.
+func unwrapOperation(op Operation) Operation {
+	if w, ok := op.(operationUnwrapper); ok {
+		return w.unwrapOperation()
+	}
+	return op
+}
+
+// boxedOp adapts an untyped Operation to OperationFor[any] for the
+// deprecated shims: the wire value passes through unchanged (boxed).
+type boxedOp struct{ op Operation }
+
+func (b boxedOp) OpName() string              { return b.op.OpName() }
+func (b boxedOp) ResultOf(v any) (any, error) { return v, nil }
+func (b boxedOp) unwrapOperation() Operation  { return b.op }
+
+// InvokeWeak executes op with the weakest available consistency level,
+// delivering the boxed wire value.
+//
+// Deprecated: use the typed package-level InvokeWeak (or a per-store
+// facade); the boxed path re-boxes every view value.
+func (c *Client) InvokeWeak(ctx context.Context, op Operation) *core.Correctable[any] {
+	return InvokeWeak[any](ctx, c, boxedOp{op: op})
+}
+
+// InvokeStrong executes op with the strongest available consistency level,
+// delivering the boxed wire value.
+//
+// Deprecated: use the typed package-level InvokeStrong (or a per-store
+// facade).
+func (c *Client) InvokeStrong(ctx context.Context, op Operation) *core.Correctable[any] {
+	return InvokeStrong[any](ctx, c, boxedOp{op: op})
+}
+
+// Invoke executes op with incremental consistency guarantees, delivering
+// the boxed wire values.
+//
+// Deprecated: use the typed package-level Invoke (or a per-store facade).
+func (c *Client) Invoke(ctx context.Context, op Operation, levels ...core.Level) *core.Correctable[any] {
+	return Invoke[any](ctx, c, boxedOp{op: op}, levels...)
 }

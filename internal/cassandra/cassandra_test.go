@@ -404,13 +404,13 @@ func TestBindingInvokeICG(t *testing.T) {
 	cluster, _, _ := newTestCluster(t, true, true)
 	cluster.Preload("k", []byte("data"))
 	b := NewBinding(NewClient(cluster, netsim.IRL, netsim.FRK), BindingConfig{})
-	client := binding.NewClient(b)
-	cor := client.Invoke(context.Background(), binding.Get{Key: "k"})
+	kv := NewKV(b)
+	cor := kv.Get(context.Background(), "k")
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(v.Value.([]byte)) != "data" || v.Level != core.LevelStrong {
+	if string(v.Value) != "data" || v.Level != core.LevelStrong {
 		t.Errorf("final = %+v", v)
 	}
 	views := cor.Views()
@@ -423,9 +423,9 @@ func TestBindingInvokeWeakAndStrong(t *testing.T) {
 	cluster, _, _ := newTestCluster(t, true, true)
 	cluster.Preload("k", []byte("data"))
 	b := NewBinding(NewClient(cluster, netsim.IRL, netsim.FRK), BindingConfig{})
-	client := binding.NewClient(b)
+	kv := NewKV(b)
 
-	cw := client.InvokeWeak(context.Background(), binding.Get{Key: "k"})
+	cw := kv.GetWeak(context.Background(), "k")
 	vw, err := cw.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -434,7 +434,7 @@ func TestBindingInvokeWeakAndStrong(t *testing.T) {
 		t.Errorf("InvokeWeak: %+v (%d views)", vw, len(cw.Views()))
 	}
 
-	cs := client.InvokeStrong(context.Background(), binding.Get{Key: "k"})
+	cs := kv.GetStrong(context.Background(), "k")
 	vs, err := cs.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -447,8 +447,8 @@ func TestBindingInvokeWeakAndStrong(t *testing.T) {
 func TestBindingPut(t *testing.T) {
 	cluster, _, _ := newTestCluster(t, true, true)
 	b := NewBinding(NewClient(cluster, netsim.IRL, netsim.FRK), BindingConfig{})
-	client := binding.NewClient(b)
-	if _, err := client.InvokeStrong(context.Background(), binding.Put{Key: "k", Value: []byte("v")}).Final(context.Background()); err != nil {
+	kv := NewKV(b)
+	if _, err := kv.Put(context.Background(), "k", []byte("v")).Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := cluster.Replica(netsim.FRK).Get("k"); string(got.Value) != "v" {
@@ -459,8 +459,8 @@ func TestBindingPut(t *testing.T) {
 func TestBindingUnsupportedOp(t *testing.T) {
 	cluster, _, _ := newTestCluster(t, true, true)
 	b := NewBinding(NewClient(cluster, netsim.IRL, netsim.FRK), BindingConfig{})
-	client := binding.NewClient(b)
-	if _, err := client.Invoke(context.Background(), binding.Dequeue{Queue: "q"}).Final(context.Background()); err == nil {
+	kv := NewKV(b)
+	if _, err := binding.Invoke[binding.Item](context.Background(), kv.Client(), binding.Dequeue{Queue: "q"}).Final(context.Background()); err == nil {
 		t.Error("dequeue on cassandra should fail")
 	}
 }
@@ -471,8 +471,8 @@ func TestBindingVanillaICGFallback(t *testing.T) {
 	cluster, _, _ := newTestCluster(t, false, false)
 	cluster.Preload("k", []byte("data"))
 	b := NewBinding(NewClient(cluster, netsim.IRL, netsim.FRK), BindingConfig{})
-	client := binding.NewClient(b)
-	cor := client.Invoke(context.Background(), binding.Get{Key: "k"})
+	kv := NewKV(b)
+	cor := kv.Get(context.Background(), "k")
 	if _, err := cor.Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,44 @@
+package cassandra
+
+import (
+	"context"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+)
+
+// KV is the typed application-facing facade of a cassandra binding: Get and
+// Put return typed Correctables (Correctable[[]byte] / Correctable[Ack]),
+// so applications never touch interface{} or type assertions.
+type KV struct {
+	client *binding.Client
+}
+
+// NewKV builds the typed facade over a binding (wrapping it in a Client).
+func NewKV(b *Binding) *KV { return &KV{client: binding.NewClient(b)} }
+
+// Client returns the underlying Correctables client (for level inspection
+// and the deprecated boxed shims).
+func (kv *KV) Client() *binding.Client { return kv.client }
+
+// Get reads key with incremental consistency guarantees: one view per
+// requested level (all offered levels when none are given), weakest first.
+func (kv *KV) Get(ctx context.Context, key string, levels ...core.Level) *core.Correctable[[]byte] {
+	return binding.Invoke[[]byte](ctx, kv.client, binding.Get{Key: key}, levels...)
+}
+
+// GetWeak reads key at the weakest offered level (single view).
+func (kv *KV) GetWeak(ctx context.Context, key string) *core.Correctable[[]byte] {
+	return binding.InvokeWeak[[]byte](ctx, kv.client, binding.Get{Key: key})
+}
+
+// GetStrong reads key at the strongest offered level (single view).
+func (kv *KV) GetStrong(ctx context.Context, key string) *core.Correctable[[]byte] {
+	return binding.InvokeStrong[[]byte](ctx, kv.client, binding.Get{Key: key})
+}
+
+// Put writes key. The returned Correctable closes with an Ack once the
+// write quorum acknowledged.
+func (kv *KV) Put(ctx context.Context, key string, value []byte) *core.Correctable[binding.Ack] {
+	return binding.InvokeStrong[binding.Ack](ctx, kv.client, binding.Put{Key: key, Value: value})
+}

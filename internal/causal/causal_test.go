@@ -91,15 +91,15 @@ func TestBindingThreeLevels(t *testing.T) {
 	s.Preload("news", []byte("old-headline"))
 	c := NewClient(s, netsim.IRL)
 	b := NewBinding(c)
-	client := binding.NewClient(b)
+	kv := NewKV(b)
 
 	// First access: cache is cold, so only causal + strong views arrive.
-	cor := client.Invoke(context.Background(), binding.Get{Key: "news"})
+	cor := kv.Get(context.Background(), "news")
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Level != core.LevelStrong || string(v.Value.([]byte)) != "old-headline" {
+	if v.Level != core.LevelStrong || string(v.Value) != "old-headline" {
 		t.Errorf("final = %+v", v)
 	}
 	if n := len(cor.Views()); n != 2 {
@@ -107,7 +107,7 @@ func TestBindingThreeLevels(t *testing.T) {
 	}
 
 	// Second access: the cache is warm; three views.
-	cor2 := client.Invoke(context.Background(), binding.Get{Key: "news"})
+	cor2 := kv.Get(context.Background(), "news")
 	if _, err := cor2.Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -125,13 +125,13 @@ func TestBindingCacheLatencyNearZero(t *testing.T) {
 	s.Preload("k", []byte("v"))
 	c := NewClient(s, netsim.IRL)
 	b := NewBinding(c)
-	client := binding.NewClient(b)
+	kv := NewKV(b)
 	// Warm the cache.
-	if _, err := client.InvokeStrong(context.Background(), binding.Get{Key: "k"}).Final(context.Background()); err != nil {
+	if _, err := kv.GetStrong(context.Background(), "k").Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	sw := clock.StartStopwatch()
-	cor := client.Invoke(context.Background(), binding.Get{Key: "k"}, core.LevelCache)
+	cor := kv.Get(context.Background(), "k", core.LevelCache)
 	if _, err := cor.Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -144,8 +144,8 @@ func TestBindingWriteThroughCoherence(t *testing.T) {
 	s, _ := newTestStore(t)
 	c := NewClient(s, netsim.IRL)
 	b := NewBinding(c)
-	client := binding.NewClient(b)
-	if _, err := client.InvokeStrong(context.Background(), binding.Put{Key: "k", Value: []byte("mine")}).Final(context.Background()); err != nil {
+	kv := NewKV(b)
+	if _, err := kv.Put(context.Background(), "k", []byte("mine")).Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// The writer's own cache reflects the write immediately.
@@ -153,12 +153,12 @@ func TestBindingWriteThroughCoherence(t *testing.T) {
 		t.Errorf("cache after write-through = %+v", e)
 	}
 	// Cache-level read returns it with no network.
-	cor := client.Invoke(context.Background(), binding.Get{Key: "k"}, core.LevelCache)
+	cor := kv.Get(context.Background(), "k", core.LevelCache)
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(v.Value.([]byte)) != "mine" {
+	if string(v.Value) != "mine" {
 		t.Errorf("cache read = %q", v.Value)
 	}
 }
@@ -168,28 +168,28 @@ func TestBindingStaleCacheFreshFinal(t *testing.T) {
 	s.Preload("k", []byte("v0"))
 	reader := NewClient(s, netsim.IRL)
 	b := NewBinding(reader)
-	rc := binding.NewClient(b)
+	rkv := NewKV(b)
 	// Warm reader's cache with v0.
-	if _, err := rc.InvokeStrong(context.Background(), binding.Get{Key: "k"}).Final(context.Background()); err != nil {
+	if _, err := rkv.GetStrong(context.Background(), "k").Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Another client writes v1.
 	writer := NewClient(s, netsim.FRK)
-	wb := binding.NewClient(NewBinding(writer))
-	if _, err := wb.InvokeStrong(context.Background(), binding.Put{Key: "k", Value: []byte("v1")}).Final(context.Background()); err != nil {
+	wkv := NewKV(NewBinding(writer))
+	if _, err := wkv.Put(context.Background(), "k", []byte("v1")).Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Reader's ICG access: cache view is stale v0, strong view is fresh v1.
-	cor := rc.Invoke(context.Background(), binding.Get{Key: "k"})
+	cor := rkv.Get(context.Background(), "k")
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	views := cor.Views()
-	if string(views[0].Value.([]byte)) != "v0" {
+	if string(views[0].Value) != "v0" {
 		t.Errorf("cache view = %q, want stale v0", views[0].Value)
 	}
-	if string(v.Value.([]byte)) != "v1" {
+	if string(v.Value) != "v1" {
 		t.Errorf("final = %q, want v1", v.Value)
 	}
 	// And coherence: the reader's cache has been refreshed.
@@ -201,20 +201,20 @@ func TestBindingStaleCacheFreshFinal(t *testing.T) {
 func TestBindingUnsupportedOp(t *testing.T) {
 	s, _ := newTestStore(t)
 	client := binding.NewClient(NewBinding(NewClient(s, netsim.IRL)))
-	if _, err := client.Invoke(context.Background(), binding.Dequeue{Queue: "q"}).Final(context.Background()); err == nil {
+	if _, err := binding.Invoke[binding.Item](context.Background(), client, binding.Dequeue{Queue: "q"}).Final(context.Background()); err == nil {
 		t.Error("dequeue on causal store should fail")
 	}
 }
 
 func TestCacheMissOnCacheOnlyRequest(t *testing.T) {
 	s, _ := newTestStore(t)
-	client := binding.NewClient(NewBinding(NewClient(s, netsim.IRL)))
-	cor := client.Invoke(context.Background(), binding.Get{Key: "absent"}, core.LevelCache)
+	kv := NewKV(NewBinding(NewClient(s, netsim.IRL)))
+	cor := kv.Get(context.Background(), "absent", core.LevelCache)
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := v.Value.([]byte); !ok || len(got) != 0 {
+	if len(v.Value) != 0 {
 		t.Errorf("cache miss value = %v, want empty", v.Value)
 	}
 }

@@ -18,6 +18,22 @@ type SubmitTx struct {
 // OpName implements binding.Operation.
 func (SubmitTx) OpName() string { return "submitTx" }
 
+// ResultOf implements binding.OperationFor[TxStatus].
+func (SubmitTx) ResultOf(v any) (TxStatus, error) {
+	st, ok := v.(TxStatus)
+	if !ok {
+		return TxStatus{}, fmt.Errorf("chain: submitTx result is %T, want TxStatus", v)
+	}
+	return st, nil
+}
+
+// Submit is the typed facade over a chain binding's client: it submits tx
+// and returns a Correctable tracking it through confirmations — one weak
+// view per deepening, a strong view at the binding's finality depth.
+func Submit(ctx context.Context, c *binding.Client, tx SubmitTx, levels ...core.Level) *core.Correctable[TxStatus] {
+	return binding.Invoke[TxStatus](ctx, c, tx, levels...)
+}
+
 // Binding adapts a Chain to the Correctables binding API. A SubmitTx
 // operation yields one weak view per confirmation — inclusion in a block,
 // then each deepening — and closes with a strong view once the transaction

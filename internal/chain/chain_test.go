@@ -72,14 +72,14 @@ func TestBindingTracksConfirmations(t *testing.T) {
 	c := newTestChain(t, 8*time.Millisecond)
 	const depth = 4
 	client := binding.NewClient(NewBinding(c, depth))
-	cor := client.Invoke(context.Background(), SubmitTx{ID: "tx-1", Data: []byte("pay")})
+	cor := Submit(context.Background(), client, SubmitTx{ID: "tx-1", Data: []byte("pay")})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	v, err := cor.Final(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	status := v.Value.(TxStatus)
+	status := v.Value
 	if status.Confirmations < depth {
 		t.Errorf("final confirmations = %d, want >= %d", status.Confirmations, depth)
 	}
@@ -92,7 +92,7 @@ func TestBindingTracksConfirmations(t *testing.T) {
 		t.Fatalf("got %d views, want %d: %+v", len(views), depth, views)
 	}
 	for i, view := range views {
-		st := view.Value.(TxStatus)
+		st := view.Value
 		if st.Confirmations != i+1 {
 			t.Errorf("view %d confirmations = %d", i, st.Confirmations)
 		}
@@ -105,7 +105,7 @@ func TestBindingTracksConfirmations(t *testing.T) {
 func TestBindingStrongOnlySingleView(t *testing.T) {
 	c := newTestChain(t, 5*time.Millisecond)
 	client := binding.NewClient(NewBinding(c, 3))
-	cor := client.InvokeStrong(context.Background(), SubmitTx{ID: "tx-2"})
+	cor := binding.InvokeStrong[TxStatus](context.Background(), client, SubmitTx{ID: "tx-2"})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if _, err := cor.Final(ctx); err != nil {
@@ -121,7 +121,7 @@ func TestBindingContextCancellation(t *testing.T) {
 	client := binding.NewClient(NewBinding(c, 2))
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	cor := client.Invoke(ctx, SubmitTx{ID: "tx-3"})
+	cor := Submit(ctx, client, SubmitTx{ID: "tx-3"})
 	if _, err := cor.Final(context.Background()); err == nil {
 		t.Error("expected cancellation error")
 	}
@@ -130,7 +130,7 @@ func TestBindingContextCancellation(t *testing.T) {
 func TestBindingUnsupportedOp(t *testing.T) {
 	c := newTestChain(t, time.Hour)
 	client := binding.NewClient(NewBinding(c, 2))
-	if _, err := client.Invoke(context.Background(), binding.Get{Key: "x"}).Final(context.Background()); err == nil {
+	if _, err := binding.Invoke[[]byte](context.Background(), client, binding.Get{Key: "x"}).Final(context.Background()); err == nil {
 		t.Error("Get on chain should fail")
 	}
 }
@@ -154,9 +154,9 @@ func TestManyTxsAllConfirm(t *testing.T) {
 	client := binding.NewClient(NewBinding(c, 2))
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
-	var cors []*core.Correctable
+	var cors []*core.Correctable[TxStatus]
 	for i := 0; i < 10; i++ {
-		cors = append(cors, client.Invoke(ctx, SubmitTx{ID: fmt.Sprintf("tx-%d", i)}))
+		cors = append(cors, Submit(ctx, client, SubmitTx{ID: fmt.Sprintf("tx-%d", i)}))
 	}
 	for i, cor := range cors {
 		if _, err := cor.Final(ctx); err != nil {

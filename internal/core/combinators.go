@@ -6,11 +6,18 @@ import "sync"
 // (monadic chaining, inherited from modern Promises). f runs synchronously
 // in the delivery path and must be fast; use Speculate for heavy work. If f
 // returns an error on the final view the result fails; errors on preliminary
-// views suppress that view.
-func (c *Correctable) Then(f func(View) (interface{}, error)) *Correctable {
-	out, ctrl := c.derive(c.Levels())
-	c.SetCallbacks(Callbacks{
-		OnUpdate: func(v View) {
+// views suppress that view. This method keeps the value type; use Map for
+// type-changing chains.
+func (c *Correctable[T]) Then(f func(View[T]) (T, error)) *Correctable[T] {
+	return Map(c, f)
+}
+
+// Map is the type-changing form of Then: it returns a Correctable[Out]
+// whose views are f applied to each of c's views.
+func Map[In, Out any](c *Correctable[In], f func(View[In]) (Out, error)) *Correctable[Out] {
+	out, ctrl := deriveAs[Out](c, c.Levels())
+	c.SetCallbacks(Callbacks[In]{
+		OnUpdate: func(v View[In]) {
 			mapped, err := f(v)
 			if err != nil {
 				if v.Final {
@@ -30,33 +37,33 @@ func (c *Correctable) Then(f func(View) (interface{}, error)) *Correctable {
 }
 
 // All aggregates several Correctables into one. Each update of any child
-// produces an update of the aggregate whose value is a []interface{} with
-// the latest value of every child (nil where none arrived yet). The
-// aggregate closes when all children have closed, at the weakest of the
-// children's final levels; it fails on the first child error.
-func All(cs ...*Correctable) *Correctable {
-	out, ctrl := NewScheduled(schedOf(cs), nil)
+// produces an update of the aggregate whose value is a []T with the latest
+// value of every child (the zero T where none arrived yet). The aggregate
+// closes when all children have closed, at the weakest of the children's
+// final levels; it fails on the first child error.
+func All[T any](cs ...*Correctable[T]) *Correctable[[]T] {
+	out, ctrl := NewScheduled[[]T](schedOf(cs), nil)
 	if len(cs) == 0 {
-		_ = ctrl.Close([]interface{}{}, LevelStrong)
+		_ = ctrl.Close([]T{}, LevelStrong)
 		return out
 	}
 	var (
 		mu        sync.Mutex
-		latest    = make([]interface{}, len(cs))
+		latest    = make([]T, len(cs))
 		finals    = make([]bool, len(cs))
 		levels    = make([]Level, len(cs))
 		remaining = len(cs)
 		failed    bool
 	)
-	snapshot := func() []interface{} {
-		cp := make([]interface{}, len(latest))
+	snapshot := func() []T {
+		cp := make([]T, len(latest))
 		copy(cp, latest)
 		return cp
 	}
 	for i, c := range cs {
 		i := i
-		c.SetCallbacks(Callbacks{
-			OnUpdate: func(v View) {
+		c.SetCallbacks(Callbacks[T]{
+			OnUpdate: func(v View[T]) {
 				mu.Lock()
 				if failed {
 					mu.Unlock()
@@ -97,8 +104,8 @@ func All(cs ...*Correctable) *Correctable {
 
 // Any returns a Correctable mirroring whichever child closes first.
 // Preliminary views from all children are forwarded until then.
-func Any(cs ...*Correctable) *Correctable {
-	out, ctrl := NewScheduled(schedOf(cs), nil)
+func Any[T any](cs ...*Correctable[T]) *Correctable[T] {
+	out, ctrl := NewScheduled[T](schedOf(cs), nil)
 	if len(cs) == 0 {
 		_ = ctrl.Fail(ErrNoView)
 		return out
@@ -109,8 +116,8 @@ func Any(cs ...*Correctable) *Correctable {
 		failures int
 	)
 	for _, c := range cs {
-		c.SetCallbacks(Callbacks{
-			OnUpdate: func(v View) {
+		c.SetCallbacks(Callbacks[T]{
+			OnUpdate: func(v View[T]) {
 				mu.Lock()
 				if decided {
 					mu.Unlock()
@@ -146,7 +153,7 @@ func Any(cs ...*Correctable) *Correctable {
 // schedOf returns the scheduler shared by a combinator's children: the
 // first explicitly scheduled child's scheduler (children of one combinator
 // come from one binding in practice), or nil for the default.
-func schedOf(cs []*Correctable) Scheduler {
+func schedOf[T any](cs []*Correctable[T]) Scheduler {
 	for _, c := range cs {
 		if c.sched != nil {
 			return c.sched
@@ -157,15 +164,15 @@ func schedOf(cs []*Correctable) Scheduler {
 
 // Resolved returns an already-final Correctable carrying value at level.
 // Useful for tests and for bindings that can answer from local state.
-func Resolved(value interface{}, level Level) *Correctable {
-	c, ctrl := New()
+func Resolved[T any](value T, level Level) *Correctable[T] {
+	c, ctrl := New[T]()
 	_ = ctrl.Close(value, level)
 	return c
 }
 
 // Failed returns an already-errored Correctable.
-func Failed(err error) *Correctable {
-	c, ctrl := New()
+func Failed[T any](err error) *Correctable[T] {
+	c, ctrl := New[T]()
 	_ = ctrl.Fail(err)
 	return c
 }

@@ -8,12 +8,12 @@ import (
 )
 
 func TestThenMapsViews(t *testing.T) {
-	c, ctrl := New()
-	out := c.Then(func(v View) (interface{}, error) {
+	c, ctrl := New[any]()
+	out := c.Then(func(v View[any]) (interface{}, error) {
 		return v.Value.(int) + 100, nil
 	})
 	var got []interface{}
-	out.OnUpdate(func(v View) { got = append(got, v.Value) })
+	out.OnUpdate(func(v View[any]) { got = append(got, v.Value) })
 	_ = ctrl.Update(1, LevelWeak)
 	_ = ctrl.Close(2, LevelStrong)
 	v, err := out.Final(context.Background())
@@ -29,9 +29,9 @@ func TestThenMapsViews(t *testing.T) {
 }
 
 func TestThenErrorOnFinalFails(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	boom := errors.New("map fail")
-	out := c.Then(func(v View) (interface{}, error) { return nil, boom })
+	out := c.Then(func(v View[any]) (interface{}, error) { return nil, boom })
 	_ = ctrl.Close(1, LevelStrong)
 	if _, err := out.Final(context.Background()); !errors.Is(err, boom) {
 		t.Errorf("err = %v, want %v", err, boom)
@@ -39,8 +39,8 @@ func TestThenErrorOnFinalFails(t *testing.T) {
 }
 
 func TestThenErrorOnPrelimSuppressed(t *testing.T) {
-	c, ctrl := New()
-	out := c.Then(func(v View) (interface{}, error) {
+	c, ctrl := New[any]()
+	out := c.Then(func(v View[any]) (interface{}, error) {
 		if !v.Final {
 			return nil, errors.New("skip")
 		}
@@ -61,9 +61,9 @@ func TestThenErrorOnPrelimSuppressed(t *testing.T) {
 }
 
 func TestThenPropagatesSourceError(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	boom := errors.New("src")
-	out := c.Then(func(v View) (interface{}, error) { return v.Value, nil })
+	out := c.Then(func(v View[any]) (interface{}, error) { return v.Value, nil })
 	_ = ctrl.Fail(boom)
 	if _, err := out.Final(context.Background()); !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
@@ -71,8 +71,8 @@ func TestThenPropagatesSourceError(t *testing.T) {
 }
 
 func TestAllAggregates(t *testing.T) {
-	c1, ctrl1 := New()
-	c2, ctrl2 := New()
+	c1, ctrl1 := New[any]()
+	c2, ctrl2 := New[any]()
 	out := All(c1, c2)
 	_ = ctrl1.Update("a0", LevelWeak)
 	_ = ctrl1.Close("a1", LevelStrong)
@@ -81,7 +81,7 @@ func TestAllAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals := v.Value.([]interface{})
+	vals := v.Value
 	if vals[0] != "a1" || vals[1] != "b1" {
 		t.Errorf("final aggregate = %v", vals)
 	}
@@ -92,19 +92,19 @@ func TestAllAggregates(t *testing.T) {
 }
 
 func TestAllEmpty(t *testing.T) {
-	out := All()
+	out := All[any]()
 	v, err := out.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Value.([]interface{})) != 0 {
+	if len(v.Value) != 0 {
 		t.Errorf("value = %v", v.Value)
 	}
 }
 
 func TestAllFailsOnFirstError(t *testing.T) {
-	c1, ctrl1 := New()
-	c2, _ := New()
+	c1, ctrl1 := New[any]()
+	c2, _ := New[any]()
 	out := All(c1, c2)
 	boom := errors.New("child")
 	_ = ctrl1.Fail(boom)
@@ -114,8 +114,8 @@ func TestAllFailsOnFirstError(t *testing.T) {
 }
 
 func TestAnyTakesFirstFinal(t *testing.T) {
-	c1, ctrl1 := New()
-	c2, ctrl2 := New()
+	c1, ctrl1 := New[any]()
+	c2, ctrl2 := New[any]()
 	out := Any(c1, c2)
 	_ = ctrl1.Update("slowprelim", LevelWeak)
 	_ = ctrl2.Close("fast", LevelWeak)
@@ -134,8 +134,8 @@ func TestAnyTakesFirstFinal(t *testing.T) {
 }
 
 func TestAnyAllFail(t *testing.T) {
-	c1, ctrl1 := New()
-	c2, ctrl2 := New()
+	c1, ctrl1 := New[any]()
+	c2, ctrl2 := New[any]()
 	out := Any(c1, c2)
 	_ = ctrl1.Fail(errors.New("e1"))
 	e2 := errors.New("e2")
@@ -146,7 +146,7 @@ func TestAnyAllFail(t *testing.T) {
 }
 
 func TestAnyEmpty(t *testing.T) {
-	out := Any()
+	out := Any[any]()
 	if _, err := out.Final(context.Background()); !errors.Is(err, ErrNoView) {
 		t.Errorf("err = %v", err)
 	}
@@ -159,7 +159,7 @@ func TestResolvedAndFailed(t *testing.T) {
 		t.Errorf("Resolved: %v, %v", v, err)
 	}
 	boom := errors.New("x")
-	f := Failed(boom)
+	f := Failed[any](boom)
 	if _, err := f.Final(context.Background()); !errors.Is(err, boom) {
 		t.Errorf("Failed: %v", err)
 	}
@@ -169,16 +169,16 @@ func TestResolvedAndFailed(t *testing.T) {
 // order.
 func TestPropertyAllOrder(t *testing.T) {
 	f := func(vals []int) bool {
-		cs := make([]*Correctable, len(vals))
+		cs := make([]*Correctable[any], len(vals))
 		for i, v := range vals {
-			cs[i] = Resolved(v, LevelStrong)
+			cs[i] = Resolved[any](v, LevelStrong)
 		}
 		out := All(cs...)
 		fv, err := out.Final(context.Background())
 		if err != nil {
 			return false
 		}
-		got := fv.Value.([]interface{})
+		got := fv.Value
 		if len(got) != len(vals) {
 			return false
 		}

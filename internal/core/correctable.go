@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -38,10 +39,12 @@ func (s State) String() string {
 }
 
 // View is one incremental view of an operation's result: a value together
-// with the consistency level it satisfies.
-type View struct {
+// with the consistency level it satisfies. The value is typed: a
+// Correctable[T] delivers View[T], so applications never assert types on
+// the hot path.
+type View[T any] struct {
 	// Value is the operation result as provided by the binding.
-	Value interface{}
+	Value T
 	// Level is the consistency guarantee this view satisfies.
 	Level Level
 	// Index is the 0-based position of this view in the delivery sequence.
@@ -62,9 +65,9 @@ type View struct {
 // Callbacks for one Correctable are delivered sequentially, in view order;
 // a callback may attach further callbacks or even deliver views through a
 // Controller, but it must not block waiting on the same Correctable.
-type Callbacks struct {
-	OnUpdate func(View)
-	OnFinal  func(View)
+type Callbacks[T any] struct {
+	OnUpdate func(View[T])
+	OnFinal  func(View[T])
 	OnError  func(error)
 }
 
@@ -78,30 +81,38 @@ var ErrNoView = errors.New("correctable: closed without a view at the requested 
 
 // cbEntry tracks how far delivery has progressed for one attached callback
 // bundle, so that late subscribers replay history without duplicates.
-type cbEntry struct {
-	cbs          Callbacks
+type cbEntry[T any] struct {
+	cbs          Callbacks[T]
 	next         int // index of next view to deliver
 	terminalSent bool
 }
 
+// inlineViews is the number of views a Correctable stores without heap
+// allocation. Two covers the paper's common case (one preliminary + one
+// final view per ICG invocation), which keeps the typed invoke path free of
+// per-view allocations.
+const inlineViews = 2
+
 // Correctable represents the progressively improving result of an operation
-// on a replicated object. It is safe for concurrent use.
-type Correctable struct {
+// on a replicated object, generic over the operation's value type T. It is
+// safe for concurrent use.
+type Correctable[T any] struct {
 	sched Scheduler // fixed at creation; nil means DefaultScheduler
 
 	mu          sync.Mutex
 	state       State
-	views       []View
+	views       []View[T]
+	viewBuf     [inlineViews]View[T] // inline storage for the common ≤2-view case
 	err         error
-	entries     []*cbEntry
+	entries     []*cbEntry[T]
 	dispatching bool
-	done        chan struct{}
-	waiters     []Event // fired on every transition
-	levelSet    Levels  // advisory: levels this correctable will deliver
+	done        chan struct{} // lazily created by Done()
+	waiters     []Event       // fired on every transition
+	levelSet    Levels        // advisory: levels this correctable will deliver
 }
 
 // scheduler returns the Correctable's scheduler, defaulting when unset.
-func (c *Correctable) scheduler() Scheduler {
+func (c *Correctable[T]) scheduler() Scheduler {
 	if c.sched == nil {
 		return DefaultScheduler
 	}
@@ -111,45 +122,59 @@ func (c *Correctable) scheduler() Scheduler {
 // Controller is the producer-side handle of a Correctable. The library hands
 // the Correctable to the application and keeps the Controller for the
 // binding; this split keeps applications from closing results themselves.
-type Controller struct {
-	c *Correctable
+// Controller is a small value (copy it freely); the zero Controller is
+// invalid.
+type Controller[T any] struct {
+	c *Correctable[T]
 }
 
 // New creates a Correctable in the Updating state together with its
 // Controller.
-func New() (*Correctable, *Controller) {
-	c := &Correctable{done: make(chan struct{})}
-	return c, &Controller{c: c}
+func New[T any]() (*Correctable[T], Controller[T]) {
+	c := &Correctable[T]{}
+	c.views = c.viewBuf[:0]
+	return c, Controller[T]{c: c}
 }
 
 // NewWithLevels is New with an advisory set of levels the producer intends
-// to deliver (used by Invoke to record the requested level subset).
-func NewWithLevels(levels Levels) (*Correctable, *Controller) {
-	c, ctrl := New()
-	c.levelSet = levels.Sorted()
-	return c, ctrl
+// to deliver (used by Invoke to record the requested level subset). The set
+// is normalized (sorted, deduplicated) before being stored.
+func NewWithLevels[T any](levels Levels) (*Correctable[T], Controller[T]) {
+	return NewScheduled[T](nil, levels.Sorted())
 }
 
-// NewScheduled is NewWithLevels with an explicit Scheduler governing how
-// this Correctable spawns goroutines (Speculate) and how its consumers
-// block (Final, WaitLevel). Bindings over simulated substrates pass their
-// clock's scheduler here; sched == nil means DefaultScheduler. Derived
-// Correctables (Then, Speculate, combinators) inherit the scheduler.
-func NewScheduled(sched Scheduler, levels Levels) (*Correctable, *Controller) {
-	c, ctrl := NewWithLevels(levels)
-	c.sched = sched
-	return c, ctrl
+// NewScheduled is New with an explicit Scheduler governing how this
+// Correctable spawns goroutines (Speculate) and how its consumers block
+// (Final, WaitLevel), plus an advisory level set. Bindings over simulated
+// substrates pass their clock's scheduler here; sched == nil means
+// DefaultScheduler. Derived Correctables (Then, Speculate, combinators)
+// inherit the scheduler.
+//
+// NewScheduled takes ownership of levels and stores it without copying or
+// re-sorting; callers must pass an already-normalized (weakest-first,
+// deduplicated) set — the client library caches these per construction, so
+// the invoke hot path performs no per-call level allocation.
+func NewScheduled[T any](sched Scheduler, levels Levels) (*Correctable[T], Controller[T]) {
+	c := &Correctable[T]{sched: sched, levelSet: levels}
+	c.views = c.viewBuf[:0]
+	return c, Controller[T]{c: c}
 }
 
 // derive creates a child Correctable sharing c's scheduler.
-func (c *Correctable) derive(levels Levels) (*Correctable, *Controller) {
-	return NewScheduled(c.sched, levels)
+func (c *Correctable[T]) derive(levels Levels) (*Correctable[T], Controller[T]) {
+	return NewScheduled[T](c.sched, levels)
+}
+
+// deriveAs creates a child Correctable of a different value type sharing c's
+// scheduler (for Speculate/Map chains that change the type).
+func deriveAs[U, T any](c *Correctable[T], levels Levels) (*Correctable[U], Controller[U]) {
+	return NewScheduled[U](c.sched, levels)
 }
 
 // Levels returns the advisory set of levels this Correctable was created
 // with (nil if the producer did not declare one — no allocation in that
 // common case).
-func (c *Correctable) Levels() Levels {
+func (c *Correctable[T]) Levels() Levels {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.levelSet) == 0 {
@@ -162,33 +187,34 @@ func (c *Correctable) Levels() Levels {
 
 // Update delivers a preliminary view (Updating -> Updating). It returns
 // ErrClosed if the Correctable has already closed.
-func (ctrl *Controller) Update(value interface{}, level Level) error {
+func (ctrl Controller[T]) Update(value T, level Level) error {
 	return ctrl.c.deliver(value, level, false, nil)
 }
 
 // Close delivers the final view and transitions to StateFinal. It returns
 // ErrClosed if the Correctable has already closed.
-func (ctrl *Controller) Close(value interface{}, level Level) error {
+func (ctrl Controller[T]) Close(value T, level Level) error {
 	return ctrl.c.deliver(value, level, true, nil)
 }
 
 // Fail closes the Correctable with an error (StateError). It returns
 // ErrClosed if the Correctable has already closed.
-func (ctrl *Controller) Fail(err error) error {
+func (ctrl Controller[T]) Fail(err error) error {
 	if err == nil {
 		err = errors.New("correctable: Fail called with nil error")
 	}
-	return ctrl.c.deliver(nil, LevelNone, false, err)
+	var zero T
+	return ctrl.c.deliver(zero, LevelNone, false, err)
 }
 
 // Correctable returns the consumer-side handle (convenience for tests and
 // combinators that create both ends).
-func (ctrl *Controller) Correctable() *Correctable { return ctrl.c }
+func (ctrl Controller[T]) Correctable() *Correctable[T] { return ctrl.c }
 
 // deliver is the single mutation point: it appends a view or records the
 // error, wakes waiters, runs the dispatch loop, and closes done on the
 // terminal transition.
-func (c *Correctable) deliver(value interface{}, level Level, final bool, failure error) error {
+func (c *Correctable[T]) deliver(value T, level Level, final bool, failure error) error {
 	c.mu.Lock()
 	if c.state != StateUpdating {
 		c.mu.Unlock()
@@ -198,7 +224,7 @@ func (c *Correctable) deliver(value interface{}, level Level, final bool, failur
 		c.state = StateError
 		c.err = failure
 	} else {
-		c.views = append(c.views, View{
+		c.views = append(c.views, View[T]{
 			Value: value, Level: level, Index: len(c.views), Final: final, At: time.Now(),
 		})
 		if final {
@@ -206,6 +232,7 @@ func (c *Correctable) deliver(value interface{}, level Level, final bool, failur
 		}
 	}
 	terminal := c.state != StateUpdating
+	done := c.done
 	waiters := c.waiters
 	c.waiters = nil
 	c.dispatch()
@@ -214,8 +241,8 @@ func (c *Correctable) deliver(value interface{}, level Level, final bool, failur
 	for _, w := range waiters {
 		w.Fire()
 	}
-	if terminal {
-		close(c.done)
+	if terminal && done != nil {
+		close(done)
 	}
 	return nil
 }
@@ -224,7 +251,7 @@ func (c *Correctable) deliver(value interface{}, level Level, final bool, failur
 // be called with c.mu held and returns with c.mu held. Callbacks run with
 // the lock released. Re-entrant calls (from inside a callback) return
 // immediately; the outer dispatch loop picks up whatever they enqueued.
-func (c *Correctable) dispatch() {
+func (c *Correctable[T]) dispatch() {
 	if c.dispatching {
 		return
 	}
@@ -279,75 +306,96 @@ func (c *Correctable) dispatch() {
 // chaining, mirroring the paper's fluent style:
 //
 //	invoke(op).Speculate(f).SetCallbacks(...)
-func (c *Correctable) SetCallbacks(cbs Callbacks) *Correctable {
+func (c *Correctable[T]) SetCallbacks(cbs Callbacks[T]) *Correctable[T] {
 	c.mu.Lock()
-	c.entries = append(c.entries, &cbEntry{cbs: cbs})
+	c.entries = append(c.entries, &cbEntry[T]{cbs: cbs})
 	c.dispatch()
 	c.mu.Unlock()
 	return c
 }
 
 // OnUpdate attaches an update-only callback.
-func (c *Correctable) OnUpdate(f func(View)) *Correctable {
-	return c.SetCallbacks(Callbacks{OnUpdate: f})
+func (c *Correctable[T]) OnUpdate(f func(View[T])) *Correctable[T] {
+	return c.SetCallbacks(Callbacks[T]{OnUpdate: f})
 }
 
 // OnFinal attaches a final-only callback.
-func (c *Correctable) OnFinal(f func(View)) *Correctable {
-	return c.SetCallbacks(Callbacks{OnFinal: f})
+func (c *Correctable[T]) OnFinal(f func(View[T])) *Correctable[T] {
+	return c.SetCallbacks(Callbacks[T]{OnFinal: f})
 }
 
 // OnError attaches an error-only callback.
-func (c *Correctable) OnError(f func(error)) *Correctable {
-	return c.SetCallbacks(Callbacks{OnError: f})
+func (c *Correctable[T]) OnError(f func(error)) *Correctable[T] {
+	return c.SetCallbacks(Callbacks[T]{OnError: f})
 }
 
 // State returns the current state.
-func (c *Correctable) State() State {
+func (c *Correctable[T]) State() State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.state
 }
 
 // Err returns the closing error, if any.
-func (c *Correctable) Err() error {
+func (c *Correctable[T]) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
 }
 
 // Views returns a copy of all views delivered so far, in order.
-func (c *Correctable) Views() []View {
+func (c *Correctable[T]) Views() []View[T] {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]View(nil), c.views...)
+	return append([]View[T](nil), c.views...)
 }
 
 // Latest returns the most recent view, if any.
-func (c *Correctable) Latest() (View, bool) {
+func (c *Correctable[T]) Latest() (View[T], bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.views) == 0 {
-		return View{}, false
+		var zero View[T]
+		return zero, false
 	}
 	return c.views[len(c.views)-1], true
 }
 
+// closedChan is a shared, already-closed channel returned by Done for
+// Correctables that closed before anyone asked.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // Done returns a channel closed when the Correctable leaves the Updating
-// state.
-func (c *Correctable) Done() <-chan struct{} { return c.done }
+// state. The channel is created lazily so that invocations that never block
+// on it pay no allocation.
+func (c *Correctable[T]) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == nil {
+		if c.state != StateUpdating {
+			return closedChan
+		}
+		c.done = make(chan struct{})
+	}
+	return c.done
+}
 
 // Final blocks until the Correctable closes and returns the final view. If
 // the Correctable closed with an error, or ctx expires first, that error is
 // returned. Cancellable contexts are honored only under the default
 // scheduler; a simulation scheduler cannot select on host-time
 // cancellation (simulated operations always terminate instead).
-func (c *Correctable) Final(ctx context.Context) (View, error) {
+func (c *Correctable[T]) Final(ctx context.Context) (View[T], error) {
+	var zero View[T]
 	if ctxDone := ctxDoneChan(ctx); ctxDone != nil && c.sched == nil {
 		select {
-		case <-c.done:
+		case <-c.Done():
 		case <-ctxDone:
-			return View{}, ctx.Err()
+			return zero, ctx.Err()
 		}
 	} else {
 		c.awaitTerminal()
@@ -355,17 +403,17 @@ func (c *Correctable) Final(ctx context.Context) (View, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.state == StateError {
-		return View{}, c.err
+		return zero, c.err
 	}
 	if len(c.views) == 0 {
-		return View{}, ErrNoView
+		return zero, ErrNoView
 	}
 	return c.views[len(c.views)-1], nil
 }
 
 // awaitTerminal blocks through scheduler events until the Correctable
 // leaves the Updating state.
-func (c *Correctable) awaitTerminal() {
+func (c *Correctable[T]) awaitTerminal() {
 	for {
 		c.mu.Lock()
 		if c.state != StateUpdating {
@@ -382,9 +430,11 @@ func (c *Correctable) awaitTerminal() {
 // WaitLevel blocks until a view with level >= min has been delivered and
 // returns the first such view. If the Correctable closes without one, it
 // returns ErrNoView (or the closing error). Views already scanned on a
-// previous wakeup are not re-examined, so waiting costs O(new views).
-// Context cancellation is honored as in Final.
-func (c *Correctable) WaitLevel(ctx context.Context, min Level) (View, error) {
+// previous wakeup are not re-examined, so waiting costs O(new views), and a
+// wait that is already satisfied performs no allocation. Context
+// cancellation is honored as in Final.
+func (c *Correctable[T]) WaitLevel(ctx context.Context, min Level) (View[T], error) {
+	var zero View[T]
 	ctxDone := ctxDoneChan(ctx)
 	scanned := 0
 	for {
@@ -398,11 +448,11 @@ func (c *Correctable) WaitLevel(ctx context.Context, min Level) (View, error) {
 		if c.state == StateError {
 			err := c.err
 			c.mu.Unlock()
-			return View{}, err
+			return zero, err
 		}
 		if c.state == StateFinal {
 			c.mu.Unlock()
-			return View{}, ErrNoView
+			return zero, ErrNoView
 		}
 		w := c.scheduler().NewEvent()
 		c.waiters = append(c.waiters, w)
@@ -411,7 +461,7 @@ func (c *Correctable) WaitLevel(ctx context.Context, min Level) (View, error) {
 			select {
 			case <-ce.ch:
 			case <-ctxDone:
-				return View{}, ctx.Err()
+				return zero, ctx.Err()
 			}
 		} else {
 			w.Wait()
@@ -431,25 +481,38 @@ func ctxDoneChan(ctx context.Context) <-chan struct{} {
 // First blocks until any view has been delivered and returns it. This is the
 // "settle for the preliminary" pattern (§2.2): applications with tight
 // latency SLAs can take the first view and abandon the rest.
-func (c *Correctable) First(ctx context.Context) (View, error) {
+func (c *Correctable[T]) First(ctx context.Context) (View[T], error) {
 	return c.WaitLevel(ctx, LevelNone+1)
 }
 
 // Equaler lets application values customize the divergence check used by
 // Speculate and by confirmation detection. If a view value implements
-// Equaler, it is consulted; otherwise reflect.DeepEqual is used.
-type Equaler interface {
-	EqualValue(other interface{}) bool
+// Equaler[T], it is consulted; otherwise ValuesEqual falls back to
+// bytes.Equal for []byte and reflect.DeepEqual for everything else.
+//
+// Legacy implementations written against the boxed API
+// (EqualValue(other interface{}) bool) satisfy Equaler[any] and keep
+// working for Correctable[any] values.
+type Equaler[T any] interface {
+	EqualValue(other T) bool
 }
 
 // ValuesEqual reports whether two view values are equal for the purpose of
-// confirmation / misspeculation detection.
-func ValuesEqual(a, b interface{}) bool {
-	if e, ok := a.(Equaler); ok {
+// confirmation / misspeculation detection. Either operand's Equaler[T] is
+// consulted first; []byte values then compare by content without
+// reflection; everything else falls back to reflect.DeepEqual.
+func ValuesEqual[T any](a, b T) bool {
+	if e, ok := any(a).(Equaler[T]); ok {
 		return e.EqualValue(b)
 	}
-	if e, ok := b.(Equaler); ok {
+	if e, ok := any(b).(Equaler[T]); ok {
 		return e.EqualValue(a)
+	}
+	if av, ok := any(a).([]byte); ok {
+		if bv, ok := any(b).([]byte); ok {
+			return bytes.Equal(av, bv)
+		}
+		return false // only possible for T=any with mismatched dynamic types
 	}
 	return reflect.DeepEqual(a, b)
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestStatesAndTransitions(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	if got := c.State(); got != StateUpdating {
 		t.Fatalf("new correctable state = %v, want updating", got)
 	}
@@ -42,7 +42,7 @@ func TestStatesAndTransitions(t *testing.T) {
 }
 
 func TestUpdateAfterCloseFails(t *testing.T) {
-	_, ctrl := New()
+	_, ctrl := New[any]()
 	if err := ctrl.Close(1, LevelStrong); err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestUpdateAfterCloseFails(t *testing.T) {
 }
 
 func TestErrorState(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	boom := errors.New("boom")
 	var got error
 	c.OnError(func(err error) { got = err })
@@ -77,12 +77,12 @@ func TestErrorState(t *testing.T) {
 }
 
 func TestCallbackOrderAndCounts(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var updates []interface{}
 	var finals, errCount int
-	c.SetCallbacks(Callbacks{
-		OnUpdate: func(v View) { updates = append(updates, v.Value) },
-		OnFinal:  func(v View) { finals++ },
+	c.SetCallbacks(Callbacks[any]{
+		OnUpdate: func(v View[any]) { updates = append(updates, v.Value) },
+		OnFinal:  func(v View[any]) { finals++ },
 		OnError:  func(error) { errCount++ },
 	})
 	_ = ctrl.Update(1, LevelWeak)
@@ -100,15 +100,15 @@ func TestCallbackOrderAndCounts(t *testing.T) {
 }
 
 func TestLateSubscriberReplaysHistory(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	_ = ctrl.Update("a", LevelWeak)
 	_ = ctrl.Close("b", LevelStrong)
 
 	var updates []interface{}
 	var final interface{}
-	c.SetCallbacks(Callbacks{
-		OnUpdate: func(v View) { updates = append(updates, v.Value) },
-		OnFinal:  func(v View) { final = v.Value },
+	c.SetCallbacks(Callbacks[any]{
+		OnUpdate: func(v View[any]) { updates = append(updates, v.Value) },
+		OnFinal:  func(v View[any]) { final = v.Value },
 	})
 	if len(updates) != 2 || updates[0] != "a" || updates[1] != "b" {
 		t.Errorf("replayed updates = %v", updates)
@@ -119,12 +119,12 @@ func TestLateSubscriberReplaysHistory(t *testing.T) {
 }
 
 func TestLateSubscriberAfterError(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	_ = ctrl.Update("a", LevelWeak)
 	_ = ctrl.Fail(errors.New("late"))
 	var updates, errs int
-	c.SetCallbacks(Callbacks{
-		OnUpdate: func(View) { updates++ },
+	c.SetCallbacks(Callbacks[any]{
+		OnUpdate: func(View[any]) { updates++ },
 		OnError:  func(error) { errs++ },
 	})
 	if updates != 1 || errs != 1 {
@@ -133,13 +133,13 @@ func TestLateSubscriberAfterError(t *testing.T) {
 }
 
 func TestReentrantAttachFromCallback(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var inner []interface{}
-	c.OnUpdate(func(v View) {
+	c.OnUpdate(func(v View[any]) {
 		if v.Index == 0 {
 			// Attaching from inside a callback must not deadlock, and the
 			// new callback must still see the complete history.
-			c.OnUpdate(func(v2 View) { inner = append(inner, v2.Value) })
+			c.OnUpdate(func(v2 View[any]) { inner = append(inner, v2.Value) })
 		}
 	})
 	_ = ctrl.Update(10, LevelWeak)
@@ -150,9 +150,9 @@ func TestReentrantAttachFromCallback(t *testing.T) {
 }
 
 func TestReentrantDeliverFromCallback(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var seen []interface{}
-	c.OnUpdate(func(v View) {
+	c.OnUpdate(func(v View[any]) {
 		seen = append(seen, v.Value)
 		if v.Index == 0 {
 			_ = ctrl.Close("fin", LevelStrong)
@@ -168,7 +168,7 @@ func TestReentrantDeliverFromCallback(t *testing.T) {
 }
 
 func TestFinalBlocksUntilClose(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	go func() {
 		_ = ctrl.Update(1, LevelWeak)
 		_ = ctrl.Close(2, LevelStrong)
@@ -183,7 +183,7 @@ func TestFinalBlocksUntilClose(t *testing.T) {
 }
 
 func TestFinalContextCancel(t *testing.T) {
-	c, _ := New()
+	c, _ := New[any]()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	if _, err := c.Final(ctx); !errors.Is(err, context.DeadlineExceeded) {
@@ -192,7 +192,7 @@ func TestFinalContextCancel(t *testing.T) {
 }
 
 func TestFinalOnError(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	boom := errors.New("boom")
 	_ = ctrl.Fail(boom)
 	if _, err := c.Final(context.Background()); !errors.Is(err, boom) {
@@ -201,7 +201,7 @@ func TestFinalOnError(t *testing.T) {
 }
 
 func TestWaitLevel(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	go func() {
 		_ = ctrl.Update("w", LevelWeak)
 		time.Sleep(time.Millisecond)
@@ -225,7 +225,7 @@ func TestWaitLevel(t *testing.T) {
 }
 
 func TestWaitLevelNoView(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	_ = ctrl.Close("w", LevelWeak)
 	if _, err := c.WaitLevel(context.Background(), LevelStrong); !errors.Is(err, ErrNoView) {
 		t.Errorf("WaitLevel = %v, want ErrNoView", err)
@@ -233,7 +233,7 @@ func TestWaitLevelNoView(t *testing.T) {
 }
 
 func TestFirst(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	go func() { _ = ctrl.Update(42, LevelCache) }()
 	v, err := c.First(context.Background())
 	if err != nil {
@@ -245,7 +245,7 @@ func TestFirst(t *testing.T) {
 }
 
 func TestLatest(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	if _, ok := c.Latest(); ok {
 		t.Error("Latest on empty correctable reported ok")
 	}
@@ -257,7 +257,7 @@ func TestLatest(t *testing.T) {
 }
 
 func TestDoneChannel(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	select {
 	case <-c.Done():
 		t.Fatal("Done closed before terminal transition")
@@ -272,7 +272,7 @@ func TestDoneChannel(t *testing.T) {
 }
 
 func TestFailNilError(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	if err := ctrl.Fail(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestFailNilError(t *testing.T) {
 }
 
 func TestConcurrentSubscribersSeeConsistentHistory(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	const subs = 16
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -292,7 +292,7 @@ func TestConcurrentSubscribersSeeConsistentHistory(t *testing.T) {
 		i := i
 		go func() {
 			defer wg.Done()
-			c.SetCallbacks(Callbacks{OnUpdate: func(v View) {
+			c.SetCallbacks(Callbacks[any]{OnUpdate: func(v View[any]) {
 				mu.Lock()
 				results[i] = append(results[i], v.Value)
 				mu.Unlock()
@@ -338,12 +338,12 @@ func TestConcurrentSubscribersSeeConsistentHistory(t *testing.T) {
 // once, and Views() matches.
 func TestPropertyDeliveryOrder(t *testing.T) {
 	f := func(vals []int) bool {
-		c, ctrl := New()
+		c, ctrl := New[any]()
 		var got []int
 		finals := 0
-		c.SetCallbacks(Callbacks{
-			OnUpdate: func(v View) { got = append(got, v.Value.(int)) },
-			OnFinal:  func(View) { finals++ },
+		c.SetCallbacks(Callbacks[any]{
+			OnUpdate: func(v View[any]) { got = append(got, v.Value.(int)) },
+			OnFinal:  func(View[any]) { finals++ },
 		})
 		for _, v := range vals {
 			if err := ctrl.Update(v, LevelWeak); err != nil {
@@ -388,7 +388,7 @@ func TestPropertyDeliveryOrder(t *testing.T) {
 func TestPropertySingleTerminalTransition(t *testing.T) {
 	f := func(n uint8) bool {
 		workers := int(n%8) + 2
-		c, ctrl := New()
+		c, ctrl := New[any]()
 		var wins int32
 		var mu sync.Mutex
 		var wg sync.WaitGroup
@@ -425,10 +425,10 @@ func TestValuesEqual(t *testing.T) {
 	if ValuesEqual([]byte{1}, []byte{2}) {
 		t.Error("different byte slices reported equal")
 	}
-	if !ValuesEqual(nil, nil) {
+	if !ValuesEqual[any](nil, nil) {
 		t.Error("nil values should be equal")
 	}
-	if ValuesEqual("a", 1) {
+	if ValuesEqual[any]("a", 1) {
 		t.Error("mismatched types reported equal")
 	}
 }
@@ -447,13 +447,13 @@ func (e evenEqualer) EqualValue(other interface{}) bool {
 }
 
 func TestValuesEqualCustomEqualer(t *testing.T) {
-	if !ValuesEqual(evenEqualer(2), evenEqualer(4)) {
+	if !ValuesEqual[any](evenEqualer(2), evenEqualer(4)) {
 		t.Error("custom equaler not consulted (a)")
 	}
-	if ValuesEqual(evenEqualer(1), evenEqualer(4)) {
+	if ValuesEqual[any](evenEqualer(1), evenEqualer(4)) {
 		t.Error("custom equaler mismatch not detected")
 	}
-	if !ValuesEqual(4, evenEqualer(2)) {
+	if !ValuesEqual[any](4, evenEqualer(2)) {
 		t.Error("custom equaler not consulted on second operand")
 	}
 }

@@ -22,7 +22,7 @@ var ErrTimeout = errors.New("correctable: timed out")
 // ErrTimeout if no view arrived at all. Late views from c are ignored.
 // The deadline runs on the Correctable's scheduler time axis: host time by
 // default, model time under a simulation scheduler.
-func (c *Correctable) WithTimeout(d time.Duration) *Correctable {
+func (c *Correctable[T]) WithTimeout(d time.Duration) *Correctable[T] {
 	out, ctrl := c.derive(c.Levels())
 	c.scheduler().After(d, func() {
 		// No-op if the source already closed the output (ErrClosed).
@@ -32,8 +32,8 @@ func (c *Correctable) WithTimeout(d time.Duration) *Correctable {
 			_ = ctrl.Fail(fmt.Errorf("%w after %v", ErrTimeout, d))
 		}
 	})
-	c.SetCallbacks(Callbacks{
-		OnUpdate: func(v View) {
+	c.SetCallbacks(Callbacks[T]{
+		OnUpdate: func(v View[T]) {
 			if v.Final {
 				_ = ctrl.Close(v.Value, v.Level)
 			} else {
@@ -52,10 +52,10 @@ func (c *Correctable) WithTimeout(d time.Duration) *Correctable {
 // value (at LevelNone-adjacent weakest level LevelCache, since a recovered
 // value carries no storage guarantee); returning an error fails the result
 // with it. This is the Promise `catch` combinator.
-func (c *Correctable) Catch(handler func(error) (interface{}, error)) *Correctable {
+func (c *Correctable[T]) Catch(handler func(error) (T, error)) *Correctable[T] {
 	out, ctrl := c.derive(c.Levels())
-	c.SetCallbacks(Callbacks{
-		OnUpdate: func(v View) {
+	c.SetCallbacks(Callbacks[T]{
+		OnUpdate: func(v View[T]) {
 			if v.Final {
 				_ = ctrl.Close(v.Value, v.Level)
 			} else {
@@ -76,9 +76,9 @@ func (c *Correctable) Catch(handler func(error) (interface{}, error)) *Correctab
 
 // Finally invokes f exactly once when c leaves the Updating state, whether
 // it closed with a view or an error, and returns c for chaining.
-func (c *Correctable) Finally(f func()) *Correctable {
-	return c.SetCallbacks(Callbacks{
-		OnFinal: func(View) { f() },
+func (c *Correctable[T]) Finally(f func()) *Correctable[T] {
+	return c.SetCallbacks(Callbacks[T]{
+		OnFinal: func(View[T]) { f() },
 		OnError: func(error) { f() },
 	})
 }
@@ -87,10 +87,10 @@ func (c *Correctable) Finally(f func()) *Correctable {
 // min (the final view is always forwarded, whatever its level, so the
 // result still closes). Applications use it to ignore a too-weak cache view
 // while keeping the rest of the ICG stream.
-func (c *Correctable) FilterLevels(min Level) *Correctable {
+func (c *Correctable[T]) FilterLevels(min Level) *Correctable[T] {
 	out, ctrl := c.derive(c.Levels())
-	c.SetCallbacks(Callbacks{
-		OnUpdate: func(v View) {
+	c.SetCallbacks(Callbacks[T]{
+		OnUpdate: func(v View[T]) {
 			if v.Final {
 				_ = ctrl.Close(v.Value, v.Level)
 				return
@@ -110,8 +110,8 @@ func (c *Correctable) FilterLevels(min Level) *Correctable {
 // their first view matters. If every child fails, Race fails with the
 // last-observed error. Watchers run on the children's scheduler, so racing
 // simulation-backed Correctables parks actors instead of bare goroutines.
-func Race(cs ...*Correctable) *Correctable {
-	out, ctrl := NewScheduled(schedOf(cs), nil)
+func Race[T any](cs ...*Correctable[T]) *Correctable[T] {
+	out, ctrl := NewScheduled[T](schedOf(cs), nil)
 	if len(cs) == 0 {
 		_ = ctrl.Fail(ErrNoView)
 		return out

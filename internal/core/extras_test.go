@@ -9,7 +9,7 @@ import (
 )
 
 func TestWithTimeoutDegradesToLatestView(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	out := c.WithTimeout(20 * time.Millisecond)
 	_ = ctrl.Update("prelim", LevelWeak)
 	// The final never arrives in time.
@@ -28,7 +28,7 @@ func TestWithTimeoutDegradesToLatestView(t *testing.T) {
 }
 
 func TestWithTimeoutNoViewsFails(t *testing.T) {
-	c, _ := New()
+	c, _ := New[any]()
 	out := c.WithTimeout(10 * time.Millisecond)
 	if _, err := out.Final(context.Background()); !errors.Is(err, ErrTimeout) {
 		t.Errorf("err = %v, want ErrTimeout", err)
@@ -36,7 +36,7 @@ func TestWithTimeoutNoViewsFails(t *testing.T) {
 }
 
 func TestWithTimeoutFastPathUnaffected(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	out := c.WithTimeout(time.Minute)
 	_ = ctrl.Update(1, LevelWeak)
 	_ = ctrl.Close(2, LevelStrong)
@@ -50,7 +50,7 @@ func TestWithTimeoutFastPathUnaffected(t *testing.T) {
 }
 
 func TestWithTimeoutPropagatesError(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	out := c.WithTimeout(time.Minute)
 	boom := errors.New("x")
 	_ = ctrl.Fail(boom)
@@ -60,7 +60,7 @@ func TestWithTimeoutPropagatesError(t *testing.T) {
 }
 
 func TestCatchRecovers(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	out := c.Catch(func(err error) (interface{}, error) {
 		return "fallback", nil
 	})
@@ -75,7 +75,7 @@ func TestCatchRecovers(t *testing.T) {
 }
 
 func TestCatchRethrows(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	wrapped := errors.New("wrapped")
 	out := c.Catch(func(err error) (interface{}, error) { return nil, wrapped })
 	_ = ctrl.Fail(errors.New("original"))
@@ -85,7 +85,7 @@ func TestCatchRethrows(t *testing.T) {
 }
 
 func TestCatchPassthroughOnSuccess(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	called := false
 	out := c.Catch(func(error) (interface{}, error) { called = true; return nil, nil })
 	_ = ctrl.Update(1, LevelWeak)
@@ -104,7 +104,7 @@ func TestCatchPassthroughOnSuccess(t *testing.T) {
 
 func TestFinallyRunsOnceEitherWay(t *testing.T) {
 	for _, fail := range []bool{false, true} {
-		c, ctrl := New()
+		c, ctrl := New[any]()
 		var n int32
 		c.Finally(func() { atomic.AddInt32(&n, 1) })
 		_ = ctrl.Update(1, LevelWeak)
@@ -120,7 +120,7 @@ func TestFinallyRunsOnceEitherWay(t *testing.T) {
 }
 
 func TestFilterLevels(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	out := c.FilterLevels(LevelCausal)
 	_ = ctrl.Update("cache", LevelCache)   // filtered
 	_ = ctrl.Update("causal", LevelCausal) // passes
@@ -135,7 +135,7 @@ func TestFilterLevels(t *testing.T) {
 }
 
 func TestFilterLevelsAlwaysForwardsFinal(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	out := c.FilterLevels(LevelStrong)
 	_ = ctrl.Close("weak-final", LevelWeak) // below min, but final
 	v, err := out.Final(context.Background())
@@ -145,8 +145,8 @@ func TestFilterLevelsAlwaysForwardsFinal(t *testing.T) {
 }
 
 func TestRaceTakesFirstView(t *testing.T) {
-	c1, ctrl1 := New()
-	c2, ctrl2 := New()
+	c1, ctrl1 := New[any]()
+	c2, ctrl2 := New[any]()
 	out := Race(c1, c2)
 	_ = ctrl2.Update("fast-prelim", LevelCache)
 	v, err := out.Final(context.Background())
@@ -160,8 +160,8 @@ func TestRaceTakesFirstView(t *testing.T) {
 }
 
 func TestRaceAllFail(t *testing.T) {
-	c1, ctrl1 := New()
-	c2, ctrl2 := New()
+	c1, ctrl1 := New[any]()
+	c2, ctrl2 := New[any]()
 	out := Race(c1, c2)
 	_ = ctrl1.Fail(errors.New("e1"))
 	_ = ctrl2.Fail(errors.New("e2"))
@@ -171,7 +171,7 @@ func TestRaceAllFail(t *testing.T) {
 }
 
 func TestRaceEmpty(t *testing.T) {
-	if _, err := Race().Final(context.Background()); !errors.Is(err, ErrNoView) {
+	if _, err := Race[any]().Final(context.Background()); !errors.Is(err, ErrNoView) {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -3,25 +3,26 @@ package core
 import "sync"
 
 // SpecFunc is a speculation function (§4.2, Listing 3). It receives a view
-// and performs — possibly expensive, possibly side-effecting — work based on
-// it, returning a result. It runs on its own goroutine.
-type SpecFunc func(View) (interface{}, error)
+// of the source value type In and performs — possibly expensive, possibly
+// side-effecting — work based on it, returning a result of type Out. It
+// runs on its own goroutine.
+type SpecFunc[In, Out any] func(View[In]) (Out, error)
 
 // AbortFunc undoes the side effects of a superseded speculation. It receives
-// the view the speculation was based on and the result it produced (nil if
-// the speculation function returned an error). It is called at most once per
-// superseded speculation, after that speculation's SpecFunc has returned and
-// before the replacement speculation runs.
-type AbortFunc func(input View, result interface{})
+// the view the speculation was based on and the result it produced (the zero
+// Out if the speculation function returned an error). It is called at most
+// once per superseded speculation, after that speculation's SpecFunc has
+// returned and before the replacement speculation runs.
+type AbortFunc[In, Out any] func(input View[In], result Out)
 
 // specExec tracks one execution of the speculation function.
-type specExec struct {
-	input View
+type specExec[In, Out any] struct {
+	input View[In]
 	done  Event
 
 	// result and err are written by the executing goroutine before done is
 	// fired.
-	result interface{}
+	result Out
 	err    error
 
 	// The fields below are guarded by speculator.mu.
@@ -33,7 +34,15 @@ type specExec struct {
 // Speculate captures the speculation pattern of the paper (Listing 3): it
 // applies spec to every new view delivered by c whose value differs from the
 // previous one, and returns a new Correctable that closes with the return
-// value of spec.
+// value of spec. This method keeps the value type; use the package-level
+// Speculate to map to a different result type.
+func (c *Correctable[T]) Speculate(spec SpecFunc[T, T], abort AbortFunc[T, T]) *Correctable[T] {
+	return Speculate(c, spec, abort)
+}
+
+// Speculate is the type-changing form of Correctable.Speculate: spec maps
+// views of In to a result of type Out, and the returned Correctable[Out]
+// closes with spec's output.
 //
 // If the final view matches the last speculated-on view (the common case),
 // the returned Correctable closes as soon as both the final view has arrived
@@ -47,32 +56,35 @@ type specExec struct {
 // preliminary views of the returned Correctable (at the input view's level),
 // so speculation chains compose with OnUpdate-style progressive display.
 //
+// Divergence between views is judged with ValuesEqual (Equaler[In] when the
+// value type implements it).
+//
 // If c closes with an error, the returned Correctable fails with the same
 // error (after any outstanding speculation is aborted).
-func (c *Correctable) Speculate(spec SpecFunc, abort AbortFunc) *Correctable {
-	out, ctrl := c.derive(c.Levels())
-	s := &speculator{spec: spec, abort: abort, ctrl: ctrl, sched: c.scheduler()}
-	c.SetCallbacks(Callbacks{
+func Speculate[In, Out any](c *Correctable[In], spec SpecFunc[In, Out], abort AbortFunc[In, Out]) *Correctable[Out] {
+	out, ctrl := deriveAs[Out](c, c.Levels())
+	s := &speculator[In, Out]{spec: spec, abort: abort, ctrl: ctrl, sched: c.scheduler()}
+	c.SetCallbacks(Callbacks[In]{
 		OnUpdate: s.onUpdate,
 		OnError:  s.onError,
 	})
 	return out
 }
 
-type speculator struct {
+type speculator[In, Out any] struct {
 	mu     sync.Mutex
-	spec   SpecFunc
-	abort  AbortFunc
-	ctrl   *Controller
+	spec   SpecFunc[In, Out]
+	abort  AbortFunc[In, Out]
+	ctrl   Controller[Out]
 	sched  Scheduler
-	latest *specExec
+	latest *specExec[In, Out]
 }
 
 // startLocked launches a speculation for v, superseding (and, once it
 // finishes, aborting) the previous one. Caller must hold s.mu.
-func (s *speculator) startLocked(v View) {
+func (s *speculator[In, Out]) startLocked(v View[In]) {
 	prev := s.latest
-	e := &specExec{input: v, done: s.sched.NewEvent()}
+	e := &specExec[In, Out]{input: v, done: s.sched.NewEvent()}
 	s.latest = e
 	s.sched.Go(func() {
 		if prev != nil {
@@ -86,10 +98,10 @@ func (s *speculator) startLocked(v View) {
 
 // waitAbort waits for a superseded execution to finish and undoes its side
 // effects.
-func (s *speculator) waitAbort(e *specExec) {
+func (s *speculator[In, Out]) waitAbort(e *specExec[In, Out]) {
 	e.done.Wait()
 	if s.abort != nil {
-		var res interface{}
+		var res Out
 		if e.err == nil {
 			res = e.result
 		}
@@ -98,7 +110,7 @@ func (s *speculator) waitAbort(e *specExec) {
 }
 
 // finished publishes the outcome of a completed execution.
-func (s *speculator) finished(e *specExec) {
+func (s *speculator[In, Out]) finished(e *specExec[In, Out]) {
 	s.mu.Lock()
 	e.completed = true
 	isLatest := s.latest == e
@@ -128,7 +140,7 @@ func (s *speculator) finished(e *specExec) {
 	}
 }
 
-func (s *speculator) onUpdate(v View) {
+func (s *speculator[In, Out]) onUpdate(v View[In]) {
 	s.mu.Lock()
 	prev := s.latest
 	sameAsPrev := prev != nil && ValuesEqual(prev.input.Value, v.Value)
@@ -163,7 +175,7 @@ func (s *speculator) onUpdate(v View) {
 	s.mu.Unlock()
 }
 
-func (s *speculator) onError(err error) {
+func (s *speculator[In, Out]) onError(err error) {
 	s.mu.Lock()
 	prev := s.latest
 	s.latest = nil

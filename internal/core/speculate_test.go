@@ -14,12 +14,12 @@ import (
 func TestSpeculateConfirmation(t *testing.T) {
 	// Preliminary == final: speculation is confirmed, spec runs once, no
 	// abort, result is the spec output at strong level.
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var specRuns, aborts int32
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		atomic.AddInt32(&specRuns, 1)
 		return fmt.Sprintf("spec(%v)", v.Value), nil
-	}, func(View, interface{}) {
+	}, func(View[any], interface{}) {
 		atomic.AddInt32(&aborts, 1)
 	})
 	_ = ctrl.Update("x", LevelWeak)
@@ -45,15 +45,15 @@ func TestSpeculateConfirmation(t *testing.T) {
 func TestSpeculateMisspeculation(t *testing.T) {
 	// Preliminary != final: spec re-executes on the final value, abort undoes
 	// the preliminary speculation first.
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var mu sync.Mutex
 	var trace []string
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		mu.Lock()
 		trace = append(trace, "spec:"+v.Value.(string))
 		mu.Unlock()
 		return "r:" + v.Value.(string), nil
-	}, func(in View, res interface{}) {
+	}, func(in View[any], res interface{}) {
 		mu.Lock()
 		trace = append(trace, fmt.Sprintf("abort:%v", res))
 		mu.Unlock()
@@ -89,7 +89,7 @@ func TestSpeculateHidesLatency(t *testing.T) {
 		finalAt  = 60 * time.Millisecond
 		specCost = 40 * time.Millisecond
 	)
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	start := time.Now()
 	go func() {
 		time.Sleep(prelimAt)
@@ -97,7 +97,7 @@ func TestSpeculateHidesLatency(t *testing.T) {
 		time.Sleep(finalAt - prelimAt)
 		_ = ctrl.Close("v", LevelStrong)
 	}()
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		time.Sleep(specCost)
 		return "done", nil
 	}, nil)
@@ -114,9 +114,9 @@ func TestSpeculateHidesLatency(t *testing.T) {
 
 func TestSpeculateFinalOnly(t *testing.T) {
 	// No preliminary at all: spec runs once, on the final view.
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var runs int32
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		atomic.AddInt32(&runs, 1)
 		return v.Value, nil
 	}, nil)
@@ -133,9 +133,9 @@ func TestSpeculateFinalOnly(t *testing.T) {
 func TestSpeculateDuplicatePreliminarySkipped(t *testing.T) {
 	// Per Listing 3: spec applies to every new view *if it differs from the
 	// previous one*.
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var runs int32
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		atomic.AddInt32(&runs, 1)
 		return v.Value, nil
 	}, nil)
@@ -151,9 +151,9 @@ func TestSpeculateDuplicatePreliminarySkipped(t *testing.T) {
 }
 
 func TestSpeculateSpecError(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	boom := errors.New("spec failed")
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		return nil, boom
 	}, nil)
 	_ = ctrl.Close("x", LevelStrong)
@@ -165,8 +165,8 @@ func TestSpeculateSpecError(t *testing.T) {
 func TestSpeculatePrelimSpecErrorThenFinalOK(t *testing.T) {
 	// A failing speculation on the preliminary must not poison the result if
 	// the final diverges and re-executes successfully.
-	c, ctrl := New()
-	out := c.Speculate(func(v View) (interface{}, error) {
+	c, ctrl := New[any]()
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		if v.Value == "bad" {
 			return nil, errors.New("transient")
 		}
@@ -187,9 +187,9 @@ func TestSpeculateConfirmedPrelimSpecError(t *testing.T) {
 	// Spec errors on the preliminary, and the final confirms the
 	// preliminary: the error is the result (re-running would fail again on
 	// identical input).
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	boom := errors.New("boom")
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		return nil, boom
 	}, nil)
 	_ = ctrl.Update("x", LevelWeak)
@@ -201,12 +201,12 @@ func TestSpeculateConfirmedPrelimSpecError(t *testing.T) {
 }
 
 func TestSpeculateSourceError(t *testing.T) {
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	boom := errors.New("storage down")
 	var aborted int32
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		return v.Value, nil
-	}, func(View, interface{}) { atomic.AddInt32(&aborted, 1) })
+	}, func(View[any], interface{}) { atomic.AddInt32(&aborted, 1) })
 	_ = ctrl.Update("x", LevelWeak)
 	time.Sleep(5 * time.Millisecond)
 	_ = ctrl.Fail(boom)
@@ -224,13 +224,13 @@ func TestSpeculateSourceError(t *testing.T) {
 }
 
 func TestSpeculatePreliminaryResultDelivered(t *testing.T) {
-	c, ctrl := New()
-	out := c.Speculate(func(v View) (interface{}, error) {
+	c, ctrl := New[any]()
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		return "spec:" + v.Value.(string), nil
 	}, nil)
 	var mu sync.Mutex
 	var prelim []interface{}
-	out.OnUpdate(func(v View) {
+	out.OnUpdate(func(v View[any]) {
 		mu.Lock()
 		if !v.Final {
 			prelim = append(prelim, v.Value)
@@ -263,12 +263,12 @@ func TestSpeculatePreliminaryResultDelivered(t *testing.T) {
 func TestSpeculateMultiplePreliminaries(t *testing.T) {
 	// Several distinct preliminary views: each superseded speculation is
 	// aborted exactly once, in order, before its successor runs.
-	c, ctrl := New()
+	c, ctrl := New[any]()
 	var mu sync.Mutex
 	var aborted []interface{}
-	out := c.Speculate(func(v View) (interface{}, error) {
+	out := c.Speculate(func(v View[any]) (interface{}, error) {
 		return v.Value, nil
-	}, func(in View, res interface{}) {
+	}, func(in View[any], res interface{}) {
 		mu.Lock()
 		aborted = append(aborted, in.Value)
 		mu.Unlock()
@@ -296,11 +296,11 @@ func TestSpeculateMultiplePreliminaries(t *testing.T) {
 // the preliminary diverged (when spec is pure).
 func TestPropertySpeculateReflectsFinal(t *testing.T) {
 	f := func(prelim, final uint8) bool {
-		c, ctrl := New()
+		c, ctrl := New[any]()
 		var aborts int32
-		out := c.Speculate(func(v View) (interface{}, error) {
+		out := c.Speculate(func(v View[any]) (interface{}, error) {
 			return int(v.Value.(uint8)) * 2, nil
-		}, func(View, interface{}) { atomic.AddInt32(&aborts, 1) })
+		}, func(View[any], interface{}) { atomic.AddInt32(&aborts, 1) })
 		_ = ctrl.Update(prelim, LevelWeak)
 		_ = ctrl.Close(final, LevelStrong)
 		v, err := out.Final(context.Background())

@@ -8,24 +8,23 @@ import (
 	"correctables/internal/core"
 )
 
-// QueueResult is the view value delivered by the queue binding: the element
-// plus the remaining queue length. Divergence (for speculation and
-// confirmation) is judged on the element identity only — the remaining
-// count is an estimate on preliminary views.
-type QueueResult struct {
-	Element   *QueueElement
-	Remaining int
-}
-
-// EqualValue implements core.Equaler.
-func (r QueueResult) EqualValue(other interface{}) bool {
-	o, ok := other.(QueueResult)
-	return ok && r.Element.EqualValue(o.Element)
+// itemOf converts a protocol-level QueueView into the store-agnostic typed
+// queue result. Divergence (for speculation and confirmation) is judged on
+// the element identity only — see binding.Item.EqualValue.
+func itemOf(v QueueView) binding.Item {
+	it := binding.Item{Remaining: v.Remaining}
+	if v.Element != nil {
+		it.ID = v.Element.Name
+		it.Data = v.Element.Data
+		it.Exists = true
+	}
+	return it
 }
 
 // Binding adapts a QueueClient to the Correctables binding API. It offers
 // weak (local simulation on the contact server) and strong (committed
-// through the ordered protocol) levels for enqueue and dequeue.
+// through the ordered protocol) levels for enqueue and dequeue; view values
+// are binding.Item.
 type Binding struct {
 	qc *QueueClient
 }
@@ -77,11 +76,7 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 		}
 
 		forward := func(v QueueView) {
-			level := v.Level
-			cb(binding.Result{
-				Value: QueueResult{Element: v.Element, Remaining: v.Remaining},
-				Level: level,
-			})
+			cb(binding.Result{Value: itemOf(v), Level: v.Level})
 		}
 
 		switch {
@@ -124,4 +119,33 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 // binding block through the ensemble's simulation clock.
 func (b *Binding) Scheduler() core.Scheduler {
 	return binding.SchedulerFor(b.qc.Ensemble().Transport().Clock())
+}
+
+// Queue is the typed application-facing facade over a zk queue binding:
+// Correctable queue operations without a single interface{} in sight.
+type Queue struct {
+	client *binding.Client
+}
+
+// NewQueue builds the typed facade (wrapping the binding in a Client).
+func NewQueue(b *Binding) *Queue { return &Queue{client: binding.NewClient(b)} }
+
+// Client returns the underlying Correctables client (for level inspection
+// and the deprecated boxed shims).
+func (q *Queue) Client() *binding.Client { return q.client }
+
+// Enqueue appends item to the named queue with incremental consistency
+// guarantees (one view per level the ensemble offers).
+func (q *Queue) Enqueue(ctx context.Context, queue string, item []byte, levels ...core.Level) *core.Correctable[binding.Item] {
+	return binding.Invoke[binding.Item](ctx, q.client, binding.Enqueue{Queue: queue, Item: item}, levels...)
+}
+
+// Dequeue removes the queue head with incremental consistency guarantees.
+func (q *Queue) Dequeue(ctx context.Context, queue string, levels ...core.Level) *core.Correctable[binding.Item] {
+	return binding.Invoke[binding.Item](ctx, q.client, binding.Dequeue{Queue: queue}, levels...)
+}
+
+// DequeueStrong waits for the committed (atomic) dequeue only.
+func (q *Queue) DequeueStrong(ctx context.Context, queue string) *core.Correctable[binding.Item] {
+	return binding.InvokeStrong[binding.Item](ctx, q.client, binding.Dequeue{Queue: queue})
 }

@@ -424,24 +424,24 @@ func TestQueueBindingInvoke(t *testing.T) {
 	e.Bootstrap(CreateTxn{Path: "/queues/t"})
 	e.Bootstrap(CreateTxn{Path: "/queues/t/q-", Data: []byte("first"), Sequential: true})
 	b := NewBinding(NewQueueClient(e, netsim.IRL, netsim.FRK))
-	client := binding.NewClient(b)
+	q := NewQueue(b)
 
-	cor := client.Invoke(context.Background(), binding.Dequeue{Queue: "t"})
+	cor := q.Dequeue(context.Background(), "t")
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := v.Value.(QueueResult)
-	if res.Element == nil || string(res.Element.Data) != "first" {
+	res := v.Value
+	if !res.Exists || string(res.Data) != "first" {
 		t.Errorf("final = %+v", res)
 	}
 	views := cor.Views()
 	if len(views) != 2 || views[0].Level != core.LevelWeak {
 		t.Errorf("views = %+v", views)
 	}
-	prelim := views[0].Value.(QueueResult)
+	prelim := views[0].Value
 	if !prelim.EqualValue(res) {
-		t.Errorf("prelim %v != final %v in uncontended dequeue", prelim.Element, res.Element)
+		t.Errorf("prelim %v != final %v in uncontended dequeue", prelim, res)
 	}
 }
 
@@ -453,8 +453,8 @@ func TestQueueBindingVanillaSingleLevel(t *testing.T) {
 	if got := b.ConsistencyLevels(); len(got) != 1 || got[0] != core.LevelStrong {
 		t.Fatalf("vanilla levels = %v", got)
 	}
-	client := binding.NewClient(b)
-	cor := client.Invoke(context.Background(), binding.Enqueue{Queue: "t", Item: []byte("x")})
+	q := NewQueue(b)
+	cor := q.Enqueue(context.Background(), "t", []byte("x"))
 	if _, err := cor.Final(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -472,13 +472,13 @@ func TestQueueBindingInvokeWeakBackground(t *testing.T) {
 	}
 	b := NewBinding(NewQueueClient(e, netsim.IRL, netsim.FRK))
 	client := binding.NewClient(b)
-	cor := client.InvokeWeak(context.Background(), binding.Dequeue{Queue: "t"})
+	cor := binding.InvokeWeak[binding.Item](context.Background(), client, binding.Dequeue{Queue: "t"})
 	v, err := cor.Final(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := v.Value.(QueueResult)
-	if res.Element == nil || res.Element.Seq != 0 {
+	res := v.Value
+	if !res.Exists || res.ID != "q-0000000000" {
 		t.Errorf("weak dequeue = %+v", res)
 	}
 	// The dequeue itself completes in the background: after draining, the
@@ -493,7 +493,7 @@ func TestQueueBindingUnsupportedOp(t *testing.T) {
 	e, _, _ := newTestEnsemble(t, true, netsim.IRL)
 	b := NewBinding(NewQueueClient(e, netsim.IRL, netsim.FRK))
 	client := binding.NewClient(b)
-	if _, err := client.Invoke(context.Background(), binding.Get{Key: "k"}).Final(context.Background()); err == nil {
+	if _, err := binding.Invoke[[]byte](context.Background(), client, binding.Get{Key: "k"}).Final(context.Background()); err == nil {
 		t.Error("Get on a queue binding should fail")
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+
+	"correctables/internal/binding"
 )
 
 func TestTreeCreateGetDelete(t *testing.T) {
@@ -227,14 +229,19 @@ func TestQueueElementEqualValue(t *testing.T) {
 	}
 }
 
-func TestQueueResultEqualValue(t *testing.T) {
-	e := &QueueElement{Name: "q-1"}
-	a := QueueResult{Element: e, Remaining: 10}
-	b := QueueResult{Element: &QueueElement{Name: "q-1"}, Remaining: 99}
+func TestItemEqualValue(t *testing.T) {
+	a := binding.Item{ID: "q-1", Exists: true, Remaining: 10}
+	b := binding.Item{ID: "q-1", Data: []byte("different"), Exists: true, Remaining: 99}
 	if !a.EqualValue(b) {
-		t.Error("QueueResult equality must ignore Remaining")
+		t.Error("Item equality must ignore Data and Remaining")
 	}
-	if a.EqualValue(QueueResult{Element: &QueueElement{Name: "q-2"}}) {
+	if a.EqualValue(binding.Item{ID: "q-2", Exists: true}) {
 		t.Error("different elements should differ")
+	}
+	if a.EqualValue(binding.Item{}) {
+		t.Error("existing vs absent elements should differ")
+	}
+	if !(binding.Item{}).EqualValue(binding.Item{Remaining: 3}) {
+		t.Error("two absent elements should be equal")
 	}
 }
