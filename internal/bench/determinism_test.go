@@ -42,19 +42,32 @@ func metricFingerprint(h *harness, results []*ycsb.Result) string {
 
 // fig6StyleRun executes one Fig 6 saturation cell (YCSB workload A, CC2,
 // three regional client groups) on a fresh harness and returns the full
-// metric fingerprint.
+// metric fingerprint. Callback-timer probes armed across the run record
+// their firing instants into the fingerprint, so the replay gate also
+// covers the RunAt/RunAfter dispatch path (which now carries all
+// fire-and-forget traffic: async replication, read repair, prelim
+// flushes).
 func fig6StyleRun(cfg Config) string {
 	w := workloadByName("A", ycsb.DistZipfian, 1000, 1024)
 	h := newHarness(cfg)
 	cluster := h.newCassandra(cfg, cassandraOpts{correctable: true})
 	preloadDataset(cluster, w)
+	var cbLog []string
+	for i, d := range []time.Duration{
+		50 * time.Millisecond, 700 * time.Millisecond, 1900 * time.Millisecond,
+	} {
+		i := i
+		h.clock.RunAfter(d, func() {
+			cbLog = append(cbLog, fmt.Sprintf("cb%d@%d", i, h.clock.Now()))
+		})
+	}
 	results := runGroups(cluster, w, 2, true, 8, ycsb.Options{
 		Duration: 2 * time.Second,
 		Warmup:   200 * time.Millisecond,
 		Seed:     cfg.Seed,
 	})
 	h.drain()
-	return metricFingerprint(h, results)
+	return metricFingerprint(h, results) + "callbacks: " + strings.Join(cbLog, " ") + "\n"
 }
 
 // TestVirtualClockDeterministicReplay is the reproducibility guarantee the

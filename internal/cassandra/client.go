@@ -69,13 +69,13 @@ func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadV
 
 	// Preliminary flushing (§5.2): leak the local value to the client before
 	// coordinating. The flush costs extra coordinator service time and one
-	// client-link response message.
+	// client-link response message, delivered as a callback timer — the
+	// off-critical-path flush costs no goroutine.
 	prelimDelivered := clock.NewEvent()
 	if wantPrelim {
 		coord.server.Process(cfg.FlushServiceTime)
 		prelim := local
-		clock.Go(func() {
-			tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, readResponseSize(prelim.Value))
+		tr.Send(c.Coordinator, c.Region, netsim.LinkClient, readResponseSize(prelim.Value), func() {
 			onView(ReadView{
 				Value:   append([]byte(nil), prelim.Value...),
 				Version: prelim,

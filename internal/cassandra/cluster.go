@@ -100,7 +100,12 @@ type Cluster struct {
 	tr       *netsim.Transport
 	replicas map[netsim.Region]*Replica
 	order    []netsim.Region
-	ts       atomic.Uint64
+	// proximity caches, per coordinator region, every other replica region
+	// sorted closest-first. Computed once at construction: the peer order
+	// is needed on every read and write, and re-sorting per operation both
+	// allocated and burned CPU on the hottest path.
+	proximity map[netsim.Region][]netsim.Region
+	ts        atomic.Uint64
 
 	repair [readRepairShards]struct {
 		mu  sync.Mutex
@@ -136,6 +141,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			server: netsim.NewServer(cfg.Transport.Clock(), cfg.Workers),
 		}
 		c.order = append(c.order, region)
+	}
+	c.proximity = make(map[netsim.Region][]netsim.Region, len(c.order))
+	for _, from := range c.order {
+		others := make([]netsim.Region, 0, len(c.order)-1)
+		for _, r := range c.order {
+			if r != from {
+				others = append(others, r)
+			}
+		}
+		c.proximity[from] = c.tr.Model().SortByProximity(from, others)
 	}
 	return c, nil
 }
@@ -182,15 +197,10 @@ func (c *Cluster) rollReadRepair(key string) bool {
 }
 
 // othersByProximity returns all replica regions except `from`, closest
-// first (quorum gathering order).
+// first (quorum gathering order). The returned slice is the cached,
+// construction-time copy: callers must treat it as read-only.
 func (c *Cluster) othersByProximity(from netsim.Region) []netsim.Region {
-	others := make([]netsim.Region, 0, len(c.order)-1)
-	for _, r := range c.order {
-		if r != from {
-			others = append(others, r)
-		}
-	}
-	return c.tr.Model().SortByProximity(from, others)
+	return c.proximity[from]
 }
 
 // NearestRemote returns the replica region closest to `from` that is not

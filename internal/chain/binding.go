@@ -85,7 +85,9 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 	clock := b.chain.clock
 	tx, ok := op.(SubmitTx)
 	if !ok {
-		clock.Go(func() {
+		// Asynchronous error delivery needs no actor: run the callback at
+		// the current instant on the dispatcher.
+		clock.RunAfter(0, func() {
 			cb(binding.Result{Err: fmt.Errorf("%w: chain has no %q", binding.ErrUnsupportedOperation, op.OpName())})
 		})
 		return

@@ -65,9 +65,10 @@ type Config struct {
 	Seed int64
 }
 
-// Chain is the simulated ledger. Blocks are mined on a background clock
-// actor until Stop is called. Stop the chain before draining a
-// VirtualClock, or the miner keeps the simulation alive forever.
+// Chain is the simulated ledger. Blocks are mined by a self-rescheduling
+// callback timer (no background goroutine) until Stop is called. Stop the
+// chain before draining a VirtualClock, or the armed mining timer keeps
+// the simulation alive forever.
 type Chain struct {
 	cfg   Config
 	clock netsim.Clock
@@ -96,7 +97,7 @@ func New(cfg Config) (*Chain, error) {
 		clock: cfg.Transport.Clock(),
 		rng:   randv2.New(randv2.NewPCG(uint64(cfg.Seed+11), 0xc4a1)),
 	}
-	c.clock.Go(c.mine)
+	c.scheduleNext()
 	return c, nil
 }
 
@@ -165,36 +166,35 @@ func (c *Chain) ConfirmationsOf(height int) int {
 	return len(c.blocks) - height + 1
 }
 
-// mine produces blocks until stopped, sweeping the mempool into each block.
-func (c *Chain) mine() {
-	for {
-		interval := c.nextInterval()
-		if c.isStopped() {
-			return
-		}
-		c.clock.Sleep(interval)
-		if c.isStopped() {
-			return
-		}
-		c.mu.Lock()
-		blk := Block{Height: len(c.blocks) + 1}
-		for _, tx := range c.mempool {
-			blk.TxIDs = append(blk.TxIDs, tx.ID)
-		}
-		c.mempool = nil
-		c.blocks = append(c.blocks, blk)
-		watchers := append([]netsim.Queue(nil), c.watchers...)
-		c.mu.Unlock()
-		for _, w := range watchers {
-			w.Put(blk)
-		}
-	}
+// scheduleNext arms the next mining deadline as a callback timer: block
+// production costs no goroutine, however long the chain runs.
+func (c *Chain) scheduleNext() {
+	c.clock.RunAfter(c.nextInterval(), c.mineOnce)
 }
 
-func (c *Chain) isStopped() bool {
+// mineOnce produces one block at its deadline, sweeping the mempool into
+// it, and re-arms the timer — unless the chain stopped, in which case the
+// fired timer simply expires without rescheduling. It runs as a clock
+// callback and never blocks (watcher queues are unbounded; Put hands off
+// without waiting).
+func (c *Chain) mineOnce() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stopped
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	blk := Block{Height: len(c.blocks) + 1}
+	for _, tx := range c.mempool {
+		blk.TxIDs = append(blk.TxIDs, tx.ID)
+	}
+	c.mempool = nil
+	c.blocks = append(c.blocks, blk)
+	watchers := append([]netsim.Queue(nil), c.watchers...)
+	c.mu.Unlock()
+	for _, w := range watchers {
+		w.Put(blk)
+	}
+	c.scheduleNext()
 }
 
 func (c *Chain) nextInterval() time.Duration {

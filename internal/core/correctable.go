@@ -64,7 +64,13 @@ type View[T any] struct {
 //
 // Callbacks for one Correctable are delivered sequentially, in view order;
 // a callback may attach further callbacks or even deliver views through a
-// Controller, but it must not block waiting on the same Correctable.
+// Controller, but it must not block — neither waiting on the same
+// Correctable nor through the simulation scheduler at all. Bindings may
+// deliver non-final views from clock callback-timer context (see
+// netsim.Clock: preliminary flushes ride on RunAfter), where any blocking
+// scheduler call panics. Run cheap reactions inline; hand blocking
+// follow-up work (issuing another operation synchronously, charging
+// service time) to a new actor via the clock's Go.
 type Callbacks[T any] struct {
 	OnUpdate func(View[T])
 	OnFinal  func(View[T])

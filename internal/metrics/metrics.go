@@ -33,6 +33,32 @@ func (h *Histogram) Record(d time.Duration) {
 	h.mu.Unlock()
 }
 
+// Reserve grows the sample buffer so the histogram can hold at least n
+// total samples without reallocating. A size hint for long runs: the YCSB
+// runner reserves the merged sample count before folding in per-thread
+// shards, so wide-client runs do one allocation per histogram instead of
+// O(log n) doubling copies.
+func (h *Histogram) Reserve(n int) {
+	h.mu.Lock()
+	if cap(h.samples) < n {
+		s := make([]time.Duration, len(h.samples), n)
+		copy(s, h.samples)
+		h.samples = s
+	}
+	h.mu.Unlock()
+}
+
+// RecordBatch adds a batch of samples under one lock acquisition.
+func (h *Histogram) RecordBatch(ds []time.Duration) {
+	if len(ds) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, ds...)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int {
 	h.mu.Lock()

@@ -16,13 +16,26 @@ import (
 //   - WallClock: scales model durations to wall-clock durations and really
 //     sleeps (with granularity compensation). Used for real-time demos.
 //
-// Code running under a clock is organized into actors. The goroutine that
-// created the clock is the root actor; further actors must be spawned with
-// Go (never the bare go statement) and may only block through the clock:
-// Sleep/SleepUntil, or the Event/Queue/Group primitives. A goroutine that
-// must block on something foreign (an unconverted channel, an external
-// process) has to bracket the wait with BlockOn, at the price of
-// determinism for that wait.
+// Code running under a clock is organized into actors and callbacks. The
+// goroutine that created the clock is the root actor; further actors must
+// be spawned with Go (never the bare go statement) and may only block
+// through the clock: Sleep/SleepUntil, or the Event/Queue/Group
+// primitives. A goroutine that must block on something foreign (an
+// unconverted channel, an external process) has to bracket the wait with
+// BlockOn, at the price of determinism for that wait.
+//
+// The actor-vs-callback rule: work that blocks mid-flight (multi-hop
+// protocol logic, server-slot queueing) needs an actor — Go gives it a
+// stack to park. Fire-and-forget work that just runs at a deadline
+// (asynchronous replication applying a mutation, a commit delivery, a
+// block-mining tick) should use RunAt/RunAfter instead: under a
+// VirtualClock a callback costs no goroutine spawn and no channel
+// rendezvous, which is what makes million-actor runs affordable. Callbacks
+// MUST NOT block — under a VirtualClock a blocking call from a callback
+// panics (fail fast); a callback that needs to block spawns an actor with
+// Go. Under a WallClock callbacks run on their own goroutines
+// (time.AfterFunc), so the rule is not enforced there — write callbacks to
+// the virtual discipline.
 type Clock interface {
 	// Now returns the current model time.
 	Now() time.Duration
@@ -32,6 +45,12 @@ type Clock interface {
 	SleepUntil(t time.Duration)
 	// Go spawns fn as a new actor tracked by the clock.
 	Go(fn func())
+	// RunAt schedules fn to run at the absolute model instant t without
+	// spawning an actor. fn must not block; see the type comment.
+	RunAt(t time.Duration, fn func())
+	// RunAfter schedules fn to run after model duration d without spawning
+	// an actor. fn must not block; see the type comment.
+	RunAfter(d time.Duration, fn func())
 	// BlockOn runs wait (which may block on non-clock primitives) while the
 	// rest of the simulation continues. Escape hatch; see the type comment.
 	BlockOn(wait func())
@@ -180,6 +199,21 @@ func (c *WallClock) SleepUntil(t time.Duration) {
 // Go implements Clock: a plain goroutine (the OS scheduler interleaves
 // wall-clock actors).
 func (c *WallClock) Go(fn func()) { go fn() }
+
+// RunAt implements Clock: fn runs on its own goroutine at the wall instant
+// corresponding to model time t (immediately if t is past).
+func (c *WallClock) RunAt(t time.Duration, fn func()) {
+	c.RunAfter(t-c.Now(), fn)
+}
+
+// RunAfter implements Clock: fn runs on its own goroutine after the
+// wall-clock equivalent of model duration d.
+func (c *WallClock) RunAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(c.ToWall(d), fn)
+}
 
 // BlockOn implements Clock: wall actors may block on anything.
 func (c *WallClock) BlockOn(wait func()) { wait() }

@@ -1,6 +1,9 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Link classes used by the stores in this repository. The paper's bandwidth
 // figures (Fig 8, Fig 10) measure the client-replica link specifically, so
@@ -16,16 +19,38 @@ type LinkStats struct {
 	Messages int64
 }
 
+// linkCounters accumulates one class's traffic with atomics: Account is on
+// the per-message hot path of every simulated send, so the two standard
+// classes bypass the mutex+map entirely. The two adds are not atomic
+// together; mid-run snapshots may be off by one in-flight message, which
+// no consumer observes (experiments snapshot at quiescence).
+type linkCounters struct {
+	bytes    atomic.Int64
+	messages atomic.Int64
+}
+
+func (c *linkCounters) add(bytes int) {
+	c.bytes.Add(int64(bytes))
+	c.messages.Add(1)
+}
+
+func (c *linkCounters) stats() LinkStats {
+	return LinkStats{Bytes: c.bytes.Load(), Messages: c.messages.Load()}
+}
+
 // Meter accumulates wire traffic by link class. It is safe for concurrent
 // use.
 type Meter struct {
+	client  linkCounters
+	replica linkCounters
+
 	mu    sync.Mutex
-	stats map[string]LinkStats
+	other map[string]LinkStats // custom classes, off the hot path
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{stats: make(map[string]LinkStats)}
+	return &Meter{other: make(map[string]LinkStats)}
 }
 
 // Account records one message of the given size on the given link class.
@@ -33,37 +58,61 @@ func (m *Meter) Account(class string, bytes int) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	s := m.stats[class]
-	s.Bytes += int64(bytes)
-	s.Messages++
-	m.stats[class] = s
-	m.mu.Unlock()
+	switch class {
+	case LinkClient:
+		m.client.add(bytes)
+	case LinkReplica:
+		m.replica.add(bytes)
+	default:
+		m.mu.Lock()
+		s := m.other[class]
+		s.Bytes += int64(bytes)
+		s.Messages++
+		m.other[class] = s
+		m.mu.Unlock()
+	}
 }
 
-// Snapshot returns a copy of the per-class statistics.
+// Snapshot returns a copy of the per-class statistics. Classes with no
+// traffic are absent.
 func (m *Meter) Snapshot() map[string]LinkStats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]LinkStats, len(m.stats))
-	for k, v := range m.stats {
+	out := make(map[string]LinkStats, len(m.other)+2)
+	for k, v := range m.other {
 		out[k] = v
+	}
+	m.mu.Unlock()
+	if s := m.client.stats(); s.Messages > 0 {
+		out[LinkClient] = s
+	}
+	if s := m.replica.stats(); s.Messages > 0 {
+		out[LinkReplica] = s
 	}
 	return out
 }
 
 // Class returns the statistics for one link class.
 func (m *Meter) Class(class string) LinkStats {
+	switch class {
+	case LinkClient:
+		return m.client.stats()
+	case LinkReplica:
+		return m.replica.stats()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats[class]
+	return m.other[class]
 }
 
 // Reset zeroes all statistics.
 func (m *Meter) Reset() {
 	m.mu.Lock()
-	m.stats = make(map[string]LinkStats)
+	m.other = make(map[string]LinkStats)
 	m.mu.Unlock()
+	m.client.bytes.Store(0)
+	m.client.messages.Store(0)
+	m.replica.bytes.Store(0)
+	m.replica.messages.Store(0)
 }
 
 // Diff returns the per-class difference snapshot-now minus base. Classes

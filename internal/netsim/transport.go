@@ -116,25 +116,20 @@ func (t *Transport) Travel(from, to Region, class string, size int) {
 	t.clock.Sleep(t.sample(from, to))
 }
 
-// Send asynchronously delivers a message: fn runs on a fresh actor after
-// the one-way delay. Used for off-critical-path traffic such as
-// asynchronous replication and commit notifications.
+// Send asynchronously delivers a message: fn runs as a callback timer
+// after the one-way delay — no goroutine is spawned per message. Used for
+// off-critical-path traffic such as asynchronous replication and commit
+// notifications. fn must not block (see the Clock comment); delivery work
+// that needs to block (e.g. charging receiver service time through a
+// bounded Server) should spawn an actor from within fn with Clock.Go.
 func (t *Transport) Send(from, to Region, class string, size int, fn func()) {
 	t.meter.Account(class, size)
-	d := t.sample(from, to)
-	t.clock.Go(func() {
-		t.clock.Sleep(d)
-		fn()
-	})
+	t.clock.RunAfter(t.sample(from, to), fn)
 }
 
 // SendAfter is Send with an additional model-time delay before the message
 // leaves (e.g. replication batching delay).
 func (t *Transport) SendAfter(extra time.Duration, from, to Region, class string, size int, fn func()) {
 	t.meter.Account(class, size)
-	d := t.sample(from, to) + extra
-	t.clock.Go(func() {
-		t.clock.Sleep(d)
-		fn()
-	})
+	t.clock.RunAfter(t.sample(from, to)+extra, fn)
 }

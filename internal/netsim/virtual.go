@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -17,10 +16,34 @@ import (
 // of the same seeded workload execute the exact same event sequence and
 // produce byte-identical metrics.
 //
+// Besides actors, the clock schedules callback timers (RunAt/RunAfter):
+// a callback is executed inline by whichever goroutine is dispatching when
+// its deadline is reached — no goroutine spawn, no channel rendezvous.
+// Callbacks interleave with actor wakeups in the same (deadline, spawn
+// sequence) order, so converting fire-and-forget actors to callbacks does
+// not perturb determinism. The price is a discipline: a callback must not
+// block. A call to Sleep, Event.Wait, Queue.Get, Group.Wait, BlockOn, or
+// Drain from inside a callback panics if it would actually park (fail
+// fast, like the deadlock check); calls that are satisfied immediately —
+// a Get on a non-empty queue, a Wait on a fired event, a Sleep to the
+// past — return without parking and are not detected, so do not lean on
+// the panic to find violations: keep callbacks free of these calls
+// entirely. Non-blocking operations — Now, Go, RunAt/RunAfter,
+// Event.Fire, Queue.Put, Group.Add/Done — are all fine. Blocking work
+// still needs an actor: spawn one with Go from inside the callback if
+// necessary.
+//
 // Discipline (see the Clock interface comment): spawn actors with Go, block
 // only through the clock, and use BlockOn around any foreign blocking. An
 // actor that blocks on a bare channel without BlockOn freezes the whole
 // simulation, since the token is never handed on.
+//
+// Internally the scheduler is built for million-actor runs: the ready set
+// is a head-indexed compacting deque (no reslice churn, memory bounded
+// by the live depth), parked actors are recycled
+// through a freelist that reuses their rendezvous channels (token handoff
+// is a buffered send, not a channel close), and timers live in a concrete
+// 4-ary heap of value entries (no container/heap boxing).
 //
 // The goroutine that calls NewVirtualClock is the root actor and initially
 // holds the token.
@@ -29,21 +52,32 @@ type VirtualClock struct {
 	now      time.Duration
 	seq      uint64
 	timers   timerHeap
-	ready    []*vactor // runnable actors, FIFO
-	blocked  int       // actors parked on events/queues/groups
-	detached int       // actors inside BlockOn
-	idler    *vactor   // Drain caller, woken only at quiescence
+	ready    fifo[*vactor] // runnable actors, FIFO
+	blocked  int           // actors parked on events/queues/groups
+	detached int           // actors inside BlockOn
+	idler    *vactor       // Drain caller, woken only at quiescence
 	// tokenFree marks the token as unheld: set when the running actor had
 	// nothing to hand it to but detached actors may still rejoin.
 	tokenFree bool
+	// inCallback is true while the dispatching goroutine runs a callback
+	// timer; blocking operations fail fast when they see it (only the
+	// callback itself can observe the flag — every other actor is parked
+	// while the token holder dispatches).
+	inCallback bool
+	// freelist recycles vactors (and their token channels) across parks.
+	freelist []*vactor
+	// spawned counts Go calls, i.e. real goroutine spawns. Benchmarks use
+	// it to prove the callback path costs zero goroutines per message.
+	spawned uint64
 }
 
 var _ Clock = (*VirtualClock)(nil)
 
-// vactor is one parked actor: a rendezvous for the token handoff, plus the
-// wake deadline (timers) or the handed-off value (queues).
+// vactor is one parked actor: a rendezvous channel for the token handoff,
+// a spawn sequence for deterministic tie-breaks, and the handed-off value
+// (queues). The channel is buffered (capacity 1) and reused across parks:
+// waking an actor is a single non-blocking send.
 type vactor struct {
-	at  time.Duration
 	seq uint64
 	ch  chan struct{}
 	val any
@@ -55,52 +89,107 @@ func NewVirtualClock() *VirtualClock {
 	return &VirtualClock{}
 }
 
-func (c *VirtualClock) newActor() *vactor {
-	p := &vactor{seq: c.seq, ch: make(chan struct{})}
+// newActorLocked takes a vactor off the freelist (or allocates one) and
+// stamps it with the next spawn sequence. Callers hold c.mu.
+func (c *VirtualClock) newActorLocked() *vactor {
+	var p *vactor
+	if n := len(c.freelist); n > 0 {
+		p = c.freelist[n-1]
+		c.freelist[n-1] = nil
+		c.freelist = c.freelist[:n-1]
+	} else {
+		p = &vactor{ch: make(chan struct{}, 1)}
+	}
+	p.seq = c.seq
 	c.seq++
 	return p
 }
 
-// dispatchLocked hands the token to the next runnable actor: ready actors
-// first (FIFO), then the earliest timer (advancing model time), then —
-// only at full quiescence — the Drain idler. If parked actors remain with
-// nothing left that could ever wake them, that is a deadlock and the
-// simulation fails fast instead of hanging.
+// recycle returns a vactor whose wait has completed to the freelist. The
+// caller must have received the token through p.ch already (so the channel
+// is empty again) and be done with p.val.
+func (c *VirtualClock) recycle(p *vactor) {
+	p.val = nil
+	c.mu.Lock()
+	c.freelist = append(c.freelist, p)
+	c.mu.Unlock()
+}
+
+// wake hands the execution token to a parked actor. The channel holds at
+// most the one token in the system, so the buffered send never blocks and
+// is safe under c.mu.
+func (p *vactor) wake() { p.ch <- struct{}{} }
+
+// checkCanBlockLocked fails fast when a callback timer attempts a blocking
+// operation. Callers hold c.mu; on failure the lock is released before
+// panicking so the message can be recovered by tests.
+func (c *VirtualClock) checkCanBlockLocked(op string) {
+	if c.inCallback {
+		c.mu.Unlock()
+		panic(fmt.Sprintf(
+			"netsim: callback timer attempted to block in %s; callbacks must not block — spawn blocking work with Go", op))
+	}
+}
+
+// dispatchLocked hands the token to the next runnable work item: ready
+// actors first (FIFO), then the earliest timer (advancing model time),
+// then — only at full quiescence — the Drain idler. Callback timers are
+// executed inline on the dispatching goroutine (dropping the lock for the
+// duration of the callback) and dispatch continues afterwards. If parked
+// actors remain with nothing left that could ever wake them, that is a
+// deadlock and the simulation fails fast instead of hanging.
+//
+// Enters and returns with c.mu held, but may release it transiently while
+// running callbacks.
 func (c *VirtualClock) dispatchLocked() {
-	if len(c.ready) > 0 {
-		p := c.ready[0]
-		c.ready = c.ready[1:]
-		close(p.ch)
-		return
-	}
-	if c.timers.Len() > 0 {
-		p := heap.Pop(&c.timers).(*vactor)
-		if p.at > c.now {
-			c.now = p.at
+	for {
+		if c.ready.len() > 0 {
+			c.ready.pop().wake()
+			return
 		}
-		close(p.ch)
-		return
-	}
-	if c.detached > 0 {
-		// A BlockOn actor may rejoin with work; leave the token floating.
+		if c.timers.len() > 0 {
+			e := c.timers.pop()
+			if e.at > c.now {
+				c.now = e.at
+			}
+			if e.fn == nil {
+				e.p.wake()
+				return
+			}
+			// Callback timer: run inline, without the lock, on this
+			// goroutine — zero spawns, zero rendezvous — then keep
+			// dispatching (the callback may have readied actors or armed
+			// further timers).
+			c.inCallback = true
+			c.mu.Unlock()
+			e.fn()
+			c.mu.Lock()
+			c.inCallback = false
+			continue
+		}
+		if c.detached > 0 {
+			// A BlockOn actor may rejoin with work; leave the token floating.
+			c.tokenFree = true
+			return
+		}
+		if c.idler != nil {
+			p := c.idler
+			c.idler = nil
+			p.wake()
+			return
+		}
+		if c.blocked > 0 {
+			// Parked actors can now only be woken by other actors — and none
+			// remain, whether the yielder parked itself or exited. Any
+			// pending callback timers have already run above without
+			// unblocking anyone. Fail fast instead of hanging silently.
+			panic(fmt.Sprintf(
+				"netsim: virtual clock deadlock: %d actor(s) blocked with no runnable actors and no pending timers",
+				c.blocked))
+		}
 		c.tokenFree = true
 		return
 	}
-	if c.idler != nil {
-		p := c.idler
-		c.idler = nil
-		close(p.ch)
-		return
-	}
-	if c.blocked > 0 {
-		// Parked actors can now only be woken by other actors — and none
-		// remain, whether the yielder parked itself or exited. Fail fast
-		// instead of hanging silently.
-		panic(fmt.Sprintf(
-			"netsim: virtual clock deadlock: %d actor(s) blocked with no runnable actors and no pending timers",
-			c.blocked))
-	}
-	c.tokenFree = true
 }
 
 // Now implements Clock.
@@ -132,29 +221,67 @@ func (c *VirtualClock) sleepUntilLocked(t time.Duration) {
 		c.mu.Unlock()
 		return
 	}
-	p := c.newActor()
-	p.at = t
-	heap.Push(&c.timers, p)
+	c.checkCanBlockLocked("Sleep")
+	p := c.newActorLocked()
+	c.timers.push(timerEntry{at: t, seq: p.seq, p: p})
 	c.dispatchLocked()
 	c.mu.Unlock()
 	<-p.ch
+	c.recycle(p)
+}
+
+// RunAt implements Clock: fn runs as a callback timer at model instant t
+// (or the current instant, if t is in the past). The callback executes
+// inline on whichever goroutine dispatches that instant — no goroutine is
+// spawned — deterministically interleaved with actor wakeups by
+// (deadline, arming sequence). fn must not block; see the type comment.
+func (c *VirtualClock) RunAt(t time.Duration, fn func()) {
+	c.mu.Lock()
+	if t < c.now {
+		t = c.now
+	}
+	c.timers.push(timerEntry{at: t, seq: c.seq, fn: fn})
+	c.seq++
+	c.mu.Unlock()
+}
+
+// RunAfter implements Clock: RunAt(Now()+d, fn).
+func (c *VirtualClock) RunAfter(d time.Duration, fn func()) {
+	c.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	c.timers.push(timerEntry{at: c.now + d, seq: c.seq, fn: fn})
+	c.seq++
+	c.mu.Unlock()
 }
 
 // Go implements Clock: fn becomes a new actor, enqueued runnable behind the
 // current ready set. It starts executing when the token reaches it.
 func (c *VirtualClock) Go(fn func()) {
 	c.mu.Lock()
-	p := c.newActor()
-	c.ready = append(c.ready, p)
+	p := c.newActorLocked()
+	c.ready.push(p)
+	c.spawned++
 	c.mu.Unlock()
 	go func() {
 		<-p.ch
+		c.recycle(p)
 		fn()
 		// The actor exits: hand the token on without re-parking.
 		c.mu.Lock()
 		c.dispatchLocked()
 		c.mu.Unlock()
 	}()
+}
+
+// Spawned returns the number of goroutines the clock has started via Go.
+// Scheduler benchmarks use the delta across a workload to verify that the
+// callback-timer path spawns none.
+func (c *VirtualClock) Spawned() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spawned
 }
 
 // BlockOn implements Clock: the actor leaves the scheduler while wait runs
@@ -164,6 +291,7 @@ func (c *VirtualClock) Go(fn func()) {
 // measured paths.
 func (c *VirtualClock) BlockOn(wait func()) {
 	c.mu.Lock()
+	c.checkCanBlockLocked("BlockOn")
 	c.detached++
 	c.dispatchLocked()
 	c.mu.Unlock()
@@ -177,33 +305,37 @@ func (c *VirtualClock) BlockOn(wait func()) {
 		c.mu.Unlock()
 		return
 	}
-	p := c.newActor()
-	c.ready = append(c.ready, p)
+	p := c.newActorLocked()
+	c.ready.push(p)
 	c.mu.Unlock()
 	<-p.ch
+	c.recycle(p)
 }
 
 // Drain runs the simulation until quiescence: every remaining actor has
-// either exited or parked on an event/queue that can no longer fire, and
-// no timers are pending. Model time advances as far as the pending work
-// requires. Call it from the root actor at the end of an experiment so
-// background traffic (asynchronous replication, commit broadcasts) runs to
+// either exited or parked on an event/queue that can no longer fire, no
+// timers are pending, and every queued callback has run to completion.
+// Model time advances as far as the pending work requires. Call it from
+// the root actor at the end of an experiment so background traffic
+// (asynchronous replication, commit broadcasts, read repair) runs to
 // completion instead of leaking parked goroutines.
 func (c *VirtualClock) Drain() {
 	c.mu.Lock()
-	if len(c.ready) == 0 && c.timers.Len() == 0 && c.detached == 0 {
+	if c.ready.len() == 0 && c.timers.len() == 0 && c.detached == 0 {
 		c.mu.Unlock()
 		return
 	}
+	c.checkCanBlockLocked("Drain")
 	if c.idler != nil {
 		c.mu.Unlock()
 		panic("netsim: concurrent Drain on the same VirtualClock")
 	}
-	p := c.newActor()
+	p := c.newActorLocked()
 	c.idler = p
 	c.dispatchLocked()
 	c.mu.Unlock()
 	<-p.ch
+	c.recycle(p)
 }
 
 // NewEvent implements Clock.
@@ -220,15 +352,24 @@ func (c *VirtualClock) StartStopwatch() Stopwatch {
 	return Stopwatch{clock: c, start: c.Now()}
 }
 
-// wakeLocked moves parked actors to the ready queue (FIFO order preserved).
-func (c *VirtualClock) wakeLocked(ps []*vactor) {
+// wakeOneLocked moves one parked actor to the ready queue.
+func (c *VirtualClock) wakeOneLocked(p *vactor) {
+	c.blocked--
+	c.ready.push(p)
+}
+
+// wakeAllLocked moves parked actors to the ready queue (FIFO order
+// preserved).
+func (c *VirtualClock) wakeAllLocked(ps []*vactor) {
 	c.blocked -= len(ps)
-	c.ready = append(c.ready, ps...)
+	for _, p := range ps {
+		c.ready.push(p)
+	}
 }
 
 // parkLocked parks the calling actor outside the timer heap and hands the
 // token on. Enters with c.mu held, returns with it released, after the
-// token has come back.
+// token has come back. The caller recycles p once done with p.val.
 func (c *VirtualClock) parkLocked(p *vactor) {
 	c.blocked++
 	c.dispatchLocked()
@@ -247,7 +388,7 @@ func (e *vEvent) Fire() {
 	e.c.mu.Lock()
 	if !e.fired {
 		e.fired = true
-		e.c.wakeLocked(e.waiters)
+		e.c.wakeAllLocked(e.waiters)
 		e.waiters = nil
 	}
 	e.c.mu.Unlock()
@@ -259,44 +400,84 @@ func (e *vEvent) Wait() {
 		e.c.mu.Unlock()
 		return
 	}
-	p := e.c.newActor()
+	e.c.checkCanBlockLocked("Event.Wait")
+	p := e.c.newActorLocked()
 	e.waiters = append(e.waiters, p)
 	e.c.parkLocked(p)
+	e.c.recycle(p)
+}
+
+// fifo is a head-indexed growable FIFO used for the queue item buffer and
+// waiter list: push appends, pop advances a head index (no reslice, no
+// per-pop copy), and the buffer compacts — copying only the live suffix to
+// the front — once the dead prefix passes half the backing array. Push and
+// pop stay amortized O(1) and memory stays O(live depth), even for queues
+// that never fully drain.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (f *fifo[T]) len() int { return len(f.buf) - f.head }
+
+func (f *fifo[T]) push(v T) { f.buf = append(f.buf, v) }
+
+func (f *fifo[T]) pop() T {
+	var zero T
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head++
+	switch {
+	case f.head == len(f.buf):
+		f.buf = f.buf[:0]
+		f.head = 0
+	case f.head > len(f.buf)/2:
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = zero // drop stale copies so they don't pin objects
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
 }
 
 // vQueue is the virtual unbounded FIFO. A Put with waiters present hands
-// the item directly to the longest-waiting actor.
+// the item directly to the longest-waiting actor. Both the item buffer and
+// the waiter list reuse their backing arrays across pops, so a warm
+// handoff allocates nothing.
 type vQueue struct {
 	c       *VirtualClock
-	items   []any
-	waiters []*vactor
+	items   fifo[any]
+	waiters fifo[*vactor]
 }
 
 func (q *vQueue) Put(v any) {
 	q.c.mu.Lock()
-	if len(q.waiters) > 0 {
-		p := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	if q.waiters.len() > 0 {
+		p := q.waiters.pop()
 		p.val = v
-		q.c.wakeLocked([]*vactor{p})
+		q.c.wakeOneLocked(p)
 	} else {
-		q.items = append(q.items, v)
+		q.items.push(v)
 	}
 	q.c.mu.Unlock()
 }
 
 func (q *vQueue) Get() any {
 	q.c.mu.Lock()
-	if len(q.items) > 0 {
-		v := q.items[0]
-		q.items = q.items[1:]
+	if q.items.len() > 0 {
+		v := q.items.pop()
 		q.c.mu.Unlock()
 		return v
 	}
-	p := q.c.newActor()
-	q.waiters = append(q.waiters, p)
+	q.c.checkCanBlockLocked("Queue.Get")
+	p := q.c.newActorLocked()
+	q.waiters.push(p)
 	q.c.parkLocked(p)
-	return p.val
+	v := p.val
+	q.c.recycle(p)
+	return v
 }
 
 // vGroup is the virtual WaitGroup analogue.
@@ -324,7 +505,7 @@ func (g *vGroup) Done() {
 		panic("netsim: negative Group counter")
 	}
 	if g.n == 0 {
-		g.c.wakeLocked(g.waiters)
+		g.c.wakeAllLocked(g.waiters)
 		g.waiters = nil
 	}
 	g.c.mu.Unlock()
@@ -336,29 +517,80 @@ func (g *vGroup) Wait() {
 		g.c.mu.Unlock()
 		return
 	}
-	p := g.c.newActor()
+	g.c.checkCanBlockLocked("Group.Wait")
+	p := g.c.newActorLocked()
 	g.waiters = append(g.waiters, p)
 	g.c.parkLocked(p)
+	g.c.recycle(p)
 }
 
-// timerHeap orders parked sleepers by (deadline, spawn sequence), making
-// same-instant wakeups deterministic.
-type timerHeap []*vactor
+// timerEntry is one pending deadline: either a parked actor to wake (p set)
+// or a callback to run inline (fn set). Ordering is (deadline, arming
+// sequence), making same-instant wakeups — and the interleaving of
+// callbacks with actor wakeups — deterministic.
+type timerEntry struct {
+	at  time.Duration
+	seq uint64
+	p   *vactor
+	fn  func()
+}
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e timerEntry) before(o timerEntry) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*vactor)) }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return p
+
+// timerHeap is a 4-ary min-heap of value entries. Compared to
+// container/heap over a slice of pointers, it avoids the interface boxing
+// on every Push/Pop and halves the tree depth (sift-down dominates pops;
+// four comparisons per level beats two levels of two).
+type timerHeap struct {
+	a []timerEntry
+}
+
+func (h *timerHeap) len() int { return len(h.a) }
+
+func (h *timerHeap) push(e timerEntry) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.a[i].before(h.a[parent]) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) pop() timerEntry {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = timerEntry{} // release the fn/p references
+	a = a[:n]
+	h.a = a
+	i := 0
+	for {
+		min := i
+		first := i*4 + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for ci := first; ci < last; ci++ {
+			if a[ci].before(a[min]) {
+				min = ci
+			}
+		}
+		if min == i {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	return top
 }

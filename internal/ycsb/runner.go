@@ -2,7 +2,6 @@ package ycsb
 
 import (
 	"math/rand"
-	"sync"
 	"time"
 
 	"correctables/internal/metrics"
@@ -79,10 +78,30 @@ func (r *Result) DivergencePct() float64 {
 	return 100 * metrics.Ratio(r.Diverged, r.PrelimReads)
 }
 
+// threadStats is one thread's private measurement shard: plain counters
+// and raw latency samples, merged into the shared Result only after every
+// thread has finished. With 10^5–10^6 closed-loop threads a global mutex
+// per operation serializes the whole run on stats bookkeeping; per-thread
+// shards keep the hot loop contention-free and make the merge order (and
+// therefore the Result) a deterministic function of the thread index.
+type threadStats struct {
+	ops, reads, updates int64
+	prelims, diverged   int64
+	errs                int64
+	// first is the loop-start instant of the thread's first recorded
+	// operation (-1 if it never recorded); last is the completion instant
+	// of its most recent recorded operation.
+	first, last time.Duration
+
+	readFinal, readPrelim, updateLat []time.Duration
+}
+
 // Run drives the workload against db with closed-loop threads and returns
 // aggregated measurements. Threads are clock actors: under a VirtualClock
 // the whole run executes at CPU speed and, for a fixed seed, performs the
-// exact same operation sequence on every invocation.
+// exact same operation sequence on every invocation. Stats are sharded per
+// thread and merged after the run, so Run scales to 10^5–10^6 threads
+// without a global stats lock in the operation loop.
 func Run(w Workload, db DB, clock netsim.Clock, opts Options) *Result {
 	if opts.Threads <= 0 {
 		opts.Threads = 1
@@ -104,18 +123,12 @@ func Run(w Workload, db DB, clock netsim.Clock, opts Options) *Result {
 	recordAfter := start + opts.Warmup
 	deadline := start + opts.Duration
 
-	var (
-		mu                  sync.Mutex
-		ops, reads, updates int64
-		prelims, diverged   int64
-		errs                int64
-		measuredStart       time.Duration = -1
-		measuredEnd         time.Duration
-	)
-
+	shards := make([]threadStats, opts.Threads)
 	g := clock.NewGroup()
 	for t := 0; t < opts.Threads; t++ {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(t)*1_000_003))
+		st := &shards[t]
+		st.first = -1
 		g.Add(1)
 		clock.Go(func() {
 			defer g.Done()
@@ -132,26 +145,24 @@ func Run(w Workload, db DB, clock netsim.Clock, opts Options) *Result {
 					if !record {
 						continue
 					}
-					mu.Lock()
-					if measuredStart < 0 {
-						measuredStart = now
+					if st.first < 0 {
+						st.first = now
 					}
-					measuredEnd = clock.Now()
+					st.last = clock.Now()
 					if err != nil {
-						errs++
+						st.errs++
 					} else {
-						ops++
-						reads++
-						res.ReadFinal.Record(out.FinalLatency)
+						st.ops++
+						st.reads++
+						st.readFinal = append(st.readFinal, out.FinalLatency)
 						if out.HasPrelim {
-							prelims++
-							res.ReadPrelim.Record(out.PrelimLatency)
+							st.prelims++
+							st.readPrelim = append(st.readPrelim, out.PrelimLatency)
 							if out.Diverged {
-								diverged++
+								st.diverged++
 							}
 						}
 					}
-					mu.Unlock()
 				} else {
 					lat, err := db.Update(rng, key, w.Value(rng))
 					if latest != nil {
@@ -160,30 +171,63 @@ func Run(w Workload, db DB, clock netsim.Clock, opts Options) *Result {
 					if !record {
 						continue
 					}
-					mu.Lock()
-					if measuredStart < 0 {
-						measuredStart = now
+					if st.first < 0 {
+						st.first = now
 					}
-					measuredEnd = clock.Now()
+					st.last = clock.Now()
 					if err != nil {
-						errs++
+						st.errs++
 					} else {
-						ops++
-						updates++
-						res.UpdateLat.Record(lat)
+						st.ops++
+						st.updates++
+						st.updateLat = append(st.updateLat, lat)
 					}
-					mu.Unlock()
 				}
 			}
 		})
 	}
 	g.Wait()
 
-	res.Ops, res.Reads, res.Updates = ops, reads, updates
-	res.PrelimReads, res.Diverged, res.Errors = prelims, diverged, errs
+	// Merge the shards in thread order (deterministic). The measured span
+	// is the earliest recorded loop-start to the latest recorded
+	// completion across all threads.
+	var (
+		measuredStart            time.Duration = -1
+		measuredEnd              time.Duration
+		nFinal, nPrelim, nUpdate int
+	)
+	for i := range shards {
+		st := &shards[i]
+		res.Ops += st.ops
+		res.Reads += st.reads
+		res.Updates += st.updates
+		res.PrelimReads += st.prelims
+		res.Diverged += st.diverged
+		res.Errors += st.errs
+		if st.first >= 0 {
+			if measuredStart < 0 || st.first < measuredStart {
+				measuredStart = st.first
+			}
+			if st.last > measuredEnd {
+				measuredEnd = st.last
+			}
+		}
+		nFinal += len(st.readFinal)
+		nPrelim += len(st.readPrelim)
+		nUpdate += len(st.updateLat)
+	}
+	res.ReadFinal.Reserve(nFinal)
+	res.ReadPrelim.Reserve(nPrelim)
+	res.UpdateLat.Reserve(nUpdate)
+	for i := range shards {
+		st := &shards[i]
+		res.ReadFinal.RecordBatch(st.readFinal)
+		res.ReadPrelim.RecordBatch(st.readPrelim)
+		res.UpdateLat.RecordBatch(st.updateLat)
+	}
 	if measuredStart >= 0 {
 		res.Elapsed = measuredEnd - measuredStart
 	}
-	res.ThroughputOps = metrics.Throughput(ops, res.Elapsed)
+	res.ThroughputOps = metrics.Throughput(res.Ops, res.Elapsed)
 	return res
 }

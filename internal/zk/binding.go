@@ -56,7 +56,9 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 	wantWeak := levels.Contains(core.LevelWeak)
 	wantStrong := levels.Contains(core.LevelStrong)
 	if !wantWeak && !wantStrong {
-		clock.Go(func() { cb(binding.Result{Err: fmt.Errorf("%w: %v", binding.ErrUnsupportedLevel, levels)}) })
+		// Asynchronous error delivery needs no actor: run the callback at
+		// the current instant on the dispatcher.
+		clock.RunAfter(0, func() { cb(binding.Result{Err: fmt.Errorf("%w: %v", binding.ErrUnsupportedLevel, levels)}) })
 		return
 	}
 	clock.Go(func() {

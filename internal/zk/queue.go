@@ -80,8 +80,9 @@ func (c *QueueClient) Enqueue(queue string, data []byte, wantPrelim bool, onView
 		if err == nil {
 			name := fmt.Sprintf("q-%010d", seq)
 			prelim = &QueueElement{Name: name, Seq: seq, Data: append([]byte(nil), data...)}
-			clock.Go(func() {
-				tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)))
+			// The leaked preliminary rides back as a callback-timer message:
+			// no goroutine per flush.
+			tr.Send(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)), func() {
 				onView(QueueView{Element: prelim, Level: core.LevelWeak})
 				prelimDelivered.Fire()
 			})
@@ -149,8 +150,7 @@ func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(Queu
 			if prelimRemaining < 0 {
 				prelimRemaining = 0
 			}
-			clock.Go(func() {
-				tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)))
+			tr.Send(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)), func() {
 				onView(QueueView{Element: prelim, Remaining: prelimRemaining, Level: core.LevelWeak})
 				prelimDelivered.Fire()
 			})
