@@ -19,7 +19,12 @@
 // Experiments: fig5 (single-request latency), fig6 (YCSB latency vs
 // throughput), fig7 (divergence), fig8 (bandwidth), fig9 (ZK latency gaps),
 // fig10 (dequeue bandwidth), fig11 (speculation case studies), fig12
-// (ticket selling).
+// (ticket selling). Beyond the paper: ablations, and faultstudy — YCSB
+// under a deterministic fault schedule (-faults selects the scenario,
+// -fault-log prints the transition log, -fault-json writes the result):
+//
+//	icgbench -exp faultstudy -faults=minority-partition -fault-log
+//	icgbench -exp faultstudy -faults=1234:harsh          # replay seed 1234
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"correctables/internal/bench"
+	"correctables/internal/faults"
 )
 
 var experiments = map[string]func(bench.Config) string{
@@ -47,16 +53,43 @@ var experiments = map[string]func(bench.Config) string{
 		return bench.FormatAblationLag(bench.AblationReplicationLag(c)) +
 			bench.FormatAblationFlush(bench.AblationFlushCost(c))
 	},
+	// Fault study (run via -exp faultstudy; -faults picks the scenario).
+	"faultstudy": func(c bench.Config) string {
+		res, err := bench.FaultStudy(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+			os.Exit(2)
+		}
+		if faultJSON != "" {
+			data, err := bench.FaultStudyJSON(res)
+			if err == nil {
+				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
+				os.Exit(1)
+			}
+		}
+		return bench.FormatFaultStudy(res, c.FaultLog)
+	},
 }
+
+// faultJSON is the -fault-json flag (consulted by the faultstudy entry).
+var faultJSON string
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, or 'all')")
+		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, 'all', 'ablations', 'faultstudy')")
 		clockMode = flag.String("clock", "virtual", "clock mode: 'virtual' (deterministic, CPU speed) or 'wall' (scaled real time)")
 		scale     = flag.Float64("scale", 0.25, "model-to-wall time scale in -clock=wall mode (1.0 = real time)")
 		seed      = flag.Int64("seed", 42, "random seed")
 		quick     = flag.Bool("quick", false, "reduced samples/durations (smoke run)")
+		faultSpec = flag.String("faults", "",
+			"fault scenario for -exp faultstudy: one of "+strings.Join(faults.ScenarioNames(), ", ")+
+				", or '<seed>:<profile>' (profiles: mild, harsh) for a replayable random schedule; default minority-partition")
+		faultLog = flag.Bool("fault-log", false, "print the applied fault-transition log with the fault study")
 	)
+	flag.StringVar(&faultJSON, "fault-json", "", "write the fault-study result as JSON to this path")
 	flag.Parse()
 
 	var wall bool
@@ -68,13 +101,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "icgbench: unknown -clock mode %q (have virtual, wall)\n", *clockMode)
 		os.Exit(2)
 	}
-	cfg := bench.Config{Wall: wall, Scale: *scale, Seed: *seed, Quick: *quick}
+	cfg := bench.Config{Wall: wall, Scale: *scale, Seed: *seed, Quick: *quick,
+		Faults: *faultSpec, FaultLog: *faultLog}
 
 	var names []string
 	if *exp == "all" {
-		// The paper's figures in order; ablations are opt-in (-exp ablations).
+		// The paper's figures in order; ablations and the fault study are
+		// opt-in (-exp ablations, -exp faultstudy).
 		for name := range experiments {
-			if name != "ablations" {
+			if name != "ablations" && name != "faultstudy" {
 				names = append(names, name)
 			}
 		}

@@ -32,6 +32,14 @@ type Config struct {
 	Seed int64
 	// Quick shrinks sample counts and durations (tests, smoke runs).
 	Quick bool
+	// Faults selects the fault-study scenario: a catalog name
+	// (faults.ScenarioNames) or "<seed>:<profile>" for a random schedule.
+	// Empty means minority-partition. Only the faultstudy experiment reads
+	// it; the paper's figures always run fault-free.
+	Faults string
+	// FaultLog prints the applied fault transitions alongside the
+	// fault-study table.
+	FaultLog bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +105,9 @@ type cassandraOpts struct {
 	// flushCost overrides the preliminary-flushing service time
 	// (0 = default).
 	flushCost time.Duration
+	// opTimeout overrides the fault-injection operation timeout
+	// (0 = default; only consulted when an interceptor is attached).
+	opTimeout time.Duration
 }
 
 // newCassandra builds a cluster on the harness fabric with the service-time
@@ -121,6 +132,7 @@ func (h *harness) newCassandra(cfg Config, opts cassandraOpts) *cassandra.Cluste
 		FlushServiceTime: flush,
 		ReplicationDelay: opts.replicationDelay,
 		ReadRepairChance: 0.1,
+		OpTimeout:        opts.opTimeout,
 		Seed:             cfg.Seed,
 	})
 	if err != nil {

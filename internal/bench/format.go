@@ -100,6 +100,35 @@ func FormatFig11(rows []Fig11Row) string {
 		[]string{"app", "workload", "system", "threads", "ops/s", "avg ms", "misspec %"}, out)
 }
 
+// FormatFaultStudy renders the fault study's per-phase rows; withLog
+// appends the applied fault-transition log (the replay record).
+func FormatFaultStudy(res *FaultStudyResult, withLog bool) string {
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{r.Phase,
+			fmt.Sprintf("%d", r.Reads), fmt.Sprintf("%d", r.ReadErrors),
+			fmt.Sprintf("%.1f", r.PrelimMeanMs), fmt.Sprintf("%.1f", r.FinalMeanMs),
+			fmt.Sprintf("%.1f", r.FinalP99Ms),
+			fmt.Sprintf("%.0f", r.ReadAvailabilityPct),
+			fmt.Sprintf("%.1f", r.DivergencePct),
+			fmt.Sprintf("%d", r.DroppedMsgs)}
+	}
+	s := table(
+		fmt.Sprintf("Fault study: weak vs strong views under %q (CC3, YCSB B)", res.Scenario),
+		[]string{"phase", "reads", "errs", "prelim ms", "final ms", "final p99", "avail %", "div %", "dropped"},
+		out)
+	if withLog {
+		var b strings.Builder
+		b.WriteString(s)
+		b.WriteString("fault transitions:\n")
+		for _, tr := range res.Transitions {
+			fmt.Fprintf(&b, "  %s\n", tr)
+		}
+		return b.String()
+	}
+	return s
+}
+
 // FormatAblationLag renders the replication-lag ablation.
 func FormatAblationLag(rows []AblationLagRow) string {
 	out := make([][]string, len(rows))

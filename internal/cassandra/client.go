@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"correctables/internal/core"
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -49,7 +50,26 @@ func (c *Client) Cluster() *Cluster { return c.cluster }
 // preliminary (weak) first, final (strong) second. Otherwise onView is
 // called once with the final view. Read blocks until the final view has
 // been delivered.
+//
+// Under fault injection (an interceptor on the Transport), Read is bounded
+// by Config.OpTimeout of model time: a read a fault makes impossible fails
+// with faults.ErrUnreachable, views delivered past the deadline are
+// suppressed, and the underlying protocol work completes in the background
+// once the fault heals.
 func (c *Client) Read(key string, quorum int, wantPrelim bool, onView func(ReadView)) error {
+	if c.cluster.tr.Interceptor() == nil {
+		return c.read(key, quorum, wantPrelim, onView)
+	}
+	return faults.Deadline(c.cluster.tr.Clock(), c.cluster.cfg.OpTimeout, func(live func() bool) error {
+		return c.read(key, quorum, wantPrelim, func(v ReadView) {
+			if live() {
+				onView(v)
+			}
+		})
+	})
+}
+
+func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadView)) error {
 	cfg := c.cluster.cfg
 	if quorum < 1 || quorum > len(c.cluster.order) {
 		return fmt.Errorf("cassandra: read quorum %d out of range [1,%d]", quorum, len(c.cluster.order))
@@ -172,7 +192,18 @@ func (c *Client) repairAsync(key string, v Versioned) {
 // propagates to the remaining replicas asynchronously with the configured
 // replication delay — the staleness window behind Fig 7's divergence.
 // Write blocks until the acknowledgment reaches the client.
+//
+// Like Read, Write is bounded by Config.OpTimeout under fault injection.
 func (c *Client) Write(key string, value []byte, w int) error {
+	if c.cluster.tr.Interceptor() == nil {
+		return c.write(key, value, w)
+	}
+	return faults.Deadline(c.cluster.tr.Clock(), c.cluster.cfg.OpTimeout, func(func() bool) error {
+		return c.write(key, value, w)
+	})
+}
+
+func (c *Client) write(key string, value []byte, w int) error {
 	cfg := c.cluster.cfg
 	if w < 1 || w > len(c.cluster.order) {
 		return fmt.Errorf("cassandra: write quorum %d out of range [1,%d]", w, len(c.cluster.order))

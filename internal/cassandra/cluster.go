@@ -48,6 +48,13 @@ type Config struct {
 	// reconciled value to stale replicas (Cassandra's default is 0.1).
 	ReadRepairChance float64
 
+	// OpTimeout bounds each client operation in model time when a fault
+	// interceptor is attached to the Transport (default 5s): an operation a
+	// fault makes impossible — severed quorum, crashed coordinator — fails
+	// with faults.ErrUnreachable instead of hanging. Without an interceptor
+	// operations are never guarded (the fault-free hot path is unchanged).
+	OpTimeout time.Duration
+
 	// Seed fixes the cluster RNG (read repair sampling).
 	Seed int64
 }
@@ -68,6 +75,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.ReplicationDelay == 0 {
 		out.ReplicationDelay = 10 * time.Millisecond
+	}
+	if out.OpTimeout == 0 {
+		out.OpTimeout = 5 * time.Second
 	}
 	return out
 }

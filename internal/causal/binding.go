@@ -7,6 +7,7 @@ import (
 
 	"correctables/internal/binding"
 	"correctables/internal/core"
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -67,18 +68,41 @@ func (b *Binding) ConsistencyLevels() core.Levels {
 // Close implements binding.Binding.
 func (b *Binding) Close() error { return nil }
 
-// SubmitOperation implements binding.Binding.
+// SubmitOperation implements binding.Binding. Under fault injection each
+// operation is bounded by Config.OpTimeout of model time: an unreachable
+// replica fails the Correctable with faults.ErrUnreachable (OnError) while
+// already-delivered weaker views stand, and late views are suppressed.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
 	b.client.store.tr.Clock().Go(func() {
-		switch o := op.(type) {
-		case binding.Get:
-			b.get(o, levels, cb)
-		case binding.Put:
-			b.put(o, levels, cb)
-		default:
-			cb(binding.Result{Err: fmt.Errorf("%w: causal store has no %q", binding.ErrUnsupportedOperation, op.OpName())})
+		if err := b.guard(func(live func() bool) error {
+			guarded := func(r binding.Result) {
+				if live() {
+					cb(r)
+				}
+			}
+			switch o := op.(type) {
+			case binding.Get:
+				b.get(o, levels, guarded)
+			case binding.Put:
+				b.put(o, levels, guarded)
+			default:
+				guarded(binding.Result{Err: fmt.Errorf("%w: causal store has no %q", binding.ErrUnsupportedOperation, op.OpName())})
+			}
+			return nil
+		}); err != nil {
+			cb(binding.Result{Err: err})
 		}
 	})
+}
+
+// guard bounds op to the store's OpTimeout of model time when a fault
+// interceptor is attached to the transport; without one, op runs inline.
+func (b *Binding) guard(op func(live func() bool) error) error {
+	st := b.client.store
+	if st.tr.Interceptor() == nil {
+		return op(func() bool { return true })
+	}
+	return faults.Deadline(st.tr.Clock(), st.cfg.OpTimeout, op)
 }
 
 // Scheduler implements binding.SchedulerProvider: Correctables over this

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -49,6 +50,10 @@ type Config struct {
 	// PropagationDelay is the extra delay before a write reaches backups
 	// (default 15ms) — the causal staleness window.
 	PropagationDelay time.Duration
+	// OpTimeout bounds each binding operation in model time when a fault
+	// interceptor is attached to the Transport (default 5s); see
+	// cassandra.Config.OpTimeout for the semantics.
+	OpTimeout time.Duration
 }
 
 // Store is the replicated store.
@@ -90,6 +95,9 @@ func NewStore(cfg Config) (*Store, error) {
 	if cfg.PropagationDelay == 0 {
 		cfg.PropagationDelay = 15 * time.Millisecond
 	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 5 * time.Second
+	}
 	s := &Store{cfg: cfg, tr: cfg.Transport, replicas: map[netsim.Region]*replica{}}
 	for _, region := range append([]netsim.Region{cfg.Primary}, cfg.Backups...) {
 		if _, dup := s.replicas[region]; dup {
@@ -102,7 +110,76 @@ func NewStore(cfg Config) (*Store, error) {
 			pending: map[uint64]propagation{},
 		}
 	}
+	// On a faulted transport, wire recovery: after every fault transition,
+	// backups whose applied version lags the primary — propagations to a
+	// crashed or partitioned backup are dropped in flight, leaving a
+	// version gap the in-order delivery buffer can never fill — resync from
+	// the primary by state transfer.
+	if inj, ok := cfg.Transport.Interceptor().(*faults.Injector); ok {
+		inj.Subscribe(func(faults.Transition) { s.resyncLagging() })
+	}
 	return s, nil
+}
+
+// resyncLagging ships a primary snapshot to every lagging backup. It runs
+// in clock callback context and must not block; snapshots travel as
+// asynchronous sends, dropped (and retried at the next transition) while
+// the backup is still unreachable.
+func (s *Store) resyncLagging() {
+	primary := s.replicas[s.cfg.Primary]
+	snapData, snapVer, size := primary.snapshot()
+	for _, region := range s.cfg.Backups {
+		r := s.replicas[region]
+		r.mu.Lock()
+		lagging := r.applied < snapVer
+		r.mu.Unlock()
+		if !lagging {
+			continue
+		}
+		// Each backup gets its own copy of the snapshot map; the Entry
+		// values inside are immutable once stored, so a shallow per-key
+		// copy is safe to share.
+		data := make(map[string]Entry, len(snapData))
+		for k, v := range snapData {
+			data[k] = v
+		}
+		s.tr.Send(s.cfg.Primary, region, netsim.LinkReplica, size, func() {
+			r.install(data, snapVer)
+		})
+	}
+}
+
+// snapshot captures the replica's state: data map (entries are immutable),
+// applied version, and approximate encoded size.
+func (r *replica) snapshot() (map[string]Entry, uint64, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data := make(map[string]Entry, len(r.data))
+	size := 0
+	for k, v := range r.data {
+		data[k] = v
+		size += len(k) + len(v.Value) + 16
+	}
+	return data, r.applied, size
+}
+
+// install replaces the replica's state with a snapshot taken at version
+// ver, discards pending propagations the snapshot covers, and drains the
+// rest in order. Stale snapshots are ignored.
+func (r *replica) install(data map[string]Entry, ver uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ver <= r.applied {
+		return
+	}
+	r.data = data
+	r.applied = ver
+	for v := range r.pending {
+		if v <= ver {
+			delete(r.pending, v)
+		}
+	}
+	r.drainPendingLocked()
 }
 
 // Config returns the store configuration.
@@ -185,14 +262,27 @@ func (s *Store) write(clientRegion netsim.Region, key string, value []byte) Entr
 	return e
 }
 
-// deliver applies propagations in version order, buffering gaps.
+// deliver applies propagations in version order, buffering gaps. Versions
+// at or below the applied watermark are discarded: after a snapshot resync
+// the in-flight propagation stream may replay writes the snapshot covers.
 func (r *replica) deliver(ver uint64, key string, e Entry) {
 	r.mu.Lock()
+	if ver <= r.applied {
+		r.mu.Unlock()
+		return
+	}
 	r.pending[ver] = propagation{key: key, entry: e}
+	r.drainPendingLocked()
+	r.mu.Unlock()
+}
+
+// drainPendingLocked applies buffered propagations in version order until
+// the next gap. Callers hold r.mu.
+func (r *replica) drainPendingLocked() {
 	for {
 		p, ok := r.pending[r.applied+1]
 		if !ok {
-			break
+			return
 		}
 		delete(r.pending, r.applied+1)
 		if p.entry.newer(r.data[p.key]) {
@@ -200,5 +290,4 @@ func (r *replica) deliver(ver uint64, key string, e Entry) {
 		}
 		r.applied++
 	}
-	r.mu.Unlock()
 }

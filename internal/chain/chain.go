@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -61,6 +62,14 @@ type Config struct {
 	// Jitter is the +/- fraction of randomness on block intervals
 	// (default 0.5; block arrival is memoryless in reality).
 	Jitter float64
+	// MinerRegion locates the (single, simulated) miner: when a fault
+	// schedule crashes the region, block production pauses until its
+	// restart, so tracked transactions see a stalled final view. This is
+	// deliberately not bounded by an OpTimeout — confirmations take
+	// arbitrarily long by nature (§4.5) — so consumers that must not wait
+	// out an unbounded outage should pass a cancellable context to
+	// SubmitOperation. Empty leaves mining unaffected by faults.
+	MinerRegion netsim.Region
 	// Seed fixes the block-timing RNG.
 	Seed int64
 }
@@ -72,6 +81,7 @@ type Config struct {
 type Chain struct {
 	cfg   Config
 	clock netsim.Clock
+	inj   *faults.Injector // nil without fault injection
 
 	mu       sync.Mutex
 	rng      *randv2.Rand
@@ -96,6 +106,11 @@ func New(cfg Config) (*Chain, error) {
 		cfg:   cfg,
 		clock: cfg.Transport.Clock(),
 		rng:   randv2.New(randv2.NewPCG(uint64(cfg.Seed+11), 0xc4a1)),
+	}
+	if cfg.MinerRegion != "" {
+		if inj, ok := cfg.Transport.Interceptor().(*faults.Injector); ok {
+			c.inj = inj
+		}
 	}
 	c.scheduleNext()
 	return c, nil
@@ -181,6 +196,14 @@ func (c *Chain) mineOnce() {
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
+		return
+	}
+	// A crashed miner region produces no blocks: the tick re-arms without
+	// mining until the region restarts (the mempool keeps accumulating,
+	// like transactions waiting out an outage).
+	if c.inj != nil && c.inj.Down(c.cfg.MinerRegion) {
+		c.mu.Unlock()
+		c.scheduleNext()
 		return
 	}
 	blk := Block{Height: len(c.blocks) + 1}

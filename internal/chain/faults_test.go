@@ -1,0 +1,47 @@
+package chain
+
+import (
+	"testing"
+	"time"
+
+	"correctables/internal/faults"
+	"correctables/internal/netsim"
+)
+
+// TestMiningPausesWhileMinerRegionDown: crashing the miner's region halts
+// block production (tracked transactions see a stalled final view); the
+// restart resumes it.
+func TestMiningPausesWhileMinerRegionDown(t *testing.T) {
+	clock := netsim.NewVirtualClock()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	inj := faults.Attach(tr, nil, 1)
+	c, err := New(Config{
+		Transport:     tr,
+		BlockInterval: 100 * time.Millisecond,
+		MinerRegion:   netsim.VRG,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Sleep(time.Second)
+	if c.Height() == 0 {
+		t.Fatal("no blocks mined while healthy")
+	}
+
+	inj.Apply(faults.Crash{Region: netsim.VRG})
+	h := c.Height()
+	clock.Sleep(2 * time.Second)
+	if got := c.Height(); got > h {
+		t.Errorf("height advanced %d -> %d while the miner region was down", h, got)
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.VRG})
+	clock.Sleep(time.Second)
+	if got := c.Height(); got <= h {
+		t.Errorf("height stuck at %d after the miner region restarted", got)
+	}
+	c.Stop()
+	inj.Quiesce()
+	clock.Drain()
+}

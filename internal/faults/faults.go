@@ -1,0 +1,245 @@
+// Package faults is the deterministic fault-injection subsystem: typed
+// fault schedules (partitions, crashes, latency spikes, lossy links)
+// layered on the virtual clock, FoundationDB-style. A Schedule is built
+// explicitly with the scenario DSL (NewSchedule().At(...)), taken from the
+// named catalog (ScenarioByName), or generated from a seed (Random); an
+// Injector attached to a netsim.Transport then replays it, firing every
+// fault transition as a clock callback (RunAt) so transitions interleave
+// deterministically with traffic. Same seed + same schedule ⇒ the same
+// event sequence, byte for byte — a bug found under a fault schedule is
+// replayed, not chased.
+//
+// Semantics at the transport (see netsim.Transport):
+//
+//   - severed links (partition) and down endpoints (crash) stall
+//     synchronous Travel until the fault clears, and silently drop
+//     fire-and-forget Send/SendAfter traffic — lost in-flight state;
+//   - LatencySpike multiplies the one-way delay of matching links;
+//   - Drop loses each matching message with probability Prob; synchronous
+//     sends retransmit after an RTO, asynchronous sends are lost.
+//
+// Stores built on a faulted transport (they check Transport.Interceptor at
+// construction) wire crash-recovery hooks: a restarted ZooKeeper server or
+// causal backup is resynced from the leader/primary by state transfer, a
+// restarted Cassandra replica rejoins stale and heals through read repair,
+// and chain mining pauses while the miner's region is down. Client
+// invocations that a fault makes impossible fail with ErrUnreachable after
+// the store's OpTimeout of model time instead of hanging.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// Event is one typed fault transition. Implementations are the exported
+// structs of this package (Partition, Heal, Crash, Restart, LatencySpike,
+// Drop); the mutate method seals the interface.
+type Event interface {
+	// String renders the event for fault logs.
+	String() string
+	// mutate applies the event to injector state; called with i.mu held.
+	mutate(i *Injector)
+}
+
+// Partition splits the regions into isolated groups: messages between
+// regions of different groups are severed (stalled synchronously, dropped
+// asynchronously) until a Heal. Regions not named in any group implicitly
+// ride with group 0. A second Partition replaces the current one wholesale.
+type Partition struct {
+	Groups [][]netsim.Region
+}
+
+// String implements Event.
+func (p Partition) String() string {
+	parts := make([]string, len(p.Groups))
+	for i, g := range p.Groups {
+		names := make([]string, len(g))
+		for j, r := range g {
+			names[j] = string(r)
+		}
+		parts[i] = "{" + strings.Join(names, " ") + "}"
+	}
+	return "partition " + strings.Join(parts, " | ")
+}
+
+func (p Partition) mutate(i *Injector) {
+	i.group = make(map[netsim.Region]int, 8)
+	for gi, g := range p.Groups {
+		for _, r := range g {
+			i.group[r] = gi
+		}
+	}
+}
+
+// Heal removes the current partition; all links are whole again (crashed
+// regions stay down until their Restart).
+type Heal struct{}
+
+// String implements Event.
+func (Heal) String() string { return "heal" }
+
+func (Heal) mutate(i *Injector) { i.group = nil }
+
+// Crash takes the region down: every message to or from it is severed, and
+// fire-and-forget traffic already addressed to it is lost. Durable state
+// survives; in-flight state does not.
+type Crash struct {
+	Region netsim.Region
+}
+
+// String implements Event.
+func (c Crash) String() string { return "crash " + string(c.Region) }
+
+func (c Crash) mutate(i *Injector) { i.down[c.Region]++ }
+
+// Restart brings a crashed region back up. Stores subscribed to the
+// injector use the transition to resync the rejoining replica.
+type Restart struct {
+	Region netsim.Region
+}
+
+// String implements Event.
+func (r Restart) String() string { return "restart " + string(r.Region) }
+
+func (r Restart) mutate(i *Injector) {
+	if i.down[r.Region] > 0 {
+		i.down[r.Region]--
+	}
+}
+
+// LatencySpike multiplies the one-way delay of matching links by Factor for
+// Duration (0 = until Quiesce). An empty To matches every link touching
+// From; both empty matches every link. Overlapping spikes compound.
+type LatencySpike struct {
+	From, To netsim.Region
+	Factor   float64
+	Duration time.Duration
+}
+
+// String implements Event.
+func (s LatencySpike) String() string {
+	return fmt.Sprintf("latency-spike %s x%.1f for %v", linkName(s.From, s.To), s.Factor, s.Duration)
+}
+
+func (s LatencySpike) mutate(i *Injector) {
+	i.addRuleLocked(&i.spikes, linkRule{from: s.From, to: s.To, factor: s.Factor}, s.Duration, s.String())
+}
+
+// Drop loses each message on matching links with probability Prob for
+// Duration (0 = until Quiesce). Wildcards as in LatencySpike.
+type Drop struct {
+	From, To netsim.Region
+	Prob     float64
+	Duration time.Duration
+}
+
+// String implements Event.
+func (d Drop) String() string {
+	return fmt.Sprintf("drop %s p=%.2f for %v", linkName(d.From, d.To), d.Prob, d.Duration)
+}
+
+func (d Drop) mutate(i *Injector) {
+	i.addRuleLocked(&i.drops, linkRule{from: d.From, to: d.To, prob: d.Prob}, d.Duration, d.String())
+}
+
+// quiesce is the internal transition Quiesce logs.
+type quiesce struct{}
+
+func (quiesce) String() string { return "quiesce: all faults cleared" }
+
+func (quiesce) mutate(i *Injector) {
+	i.group = nil
+	i.down = make(map[netsim.Region]int)
+	i.spikes = nil
+	i.drops = nil
+}
+
+// ruleExpiry ends a timed LatencySpike or Drop.
+type ruleExpiry struct {
+	list *[]linkRule
+	id   int
+	desc string
+}
+
+func (e ruleExpiry) String() string { return "expire: " + e.desc }
+
+func (e ruleExpiry) mutate(i *Injector) {
+	rules := *e.list
+	for j, r := range rules {
+		if r.id == e.id {
+			*e.list = append(rules[:j:j], rules[j+1:]...)
+			return
+		}
+	}
+}
+
+func linkName(from, to netsim.Region) string {
+	switch {
+	case from == "" && to == "":
+		return "*<->*"
+	case to == "":
+		return string(from) + "<->*"
+	case from == "":
+		return string(to) + "<->*"
+	default:
+		return string(from) + "<->" + string(to)
+	}
+}
+
+// TimedEvent is one schedule entry: an event at an absolute model instant.
+type TimedEvent struct {
+	At    time.Duration
+	Event Event
+}
+
+// Schedule is an ordered list of fault events — the scenario DSL. Build one
+// with NewSchedule().At(...).At(...), pick a named one with ScenarioByName,
+// or generate one from a seed with Random.
+type Schedule struct {
+	events []TimedEvent
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// At appends events firing at the absolute model instant at, returning the
+// schedule for chaining. Events need not be added in time order.
+func (s *Schedule) At(at time.Duration, evs ...Event) *Schedule {
+	for _, ev := range evs {
+		s.events = append(s.events, TimedEvent{At: at, Event: ev})
+	}
+	return s
+}
+
+// Events returns the schedule sorted by time (stable: events added at the
+// same instant fire in insertion order).
+func (s *Schedule) Events() []TimedEvent {
+	out := append([]TimedEvent(nil), s.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Horizon returns the instant of the last scheduled event.
+func (s *Schedule) Horizon() time.Duration {
+	var h time.Duration
+	for _, te := range s.events {
+		if te.At > h {
+			h = te.At
+		}
+	}
+	return h
+}
+
+// String renders the schedule, one event per line.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for _, te := range s.Events() {
+		fmt.Fprintf(&b, "%8v  %s\n", te.At, te.Event)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"fmt"
+	randv2 "math/rand/v2"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// Profile parameterizes random schedule generation: which regions can
+// fault, how often faults start, how long they last, and the relative
+// weights of the four fault kinds.
+type Profile struct {
+	Name string
+	// Regions is the fault domain (default: the canonical FRK/IRL/VRG
+	// deployment).
+	Regions []netsim.Region
+	// Horizon bounds the schedule; no fault starts after it.
+	Horizon time.Duration
+	// MeanGap is the mean spacing between fault onsets (exponential).
+	MeanGap time.Duration
+	// MeanDuration is the mean fault length (exponential, clamped so every
+	// fault ends by Horizon).
+	MeanDuration time.Duration
+	// PartitionW, CrashW, SpikeW, DropW weight the fault kinds.
+	PartitionW, CrashW, SpikeW, DropW float64
+}
+
+// defaultRegions is the paper's canonical deployment.
+func defaultRegions() []netsim.Region {
+	return []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG}
+}
+
+// ProfileMild returns a gentle profile: occasional single-region faults and
+// link degradations, scaled to the given time unit (see ScenarioByName for
+// the unit convention; Horizon is 20 units).
+func ProfileMild(unit time.Duration) Profile {
+	return Profile{
+		Name:         "mild",
+		Regions:      defaultRegions(),
+		Horizon:      20 * unit,
+		MeanGap:      4 * unit,
+		MeanDuration: 2 * unit,
+		PartitionW:   1, CrashW: 1, SpikeW: 2, DropW: 2,
+	}
+}
+
+// ProfileHarsh returns a hostile profile: frequent, long, overlapping
+// faults of every kind.
+func ProfileHarsh(unit time.Duration) Profile {
+	return Profile{
+		Name:         "harsh",
+		Regions:      defaultRegions(),
+		Horizon:      20 * unit,
+		MeanGap:      unit,
+		MeanDuration: 3 * unit,
+		PartitionW:   3, CrashW: 2, SpikeW: 1, DropW: 2,
+	}
+}
+
+// ProfileByName resolves "mild" or "harsh".
+func ProfileByName(name string, unit time.Duration) (Profile, error) {
+	switch name {
+	case "mild":
+		return ProfileMild(unit), nil
+	case "harsh":
+		return ProfileHarsh(unit), nil
+	default:
+		return Profile{}, fmt.Errorf("faults: unknown profile %q (have mild, harsh)", name)
+	}
+}
+
+// Random generates a schedule from a seed: fault onsets arrive as a Poisson
+// process (MeanGap), each fault's kind is drawn by weight and its length
+// from MeanDuration, and every fault is paired with the transition that
+// ends it (Heal, Restart, or rule expiry). The generation is a pure
+// function of (seed, profile): the same pair always yields the same
+// schedule, which is what makes a seed a complete reproduction recipe.
+func Random(seed int64, p Profile) *Schedule {
+	if len(p.Regions) == 0 {
+		p.Regions = defaultRegions()
+	}
+	rng := randv2.New(randv2.NewPCG(uint64(seed), 0x5eed5))
+	s := NewSchedule()
+	total := p.PartitionW + p.CrashW + p.SpikeW + p.DropW
+	if total <= 0 || p.Horizon <= 0 || p.MeanGap <= 0 {
+		return s
+	}
+	exp := func(mean time.Duration) time.Duration {
+		return time.Duration(float64(mean) * rng.ExpFloat64())
+	}
+	pick := func() netsim.Region { return p.Regions[rng.IntN(len(p.Regions))] }
+	pickPair := func() (netsim.Region, netsim.Region) {
+		a := rng.IntN(len(p.Regions))
+		b := rng.IntN(len(p.Regions) - 1)
+		if b >= a {
+			b++
+		}
+		return p.Regions[a], p.Regions[b]
+	}
+
+	for t := exp(p.MeanGap); t < p.Horizon; t += exp(p.MeanGap) {
+		end := t + exp(p.MeanDuration)
+		if end > p.Horizon {
+			end = p.Horizon
+		}
+		dur := end - t
+		if dur <= 0 {
+			continue
+		}
+		switch w := rng.Float64() * total; {
+		case w < p.PartitionW:
+			// Isolate one region from the rest; replaces any partition in
+			// force (Partition semantics), its Heal clears whatever is
+			// current — overlap keeps the state machine simple and the run
+			// still interesting.
+			iso := pick()
+			rest := make([]netsim.Region, 0, len(p.Regions)-1)
+			for _, r := range p.Regions {
+				if r != iso {
+					rest = append(rest, r)
+				}
+			}
+			s.At(t, Partition{Groups: [][]netsim.Region{rest, {iso}}})
+			s.At(end, Heal{})
+		case w < p.PartitionW+p.CrashW:
+			r := pick()
+			s.At(t, Crash{Region: r})
+			s.At(end, Restart{Region: r})
+		case w < p.PartitionW+p.CrashW+p.SpikeW:
+			a, b := pickPair()
+			s.At(t, LatencySpike{From: a, To: b, Factor: 4 + 16*rng.Float64(), Duration: dur})
+		default:
+			a, b := pickPair()
+			s.At(t, Drop{From: a, To: b, Prob: 0.05 + 0.25*rng.Float64(), Duration: dur})
+		}
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// stubInterceptor returns a fixed verdict/factor; AwaitPassable flips the
+// verdict to deliver so stalled senders make progress on the recheck.
+type stubInterceptor struct {
+	verdict Verdict
+	factor  float64
+	awaited int
+}
+
+func (s *stubInterceptor) Intercept(from, to Region, class string) (Verdict, float64) {
+	return s.verdict, s.factor
+}
+
+func (s *stubInterceptor) AwaitPassable(from, to Region) {
+	s.awaited++
+	s.verdict = VerdictDeliver
+}
+
+func TestTransportInterceptorDeliverFactor(t *testing.T) {
+	clock := NewVirtualClock()
+	tr := NewTransport(clock, DefaultLatencies(), NewMeter(), 1)
+	base := tr.Model().OneWay(IRL, VRG)
+
+	sw := clock.StartStopwatch()
+	tr.Travel(IRL, VRG, LinkClient, 10)
+	plain := sw.ElapsedModel()
+
+	tr.SetInterceptor(&stubInterceptor{verdict: VerdictDeliver, factor: 5})
+	sw = clock.StartStopwatch()
+	tr.Travel(IRL, VRG, LinkClient, 10)
+	spiked := sw.ElapsedModel()
+
+	if spiked < 4*base || plain > 2*base {
+		t.Errorf("plain %v, x5 %v (one-way %v): factor not applied", plain, spiked, base)
+	}
+	clock.Drain()
+}
+
+func TestTransportInterceptorDropAndStallAsync(t *testing.T) {
+	clock := NewVirtualClock()
+	meter := NewMeter()
+	tr := NewTransport(clock, DefaultLatencies(), meter, 1)
+
+	delivered := 0
+	tr.SetInterceptor(&stubInterceptor{verdict: VerdictDrop, factor: 1})
+	tr.Send(IRL, VRG, LinkReplica, 64, func() { delivered++ })
+	tr.SetInterceptor(&stubInterceptor{verdict: VerdictStall, factor: 1})
+	tr.SendAfter(time.Millisecond, IRL, VRG, LinkReplica, 64, func() { delivered++ })
+	clock.Drain()
+
+	if delivered != 0 {
+		t.Errorf("%d async sends delivered through drop/stall verdicts", delivered)
+	}
+	if got := meter.Dropped(LinkReplica); got.Messages != 2 || got.Bytes != 128 {
+		t.Errorf("dropped stats = %+v, want 2 msgs / 128 bytes", got)
+	}
+	if got := meter.Class(LinkReplica); got.Messages != 0 {
+		t.Errorf("delivered stats = %+v, want untouched", got)
+	}
+}
+
+func TestTransportInterceptorStallSyncRetries(t *testing.T) {
+	clock := NewVirtualClock()
+	tr := NewTransport(clock, DefaultLatencies(), NewMeter(), 1)
+	icept := &stubInterceptor{verdict: VerdictStall, factor: 1}
+	tr.SetInterceptor(icept)
+	tr.Travel(IRL, VRG, LinkClient, 10) // AwaitPassable flips to deliver
+	if icept.awaited != 1 {
+		t.Errorf("AwaitPassable called %d times, want 1", icept.awaited)
+	}
+	if got := tr.Meter().Class(LinkClient); got.Messages != 1 {
+		t.Errorf("stalled-then-delivered message not accounted: %+v", got)
+	}
+	clock.Drain()
+}
+
+func TestMeterDroppedSeparateAndReset(t *testing.T) {
+	m := NewMeter()
+	m.Account(LinkClient, 100)
+	m.AccountDropped(LinkClient, 40)
+	m.AccountDropped("custom", 7)
+	if got := m.Snapshot()[LinkClient]; got.Bytes != 100 {
+		t.Errorf("delivered snapshot = %+v", got)
+	}
+	snap := m.SnapshotDropped()
+	if snap[LinkClient].Bytes != 40 || snap["custom"].Messages != 1 {
+		t.Errorf("dropped snapshot = %+v", snap)
+	}
+	m.Reset()
+	if len(m.SnapshotDropped()) != 0 || len(m.Snapshot()) != 0 {
+		t.Error("Reset left counters behind")
+	}
+}

@@ -38,19 +38,29 @@ func (c *linkCounters) stats() LinkStats {
 	return LinkStats{Bytes: c.bytes.Load(), Messages: c.messages.Load()}
 }
 
-// Meter accumulates wire traffic by link class. It is safe for concurrent
-// use.
+// Meter accumulates wire traffic by link class. Delivered and dropped
+// traffic are kept in separate counters: messages a fault schedule drops or
+// severs (see Transport and the faults package) never pollute the delivered
+// totals, so bandwidth figures stay trustworthy under fault injection.
+// It is safe for concurrent use.
 type Meter struct {
 	client  linkCounters
 	replica linkCounters
 
-	mu    sync.Mutex
-	other map[string]LinkStats // custom classes, off the hot path
+	droppedClient  linkCounters
+	droppedReplica linkCounters
+
+	mu           sync.Mutex
+	other        map[string]LinkStats // custom classes, off the hot path
+	otherDropped map[string]LinkStats
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{other: make(map[string]LinkStats)}
+	return &Meter{
+		other:        make(map[string]LinkStats),
+		otherDropped: make(map[string]LinkStats),
+	}
 }
 
 // Account records one message of the given size on the given link class.
@@ -73,6 +83,28 @@ func (m *Meter) Account(class string, bytes int) {
 	}
 }
 
+// AccountDropped records one message lost to fault injection (dropped by a
+// lossy link, or severed by a partition/crash) on the given link class. The
+// bytes never count toward the delivered statistics.
+func (m *Meter) AccountDropped(class string, bytes int) {
+	if m == nil {
+		return
+	}
+	switch class {
+	case LinkClient:
+		m.droppedClient.add(bytes)
+	case LinkReplica:
+		m.droppedReplica.add(bytes)
+	default:
+		m.mu.Lock()
+		s := m.otherDropped[class]
+		s.Bytes += int64(bytes)
+		s.Messages++
+		m.otherDropped[class] = s
+		m.mu.Unlock()
+	}
+}
+
 // Snapshot returns a copy of the per-class statistics. Classes with no
 // traffic are absent.
 func (m *Meter) Snapshot() map[string]LinkStats {
@@ -91,6 +123,24 @@ func (m *Meter) Snapshot() map[string]LinkStats {
 	return out
 }
 
+// SnapshotDropped returns a copy of the per-class dropped/severed
+// statistics. Classes with no dropped traffic are absent.
+func (m *Meter) SnapshotDropped() map[string]LinkStats {
+	m.mu.Lock()
+	out := make(map[string]LinkStats, len(m.otherDropped)+2)
+	for k, v := range m.otherDropped {
+		out[k] = v
+	}
+	m.mu.Unlock()
+	if s := m.droppedClient.stats(); s.Messages > 0 {
+		out[LinkClient] = s
+	}
+	if s := m.droppedReplica.stats(); s.Messages > 0 {
+		out[LinkReplica] = s
+	}
+	return out
+}
+
 // Class returns the statistics for one link class.
 func (m *Meter) Class(class string) LinkStats {
 	switch class {
@@ -104,15 +154,29 @@ func (m *Meter) Class(class string) LinkStats {
 	return m.other[class]
 }
 
+// Dropped returns the dropped/severed statistics for one link class.
+func (m *Meter) Dropped(class string) LinkStats {
+	switch class {
+	case LinkClient:
+		return m.droppedClient.stats()
+	case LinkReplica:
+		return m.droppedReplica.stats()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.otherDropped[class]
+}
+
 // Reset zeroes all statistics.
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	m.other = make(map[string]LinkStats)
+	m.otherDropped = make(map[string]LinkStats)
 	m.mu.Unlock()
-	m.client.bytes.Store(0)
-	m.client.messages.Store(0)
-	m.replica.bytes.Store(0)
-	m.replica.messages.Store(0)
+	for _, c := range []*linkCounters{&m.client, &m.replica, &m.droppedClient, &m.droppedReplica} {
+		c.bytes.Store(0)
+		c.messages.Store(0)
+	}
 }
 
 // Diff returns the per-class difference snapshot-now minus base. Classes

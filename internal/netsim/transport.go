@@ -8,6 +8,41 @@ import (
 	"time"
 )
 
+// Verdict is an Interceptor's decision for one message.
+type Verdict uint8
+
+const (
+	// VerdictDeliver lets the message through; its one-way delay is scaled
+	// by the factor the interceptor returns alongside (latency spikes).
+	VerdictDeliver Verdict = iota
+	// VerdictDrop loses the message on an otherwise live link (lossy-link
+	// packet loss). Asynchronous sends are silently discarded; synchronous
+	// Travel models a retransmit: the sender waits a retransmission timeout
+	// and tries again.
+	VerdictDrop
+	// VerdictStall marks the link impassable (network partition, crashed
+	// endpoint). Travel parks the calling actor via AwaitPassable until the
+	// link heals; asynchronous sends are discarded — in-flight
+	// fire-and-forget traffic is exactly the state a crash loses.
+	VerdictStall
+)
+
+// Interceptor inspects every message the transport carries, deciding its
+// fate per the current fault epoch. The canonical implementation is
+// faults.Injector; a nil interceptor (the default) leaves the hot path
+// untouched. Interceptor methods are called from actor context for Travel
+// and possibly from callback context for Send/SendAfter, so Intercept must
+// never block; only AwaitPassable may park the caller.
+type Interceptor interface {
+	// Intercept returns the fate of one message plus a delay multiplier
+	// (meaningful for VerdictDeliver; 1.0 = unperturbed).
+	Intercept(from, to Region, class string) (Verdict, float64)
+	// AwaitPassable parks the calling actor until from<->to is passable
+	// again (partition healed, endpoints up). Called by the synchronous
+	// path after a VerdictStall.
+	AwaitPassable(from, to Region)
+}
+
 // Transport carries messages between regions, charging one-way latency
 // (with jitter and an exponential tail) and accounting bytes on the meter.
 // It is the only path through which simulated components may exchange data,
@@ -21,6 +56,7 @@ type Transport struct {
 	clock Clock
 	model *LatencyModel
 	meter *Meter
+	icept Interceptor
 
 	shards map[[2]Region]*rngShard
 	// local is the fallback jitter source for same-region links of regions
@@ -88,6 +124,15 @@ func (t *Transport) Model() *LatencyModel { return t.model }
 // Meter returns the transport's meter (may be nil).
 func (t *Transport) Meter() *Meter { return t.meter }
 
+// SetInterceptor installs (or, with nil, removes) the fault interceptor.
+// Install it before traffic starts — typically right after NewTransport and
+// before any store is constructed on the transport, since stores inspect
+// Interceptor() at construction time to wire their crash-recovery hooks.
+func (t *Transport) SetInterceptor(i Interceptor) { t.icept = i }
+
+// Interceptor returns the installed fault interceptor (nil when none).
+func (t *Transport) Interceptor() Interceptor { return t.icept }
+
 // sample returns a jittered one-way delay between two regions.
 func (t *Transport) sample(from, to Region) time.Duration {
 	base := float64(t.model.OneWay(from, to))
@@ -107,13 +152,44 @@ func (t *Transport) sample(from, to Region) time.Duration {
 	return time.Duration(math.Max(d, 0))
 }
 
+// scaled multiplies a delay by an interceptor factor.
+func scaled(d time.Duration, factor float64) time.Duration {
+	if factor == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * factor)
+}
+
 // Travel synchronously delivers a message: it accounts size bytes on the
 // link class and sleeps the one-way delay in model time. Callers run
 // protocol logic as straight-line code in their own actor and call Travel
 // at each hop.
+//
+// Under an interceptor, a dropped message costs the sender a retransmission
+// timeout (~one RTT) before retrying, with the lost bytes accounted on the
+// meter's dropped counters; a stalled message parks the actor until the
+// link is passable again, modeling an idealized retransmit that succeeds
+// as soon as the partition heals or the endpoint restarts.
 func (t *Transport) Travel(from, to Region, class string, size int) {
-	t.meter.Account(class, size)
-	t.clock.Sleep(t.sample(from, to))
+	if t.icept == nil {
+		t.meter.Account(class, size)
+		t.clock.Sleep(t.sample(from, to))
+		return
+	}
+	for {
+		verdict, factor := t.icept.Intercept(from, to, class)
+		switch verdict {
+		case VerdictDeliver:
+			t.meter.Account(class, size)
+			t.clock.Sleep(scaled(t.sample(from, to), factor))
+			return
+		case VerdictDrop:
+			t.meter.AccountDropped(class, size)
+			t.clock.Sleep(2 * t.sample(from, to)) // retransmission timeout
+		case VerdictStall:
+			t.icept.AwaitPassable(from, to)
+		}
+	}
 }
 
 // Send asynchronously delivers a message: fn runs as a callback timer
@@ -122,14 +198,32 @@ func (t *Transport) Travel(from, to Region, class string, size int) {
 // notifications. fn must not block (see the Clock comment); delivery work
 // that needs to block (e.g. charging receiver service time through a
 // bounded Server) should spawn an actor from within fn with Clock.Go.
+//
+// Fire-and-forget traffic has no retransmit path: under an interceptor, a
+// dropped or severed message is lost outright (accounted on the dropped
+// counters) and fn never runs — which is exactly the in-flight state a
+// crashed or partitioned replica loses.
 func (t *Transport) Send(from, to Region, class string, size int, fn func()) {
-	t.meter.Account(class, size)
-	t.clock.RunAfter(t.sample(from, to), fn)
+	t.send(0, from, to, class, size, fn)
 }
 
 // SendAfter is Send with an additional model-time delay before the message
-// leaves (e.g. replication batching delay).
+// leaves (e.g. replication batching delay). The interceptor verdict is
+// taken at send time, not delivery time.
 func (t *Transport) SendAfter(extra time.Duration, from, to Region, class string, size int, fn func()) {
+	t.send(extra, from, to, class, size, fn)
+}
+
+func (t *Transport) send(extra time.Duration, from, to Region, class string, size int, fn func()) {
+	factor := 1.0
+	if t.icept != nil {
+		verdict, f := t.icept.Intercept(from, to, class)
+		if verdict != VerdictDeliver {
+			t.meter.AccountDropped(class, size)
+			return
+		}
+		factor = f
+	}
 	t.meter.Account(class, size)
-	t.clock.RunAfter(t.sample(from, to)+extra, fn)
+	t.clock.RunAfter(scaled(t.sample(from, to), factor)+extra, fn)
 }

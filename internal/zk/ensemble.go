@@ -2,9 +2,11 @@ package zk
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -23,6 +25,10 @@ type Config struct {
 	Workers int
 	// ServiceTime is the per-message local processing cost (default 1ms).
 	ServiceTime time.Duration
+	// OpTimeout bounds each queue-client operation in model time when a
+	// fault interceptor is attached to the Transport (default 5s); see
+	// cassandra.Config.OpTimeout for the semantics.
+	OpTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -31,6 +37,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ServiceTime == 0 {
 		c.ServiceTime = time.Millisecond
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -109,7 +118,99 @@ func NewEnsemble(cfg Config) (*Ensemble, error) {
 		return nil, fmt.Errorf("zk: leader region %s not in ensemble", cfg.LeaderRegion)
 	}
 	e.leader = leader
+	// On a faulted transport, wire Zab-style recovery: after every fault
+	// transition (a restart, a heal, an expiring drop rule), followers that
+	// missed commits — a crashed server loses its in-flight commit stream,
+	// a partitioned one has it severed — resync from the leader by state
+	// transfer, like ZooKeeper's SNAP sync.
+	if inj, ok := cfg.Transport.Interceptor().(*faults.Injector); ok {
+		inj.Subscribe(func(faults.Transition) { e.resyncLagging() })
+	}
 	return e, nil
+}
+
+// resyncLagging ships a leader snapshot to every follower whose applied
+// state lags the leader. It runs in clock callback context (fault
+// transitions) and must not block: snapshots travel as asynchronous sends,
+// which the transport drops if the follower is still unreachable — the next
+// transition retries.
+func (e *Ensemble) resyncLagging() {
+	leaderZxid := e.leader.LastApplied()
+	for _, region := range e.order {
+		s := e.servers[region]
+		if s == e.leader || s.LastApplied() >= leaderZxid {
+			continue
+		}
+		// One snapshot per follower: Restore installs the node map without
+		// copying, so recipients must not share one.
+		snap, zxid, size := e.snapshotLeader()
+		e.tr.Send(e.leader.Region, region, netsim.LinkReplica, size, func() {
+			s.installSnapshot(snap, zxid)
+		})
+	}
+}
+
+// snapshotLeader captures the leader's tree and zxid atomically (propMu
+// serializes all leader mutations).
+func (e *Ensemble) snapshotLeader() (map[string]*node, uint64, int) {
+	e.propMu.Lock()
+	defer e.propMu.Unlock()
+	snap, size := e.leader.tree.Snapshot()
+	return snap, e.leader.LastApplied(), size
+}
+
+// installSnapshot replaces the server's state with a leader snapshot taken
+// at the given zxid, then drains any buffered commits past it and releases
+// the waiters the snapshot satisfies. Stale snapshots (the server caught up
+// in the meantime) are ignored.
+func (s *Server) installSnapshot(nodes map[string]*node, zxid uint64) {
+	var fire []netsim.Event
+	s.mu.Lock()
+	if zxid <= s.lastApplied {
+		s.mu.Unlock()
+		return
+	}
+	s.tree.Restore(nodes)
+	s.lastApplied = zxid
+	for z := range s.pending {
+		if z <= zxid {
+			delete(s.pending, z)
+		}
+	}
+	fire = s.applyPendingLocked()
+	s.mu.Unlock()
+	for _, w := range fire {
+		w.Fire()
+	}
+}
+
+// applyPendingLocked drains buffered commits in strict zxid order (stopping
+// at the first gap) and returns the waiters the new watermark satisfies, in
+// zxid order (map iteration order would perturb determinism). Callers hold
+// s.mu and fire the returned events after releasing it.
+func (s *Server) applyPendingLocked() []netsim.Event {
+	for {
+		next, ok := s.pending[s.lastApplied+1]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.lastApplied+1)
+		next.Apply(s.tree)
+		s.lastApplied++
+	}
+	var zs []uint64
+	for z := range s.waiters {
+		if z <= s.lastApplied {
+			zs = append(zs, z)
+		}
+	}
+	sort.Slice(zs, func(i, j int) bool { return zs[i] < zs[j] })
+	var fire []netsim.Event
+	for _, z := range zs {
+		fire = append(fire, s.waiters[z]...)
+		delete(s.waiters, z)
+	}
+	return fire
 }
 
 // Config returns the effective configuration.
@@ -246,24 +347,18 @@ func (e *Ensemble) ForwardAndCommit(contact *Server, txn Txn) (uint64, TxnResult
 }
 
 // DeliverCommit hands a committed transaction to a server, which applies
-// committed transactions strictly in zxid order (buffering gaps).
+// committed transactions strictly in zxid order (buffering gaps). Commits
+// at or below the applied watermark are discarded: after a snapshot resync
+// the in-flight commit stream may replay transactions the snapshot already
+// covers.
 func (s *Server) DeliverCommit(zxid uint64, txn Txn) {
-	var fire []netsim.Event
 	s.mu.Lock()
-	s.pending[zxid] = txn
-	for {
-		next, ok := s.pending[s.lastApplied+1]
-		if !ok {
-			break
-		}
-		delete(s.pending, s.lastApplied+1)
-		next.Apply(s.tree)
-		s.lastApplied++
-		if ws, ok := s.waiters[s.lastApplied]; ok {
-			fire = append(fire, ws...)
-			delete(s.waiters, s.lastApplied)
-		}
+	if zxid <= s.lastApplied {
+		s.mu.Unlock()
+		return
 	}
+	s.pending[zxid] = txn
+	fire := s.applyPendingLocked()
 	s.mu.Unlock()
 	for _, w := range fire {
 		w.Fire()

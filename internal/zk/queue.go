@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"correctables/internal/core"
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -44,8 +45,22 @@ func NewQueueClient(e *Ensemble, clientRegion, contactRegion netsim.Region) *Que
 // Ensemble returns the client's ensemble.
 func (c *QueueClient) Ensemble() *Ensemble { return c.ensemble }
 
+// guard bounds op to the ensemble's OpTimeout of model time when a fault
+// interceptor is attached to the transport (see cassandra.Client.Read for
+// the semantics); without one, op runs inline and unguarded.
+func (c *QueueClient) guard(op func(live func() bool) error) error {
+	if c.ensemble.tr.Interceptor() == nil {
+		return op(func() bool { return true })
+	}
+	return faults.Deadline(c.ensemble.tr.Clock(), c.ensemble.cfg.OpTimeout, op)
+}
+
 // CreateQueue creates the queue directory through the ordered protocol.
 func (c *QueueClient) CreateQueue(queue string) error {
+	return c.guard(func(func() bool) error { return c.createQueue(queue) })
+}
+
+func (c *QueueClient) createQueue(queue string) error {
 	dir := queueDir(queue)
 	tr := c.ensemble.tr
 	contact := c.ensemble.Server(c.Contact)
@@ -62,7 +77,21 @@ func (c *QueueClient) CreateQueue(queue string) error {
 // wantPrelim, the contact server first simulates the create on its local
 // state and leaks the predicted element name (weak view); the committed
 // result follows (strong view). Blocks until the final view is delivered.
+//
+// Under fault injection the operation is bounded by Config.OpTimeout of
+// model time and fails with faults.ErrUnreachable when the contact or the
+// leader's quorum is unreachable; late views are suppressed.
 func (c *QueueClient) Enqueue(queue string, data []byte, wantPrelim bool, onView func(QueueView)) error {
+	return c.guard(func(live func() bool) error {
+		return c.enqueue(queue, data, wantPrelim, func(v QueueView) {
+			if live() {
+				onView(v)
+			}
+		})
+	})
+}
+
+func (c *QueueClient) enqueue(queue string, data []byte, wantPrelim bool, onView func(QueueView)) error {
 	wantPrelim = wantPrelim && c.ensemble.cfg.Correctable
 	tr := c.ensemble.tr
 	clock := tr.Clock()
@@ -121,10 +150,17 @@ func (c *QueueClient) Enqueue(queue string, data []byte, wantPrelim bool, onView
 // transaction; the committed element is the final view. Blocks until the
 // final view is delivered.
 func (c *QueueClient) Dequeue(queue string, wantPrelim bool, onView func(QueueView)) error {
-	if c.ensemble.cfg.Correctable {
-		return c.dequeueCZK(queue, wantPrelim, onView)
-	}
-	return c.dequeueRecipe(queue, onView)
+	return c.guard(func(live func() bool) error {
+		guarded := func(v QueueView) {
+			if live() {
+				onView(v)
+			}
+		}
+		if c.ensemble.cfg.Correctable {
+			return c.dequeueCZK(queue, wantPrelim, guarded)
+		}
+		return c.dequeueRecipe(queue, guarded)
+	})
 }
 
 func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(QueueView)) error {

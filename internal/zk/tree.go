@@ -290,6 +290,41 @@ func (t *Tree) FirstChild(path string) (name string, data []byte, count int, err
 	return name, append([]byte(nil), child.data...), len(n.children), nil
 }
 
+// Snapshot returns a deep copy of the tree's node state (watches excluded)
+// plus its approximate encoded size in bytes, for state-transfer
+// accounting. Each recipient needs its own snapshot: Restore installs the
+// map without copying.
+func (t *Tree) Snapshot() (map[string]*node, int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	nodes := make(map[string]*node, len(t.nodes))
+	size := 0
+	for path, n := range t.nodes {
+		cp := &node{
+			data:     append([]byte(nil), n.data...),
+			version:  n.version,
+			children: make(map[string]bool, len(n.children)),
+			nextSeq:  n.nextSeq,
+			owner:    n.owner,
+		}
+		for c := range n.children {
+			cp.children[c] = true
+		}
+		nodes[path] = cp
+		size += len(path) + len(n.data) + len(n.owner) + 16
+	}
+	return nodes, size
+}
+
+// Restore replaces the tree's node state with a snapshot taken from another
+// tree. Watch registrations survive but no watch events fire: a recovering
+// replica's observers re-read state rather than replaying history.
+func (t *Tree) Restore(nodes map[string]*node) {
+	t.mu.Lock()
+	t.nodes = nodes
+	t.mu.Unlock()
+}
+
 // NodeCount returns the total number of znodes (including the root).
 func (t *Tree) NodeCount() int {
 	t.mu.RLock()
