@@ -53,7 +53,8 @@ var experiments = map[string]func(bench.Config) string{
 		return bench.FormatAblationLag(bench.AblationReplicationLag(c)) +
 			bench.FormatAblationFlush(bench.AblationFlushCost(c))
 	},
-	// Fault study (run via -exp faultstudy; -faults picks the scenario).
+	// Fault study (run via -exp faultstudy; -faults picks the scenario,
+	// -check verifies the run's recorded history).
 	"faultstudy": func(c bench.Config) string {
 		res, err := bench.FaultStudy(c)
 		if err != nil {
@@ -70,7 +71,15 @@ var experiments = map[string]func(bench.Config) string{
 				os.Exit(1)
 			}
 		}
-		return bench.FormatFaultStudy(res, c.FaultLog)
+		out := bench.FormatFaultStudy(res, c.FaultLog)
+		if res.Check != nil && res.Check.Violations() > 0 {
+			// The consistency check gate: print everything, then fail.
+			fmt.Print(out)
+			fmt.Fprintf(os.Stderr, "icgbench: consistency check FAILED with %d violations (seed %d replays them byte-identically)\n",
+				res.Check.Violations(), c.Seed)
+			os.Exit(3)
+		}
+		return out
 	},
 }
 
@@ -88,6 +97,9 @@ func main() {
 			"fault scenario for -exp faultstudy: one of "+strings.Join(faults.ScenarioNames(), ", ")+
 				", or '<seed>:<profile>' (profiles: mild, harsh) for a replayable random schedule; default minority-partition")
 		faultLog = flag.Bool("fault-log", false, "print the applied fault-transition log with the fault study")
+		check    = flag.Bool("check", false,
+			"faultstudy: run a consistency-checked session population alongside the measured one and verify its "+
+				"recorded history (session guarantees + per-key linearizability); exit nonzero on any violation")
 	)
 	flag.StringVar(&faultJSON, "fault-json", "", "write the fault-study result as JSON to this path")
 	flag.Parse()
@@ -102,7 +114,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := bench.Config{Wall: wall, Scale: *scale, Seed: *seed, Quick: *quick,
-		Faults: *faultSpec, FaultLog: *faultLog}
+		Faults: *faultSpec, FaultLog: *faultLog, Check: *check}
 
 	var names []string
 	if *exp == "all" {

@@ -38,9 +38,18 @@
 // facades (cassandra.KV, causal.KV, zk.Queue) wrap this once more, giving
 // method-style access (kv.Get(ctx, key) → *Correctable[[]byte]).
 //
-// The Client methods Invoke/InvokeWeak/InvokeStrong are deprecated boxed
-// shims returning *Correctable[any]; they remain only so pre-generics code
-// keeps compiling during migration.
+// # Sessions and observers
+//
+// NewClient takes functional options: WithObserver hooks the invoke
+// pipeline (every operation's start, views and end, with model-time
+// timestamps and per-view consistency levels — the recording surface the
+// internal/history checkers build on), WithOpTimeout bounds every
+// invocation in model time, WithLabel names the client on observer events.
+//
+// A Session (NewSession) threads cross-operation guarantees over a client:
+// operations issued through it are read-your-writes and monotonic-reads
+// consistent per object, enforced with the version tokens the bindings
+// stamp on every view. See ExampleNewSession.
 //
 // # Bindings
 //
@@ -55,6 +64,7 @@ package correctables
 
 import (
 	"context"
+	"time"
 
 	"correctables/internal/binding"
 	"correctables/internal/core"
@@ -86,15 +96,44 @@ type (
 	Levels = core.Levels
 	// State is a Correctable lifecycle state.
 	State = core.State
+	// Scheduler abstracts how Correctables spawn goroutines, block, and
+	// read time (WithScheduler); simulation substrates supply their clock's
+	// scheduler.
+	Scheduler = core.Scheduler
+	// Event is the one-shot broadcast used by Scheduler implementations.
+	Event = core.Event
 
 	// Client is the application-facing, consistency-based interface.
 	Client = binding.Client
+	// Option configures a Client at construction (see NewClient).
+	Option = binding.Option
+	// Session threads read-your-writes and monotonic-reads guarantees over
+	// a sequence of operations (see NewSession).
+	Session = binding.Session
+	// SessionOption configures a Session at construction.
+	SessionOption = binding.SessionOption
+	// Observer hooks the client invoke pipeline (WithObserver).
+	Observer = binding.Observer
+	// Observers fans events out to several observers.
+	Observers = binding.Observers
+	// OpInfo identifies one invocation on the pipeline.
+	OpInfo = binding.OpInfo
+	// OpView is one delivered view as observers see it.
+	OpView = binding.OpView
+	// OpID is a per-client invocation sequence number.
+	OpID = binding.OpID
 	// Binding is the storage-binding interface (§5.1).
 	Binding = binding.Binding
 	// Operation is a request against a replicated object.
 	Operation = binding.Operation
 	// OperationFor is a typed operation whose result decodes to T.
 	OperationFor[T any] = binding.OperationFor[T]
+	// Keyer reports the replicated-object identity an operation targets.
+	Keyer = binding.Keyer
+	// Mutator classifies an operation as state-changing.
+	Mutator = binding.Mutator
+	// Versioner marks bindings that stamp version tokens on results.
+	Versioner = binding.Versioner
 	// Result is one binding response (the monomorphic wire type).
 	Result = binding.Result
 	// Callback receives incremental results from a binding.
@@ -138,10 +177,59 @@ var (
 	ErrUnsupportedOperation = binding.ErrUnsupportedOperation
 	// ErrUnsupportedLevel is wrapped by bindings rejecting a level.
 	ErrUnsupportedLevel = binding.ErrUnsupportedLevel
+	// ErrSessionGuarantee fails a session invocation whose final view
+	// stayed below the session's floor after the configured retries.
+	ErrSessionGuarantee = binding.ErrSessionGuarantee
 )
 
-// NewClient wraps a binding in the application-facing Client.
-func NewClient(b Binding) *Client { return binding.NewClient(b) }
+// NewClient wraps a binding in the application-facing Client, configured
+// with functional options (WithObserver, WithOpTimeout, WithScheduler,
+// WithLabel).
+func NewClient(b Binding, opts ...Option) *Client { return binding.NewClient(b, opts...) }
+
+// WithObserver attaches an observer to the client's invoke pipeline (may
+// be repeated; observers are notified in attachment order).
+func WithObserver(o Observer) Option { return binding.WithObserver(o) }
+
+// WithOpTimeout bounds every invocation through the client to d of model
+// time, failing with an error wrapping faults.ErrUnreachable on expiry;
+// d <= 0 disables the bound.
+func WithOpTimeout(d time.Duration) Option { return binding.WithOpTimeout(d) }
+
+// WithScheduler overrides the binding-provided scheduler.
+func WithScheduler(s Scheduler) Option { return binding.WithScheduler(s) }
+
+// WithLabel names the client on observer events.
+func WithLabel(label string) Option { return binding.WithLabel(label) }
+
+// NewSession opens a session over c: operations issued through it observe
+// read-your-writes and monotonic reads per replicated object (enforced
+// with the bindings' version tokens — stale preliminary views are
+// suppressed, stale final reads retried).
+func NewSession(c *Client, opts ...SessionOption) *Session { return binding.NewSession(c, opts...) }
+
+// WithSessionRetries sets how often a stale final read is re-executed
+// before failing with ErrSessionGuarantee.
+func WithSessionRetries(n int) SessionOption { return binding.WithSessionRetries(n) }
+
+// SessionInvoke executes op through s with incremental consistency
+// guarantees plus the session's cross-operation guarantees.
+func SessionInvoke[T any](ctx context.Context, s *Session, op OperationFor[T], levels ...Level) *Correctable[T] {
+	return binding.SessionInvoke[T](ctx, s, op, levels...)
+}
+
+// SessionInvokeWeak executes op at the weakest offered level with session
+// guarantees (a stale weak read is re-executed until replication catches
+// up).
+func SessionInvokeWeak[T any](ctx context.Context, s *Session, op OperationFor[T]) *Correctable[T] {
+	return binding.SessionInvokeWeak[T](ctx, s, op)
+}
+
+// SessionInvokeStrong executes op at the strongest offered level with
+// session guarantees.
+func SessionInvokeStrong[T any](ctx context.Context, s *Session, op OperationFor[T]) *Correctable[T] {
+	return binding.SessionInvokeStrong[T](ctx, s, op)
+}
 
 // Invoke executes op with incremental consistency guarantees: one view per
 // requested level (all levels the binding offers when none are given),

@@ -293,17 +293,28 @@ func TestFacadeQueueOps(t *testing.T) {
 	}
 }
 
-// TestFacadeBoxedShims: the deprecated interface{} methods still work for
-// pre-generics callers.
-func TestFacadeBoxedShims(t *testing.T) {
+// TestFacadeSession: the session API works end to end over a real binding
+// through the root package — a session read after a session write observes
+// the write at every delivered level.
+func TestFacadeSession(t *testing.T) {
 	client := newFacadeCluster(t)
 	ctx := context.Background()
-	v, err := client.Invoke(ctx, correctables.Get{Key: "k"}).Final(ctx)
-	if err != nil {
+	sess := correctables.NewSession(client)
+	if _, err := sess.Put(ctx, "sess-k", []byte("mine")).Final(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if b, ok := v.Value.([]byte); !ok || string(b) != "v" {
-		t.Errorf("boxed value = %#v", v.Value)
+	floor := sess.Floor("sess-k")
+	if floor == 0 {
+		t.Fatal("session write did not raise the floor")
+	}
+	cor := sess.Get(ctx, "sess-k")
+	if v, err := cor.Final(ctx); err != nil || string(v.Value) != "mine" {
+		t.Fatalf("session read = %+v, %v", v, err)
+	}
+	for _, v := range cor.Views() {
+		if string(v.Value) != "mine" {
+			t.Errorf("session view %v delivered %q, want the session's own write", v.Level, v.Value)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package correctables_test
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"correctables"
 	"correctables/internal/cassandra"
@@ -12,7 +13,7 @@ import (
 // newExampleClient builds a three-region Correctable-Cassandra deployment
 // on the deterministic virtual clock, preloaded with one key. All examples
 // run instantly and print the same thing on every machine.
-func newExampleClient(key, value string) *correctables.Client {
+func newExampleClient(key, value string, opts ...correctables.Option) *correctables.Client {
 	clock := netsim.NewVirtualClock()
 	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
 	cluster, err := cassandra.NewCluster(cassandra.Config{
@@ -26,7 +27,7 @@ func newExampleClient(key, value string) *correctables.Client {
 	}
 	cluster.Preload(key, []byte(value))
 	return correctables.NewClient(cassandra.NewBinding(
-		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}))
+		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}), opts...)
 }
 
 // ExampleInvoke shows incremental consistency guarantees: one logical read,
@@ -114,4 +115,75 @@ func ExampleCorrectable_WaitLevel() {
 	fmt.Printf("first >=weak view: %s at %s\n", v.Value, v.Level)
 	// Output:
 	// first >=weak view: v at weak
+}
+
+// printObserver is a minimal Observer: it prints the invoke pipeline's
+// event stream. Real observers (history.Recorder) record instead of print.
+type printObserver struct{}
+
+func (printObserver) OpStart(op correctables.OpInfo) {
+	fmt.Printf("start %s(%s) by %s\n", op.Name, op.Key, op.Client)
+}
+func (printObserver) OpView(op correctables.OpInfo, v correctables.OpView) {
+	// v.Version is the binding's per-object version token (opaque;
+	// comparable within one object).
+	fmt.Printf("  %s view, versioned=%v, final=%v\n", v.Level, v.Version > 0, v.Final)
+}
+func (printObserver) OpEnd(op correctables.OpInfo, at time.Duration, err error) {
+	fmt.Printf("end %s(%s) err=%v\n", op.Name, op.Key, err)
+}
+
+// ExampleWithObserver hooks the invoke pipeline: every operation's start,
+// views (with consistency level and version token) and end are observable —
+// the recording surface consistency checkers build on.
+func ExampleWithObserver() {
+	client := newExampleClient("user:7", "grace",
+		correctables.WithObserver(printObserver{}), correctables.WithLabel("app"))
+	ctx := context.Background()
+	if _, err := correctables.Invoke(ctx, client, correctables.Get{Key: "user:7"}).Final(ctx); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// start get(user:7) by app
+	//   weak view, versioned=true, final=false
+	//   strong view, versioned=true, final=true
+	// end get(user:7) err=<nil>
+}
+
+// ExampleNewSession shows cross-operation guarantees: a session tracks the
+// versions it has read and written per key, so a read after the session's
+// own write never observes older state — at any consistency level. (A bare
+// client promises nothing across operations; a stale preliminary after
+// your own write is exactly what sessions suppress.)
+func ExampleNewSession() {
+	client := newExampleClient("profile:9", "old")
+	ctx := context.Background()
+	sess := correctables.NewSession(client)
+
+	if _, err := sess.Put(ctx, "profile:9", []byte("new")).Final(ctx); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cor := sess.Get(ctx, "profile:9")
+	cor.OnUpdate(func(v correctables.View[[]byte]) {
+		fmt.Printf("%s view: %s\n", v.Level, v.Value)
+	})
+	if _, err := cor.Final(ctx); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("session floor raised: %v\n", sess.Floor("profile:9") > 0)
+	// Output:
+	// weak view: new
+	// strong view: new
+	// session floor raised: true
+}
+
+// ExampleWithOpTimeout bounds every invocation through a client in model
+// time: an operation faults make impossible fails instead of hanging.
+func ExampleWithOpTimeout() {
+	client := newExampleClient("k", "v", correctables.WithOpTimeout(2*time.Second))
+	fmt.Println("per-op bound:", client.OpTimeout())
+	// Output:
+	// per-op bound: 2s
 }

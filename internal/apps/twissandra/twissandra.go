@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"correctables/internal/binding"
@@ -108,23 +109,44 @@ type TimelineOutcome struct {
 	Misspeculated bool
 }
 
-// Service is the microblogging service over a cassandra binding.
+// Service is the microblogging service over a cassandra binding. Each user
+// acts through a session (UserSession): their operations are
+// read-your-writes and monotonic-reads consistent per key, so a user who
+// just posted always sees the post in their own timeline read — at any
+// consistency level — while other users keep the cheap eventually
+// consistent views.
 type Service struct {
-	kv     *cassandra.KV
-	clock  netsim.Clock
-	nextID int64
+	kv    *cassandra.KV
+	clock netsim.Clock
+
+	mu       sync.Mutex
+	sessions map[int]*binding.Session
 }
 
-// NewService builds a service over a cassandra binding.
-func NewService(b *cassandra.Binding) *Service {
+// NewService builds a service over a cassandra binding; opts configure the
+// underlying client (observers, op timeout, label).
+func NewService(b *cassandra.Binding, opts ...binding.Option) *Service {
 	return &Service{
-		kv:    cassandra.NewKV(b),
-		clock: b.Client().Cluster().Transport().Clock(),
+		kv:       cassandra.NewKV(b, opts...),
+		clock:    b.Client().Cluster().Transport().Clock(),
+		sessions: map[int]*binding.Session{},
 	}
 }
 
 // Client exposes the underlying Correctables client.
 func (s *Service) Client() *binding.Client { return s.kv.Client() }
+
+// UserSession returns the per-user session, opening it on first use.
+func (s *Service) UserSession(user int) *binding.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[user]
+	if !ok {
+		sess = s.kv.Session()
+		s.sessions[user] = sess
+	}
+	return sess
+}
 
 // fetchTweets loads tweet bodies by ID in parallel with strong reads
 // (step (2); the speculation function).
@@ -175,8 +197,9 @@ func (s *Service) GetTimeline(ctx context.Context, user int, speculative bool) (
 	out.Speculative = speculative
 	key := TimelineKey(user)
 
+	sess := s.UserSession(user)
 	if !speculative {
-		v, err := s.kv.GetStrong(ctx, key).Final(ctx)
+		v, err := binding.SessionInvokeStrong[[]byte](ctx, sess, binding.Get{Key: key}).Final(ctx)
 		if err != nil {
 			return out, err
 		}
@@ -189,7 +212,10 @@ func (s *Service) GetTimeline(ctx context.Context, user int, speculative bool) (
 		return out, nil
 	}
 
-	tlCor := s.kv.Get(ctx, key)
+	// The timeline read goes through the user's session: a preliminary
+	// view older than anything this user already saw (or posted) is
+	// suppressed rather than speculated on.
+	tlCor := sess.Get(ctx, key)
 	var prelimSeen core.View[[]byte]
 	var sawPrelim bool
 	tlCor.OnUpdate(func(v core.View[[]byte]) {
@@ -217,14 +243,21 @@ func (s *Service) GetTimeline(ctx context.Context, user int, speculative bool) (
 // PostTweet writes a tweet body and prepends its ID to the author's
 // timeline (read-modify-write), trimming to TimelinePage. Returns the
 // model-time latency.
+//
+// The read-modify-write runs through the author's session: the cheap weak
+// read of the timeline is still a single-replica read, but read-your-writes
+// makes it safe — without it, a stale replica could serve a timeline
+// missing the author's previous post, and the rewrite would silently drop
+// it.
 func (s *Service) PostTweet(ctx context.Context, user int, body string, rng *rand.Rand) (time.Duration, error) {
 	sw := s.clock.StartStopwatch()
+	sess := s.UserSession(user)
 	id := int(rng.Int31())
-	if _, err := s.kv.Put(ctx, TweetKey(id), []byte(body)).Final(ctx); err != nil {
+	if _, err := binding.SessionInvokeStrong[binding.Ack](ctx, sess, binding.Put{Key: TweetKey(id), Value: []byte(body)}).Final(ctx); err != nil {
 		return 0, err
 	}
 	key := TimelineKey(user)
-	v, err := s.kv.GetWeak(ctx, key).Final(ctx)
+	v, err := sess.GetWeak(ctx, key).Final(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -232,7 +265,7 @@ func (s *Service) PostTweet(ctx context.Context, user int, body string, rng *ran
 	if len(ids) > TimelinePage {
 		ids = ids[:TimelinePage]
 	}
-	if _, err := s.kv.Put(ctx, key, encodeIDs(ids)).Final(ctx); err != nil {
+	if _, err := sess.Put(ctx, key, encodeIDs(ids)).Final(ctx); err != nil {
 		return 0, err
 	}
 	return sw.ElapsedModel(), nil

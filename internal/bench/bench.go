@@ -40,6 +40,12 @@ type Config struct {
 	// FaultLog prints the applied fault transitions alongside the
 	// fault-study table.
 	FaultLog bool
+	// Check adds a consistency-checked session population to the fault
+	// study: its clients run through the session API with a history
+	// recorder attached, and the recorded history is verified after the
+	// run (session guarantees plus per-key register linearizability). Only
+	// the faultstudy experiment reads it.
+	Check bool
 }
 
 func (c Config) withDefaults() Config {

@@ -1,12 +1,18 @@
 package bench
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"time"
 
+	"correctables/internal/binding"
 	"correctables/internal/cassandra"
 	"correctables/internal/faults"
+	"correctables/internal/history"
 	"correctables/internal/metrics"
 	"correctables/internal/netsim"
 	"correctables/internal/ycsb"
@@ -58,6 +64,32 @@ type FaultStudyResult struct {
 	// Transitions is the injector's applied-transition log ("4s: partition
 	// {eu-frankfurt eu-ireland} | {us-virginia}"), the replay record.
 	Transitions []string `json:"transitions"`
+	// Check is the consistency-check report (Config.Check runs only).
+	Check *CheckReport `json:"check,omitempty"`
+}
+
+// CheckReport is the outcome of verifying the checked session population's
+// recorded history.
+type CheckReport struct {
+	// Clients and Ops size the checked population and its history.
+	Clients int `json:"clients"`
+	Ops     int `json:"ops"`
+	// SessionViolations and LinViolations render each detected violation
+	// with its witness subsequence (empty = verified clean). Reproduce any
+	// of them with the run's Seed: replay is byte-identical.
+	SessionViolations []string `json:"session_violations"`
+	LinViolations     []string `json:"linearizability_violations"`
+	// Inconclusive lists keys whose linearizability search exhausted its
+	// budget (not violations).
+	Inconclusive []string `json:"inconclusive_keys,omitempty"`
+	// HistoryDigest is the SHA-256 of the serialized history: same seed,
+	// same digest — the byte-identical-replay witness.
+	HistoryDigest string `json:"history_digest"`
+}
+
+// Violations reports the total number of detected violations.
+func (r *CheckReport) Violations() int {
+	return len(r.SessionViolations) + len(r.LinViolations)
 }
 
 // faultOp is one operation's record in the study.
@@ -160,6 +192,46 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 			}
 		})
 	}
+	// The checked population (Config.Check): session clients running the
+	// same YCSB mix through the full invoke pipeline — sessions enforcing
+	// read-your-writes/monotonic reads, a history recorder observing every
+	// op — on their own keyspace, so the recorded histories are closed
+	// worlds the checkers can verify completely. Half contact the FRK
+	// coordinator, half IRL, which makes cross-coordinator staleness (and
+	// hence the session machinery) actually exercise under faults.
+	var recorder *history.Recorder
+	checkClients := 0
+	if cfg.Check {
+		recorder = history.NewRecorder()
+		checkClients = cfg.pick(6, 4)
+		checkKeys := 24
+		for t := 0; t < checkClients; t++ {
+			t := t
+			coord := netsim.FRK
+			if t%2 == 1 {
+				coord = netsim.IRL
+			}
+			cc := cassandra.NewClient(cluster, netsim.IRL, coord)
+			bc := binding.NewClient(cassandra.NewBinding(cc, cassandra.BindingConfig{StrongQuorum: 3}),
+				binding.WithObserver(recorder),
+				binding.WithLabel(fmt.Sprintf("sess-%02d", t)))
+			sess := binding.NewSession(bc)
+			rng := rand.New(rand.NewSource(cfg.Seed + 5_555_557 + int64(t)*1_000_003))
+			g.Add(1)
+			h.clock.Go(func() {
+				defer g.Done()
+				ctx := context.Background()
+				for h.clock.Now() < scen.Horizon {
+					key := fmt.Sprintf("chk-%03d", rng.Intn(checkKeys))
+					if rng.Float64() < 0.65 {
+						_, _ = sess.Get(ctx, key).Final(ctx)
+					} else {
+						_, _ = sess.Put(ctx, key, w.Value(rng)).Final(ctx)
+					}
+				}
+			})
+		}
+	}
 	for t := 0; t < threads; t++ {
 		t := t
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
@@ -212,6 +284,25 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 	}
 	for _, tr := range inj.Log() {
 		res.Transitions = append(res.Transitions, tr.At.String()+": "+tr.Desc)
+	}
+	if recorder != nil {
+		ops := recorder.Ops()
+		report := &CheckReport{Clients: checkClients, Ops: len(ops)}
+		if n := recorder.Collisions(); n > 0 {
+			report.SessionViolations = append(report.SessionViolations,
+				fmt.Sprintf("history: %d client-label collisions — the recorded history is untrustworthy", n))
+		}
+		for _, v := range history.CheckSessionGuarantees(ops) {
+			report.SessionViolations = append(report.SessionViolations, v.String())
+		}
+		linVs, inconclusive := history.CheckRegisters(ops, 0)
+		for _, v := range linVs {
+			report.LinViolations = append(report.LinViolations, v.String())
+		}
+		report.Inconclusive = inconclusive
+		sum := sha256.Sum256(history.SerializeOps(ops))
+		report.HistoryDigest = hex.EncodeToString(sum[:])
+		res.Check = report
 	}
 	for i, ph := range scen.Phases {
 		row := FaultStudyRow{Phase: ph.Name, StartMs: metrics.Ms(ph.Start), EndMs: metrics.Ms(ph.End)}

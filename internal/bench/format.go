@@ -124,7 +124,29 @@ func FormatFaultStudy(res *FaultStudyResult, withLog bool) string {
 		for _, tr := range res.Transitions {
 			fmt.Fprintf(&b, "  %s\n", tr)
 		}
-		return b.String()
+		s = b.String()
+	}
+	if res.Check != nil {
+		var b strings.Builder
+		b.WriteString(s)
+		fmt.Fprintf(&b, "consistency check: %d session clients, %d ops, history sha256 %.12s…\n",
+			res.Check.Clients, res.Check.Ops, res.Check.HistoryDigest)
+		if n := res.Check.Violations(); n == 0 {
+			b.WriteString("  session guarantees (RYW, monotonic reads, WFR): OK\n")
+			b.WriteString("  per-key register linearizability: OK\n")
+		} else {
+			fmt.Fprintf(&b, "  %d VIOLATIONS (replay with -seed %d):\n", n, res.Seed)
+			for _, v := range res.Check.SessionViolations {
+				fmt.Fprintf(&b, "  %s\n", v)
+			}
+			for _, v := range res.Check.LinViolations {
+				fmt.Fprintf(&b, "  %s\n", v)
+			}
+		}
+		for _, k := range res.Check.Inconclusive {
+			fmt.Fprintf(&b, "  inconclusive (budget exhausted): %s\n", k)
+		}
+		s = b.String()
 	}
 	return s
 }

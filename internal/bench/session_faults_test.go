@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestSessionGuaranteesAcrossFaultCatalog is the satellite acceptance test
+// for sessions + checking: across every named fault scenario, the checked
+// session population's recorded history must verify clean — read-your-
+// writes, monotonic reads, writes-follow-reads, and per-key register
+// linearizability all hold (the session layer suppresses/retries what
+// would violate them; timed-out ops are correctly treated as ambiguous) —
+// and the same seed must reproduce the history byte for byte, so any
+// future violation is a complete repro recipe.
+func TestSessionGuaranteesAcrossFaultCatalog(t *testing.T) {
+	scenarios := []string{"minority-partition", "split-brain", "flaky-wan", "rolling-crash"}
+	for _, scen := range scenarios {
+		scen := scen
+		t.Run(scen, func(t *testing.T) {
+			t.Parallel()
+			run := func() *CheckReport {
+				res, err := FaultStudy(Config{Seed: 42, Quick: true, Faults: scen, Check: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Check == nil {
+					t.Fatal("Check requested but no report produced")
+				}
+				return res.Check
+			}
+			rep := run()
+			if rep.Ops == 0 {
+				t.Fatal("checked population recorded no operations")
+			}
+			if n := rep.Violations(); n != 0 {
+				t.Errorf("%d violations under %s:", n, scen)
+				for _, v := range append(rep.SessionViolations, rep.LinViolations...) {
+					t.Errorf("  %s", v)
+				}
+			}
+			if len(rep.Inconclusive) != 0 {
+				t.Errorf("inconclusive linearizability keys: %v", rep.Inconclusive)
+			}
+			// Seed-replayable: the digest is over the full serialized
+			// history (every op, view, token, timestamp).
+			if rep2 := run(); rep2.HistoryDigest != rep.HistoryDigest {
+				t.Errorf("history replay diverged: %s vs %s", rep.HistoryDigest, rep2.HistoryDigest)
+			}
+		})
+	}
+}
+
+// TestCheckReportDistinguishesSeeds guards the digest against being too
+// weak to notice a different run.
+func TestCheckReportDistinguishesSeeds(t *testing.T) {
+	a, err := FaultStudy(Config{Seed: 7, Quick: true, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultStudy(Config{Seed: 8, Quick: true, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Check.HistoryDigest == b.Check.HistoryDigest {
+		t.Fatal("different seeds produced identical history digests")
+	}
+}

@@ -20,6 +20,7 @@ package binding
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"correctables/internal/core"
 )
@@ -44,6 +45,25 @@ type OperationFor[T any] interface {
 	// per delivered view, on the binding's delivery path; implementations
 	// must be cheap and must not retain v.
 	ResultOf(v any) (T, error)
+}
+
+// Keyer is the optional Operation interface reporting the replicated-object
+// identity an operation targets (the key of a key-value operation, the
+// queue name of a queue operation, the transaction ID of a chain
+// submission). Sessions use it to scope per-object guarantees and the
+// history recorder uses it to partition histories per object; operations
+// that do not implement it are treated as unkeyed and bypass both.
+type Keyer interface {
+	OpKey() string
+}
+
+// Mutator is the optional Operation interface classifying an operation as
+// state-changing. Sessions use it to decide which version tokens an
+// operation refreshes: mutating operations advance the last-written token,
+// observing operations advance the last-read token (a Dequeue is both).
+// Operations that do not implement it are treated as read-only.
+type Mutator interface {
+	OpMutates() bool
 }
 
 // Ack is the typed result of write-style operations (Put, Enqueue when the
@@ -82,6 +102,12 @@ type Get struct{ Key string }
 // OpName implements Operation.
 func (Get) OpName() string { return "get" }
 
+// OpKey implements Keyer.
+func (g Get) OpKey() string { return g.Key }
+
+// OpMutates implements Mutator: reads change nothing.
+func (Get) OpMutates() bool { return false }
+
 // ResultOf implements OperationFor[[]byte].
 func (Get) ResultOf(v any) ([]byte, error) {
 	if v == nil {
@@ -102,6 +128,12 @@ type Put struct {
 
 // OpName implements Operation.
 func (Put) OpName() string { return "put" }
+
+// OpKey implements Keyer.
+func (p Put) OpKey() string { return p.Key }
+
+// OpMutates implements Mutator.
+func (Put) OpMutates() bool { return true }
 
 // ResultOf implements OperationFor[Ack].
 func (Put) ResultOf(any) (Ack, error) { return Ack{}, nil }
@@ -127,6 +159,12 @@ type Enqueue struct {
 // OpName implements Operation.
 func (Enqueue) OpName() string { return "enqueue" }
 
+// OpKey implements Keyer.
+func (e Enqueue) OpKey() string { return e.Queue }
+
+// OpMutates implements Mutator.
+func (Enqueue) OpMutates() bool { return true }
+
 // ResultOf implements OperationFor[Item].
 func (Enqueue) ResultOf(v any) (Item, error) { return decodeItem(v) }
 
@@ -135,6 +173,12 @@ type Dequeue struct{ Queue string }
 
 // OpName implements Operation.
 func (Dequeue) OpName() string { return "dequeue" }
+
+// OpKey implements Keyer.
+func (d Dequeue) OpKey() string { return d.Queue }
+
+// OpMutates implements Mutator: a dequeue both observes and mutates.
+func (Dequeue) OpMutates() bool { return true }
 
 // ResultOf implements OperationFor[Item].
 func (Dequeue) ResultOf(v any) (Item, error) { return decodeItem(v) }
@@ -147,6 +191,15 @@ type Result struct {
 	Value interface{}
 	Level core.Level
 	Err   error
+	// Version is the per-object version token of the state this view
+	// reflects, when the binding stamps one (see Versioner): the LWW
+	// timestamp of a quorum store, the zxid of a totally ordered log, the
+	// block height of a chain. 0 means unversioned — either the binding
+	// does not version results or the view observed object absence in a
+	// store whose tokens start at 1. Tokens are monotonically increasing
+	// per object; sessions compare them to enforce read-your-writes and
+	// monotonic reads, and history checkers compare them across clients.
+	Version uint64
 }
 
 // Callback receives incremental results from a binding.
@@ -165,6 +218,31 @@ type Binding interface {
 	SubmitOperation(ctx context.Context, op Operation, levels core.Levels, cb Callback)
 	// Close releases binding resources.
 	Close() error
+}
+
+// Versioner is the optional Binding interface advertising that the binding
+// stamps Result.Version with per-object version tokens. Sessions enforce
+// read-your-writes and monotonic reads only over versioning bindings;
+// history checkers need the tokens to compare states across clients.
+type Versioner interface {
+	// Versions reports whether SubmitOperation stamps results with
+	// monotonically increasing per-object version tokens.
+	Versions() bool
+}
+
+// TimeoutProvider is the optional Binding interface supplying the default
+// per-operation model-time bound for clients of this binding. The client
+// library arms one timer per invocation (see NewClient): an operation with
+// no terminal transition within the bound fails with faults.ErrUnreachable
+// and late views are refused by the closed Correctable. Bindings over a
+// faultable substrate return their store's OpTimeout when a fault
+// interceptor is attached and 0 (unbounded) otherwise, so fault-free runs
+// pay nothing; WithOpTimeout overrides per client. DefaultOpTimeout is
+// consulted on every invocation, so attaching a fault injector after
+// client construction still arms the bound (and it must be cheap — a
+// field read and a nil check in the shipped bindings).
+type TimeoutProvider interface {
+	DefaultOpTimeout() time.Duration
 }
 
 // ErrUnsupportedOperation is wrapped by bindings rejecting an operation

@@ -199,36 +199,6 @@ func TestLevelsAccessor(t *testing.T) {
 	}
 }
 
-// --- Deprecated boxed shims: they must keep the pre-generics behavior,
-// including delivering the raw (boxed) wire value and unwrapping the
-// adapter operation before it reaches the binding's type switch. ---
-
-func TestBoxedShimDeliversWireValue(t *testing.T) {
-	c := NewClient(newFake())
-	cor := c.Invoke(context.Background(), Get{Key: "k"})
-	v, err := cor.Final(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, ok := v.Value.([]byte)
-	if !ok || string(b) != "strong:k" {
-		t.Errorf("boxed final = %#v", v.Value)
-	}
-	if len(cor.Views()) != 2 {
-		t.Errorf("boxed views = %d, want 2", len(cor.Views()))
-	}
-}
-
-func TestBoxedShimSingleLevels(t *testing.T) {
-	c := NewClient(newFake())
-	if v, err := c.InvokeWeak(context.Background(), Get{Key: "k"}).Final(context.Background()); err != nil || v.Level != core.LevelWeak {
-		t.Errorf("boxed InvokeWeak = %+v, %v", v, err)
-	}
-	if v, err := c.InvokeStrong(context.Background(), Get{Key: "k"}).Final(context.Background()); err != nil || v.Level != core.LevelStrong {
-		t.Errorf("boxed InvokeStrong = %+v, %v", v, err)
-	}
-}
-
 // TestTypedResultDecodeMismatch: a binding delivering an unexpected wire
 // type fails the typed Correctable instead of panicking.
 type wrongTypeBinding struct{ fakeBinding }

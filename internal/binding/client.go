@@ -3,21 +3,28 @@ package binding
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"correctables/internal/core"
+	"correctables/internal/faults"
 )
 
 // Client is the application-facing side of the Correctables library
-// (Figure 2): a thin, consistency-based interface over one binding.
+// (Figure 2): a consistency-based interface over one binding, configured
+// with functional options.
 //
 // The typed entry points are the package-level generics Invoke, InvokeWeak
 // and InvokeStrong (plus the per-store facades built on them); they return
-// core.Correctable[T] for the operation's value type T. The methods of the
-// same names on Client are the deprecated boxed (interface{}) shims kept
-// for transition.
+// core.Correctable[T] for the operation's value type T. Every invocation
+// runs through one pipeline: observers see OpStart/OpView/OpEnd events with
+// model-time timestamps, and a per-client operation timeout bounds the
+// whole invocation in model time — the client library, not each storage
+// binding, owns the deadline.
 type Client struct {
 	b     Binding
-	sched core.Scheduler // from SchedulerProvider bindings; nil = default
+	sched core.Scheduler // from WithScheduler or SchedulerProvider; nil = default
 
 	// Level sets are normalized once at construction so the invoke hot path
 	// never re-sorts or re-allocates them (they are handed to
@@ -25,14 +32,64 @@ type Client struct {
 	levels    core.Levels // ConsistencyLevels().Sorted()
 	weakSet   core.Levels // one-element set: weakest level
 	strongSet core.Levels // one-element set: strongest level
+
+	obs        Observer        // nil when no observer is attached (hot-path fast path)
+	obsList    Observers       // backing list for WithObserver accumulation
+	label      string          // client identity stamped on observer events
+	opTimeout  time.Duration   // WithOpTimeout override (see timeoutSet); 0 = unbounded
+	timeoutSet bool            // WithOpTimeout was given (overrides the binding default)
+	tp         TimeoutProvider // binding default bound, consulted per invocation
+	versioned  bool            // binding implements Versioner and versions results
+	opSeq      atomic.Uint64   // observer OpID source
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithObserver attaches an observer to the client's invoke pipeline; the
+// option may be repeated, and observers are notified in attachment order.
+// See Observer for the event contract.
+func WithObserver(o Observer) Option {
+	return func(c *Client) {
+		c.obsList = append(c.obsList, o)
+	}
+}
+
+// WithOpTimeout bounds every invocation through this client to d of model
+// time: if no terminal transition happened within d of submission, the
+// Correctable fails with an error wrapping faults.ErrUnreachable and late
+// views are refused. It overrides the binding's default operation bound
+// (TimeoutProvider); d <= 0 disables the bound entirely.
+func WithOpTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d < 0 {
+			d = 0
+		}
+		c.opTimeout = d
+		c.timeoutSet = true
+	}
+}
+
+// WithScheduler overrides how Correctables created through this client
+// spawn goroutines, block, and read time, taking precedence over the
+// binding's SchedulerProvider.
+func WithScheduler(s core.Scheduler) Option {
+	return func(c *Client) { c.sched = s }
+}
+
+// WithLabel names the client on observer events (OpInfo.Client), scoping
+// per-session analysis when several clients share one observer.
+func WithLabel(label string) Option {
+	return func(c *Client) { c.label = label }
 }
 
 // NewClient wraps a binding. If the binding implements SchedulerProvider,
-// Correctables created through this client use the binding's scheduler.
-// The binding's consistency levels are read and normalized once here;
-// bindings whose level set changes over a client's lifetime are not
-// supported.
-func NewClient(b Binding) *Client {
+// Correctables created through this client use the binding's scheduler
+// (WithScheduler overrides). If it implements TimeoutProvider, its default
+// operation bound applies (WithOpTimeout overrides). The binding's
+// consistency levels are read and normalized once here; bindings whose
+// level set changes over a client's lifetime are not supported.
+func NewClient(b Binding, opts ...Option) *Client {
 	c := &Client{b: b, levels: b.ConsistencyLevels().Sorted()}
 	if len(c.levels) > 0 {
 		c.weakSet = c.levels[:1]
@@ -41,11 +98,47 @@ func NewClient(b Binding) *Client {
 	if sp, ok := b.(SchedulerProvider); ok {
 		c.sched = sp.Scheduler()
 	}
+	if vb, ok := b.(Versioner); ok {
+		c.versioned = vb.Versions()
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if !c.timeoutSet {
+		if tp, ok := b.(TimeoutProvider); ok {
+			c.tp = tp
+		}
+	}
+	switch len(c.obsList) {
+	case 0:
+	case 1:
+		c.obs = c.obsList[0]
+	default:
+		c.obs = c.obsList
+	}
 	return c
 }
 
 // Binding returns the underlying binding.
 func (c *Client) Binding() Binding { return c.b }
+
+// Label returns the client's observer label.
+func (c *Client) Label() string { return c.label }
+
+// OpTimeout returns the per-operation model-time bound an invocation
+// issued now would run under (0 = unbounded): the WithOpTimeout override
+// when given, the binding's current default otherwise. The binding default
+// is consulted per invocation, so attaching a fault injector after client
+// construction still arms the bound.
+func (c *Client) OpTimeout() time.Duration {
+	if c.timeoutSet {
+		return c.opTimeout
+	}
+	if c.tp != nil {
+		return c.tp.DefaultOpTimeout()
+	}
+	return 0
+}
 
 // Levels returns the consistency levels the underlying binding offers,
 // weakest first (a copy; the cached set backs the invoke hot path).
@@ -56,6 +149,17 @@ func (c *Client) Levels() core.Levels {
 // Close releases the underlying binding.
 func (c *Client) Close() error { return c.b.Close() }
 
+// scheduler returns the client's scheduler, defaulting when unset.
+func (c *Client) scheduler() core.Scheduler {
+	if c.sched == nil {
+		return core.DefaultScheduler
+	}
+	return c.sched
+}
+
+// now returns the current instant on the client's time axis.
+func (c *Client) now() time.Duration { return c.scheduler().Now() }
+
 // InvokeWeak executes op with the weakest available consistency level. The
 // returned Correctable never transitions updating -> updating; it closes
 // directly with the single result (§3.2).
@@ -63,7 +167,7 @@ func InvokeWeak[T any](ctx context.Context, c *Client, op OperationFor[T]) *core
 	if len(c.levels) == 0 {
 		return core.Failed[T](fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
 	}
-	return submit(ctx, c, op, c.weakSet)
+	return submit(ctx, c, op, c.weakSet, nil)
 }
 
 // InvokeStrong executes op with the strongest available consistency level.
@@ -72,7 +176,7 @@ func InvokeStrong[T any](ctx context.Context, c *Client, op OperationFor[T]) *co
 	if len(c.levels) == 0 {
 		return core.Failed[T](fmt.Errorf("%w: binding advertises no levels", ErrUnsupportedLevel))
 	}
-	return submit(ctx, c, op, c.strongSet)
+	return submit(ctx, c, op, c.strongSet, nil)
 }
 
 // Invoke executes op with incremental consistency guarantees: the returned
@@ -85,7 +189,7 @@ func Invoke[T any](ctx context.Context, c *Client, op OperationFor[T], levels ..
 	if err != nil {
 		return core.Failed[T](err)
 	}
-	return submit(ctx, c, op, requested)
+	return submit(ctx, c, op, requested, nil)
 }
 
 // requestedLevels maps an Invoke level list onto the binding's offer: the
@@ -109,32 +213,179 @@ func (c *Client) requestedLevels(levels []core.Level) (core.Levels, error) {
 	return requested, nil
 }
 
-// submit wires one SubmitOperation call to a fresh typed Correctable. The
-// strongest requested level closes the Correctable; weaker levels update
-// it. Responses that race past a terminal transition are dropped (the
-// Controller refuses them), which also makes duplicate binding callbacks
-// harmless. The wire value of each Result is decoded with op.ResultOf; a
-// decode failure fails the Correctable.
-func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested core.Levels) *core.Correctable[T] {
+// invocation bundles the consumer handle of one in-flight operation with
+// its observer identity. It is a small value, captured by value in the
+// delivery closures: terminal helpers use the Controller's verdict (only
+// the transition that actually happened is observed), so duplicate binding
+// callbacks, late post-timeout views and racing cancellations produce
+// exactly one OpEnd and no spurious OpViews. When an observer is attached,
+// obsMu makes each (transition, emission) pair atomic: without it, a
+// wall-clock delivery goroutine could be preempted between a successful
+// Update and its OpView, letting a concurrent Close emit the final view
+// and OpEnd first — observers would record an accepted view after the
+// operation's end, or out of order. (Under a VirtualClock deliveries are
+// already totally ordered; the lock is for real clocks.)
+type invocation[T any] struct {
+	c     *Client
+	ctrl  core.Controller[T]
+	info  OpInfo
+	obsMu *sync.Mutex // non-nil iff an observer is attached
+}
+
+// fail closes the operation with err; reports whether this call closed it.
+func (inv invocation[T]) fail(err error) bool {
+	if inv.obsMu == nil {
+		return inv.ctrl.Fail(err) == nil
+	}
+	inv.obsMu.Lock()
+	defer inv.obsMu.Unlock()
+	if inv.ctrl.Fail(err) != nil {
+		return false
+	}
+	inv.c.obs.OpEnd(inv.info, inv.c.now(), err)
+	return true
+}
+
+// update delivers a non-final view; reports whether it was accepted.
+func (inv invocation[T]) update(v T, level core.Level, version uint64) bool {
+	if inv.obsMu == nil {
+		return inv.ctrl.Update(v, level) == nil
+	}
+	inv.obsMu.Lock()
+	defer inv.obsMu.Unlock()
+	if inv.ctrl.Update(v, level) != nil {
+		return false
+	}
+	at := inv.c.now()
+	inv.c.obs.OpView(inv.info, OpView{Level: level, Version: version, At: at, Value: v})
+	return true
+}
+
+// close delivers the final view; reports whether it was accepted.
+func (inv invocation[T]) close(v T, level core.Level, version uint64) bool {
+	if inv.obsMu == nil {
+		return inv.ctrl.Close(v, level) == nil
+	}
+	inv.obsMu.Lock()
+	defer inv.obsMu.Unlock()
+	if inv.ctrl.Close(v, level) != nil {
+		return false
+	}
+	at := inv.c.now()
+	inv.c.obs.OpView(inv.info, OpView{Level: level, Final: true, Version: version, At: at, Value: v})
+	inv.c.obs.OpEnd(inv.info, at, nil)
+	return true
+}
+
+// submit wires one SubmitOperation call to a fresh typed Correctable — the
+// client's single invoke pipeline. The strongest requested level closes the
+// Correctable; weaker levels update it. Responses that race past a terminal
+// transition are dropped (the Controller refuses them), which also makes
+// duplicate binding callbacks harmless. The wire value of each Result is
+// decoded with op.ResultOf; a decode failure fails the Correctable. A
+// non-nil sess threads session guarantees through the same pipeline:
+// stale weaker views are suppressed, a stale final read is retried, and
+// delivered version tokens advance the session's floors (see Session).
+//
+// When the client has an operation timeout, a model-time timer bounds the
+// invocation end to end (retries included): on expiry the Correctable
+// fails with faults.ErrUnreachable and the binding's protocol work
+// completes in the background, its late views refused.
+func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested core.Levels, sess *Session) *core.Correctable[T] {
 	cor, ctrl := core.NewScheduled[T](c.sched, requested)
 	strongest := requested.Strongest()
-	c.b.SubmitOperation(ctx, unwrapOperation(op), requested, func(r Result) {
-		if r.Err != nil {
-			_ = ctrl.Fail(r.Err)
-			return
+	inv := invocation[T]{c: c, ctrl: ctrl}
+	if c.obs != nil {
+		inv.info = opInfoOf(OpID(c.opSeq.Add(1)), c.label, op, requested, c.now())
+		inv.obsMu = &sync.Mutex{}
+		c.obs.OpStart(inv.info)
+	}
+	if call := sess.newCall(op); call != nil {
+		// Session path: the callback references itself so a stale final
+		// can re-submit the operation; the self-capture costs one extra
+		// allocation, which only session invocations pay.
+		var cb Callback
+		cb = func(r Result) {
+			if r.Err != nil {
+				inv.fail(r.Err)
+				return
+			}
+			switch call.check(r.Level == strongest, r.Version) {
+			case sessionSuppress:
+				return
+			case sessionRetry:
+				// Re-execute at the strongest requested level only: the
+				// weaker levels were already delivered (or suppressed) by
+				// the first execution, and re-running their protocol legs
+				// would deliver duplicate views and duplicate traffic.
+				// A closed Correctable (op timeout, cancellation) refuses
+				// every result, so don't burn store operations chasing a
+				// token no consumer can observe.
+				if inv.ctrl.Correctable().State() != core.StateUpdating {
+					return
+				}
+				c.b.SubmitOperation(ctx, op, core.Levels{strongest}, cb)
+				return
+			case sessionFail:
+				inv.fail(call.floorErr(r.Version))
+				return
+			}
+			v, err := op.ResultOf(r.Value)
+			switch {
+			case err != nil:
+				inv.fail(err)
+			case r.Level == strongest:
+				if inv.close(v, r.Level, r.Version) {
+					call.observe(r.Version, true)
+				}
+			default:
+				if inv.update(v, r.Level, r.Version) {
+					call.observe(r.Version, false)
+				}
+			}
 		}
-		v, err := op.ResultOf(r.Value)
-		switch {
-		case err != nil:
-			_ = ctrl.Fail(err)
-		case r.Level == strongest:
-			_ = ctrl.Close(v, r.Level)
-		default:
-			_ = ctrl.Update(v, r.Level)
+		c.b.SubmitOperation(ctx, op, requested, cb)
+	} else {
+		// Plain path: one flat closure, no self-reference — the invoke hot
+		// path stays at its pre-session allocation budget.
+		c.b.SubmitOperation(ctx, op, requested, func(r Result) {
+			if r.Err != nil {
+				inv.fail(r.Err)
+				return
+			}
+			v, err := op.ResultOf(r.Value)
+			switch {
+			case err != nil:
+				inv.fail(err)
+			case r.Level == strongest:
+				inv.close(v, r.Level, r.Version)
+			default:
+				inv.update(v, r.Level, r.Version)
+			}
+		})
+	}
+	if d := c.OpTimeout(); d > 0 {
+		armTimeout(cor, inv, d)
+	}
+	watchContext(ctx, cor, inv)
+	return cor
+}
+
+// armTimeout bounds the invocation to d of model time. Scheduler.After has
+// no cancellation, so the timer callback reaches the invocation through an
+// atomic pointer that is cleared as soon as the Correctable closes: a
+// completed operation's views are not kept alive for the rest of the
+// timeout window, and the eventually-firing timer is a reference-free
+// no-op.
+func armTimeout[T any](cor *core.Correctable[T], inv invocation[T], d time.Duration) {
+	holder := &atomic.Pointer[invocation[T]]{}
+	holder.Store(&inv)
+	cor.Finally(func() { holder.Store(nil) })
+	inv.c.scheduler().After(d, func() {
+		if iv := holder.Load(); iv != nil {
+			iv.fail(fmt.Errorf("%w: no terminal view within %v (client op timeout)", faults.ErrUnreachable, d))
 		}
 	})
-	watchContext(ctx, cor, ctrl)
-	return cor
 }
 
 // watchContext fails the Correctable when ctx is cancelled before the
@@ -142,62 +393,12 @@ func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested
 // goroutine, so an idle invocation costs no goroutine — the difference
 // between 10^6 parked goroutines and none at million-client scale. The
 // registration is released as soon as the Correctable closes.
-func watchContext[T any](ctx context.Context, cor *core.Correctable[T], ctrl core.Controller[T]) {
+func watchContext[T any](ctx context.Context, cor *core.Correctable[T], inv invocation[T]) {
 	if ctx == nil || ctx.Done() == nil {
 		return
 	}
 	stop := context.AfterFunc(ctx, func() {
-		_ = ctrl.Fail(ctx.Err())
+		inv.fail(ctx.Err())
 	})
 	cor.Finally(func() { stop() })
-}
-
-// operationUnwrapper is implemented by adapter operations (the boxed shims)
-// that wrap a real Operation; bindings must see the unwrapped value so
-// their type switches keep working.
-type operationUnwrapper interface {
-	unwrapOperation() Operation
-}
-
-// unwrapOperation strips adapter wrappers before an operation reaches a
-// binding.
-func unwrapOperation(op Operation) Operation {
-	if w, ok := op.(operationUnwrapper); ok {
-		return w.unwrapOperation()
-	}
-	return op
-}
-
-// boxedOp adapts an untyped Operation to OperationFor[any] for the
-// deprecated shims: the wire value passes through unchanged (boxed).
-type boxedOp struct{ op Operation }
-
-func (b boxedOp) OpName() string              { return b.op.OpName() }
-func (b boxedOp) ResultOf(v any) (any, error) { return v, nil }
-func (b boxedOp) unwrapOperation() Operation  { return b.op }
-
-// InvokeWeak executes op with the weakest available consistency level,
-// delivering the boxed wire value.
-//
-// Deprecated: use the typed package-level InvokeWeak (or a per-store
-// facade); the boxed path re-boxes every view value.
-func (c *Client) InvokeWeak(ctx context.Context, op Operation) *core.Correctable[any] {
-	return InvokeWeak[any](ctx, c, boxedOp{op: op})
-}
-
-// InvokeStrong executes op with the strongest available consistency level,
-// delivering the boxed wire value.
-//
-// Deprecated: use the typed package-level InvokeStrong (or a per-store
-// facade).
-func (c *Client) InvokeStrong(ctx context.Context, op Operation) *core.Correctable[any] {
-	return InvokeStrong[any](ctx, c, boxedOp{op: op})
-}
-
-// Invoke executes op with incremental consistency guarantees, delivering
-// the boxed wire values.
-//
-// Deprecated: use the typed package-level Invoke (or a per-store facade).
-func (c *Client) Invoke(ctx context.Context, op Operation, levels ...core.Level) *core.Correctable[any] {
-	return Invoke[any](ctx, c, boxedOp{op: op}, levels...)
 }

@@ -3,6 +3,7 @@ package cassandra
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"correctables/internal/binding"
 	"correctables/internal/core"
@@ -58,7 +59,10 @@ func (b *Binding) ConsistencyLevels() core.Levels {
 // Close implements binding.Binding.
 func (b *Binding) Close() error { return nil }
 
-// SubmitOperation implements binding.Binding.
+// SubmitOperation implements binding.Binding. The client library bounds
+// each invocation with the binding's DefaultOpTimeout (model time), so the
+// protocol paths below run unguarded: a late completion's views are
+// refused by the closed Correctable.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
 	b.clock().Go(func() {
 		switch o := op.(type) {
@@ -79,13 +83,17 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 	wantWeak := levels.Contains(core.LevelWeak)
 	wantStrong := levels.Contains(core.LevelStrong)
 	emit := func(v ReadView, level core.Level) {
-		cb(binding.Result{Value: append([]byte(nil), v.Value...), Level: level})
+		cb(binding.Result{
+			Value:   append([]byte(nil), v.Value...),
+			Level:   level,
+			Version: v.Version.Token(),
+		})
 	}
 	switch {
 	case wantWeak && wantStrong:
 		if b.client.cluster.cfg.Correctable {
 			// One request, two responses (preliminary + final).
-			err := b.client.Read(op.Key, b.cfg.StrongQuorum, true, func(v ReadView) {
+			err := b.client.read(op.Key, b.cfg.StrongQuorum, true, func(v ReadView) {
 				emit(v, v.Level)
 			})
 			if err != nil {
@@ -99,11 +107,11 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 		weakDone := b.clock().NewEvent()
 		b.clock().Go(func() {
 			defer weakDone.Fire()
-			_ = b.client.Read(op.Key, 1, false, func(v ReadView) {
+			_ = b.client.read(op.Key, 1, false, func(v ReadView) {
 				emit(v, core.LevelWeak)
 			})
 		})
-		err := b.client.Read(op.Key, b.cfg.StrongQuorum, false, func(v ReadView) {
+		err := b.client.read(op.Key, b.cfg.StrongQuorum, false, func(v ReadView) {
 			weakDone.Wait() // keep view order monotone
 			emit(v, core.LevelStrong)
 		})
@@ -111,13 +119,13 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 			cb(binding.Result{Err: err})
 		}
 	case wantStrong:
-		if err := b.client.Read(op.Key, b.cfg.StrongQuorum, false, func(v ReadView) {
+		if err := b.client.read(op.Key, b.cfg.StrongQuorum, false, func(v ReadView) {
 			emit(v, core.LevelStrong)
 		}); err != nil {
 			cb(binding.Result{Err: err})
 		}
 	case wantWeak:
-		if err := b.client.Read(op.Key, 1, false, func(v ReadView) {
+		if err := b.client.read(op.Key, 1, false, func(v ReadView) {
 			emit(v, core.LevelWeak)
 		}); err != nil {
 			cb(binding.Result{Err: err})
@@ -130,16 +138,30 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 func (b *Binding) put(op binding.Put, levels core.Levels, cb binding.Callback) {
 	// Writes use W=WriteQuorum regardless of the requested read levels; the
 	// single acknowledgment closes the Correctable at the strongest
-	// requested level.
-	if err := b.client.Write(op.Key, op.Value, b.cfg.WriteQuorum); err != nil {
+	// requested level, carrying the committed version's token.
+	v, err := b.client.write(op.Key, op.Value, b.cfg.WriteQuorum)
+	if err != nil {
 		cb(binding.Result{Err: err})
 		return
 	}
-	cb(binding.Result{Value: nil, Level: levels.Strongest()})
+	cb(binding.Result{Value: nil, Level: levels.Strongest(), Version: v.Token()})
 }
 
 // Scheduler implements binding.SchedulerProvider: Correctables over this
 // binding block through the cluster's simulation clock.
 func (b *Binding) Scheduler() core.Scheduler {
 	return binding.SchedulerFor(b.client.cluster.tr.Clock())
+}
+
+// Versions implements binding.Versioner: views carry LWW version tokens.
+func (b *Binding) Versions() bool { return true }
+
+// DefaultOpTimeout implements binding.TimeoutProvider: under fault
+// injection each invocation is bounded by the cluster's OpTimeout of model
+// time (the fault-free path stays unbounded and unchanged).
+func (b *Binding) DefaultOpTimeout() time.Duration {
+	if b.client.cluster.tr.Interceptor() == nil {
+		return 0
+	}
+	return b.client.cluster.cfg.OpTimeout
 }

@@ -196,17 +196,21 @@ func (c *Client) repairAsync(key string, v Versioned) {
 // Like Read, Write is bounded by Config.OpTimeout under fault injection.
 func (c *Client) Write(key string, value []byte, w int) error {
 	if c.cluster.tr.Interceptor() == nil {
-		return c.write(key, value, w)
+		_, err := c.write(key, value, w)
+		return err
 	}
 	return faults.Deadline(c.cluster.tr.Clock(), c.cluster.cfg.OpTimeout, func(func() bool) error {
-		return c.write(key, value, w)
+		_, err := c.write(key, value, w)
+		return err
 	})
 }
 
-func (c *Client) write(key string, value []byte, w int) error {
+// write performs the write and returns the committed version (the binding
+// stamps its token on the acknowledgment view).
+func (c *Client) write(key string, value []byte, w int) (Versioned, error) {
 	cfg := c.cluster.cfg
 	if w < 1 || w > len(c.cluster.order) {
-		return fmt.Errorf("cassandra: write quorum %d out of range [1,%d]", w, len(c.cluster.order))
+		return Versioned{}, fmt.Errorf("cassandra: write quorum %d out of range [1,%d]", w, len(c.cluster.order))
 	}
 	tr := c.cluster.tr
 	clock := tr.Clock()
@@ -249,5 +253,5 @@ func (c *Client) write(key string, value []byte, w int) error {
 	}
 	acks.Wait()
 	tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, WriteAckSize)
-	return nil
+	return v, nil
 }

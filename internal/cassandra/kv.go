@@ -14,12 +14,22 @@ type KV struct {
 	client *binding.Client
 }
 
-// NewKV builds the typed facade over a binding (wrapping it in a Client).
-func NewKV(b *Binding) *KV { return &KV{client: binding.NewClient(b)} }
+// NewKV builds the typed facade over a binding (wrapping it in a Client
+// configured with opts — observers, operation timeout, label).
+func NewKV(b *Binding, opts ...binding.Option) *KV {
+	return &KV{client: binding.NewClient(b, opts...)}
+}
 
 // Client returns the underlying Correctables client (for level inspection
-// and the deprecated boxed shims).
+// and session creation).
 func (kv *KV) Client() *binding.Client { return kv.client }
+
+// Session opens a session over the facade's client: reads through it are
+// guaranteed read-your-writes and monotonic reads per key (see
+// binding.Session).
+func (kv *KV) Session(opts ...binding.SessionOption) *binding.Session {
+	return binding.NewSession(kv.client, opts...)
+}
 
 // Get reads key with incremental consistency guarantees: one view per
 // requested level (all offered levels when none are given), weakest first.

@@ -50,6 +50,17 @@ func (v Versioned) Same(other Versioned) bool {
 		bytes.Equal(v.Value, other.Value)
 }
 
+// Token flattens the (TS, NodeID) version into the binding's per-object
+// version-token space: tokens compare exactly like Newer, and 0 is
+// reserved for absent values. Timestamps come from the cluster's shared
+// counter, so the low byte never overflows into a neighboring timestamp.
+func (v Versioned) Token() uint64 {
+	if !v.Exists {
+		return 0
+	}
+	return v.TS<<8 | uint64(v.NodeID)
+}
+
 // table is a concurrency-safe LWW register map: one partition of replica
 // state.
 type table struct {

@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"correctables/internal/binding"
 	"correctables/internal/core"
-	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -68,47 +68,44 @@ func (b *Binding) ConsistencyLevels() core.Levels {
 // Close implements binding.Binding.
 func (b *Binding) Close() error { return nil }
 
-// SubmitOperation implements binding.Binding. Under fault injection each
-// operation is bounded by Config.OpTimeout of model time: an unreachable
-// replica fails the Correctable with faults.ErrUnreachable (OnError) while
-// already-delivered weaker views stand, and late views are suppressed.
+// SubmitOperation implements binding.Binding. The client library bounds
+// each invocation with the binding's DefaultOpTimeout (model time): an
+// unreachable replica fails the Correctable with faults.ErrUnreachable
+// (OnError) while already-delivered weaker views stand, and late views are
+// refused by the closed Correctable — the per-store deadline plumbing that
+// used to live here moved into the invoke pipeline.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
 	b.client.store.tr.Clock().Go(func() {
-		if err := b.guard(func(live func() bool) error {
-			guarded := func(r binding.Result) {
-				if live() {
-					cb(r)
-				}
-			}
-			switch o := op.(type) {
-			case binding.Get:
-				b.get(o, levels, guarded)
-			case binding.Put:
-				b.put(o, levels, guarded)
-			default:
-				guarded(binding.Result{Err: fmt.Errorf("%w: causal store has no %q", binding.ErrUnsupportedOperation, op.OpName())})
-			}
-			return nil
-		}); err != nil {
-			cb(binding.Result{Err: err})
+		switch o := op.(type) {
+		case binding.Get:
+			b.get(o, levels, cb)
+		case binding.Put:
+			b.put(o, levels, cb)
+		default:
+			cb(binding.Result{Err: fmt.Errorf("%w: causal store has no %q", binding.ErrUnsupportedOperation, op.OpName())})
 		}
 	})
-}
-
-// guard bounds op to the store's OpTimeout of model time when a fault
-// interceptor is attached to the transport; without one, op runs inline.
-func (b *Binding) guard(op func(live func() bool) error) error {
-	st := b.client.store
-	if st.tr.Interceptor() == nil {
-		return op(func() bool { return true })
-	}
-	return faults.Deadline(st.tr.Clock(), st.cfg.OpTimeout, op)
 }
 
 // Scheduler implements binding.SchedulerProvider: Correctables over this
 // binding block through the store's simulation clock.
 func (b *Binding) Scheduler() core.Scheduler {
 	return binding.SchedulerFor(b.client.store.tr.Clock())
+}
+
+// Versions implements binding.Versioner: views carry the store's
+// primary-issued entry versions as tokens.
+func (b *Binding) Versions() bool { return true }
+
+// DefaultOpTimeout implements binding.TimeoutProvider: under fault
+// injection each invocation is bounded by the store's OpTimeout of model
+// time.
+func (b *Binding) DefaultOpTimeout() time.Duration {
+	st := b.client.store
+	if st.tr.Interceptor() == nil {
+		return 0
+	}
+	return st.cfg.OpTimeout
 }
 
 // get fans one logical access out to up to three actual requests (§4.4) and
@@ -122,7 +119,7 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 		if e.Exists {
 			val = append([]byte(nil), e.Value...)
 		}
-		cb(binding.Result{Value: val, Level: level})
+		cb(binding.Result{Value: val, Level: level, Version: e.Ver})
 	}
 
 	// Launch the remote reads in parallel.
@@ -167,5 +164,5 @@ func (b *Binding) put(op binding.Put, levels core.Levels, cb binding.Callback) {
 	c := b.client
 	e := c.store.write(c.Region, op.Key, op.Value)
 	c.cacheMerge(op.Key, e)
-	cb(binding.Result{Value: nil, Level: levels.Strongest()})
+	cb(binding.Result{Value: nil, Level: levels.Strongest(), Version: e.Ver})
 }

@@ -18,6 +18,12 @@ type SubmitTx struct {
 // OpName implements binding.Operation.
 func (SubmitTx) OpName() string { return "submitTx" }
 
+// OpKey implements binding.Keyer: the transaction is the tracked object.
+func (t SubmitTx) OpKey() string { return t.ID }
+
+// OpMutates implements binding.Mutator.
+func (SubmitTx) OpMutates() bool { return true }
+
 // ResultOf implements binding.OperationFor[TxStatus].
 func (SubmitTx) ResultOf(v any) (TxStatus, error) {
 	st, ok := v.(TxStatus)
@@ -80,6 +86,17 @@ func (b *Binding) Scheduler() core.Scheduler {
 	return binding.SchedulerFor(b.chain.clock)
 }
 
+// Versions implements binding.Versioner: views carry the including block's
+// height as the per-transaction version token.
+//
+// The chain binding deliberately implements no DefaultOpTimeout:
+// confirmations take arbitrarily long by nature (§4.5), so a stalled final
+// view during miner downtime is the honest answer. Clients that must not
+// wait out an unbounded outage bound their invocations with
+// binding.WithOpTimeout, which fails them with faults.ErrUnreachable
+// instead.
+func (b *Binding) Versions() bool { return true }
+
 // SubmitOperation implements binding.Binding.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
 	clock := b.chain.clock
@@ -137,11 +154,11 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 			conf := blk.Height - includedAt + 1
 			status := TxStatus{TxID: tx.ID, Confirmations: conf, BlockHeight: includedAt}
 			if conf >= b.depth {
-				cb(binding.Result{Value: status, Level: core.LevelStrong})
+				cb(binding.Result{Value: status, Level: core.LevelStrong, Version: uint64(includedAt)})
 				return
 			}
 			if wantWeak {
-				cb(binding.Result{Value: status, Level: core.LevelWeak})
+				cb(binding.Result{Value: status, Level: core.LevelWeak, Version: uint64(includedAt)})
 			}
 		}
 	})

@@ -1,9 +1,12 @@
 package chain
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
+	"correctables/internal/binding"
 	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
@@ -40,6 +43,64 @@ func TestMiningPausesWhileMinerRegionDown(t *testing.T) {
 	clock.Sleep(time.Second)
 	if got := c.Height(); got <= h {
 		t.Errorf("height stuck at %d after the miner region restarted", got)
+	}
+	c.Stop()
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestClientOpTimeoutBoundsStalledConfirmation: the chain binding's final
+// view deliberately stalls while the miner region is down (confirmations
+// take arbitrarily long by nature); a client constructed with
+// binding.WithOpTimeout bounds the wait in model time and fails the
+// tracked transaction with faults.ErrUnreachable instead of waiting for
+// mining to resume.
+func TestClientOpTimeoutBoundsStalledConfirmation(t *testing.T) {
+	clock := netsim.NewVirtualClock()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	inj := faults.Attach(tr, nil, 1)
+	c, err := New(Config{
+		Transport:     tr,
+		BlockInterval: 100 * time.Millisecond,
+		MinerRegion:   netsim.VRG,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := binding.NewClient(NewBinding(c, 3), binding.WithOpTimeout(2*time.Second))
+
+	inj.Apply(faults.Crash{Region: netsim.VRG})
+	sw := clock.StartStopwatch()
+	cor := Submit(context.Background(), client, SubmitTx{ID: "tx-1", Data: []byte("x")})
+	if _, err := cor.Final(context.Background()); !errors.Is(err, faults.ErrUnreachable) {
+		t.Fatalf("stalled confirmation = %v, want ErrUnreachable", err)
+	}
+	if got := sw.ElapsedModel(); got < 2*time.Second || got > 3*time.Second {
+		t.Errorf("timed out after %v of model time, want ~2s", got)
+	}
+
+	// Without WithOpTimeout the binding stays deliberately unbounded: a
+	// fresh submission still completes once the miner restarts.
+	unbounded := binding.NewClient(NewBinding(c, 2))
+	done := clock.NewQueue()
+	clock.Go(func() {
+		v, err := Submit(context.Background(), unbounded, SubmitTx{ID: "tx-2", Data: []byte("y")}).Final(context.Background())
+		if err != nil {
+			done.Put(err)
+			return
+		}
+		done.Put(v.Value)
+	})
+	clock.Sleep(time.Second)
+	inj.Apply(faults.Restart{Region: netsim.VRG})
+	switch v := done.Get().(type) {
+	case error:
+		t.Fatalf("unbounded submission failed: %v", v)
+	case TxStatus:
+		if v.Confirmations < 2 {
+			t.Errorf("confirmations = %d, want >= depth", v.Confirmations)
+		}
 	}
 	c.Stop()
 	inj.Quiesce()

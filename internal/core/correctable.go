@@ -51,8 +51,11 @@ type View[T any] struct {
 	Index int
 	// Final reports whether this is the closing view.
 	Final bool
-	// At is the wall-clock delivery time (set by the library).
-	At time.Time
+	// At is the delivery instant on the Correctable's scheduler time axis
+	// (set by the library): model time under a simulation scheduler —
+	// deterministic, so recorded histories replay byte-identically — and
+	// monotonic process time under the default scheduler.
+	At time.Duration
 }
 
 // Callbacks bundles the three per-state callbacks of a Correctable
@@ -231,7 +234,7 @@ func (c *Correctable[T]) deliver(value T, level Level, final bool, failure error
 		c.err = failure
 	} else {
 		c.views = append(c.views, View[T]{
-			Value: value, Level: level, Index: len(c.views), Final: final, At: time.Now(),
+			Value: value, Level: level, Index: len(c.views), Final: final, At: c.scheduler().Now(),
 		})
 		if final {
 			c.state = StateFinal

@@ -1,0 +1,265 @@
+// Package history records client-side operation histories through the
+// binding.Observer hook and checks them: session guarantees
+// (read-your-writes, monotonic reads, writes-follow-reads) by comparing
+// the version tokens bindings stamp on every view, and linearizability
+// (Wing & Gong) against sequential object models for registers and queues.
+//
+// The recorder attaches to clients with binding.WithObserver; everything it
+// sees — operation identity, per-view consistency levels and version
+// tokens, model-time timestamps — is deterministic under a VirtualClock,
+// so the same seed produces a byte-identical serialized history, and any
+// violation is a complete reproduction recipe: the seed plus the minimal
+// witness subsequence the checkers report ("On the Limits of Causal
+// Observation": consistency checked purely from recorded client-side
+// observations, which a deterministic simulator captures completely).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+)
+
+// View is one recorded view of an operation.
+type View struct {
+	// Level is the consistency level the view satisfied.
+	Level core.Level
+	// Final marks the closing view.
+	Final bool
+	// Version is the view's per-object version token (binding.Result).
+	Version uint64
+	// At is the model-time delivery instant.
+	At time.Duration
+	// Note is a compact rendering of the view value: the element identity
+	// of queue items (the queue checkers' input), a short printable prefix
+	// of byte values, "" otherwise.
+	Note string
+}
+
+// noteOf compacts a view value into its recorded note.
+func noteOf(v any) string {
+	switch val := v.(type) {
+	case binding.Item:
+		if !val.Exists {
+			return ""
+		}
+		return val.ID
+	case []byte:
+		const max = 16
+		if len(val) > max {
+			return fmt.Sprintf("%.16s…(%dB)", val, len(val))
+		}
+		return string(val)
+	default:
+		return ""
+	}
+}
+
+// Op is one recorded operation: identity, interval, outcome, views.
+type Op struct {
+	// ID is the per-client invocation sequence number.
+	ID uint64
+	// Client is the issuing client's label (binding.WithLabel).
+	Client string
+	// Name is the operation name ("get", "put", "enqueue", ...).
+	Name string
+	// Key is the replicated-object identity ("" for unkeyed operations).
+	Key string
+	// Mutating classifies the operation as state-changing.
+	Mutating bool
+	// Start is the model-time invocation instant.
+	Start time.Duration
+	// End is the model-time terminal instant (0 if the run ended with the
+	// operation still in flight — see Done).
+	End time.Duration
+	// Err is the terminal error text ("" for success). A non-empty Err on
+	// a mutating operation means the mutation is ambiguous: it may or may
+	// not have taken effect (checkers treat it accordingly).
+	Err string
+	// Done reports that a terminal transition was observed.
+	Done bool
+	// Views are the delivered views in delivery order.
+	Views []View
+}
+
+// Completed reports a successfully finished operation.
+func (o *Op) Completed() bool { return o.Done && o.Err == "" }
+
+// FinalView returns the closing view, if any.
+func (o *Op) FinalView() (View, bool) {
+	for _, v := range o.Views {
+		if v.Final {
+			return v, true
+		}
+	}
+	return View{}, false
+}
+
+// String renders the operation as one line of the serialized history.
+func (o *Op) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s#%d %s(%s) [%v,", o.Client, o.ID, o.Name, o.Key, o.Start)
+	if o.Done {
+		fmt.Fprintf(&b, "%v]", o.End)
+	} else {
+		b.WriteString("...]")
+	}
+	for _, v := range o.Views {
+		fmt.Fprintf(&b, " %v:v%d@%v", v.Level, v.Version, v.At)
+		if v.Note != "" {
+			fmt.Fprintf(&b, "=%s", v.Note)
+		}
+		if v.Final {
+			b.WriteString("!")
+		}
+	}
+	if o.Err != "" {
+		fmt.Fprintf(&b, " err=%q", o.Err)
+	}
+	return b.String()
+}
+
+// opRef identifies an in-flight operation within the recorder.
+type opRef struct {
+	client string
+	id     binding.OpID
+}
+
+// Recorder is a binding.Observer that records complete per-operation
+// histories. One recorder may serve any number of clients — but each MUST
+// carry a distinct binding.WithLabel: in-flight operations are routed by
+// (label, per-client OpID), so two unlabeled clients would merge each
+// other's events. The recorder detects that collision instead of silently
+// corrupting the history: the evicted record is closed with a label-
+// collision error and Collisions() reports the count (checkers would
+// otherwise verify interleaved garbage). Under a VirtualClock all
+// callbacks are totally ordered, so the recorded op order (and hence
+// Serialize output) is deterministic per seed.
+type Recorder struct {
+	mu         sync.Mutex
+	ops        []*Op
+	open       map[opRef]*Op
+	collisions int
+}
+
+// errLabelCollision marks a record evicted by a same-ref OpStart.
+const errLabelCollision = "history: evicted by a second client with the same label (give each client a distinct binding.WithLabel)"
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: map[opRef]*Op{}}
+}
+
+var _ binding.Observer = (*Recorder)(nil)
+
+// Collisions reports how many in-flight records were evicted because two
+// clients shared a label. Any nonzero count means the history is not
+// trustworthy; fix the labels.
+func (r *Recorder) Collisions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.collisions
+}
+
+// OpStart implements binding.Observer.
+func (r *Recorder) OpStart(op binding.OpInfo) {
+	rec := &Op{
+		ID:       uint64(op.ID),
+		Client:   op.Client,
+		Name:     op.Name,
+		Key:      op.Key,
+		Mutating: op.Mutating,
+		Start:    op.Start,
+	}
+	ref := opRef{op.Client, op.ID}
+	r.mu.Lock()
+	if old := r.open[ref]; old != nil {
+		// Two clients share a label: fail loudly instead of merging their
+		// event streams into one record.
+		old.Done = true
+		old.Err = errLabelCollision
+		r.collisions++
+	}
+	r.ops = append(r.ops, rec)
+	r.open[ref] = rec
+	r.mu.Unlock()
+}
+
+// OpView implements binding.Observer.
+func (r *Recorder) OpView(op binding.OpInfo, v binding.OpView) {
+	r.mu.Lock()
+	if rec := r.open[opRef{op.Client, op.ID}]; rec != nil {
+		rec.Views = append(rec.Views, View{
+			Level: v.Level, Final: v.Final, Version: v.Version, At: v.At, Note: noteOf(v.Value),
+		})
+	}
+	r.mu.Unlock()
+}
+
+// OpEnd implements binding.Observer.
+func (r *Recorder) OpEnd(op binding.OpInfo, at time.Duration, err error) {
+	r.mu.Lock()
+	ref := opRef{op.Client, op.ID}
+	if rec := r.open[ref]; rec != nil {
+		rec.Done = true
+		rec.End = at
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		delete(r.open, ref)
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// Ops returns a deep copy of the recorded operations in a deterministic
+// order: by start time, then client, then per-client sequence number.
+// (The raw append order is already deterministic under a VirtualClock;
+// the explicit sort makes the contract independent of recording order.)
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	out := make([]Op, len(r.ops))
+	for i, op := range r.ops {
+		out[i] = *op
+		out[i].Views = append([]View(nil), op.Views...)
+	}
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Serialize renders the full history as deterministic text, one operation
+// per line — the byte-identical-replay artifact.
+func (r *Recorder) Serialize() []byte {
+	return SerializeOps(r.Ops())
+}
+
+// SerializeOps renders an already-snapshotted history (as returned by
+// Ops); callers holding a snapshot avoid a second copy-and-sort.
+func SerializeOps(ops []Op) []byte {
+	var b strings.Builder
+	for i := range ops {
+		b.WriteString(ops[i].String())
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,439 @@
+package history
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LinOp is one operation of a linearizability history: an invocation
+// interval plus the model-specific input/output.
+type LinOp struct {
+	// Kind is the operation kind the model interprets ("put", "get",
+	// "enqueue", "dequeue").
+	Kind string
+	// Version is the register token written/read (register model).
+	Version uint64
+	// Elem is the queue element identity (queue model; "" for an
+	// empty-queue dequeue observation).
+	Elem string
+	// Call and Return bound the operation's real-time interval. Incomplete
+	// operations have Return = forever.
+	Call   time.Duration
+	Return time.Duration
+	// Optional marks an ambiguous operation (a mutation that timed out and
+	// may or may not have taken effect): the search may apply it anywhere
+	// after Call or omit it entirely.
+	Optional bool
+	// Source is the recorded op behind this entry (witness rendering).
+	Source Op
+}
+
+// forever is the Return of incomplete operations.
+const forever = time.Duration(math.MaxInt64)
+
+// Model is a sequential object specification over canonically encoded
+// states. Encodings must be canonical: equal states encode equally (the
+// search memoizes on them).
+type Model interface {
+	// Init returns the initial state encoding.
+	Init() string
+	// Step applies op to state, reporting the successor state and whether
+	// the op is legal there.
+	Step(state string, op *LinOp) (string, bool)
+}
+
+// LinResult is the outcome of a linearizability check.
+type LinResult struct {
+	// Ok reports that a linearization exists.
+	Ok bool
+	// Inconclusive reports that the search exhausted its budget before
+	// deciding (callers should report it, but it is not a violation).
+	Inconclusive bool
+	// Witness is, for violations, a minimal frontier: the operations that
+	// could not be linearized past the deepest consistent prefix.
+	Witness []Op
+}
+
+// defaultBudget bounds the search in visited configurations; histories
+// from the fault studies are far below it, pathological ones degrade to
+// Inconclusive instead of hanging.
+const defaultBudget = 2_000_000
+
+// CheckLinearizable runs the Wing & Gong algorithm (with Lowe's
+// memoization of (linearized-set, state) configurations) over one object's
+// history. budget <= 0 selects the default.
+func CheckLinearizable(m Model, ops []LinOp, budget int) LinResult {
+	if budget <= 0 {
+		budget = defaultBudget
+	}
+	n := len(ops)
+	if n == 0 {
+		return LinResult{Ok: true}
+	}
+	if n > 512 {
+		// Far beyond what the search can decide in any budget; say so
+		// instead of burning the budget.
+		return LinResult{Inconclusive: true}
+	}
+	sort.SliceStable(ops, func(a, b int) bool { return ops[a].Call < ops[b].Call })
+
+	linearized := make([]bool, n)
+	words := (n + 63) / 64
+	bits := make([]uint64, words)
+	memo := map[string]bool{}
+	visited := 0
+	best := -1
+	var bestFrontier []int
+
+	memoKey := func(state string) string {
+		var b strings.Builder
+		b.Grow(words*8 + len(state))
+		for _, w := range bits {
+			var buf [8]byte
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(w >> (8 * i))
+			}
+			b.Write(buf[:])
+		}
+		b.WriteString(state)
+		return b.String()
+	}
+
+	var search func(state string, done int) bool
+	search = func(state string, done int) bool {
+		if done == n {
+			return true
+		}
+		if visited++; visited > budget {
+			return false
+		}
+		key := memoKey(state)
+		if memo[key] {
+			return false
+		}
+		memo[key] = true
+
+		// An op may be linearized next iff no other pending op returned
+		// before its call (Wing & Gong's minimality rule).
+		minReturn := forever
+		for i := 0; i < n; i++ {
+			if !linearized[i] && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		if done > best {
+			best = done
+			bestFrontier = bestFrontier[:0]
+			for i := 0; i < n; i++ {
+				if !linearized[i] && ops[i].Call <= minReturn {
+					bestFrontier = append(bestFrontier, i)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if linearized[i] || ops[i].Call > minReturn {
+				continue
+			}
+			linearized[i] = true
+			bits[i/64] |= 1 << (i % 64)
+			if next, ok := m.Step(state, &ops[i]); ok && search(next, done+1) {
+				return true
+			}
+			if ops[i].Optional && search(state, done+1) {
+				// Ambiguous op omitted: it never took effect.
+				return true
+			}
+			linearized[i] = false
+			bits[i/64] &^= 1 << (i % 64)
+		}
+		return false
+	}
+
+	if search(m.Init(), 0) {
+		return LinResult{Ok: true}
+	}
+	if visited > budget {
+		return LinResult{Inconclusive: true}
+	}
+	res := LinResult{}
+	for _, i := range bestFrontier {
+		res.Witness = append(res.Witness, ops[i].Source)
+	}
+	return res
+}
+
+// --- Register model -------------------------------------------------------
+
+// RegisterModel is a single-object last-write-wins register over version
+// tokens: a put installs its version, a get is legal iff it returns the
+// currently installed version (0 = initial absence).
+type RegisterModel struct{}
+
+// Init implements Model.
+func (RegisterModel) Init() string { return "0" }
+
+// Step implements Model.
+func (RegisterModel) Step(state string, op *LinOp) (string, bool) {
+	switch op.Kind {
+	case "put":
+		return strconv.FormatUint(op.Version, 10), true
+	case "get":
+		return state, state == strconv.FormatUint(op.Version, 10)
+	default:
+		return state, false
+	}
+}
+
+// --- Queue model ----------------------------------------------------------
+
+// QueueModel is a FIFO queue over element identities: enqueue appends,
+// dequeue removes the head (or observes emptiness).
+type QueueModel struct{}
+
+// Init implements Model.
+func (QueueModel) Init() string { return "" }
+
+// Step implements Model.
+func (QueueModel) Step(state string, op *LinOp) (string, bool) {
+	switch op.Kind {
+	case "enqueue":
+		if state == "" {
+			return op.Elem, true
+		}
+		return state + "," + op.Elem, true
+	case "dequeue":
+		if op.Elem == "" {
+			// Observed empty: legal only on the empty queue.
+			return state, state == ""
+		}
+		head, rest, _ := strings.Cut(state, ",")
+		return rest, head == op.Elem
+	default:
+		return state, false
+	}
+}
+
+// --- History conversion ---------------------------------------------------
+
+// keyedOps selects a key's operations from a history.
+func keyedOps(ops []Op, key string) []Op {
+	var out []Op
+	for _, op := range ops {
+		if op.Key == key {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Keys lists the distinct object keys in a history, sorted.
+func Keys(ops []Op) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, op := range ops {
+		if op.Key != "" && !seen[op.Key] {
+			seen[op.Key] = true
+			keys = append(keys, op.Key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// phantomViolation reports an output no recorded mutation could explain.
+func phantomViolation(key, detail string, witness ...Op) Violation {
+	return Violation{Guarantee: "linearizability", Key: key, Detail: detail, Witness: witness}
+}
+
+// RegisterHistory converts one key's recorded get/put operations into a
+// register linearizability history over final (strong) views. Weaker views
+// are deliberately excluded: preliminary staleness is the paper's selling
+// point, not a linearizability bug. Reads returning versions no recorded
+// write produced are attributed to ambiguous (timed-out) writes when one
+// exists — a write that died on the client side may still have taken
+// effect — and reported as phantom-write violations otherwise. Ambiguous
+// writes whose version nobody read are omitted: since no read depends on
+// them, excluding them can only under-approximate, never produce a false
+// violation.
+func RegisterHistory(ops []Op, key string) ([]LinOp, []Violation) {
+	var lin []LinOp
+	var violations []Violation
+	known := map[uint64]bool{0: true}
+	var ambiguous []Op // incomplete puts, in start order
+	for _, op := range keyedOps(ops, key) {
+		switch op.Name {
+		case "put":
+			if op.Completed() {
+				if fv, ok := op.FinalView(); ok {
+					known[fv.Version] = true
+					lin = append(lin, LinOp{
+						Kind: "put", Version: fv.Version,
+						Call: op.Start, Return: op.End, Source: op,
+					})
+				}
+			} else {
+				ambiguous = append(ambiguous, op)
+			}
+		case "get":
+			if !op.Completed() {
+				continue // delivered no final view; constrains nothing
+			}
+			if fv, ok := op.FinalView(); ok {
+				lin = append(lin, LinOp{
+					Kind: "get", Version: fv.Version,
+					Call: op.Start, Return: op.End, Source: op,
+				})
+			}
+		}
+	}
+	// Phantom writes: versions that were read but never acknowledged to a
+	// recorded writer. Greedily blame ambiguous puts in start order
+	// (version tokens are issued in coordinator-apply order, which tracks
+	// submission order).
+	var unknown []uint64
+	seenUnknown := map[uint64]bool{}
+	for _, l := range lin {
+		if l.Kind == "get" && !known[l.Version] && !seenUnknown[l.Version] {
+			seenUnknown[l.Version] = true
+			unknown = append(unknown, l.Version)
+		}
+	}
+	sort.Slice(unknown, func(a, b int) bool { return unknown[a] < unknown[b] })
+	sort.SliceStable(ambiguous, func(a, b int) bool { return ambiguous[a].Start < ambiguous[b].Start })
+	for i, v := range unknown {
+		if i < len(ambiguous) {
+			// All phantoms use the earliest ambiguous start as their call
+			// point: the version-to-write pairing is a heuristic (tokens
+			// are issued at apply time, which can reorder against
+			// submission for stalled writes), and an under-constrained
+			// call can only admit more linearizations, never fabricate a
+			// violation.
+			lin = append(lin, LinOp{
+				Kind: "put", Version: v,
+				Call: ambiguous[0].Start, Return: forever, Optional: true,
+				Source: ambiguous[i],
+			})
+			continue
+		}
+		violations = append(violations, phantomViolation(key,
+			fmt.Sprintf("read returned version %d, which no recorded write (completed or in-flight) produced", v)))
+	}
+	return lin, violations
+}
+
+// QueueHistory converts one queue's recorded enqueue/dequeue operations
+// into a FIFO linearizability history over final views. Element identities
+// come from the recorded view notes (binding.Item.ID). Dequeued elements
+// no completed enqueue produced are attributed to ambiguous enqueues when
+// possible, phantom violations otherwise.
+func QueueHistory(ops []Op, queue string) ([]LinOp, []Violation) {
+	var lin []LinOp
+	var violations []Violation
+	known := map[string]bool{}
+	var ambiguous []Op
+	for _, op := range keyedOps(ops, queue) {
+		fv, hasFinal := op.FinalView()
+		switch op.Name {
+		case "enqueue":
+			if op.Completed() && hasFinal {
+				known[fv.Note] = true
+				lin = append(lin, LinOp{
+					Kind: "enqueue", Elem: fv.Note,
+					Call: op.Start, Return: op.End, Source: op,
+				})
+			} else if !op.Completed() {
+				ambiguous = append(ambiguous, op)
+			}
+		case "dequeue":
+			if op.Completed() && hasFinal {
+				lin = append(lin, LinOp{
+					Kind: "dequeue", Elem: fv.Note,
+					Call: op.Start, Return: op.End, Source: op,
+				})
+			}
+		}
+	}
+	// Phantom enqueues: dequeued element identities nobody completed an
+	// enqueue for. Elements are sequential znode names, so identity order
+	// tracks commit order; blame ambiguous enqueues in start order.
+	var unknown []string
+	seenUnknown := map[string]bool{}
+	for _, l := range lin {
+		if l.Kind == "dequeue" && l.Elem != "" && !known[l.Elem] && !seenUnknown[l.Elem] {
+			seenUnknown[l.Elem] = true
+			unknown = append(unknown, l.Elem)
+		}
+	}
+	sort.Strings(unknown)
+	sort.SliceStable(ambiguous, func(a, b int) bool { return ambiguous[a].Start < ambiguous[b].Start })
+	for i, elem := range unknown {
+		if i < len(ambiguous) {
+			// Earliest ambiguous start as the call point; see
+			// RegisterHistory for why this is the sound choice.
+			lin = append(lin, LinOp{
+				Kind: "enqueue", Elem: elem,
+				Call: ambiguous[0].Start, Return: forever, Optional: true,
+				Source: ambiguous[i],
+			})
+			continue
+		}
+		violations = append(violations, phantomViolation(queue,
+			fmt.Sprintf("dequeue returned element %q, which no recorded enqueue (completed or in-flight) produced", elem)))
+	}
+	return lin, violations
+}
+
+// CheckRegisters runs the register linearizability check per key over a
+// history of get/put operations, returning all violations (including
+// phantom reads) and the keys whose search was inconclusive.
+func CheckRegisters(ops []Op, budget int) ([]Violation, []string) {
+	var out []Violation
+	var inconclusive []string
+	for _, key := range Keys(ops) {
+		lin, phantoms := RegisterHistory(ops, key)
+		out = append(out, phantoms...)
+		res := CheckLinearizable(RegisterModel{}, lin, budget)
+		if res.Inconclusive {
+			inconclusive = append(inconclusive, key)
+			continue
+		}
+		if !res.Ok {
+			out = append(out, Violation{
+				Guarantee: "linearizability",
+				Key:       key,
+				Detail:    fmt.Sprintf("no linearization of %d register ops exists; frontier ops follow", len(lin)),
+				Witness:   res.Witness,
+			})
+		}
+	}
+	return out, inconclusive
+}
+
+// CheckQueues runs the FIFO-queue linearizability check per queue over a
+// history of enqueue/dequeue operations.
+func CheckQueues(ops []Op, budget int) ([]Violation, []string) {
+	var out []Violation
+	var inconclusive []string
+	for _, queue := range Keys(ops) {
+		lin, phantoms := QueueHistory(ops, queue)
+		out = append(out, phantoms...)
+		res := CheckLinearizable(QueueModel{}, lin, budget)
+		if res.Inconclusive {
+			inconclusive = append(inconclusive, queue)
+			continue
+		}
+		if !res.Ok {
+			out = append(out, Violation{
+				Guarantee: "linearizability",
+				Key:       queue,
+				Detail:    fmt.Sprintf("no linearization of %d queue ops exists; frontier ops follow", len(lin)),
+				Witness:   res.Witness,
+			})
+		}
+	}
+	return out, inconclusive
+}

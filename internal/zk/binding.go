@@ -3,6 +3,7 @@ package zk
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"correctables/internal/binding"
 	"correctables/internal/core"
@@ -50,7 +51,10 @@ func (b *Binding) ConsistencyLevels() core.Levels {
 // Close implements binding.Binding.
 func (b *Binding) Close() error { return nil }
 
-// SubmitOperation implements binding.Binding.
+// SubmitOperation implements binding.Binding. The client library bounds
+// each invocation with the binding's DefaultOpTimeout (model time), so the
+// protocol paths below run unguarded: a late completion's views are
+// refused by the closed Correctable.
 func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, levels core.Levels, cb binding.Callback) {
 	clock := b.qc.Ensemble().Transport().Clock()
 	wantWeak := levels.Contains(core.LevelWeak)
@@ -66,11 +70,11 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 		switch o := op.(type) {
 		case binding.Enqueue:
 			run = func(wantPrelim bool, onView func(QueueView)) error {
-				return b.qc.Enqueue(o.Queue, o.Item, wantPrelim, onView)
+				return b.qc.enqueue(o.Queue, o.Item, wantPrelim, onView)
 			}
 		case binding.Dequeue:
 			run = func(wantPrelim bool, onView func(QueueView)) error {
-				return b.qc.Dequeue(o.Queue, wantPrelim, onView)
+				return b.qc.dequeue(o.Queue, wantPrelim, onView)
 			}
 		default:
 			cb(binding.Result{Err: fmt.Errorf("%w: zk queues have no %q", binding.ErrUnsupportedOperation, op.OpName())})
@@ -78,7 +82,7 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 		}
 
 		forward := func(v QueueView) {
-			cb(binding.Result{Value: itemOf(v), Level: v.Level})
+			cb(binding.Result{Value: itemOf(v), Level: v.Level, Version: v.Zxid})
 		}
 
 		switch {
@@ -88,7 +92,7 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 			}
 		case wantStrong:
 			if err := run(false, func(v QueueView) {
-				forward(QueueView{Element: v.Element, Remaining: v.Remaining, Level: core.LevelStrong})
+				forward(QueueView{Element: v.Element, Remaining: v.Remaining, Level: core.LevelStrong, Zxid: v.Zxid})
 			}); err != nil {
 				cb(binding.Result{Err: err})
 			}
@@ -100,7 +104,7 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 			err := run(true, func(v QueueView) {
 				if !once {
 					once = true
-					forward(QueueView{Element: v.Element, Remaining: v.Remaining, Level: core.LevelWeak})
+					forward(QueueView{Element: v.Element, Remaining: v.Remaining, Level: core.LevelWeak, Zxid: v.Zxid})
 					close(delivered)
 				}
 				// The final (committed) view is dropped: the caller asked
@@ -123,18 +127,41 @@ func (b *Binding) Scheduler() core.Scheduler {
 	return binding.SchedulerFor(b.qc.Ensemble().Transport().Clock())
 }
 
+// Versions implements binding.Versioner: views carry zxid version tokens.
+func (b *Binding) Versions() bool { return true }
+
+// DefaultOpTimeout implements binding.TimeoutProvider: under fault
+// injection each invocation is bounded by the ensemble's OpTimeout of
+// model time.
+func (b *Binding) DefaultOpTimeout() time.Duration {
+	e := b.qc.Ensemble()
+	if e.Transport().Interceptor() == nil {
+		return 0
+	}
+	return e.Config().OpTimeout
+}
+
 // Queue is the typed application-facing facade over a zk queue binding:
 // Correctable queue operations without a single interface{} in sight.
 type Queue struct {
 	client *binding.Client
 }
 
-// NewQueue builds the typed facade (wrapping the binding in a Client).
-func NewQueue(b *Binding) *Queue { return &Queue{client: binding.NewClient(b)} }
+// NewQueue builds the typed facade (wrapping the binding in a Client
+// configured with opts — observers, operation timeout, label).
+func NewQueue(b *Binding, opts ...binding.Option) *Queue {
+	return &Queue{client: binding.NewClient(b, opts...)}
+}
 
 // Client returns the underlying Correctables client (for level inspection
-// and the deprecated boxed shims).
+// and session creation).
 func (q *Queue) Client() *binding.Client { return q.client }
+
+// Session opens a session over the facade's client (monotonic queue views
+// per queue; see binding.Session).
+func (q *Queue) Session(opts ...binding.SessionOption) *binding.Session {
+	return binding.NewSession(q.client, opts...)
+}
 
 // Enqueue appends item to the named queue with incremental consistency
 // guarantees (one view per level the ensemble offers).

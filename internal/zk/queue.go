@@ -24,6 +24,11 @@ type QueueView struct {
 	Final bool
 	// Confirmed marks a final view that matched the preliminary.
 	Confirmed bool
+	// Zxid is the version token of the state this view reflects: the
+	// committed transaction's zxid for final views, the contact server's
+	// last-applied zxid for preliminary (locally simulated) views. It is
+	// the binding's per-queue version token.
+	Zxid uint64
 }
 
 // QueueClient issues queue operations against an ensemble from a client
@@ -105,6 +110,7 @@ func (c *QueueClient) enqueue(queue string, data []byte, wantPrelim bool, onView
 	var prelim *QueueElement
 	if wantPrelim {
 		// Local simulation: predict the sequence number from local state.
+		prelimZxid := contact.LastApplied()
 		seq, err := contact.tree.NextSeq(queueDir(queue))
 		if err == nil {
 			name := fmt.Sprintf("q-%010d", seq)
@@ -112,7 +118,7 @@ func (c *QueueClient) enqueue(queue string, data []byte, wantPrelim bool, onView
 			// The leaked preliminary rides back as a callback-timer message:
 			// no goroutine per flush.
 			tr.Send(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)), func() {
-				onView(QueueView{Element: prelim, Level: core.LevelWeak})
+				onView(QueueView{Element: prelim, Level: core.LevelWeak, Zxid: prelimZxid})
 				prelimDelivered.Fire()
 			})
 		} else {
@@ -122,7 +128,7 @@ func (c *QueueClient) enqueue(queue string, data []byte, wantPrelim bool, onView
 		prelimDelivered.Fire()
 	}
 
-	_, res := c.forwardAndCommit(contact, CreateTxn{Path: prefix, Data: data, Sequential: true})
+	zxid, res := c.forwardAndCommit(contact, CreateTxn{Path: prefix, Data: data, Sequential: true})
 	if res.Err != nil {
 		prelimDelivered.Wait()
 		return res.Err
@@ -133,7 +139,7 @@ func (c *QueueClient) enqueue(queue string, data []byte, wantPrelim bool, onView
 
 	tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(elem)))
 	prelimDelivered.Wait()
-	onView(QueueView{Element: elem, Level: core.LevelStrong, Final: true, Confirmed: confirmed})
+	onView(QueueView{Element: elem, Level: core.LevelStrong, Final: true, Confirmed: confirmed, Zxid: zxid})
 	return nil
 }
 
@@ -151,16 +157,22 @@ func (c *QueueClient) enqueue(queue string, data []byte, wantPrelim bool, onView
 // final view is delivered.
 func (c *QueueClient) Dequeue(queue string, wantPrelim bool, onView func(QueueView)) error {
 	return c.guard(func(live func() bool) error {
-		guarded := func(v QueueView) {
+		return c.dequeue(queue, wantPrelim, func(v QueueView) {
 			if live() {
 				onView(v)
 			}
-		}
-		if c.ensemble.cfg.Correctable {
-			return c.dequeueCZK(queue, wantPrelim, guarded)
-		}
-		return c.dequeueRecipe(queue, guarded)
+		})
 	})
+}
+
+// dequeue is the unguarded dequeue path (ensemble-flavor dispatch); the
+// Correctables binding calls it directly — the client library owns the
+// operation deadline there.
+func (c *QueueClient) dequeue(queue string, wantPrelim bool, onView func(QueueView)) error {
+	if c.ensemble.cfg.Correctable {
+		return c.dequeueCZK(queue, wantPrelim, onView)
+	}
+	return c.dequeueRecipe(queue, onView)
 }
 
 func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(QueueView)) error {
@@ -177,6 +189,7 @@ func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(Queu
 	prelimRemaining := 0
 	if wantPrelim {
 		// Constant-size tail read on local state, simulating the dequeue.
+		prelimZxid := contact.LastApplied()
 		name, data, count, err := contact.tree.FirstChild(dir)
 		if err == nil {
 			if name != "" {
@@ -187,7 +200,7 @@ func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(Queu
 				prelimRemaining = 0
 			}
 			tr.Send(c.Contact, c.Region, netsim.LinkClient, responseSize(elementPayload(prelim)), func() {
-				onView(QueueView{Element: prelim, Remaining: prelimRemaining, Level: core.LevelWeak})
+				onView(QueueView{Element: prelim, Remaining: prelimRemaining, Level: core.LevelWeak, Zxid: prelimZxid})
 				prelimDelivered.Fire()
 			})
 		} else {
@@ -197,7 +210,7 @@ func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(Queu
 		prelimDelivered.Fire()
 	}
 
-	_, res := c.forwardAndCommit(contact, DequeueMinTxn{Dir: dir})
+	zxid, res := c.forwardAndCommit(contact, DequeueMinTxn{Dir: dir})
 	if res.Err != nil {
 		prelimDelivered.Wait()
 		return res.Err
@@ -211,6 +224,7 @@ func (c *QueueClient) dequeueCZK(queue string, wantPrelim bool, onView func(Queu
 		Level:     core.LevelStrong,
 		Final:     true,
 		Confirmed: confirmed,
+		Zxid:      zxid,
 	})
 	return nil
 }
@@ -230,7 +244,8 @@ func (c *QueueClient) dequeueRecipe(queue string, onView func(QueueView)) error 
 		}
 		tr.Travel(c.Contact, c.Region, netsim.LinkClient, childrenResponseSize(children))
 		if len(children) == 0 {
-			onView(QueueView{Element: nil, Remaining: 0, Level: core.LevelStrong, Final: true})
+			onView(QueueView{Element: nil, Remaining: 0, Level: core.LevelStrong, Final: true,
+				Zxid: contact.LastApplied()})
 			return nil
 		}
 		head := children[0]
@@ -250,7 +265,7 @@ func (c *QueueClient) dequeueRecipe(queue string, onView func(QueueView)) error 
 		// delete through the ordered protocol.
 		tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(path)))
 		contact.process()
-		_, res := c.forwardAndCommit(contact, DeleteTxn{Path: path, Version: -1})
+		zxid, res := c.forwardAndCommit(contact, DeleteTxn{Path: path, Version: -1})
 		tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(4))
 		if res.Err != nil {
 			// Another consumer won the race (NoNode): retry from the top —
@@ -263,6 +278,7 @@ func (c *QueueClient) dequeueRecipe(queue string, onView func(QueueView)) error 
 			Remaining: count,
 			Level:     core.LevelStrong,
 			Final:     true,
+			Zxid:      zxid,
 		})
 		return nil
 	}

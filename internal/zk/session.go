@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
 )
 
@@ -32,19 +33,55 @@ func (e *Ensemble) NewSession(clientRegion, contactRegion netsim.Region) *Sessio
 	}
 }
 
+// guarded bounds a session operation to the ensemble's OpTimeout of model
+// time when a fault interceptor is attached (see cassandra.Client.Read for
+// the semantics): a partitioned contact or a leader cut off from its
+// quorum fails the call with faults.ErrUnreachable instead of hanging the
+// caller until the heal. Results must be published through the live()
+// predicate the closure receives, so a call that already timed out never
+// writes caller state. Without an interceptor op runs inline and
+// unguarded — the fault-free path is unchanged.
+func (s *Session) guarded(op func(live func() bool) error) error {
+	tr := s.ensemble.tr
+	if tr.Interceptor() == nil {
+		return op(func() bool { return true })
+	}
+	return faults.Deadline(tr.Clock(), s.ensemble.cfg.OpTimeout, op)
+}
+
+// roundTrip is the shared scaffold of every session operation: charge the
+// request on the client link, process at the contact, run op there, charge
+// its response, and publish results only while the guard considers the
+// call live. op returns the response wire size, a publish closure that
+// writes the caller's results (nil for none), and the operation error.
+func (s *Session) roundTrip(reqBytes int, op func(contact *Server) (respBytes int, publish func(), err error)) error {
+	return s.guarded(func(live func() bool) error {
+		tr := s.ensemble.tr
+		contact := s.ensemble.Server(s.Contact)
+		tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(reqBytes))
+		contact.process()
+		respBytes, publish, err := op(contact)
+		tr.Travel(s.Contact, s.Region, netsim.LinkClient, respBytes)
+		if publish != nil && live() {
+			publish()
+		}
+		return err
+	})
+}
+
 // commit runs a transaction through the ordered protocol on behalf of the
-// session, charging the client and forwarding hops.
+// session, charging the client and forwarding hops. It is bounded by the
+// ensemble's OpTimeout under fault injection.
 func (s *Session) commit(txn Txn) (TxnResult, error) {
 	if s.closed.Load() {
 		return TxnResult{}, fmt.Errorf("zk: session %s is closed", s.ID)
 	}
-	tr := s.ensemble.tr
-	contact := s.ensemble.Server(s.Contact)
-	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(txn.PayloadSize()))
-	contact.process()
-	_, res := s.ensemble.ForwardAndCommit(contact, txn)
-	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(len(res.CreatedPath)+8))
-	return res, nil
+	var out TxnResult
+	err := s.roundTrip(txn.PayloadSize(), func(contact *Server) (int, func(), error) {
+		_, res := s.ensemble.ForwardAndCommit(contact, txn)
+		return responseSize(len(res.CreatedPath) + 8), func() { out = res }, nil
+	})
+	return out, err
 }
 
 // Create makes a persistent znode.
@@ -84,51 +121,60 @@ func (s *Session) Delete(path string, version int32) error {
 }
 
 // Get reads from the contact server's local (committed) state, charging the
-// client link, like a ZooKeeper read.
+// client link, like a ZooKeeper read. It is bounded by the ensemble's
+// OpTimeout under fault injection (a partitioned contact fails with
+// faults.ErrUnreachable instead of hanging).
 func (s *Session) Get(path string) ([]byte, int32, error) {
-	tr := s.ensemble.tr
-	contact := s.ensemble.Server(s.Contact)
-	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(path)))
-	contact.process()
-	data, ver, err := contact.tree.Get(path)
-	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(len(data)))
+	var data []byte
+	var ver int32
+	err := s.roundTrip(len(path), func(contact *Server) (int, func(), error) {
+		d, v, err := contact.tree.Get(path)
+		return responseSize(len(d)), func() { data, ver = d, v }, err
+	})
 	return data, ver, err
 }
 
 // ChildrenW lists children on the contact server and leaves a one-shot
-// watch that fires when the child set changes on that server.
+// watch that fires when the child set changes on that server. Bounded like
+// Get under fault injection.
 func (s *Session) ChildrenW(path string) ([]string, <-chan Event, error) {
-	tr := s.ensemble.tr
-	contact := s.ensemble.Server(s.Contact)
-	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(path)))
-	contact.process()
-	kids, watch, err := contact.tree.ChildrenW(path)
-	tr.Travel(s.Contact, s.Region, netsim.LinkClient, childrenResponseSize(kids))
+	var kids []string
+	var watch <-chan Event
+	err := s.roundTrip(len(path), func(contact *Server) (int, func(), error) {
+		k, w, err := contact.tree.ChildrenW(path)
+		return childrenResponseSize(k), func() { kids, watch = k, w }, err
+	})
 	return kids, watch, err
 }
 
 // ExistsW reports existence on the contact server with a one-shot watch.
-func (s *Session) ExistsW(path string) (bool, <-chan Event) {
-	tr := s.ensemble.tr
-	contact := s.ensemble.Server(s.Contact)
-	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(path)))
-	contact.process()
-	ok, watch := contact.tree.ExistsW(path)
-	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(1))
-	return ok, watch
+// Bounded like Get under fault injection: a timed-out call returns
+// faults.ErrUnreachable — never a nil watch a caller could park on
+// forever, nor a false "does not exist" for a node it simply could not
+// reach.
+func (s *Session) ExistsW(path string) (bool, <-chan Event, error) {
+	var exists bool
+	var watch <-chan Event
+	err := s.roundTrip(len(path), func(contact *Server) (int, func(), error) {
+		ok, w := contact.tree.ExistsW(path)
+		return responseSize(1), func() { exists, watch = ok, w }, nil
+	})
+	return exists, watch, err
 }
 
 // Close ends the session, removing its ephemeral znodes on every replica.
-// Further operations fail. Close is idempotent.
+// Further operations fail. Close is idempotent. Under fault injection a
+// Close the faults make impossible fails with faults.ErrUnreachable (the
+// replicated teardown still completes in the background once the fault
+// heals).
 func (s *Session) Close() ([]string, error) {
 	if s.closed.Swap(true) {
 		return nil, nil
 	}
-	tr := s.ensemble.tr
-	contact := s.ensemble.Server(s.Contact)
-	tr.Travel(s.Region, s.Contact, netsim.LinkClient, requestSize(len(s.ID)))
-	contact.process()
-	_, res := s.ensemble.ForwardAndCommit(contact, CloseSessionTxn{SessionID: s.ID})
-	tr.Travel(s.Contact, s.Region, netsim.LinkClient, responseSize(4))
-	return res.RemovedPaths, res.Err
+	var removed []string
+	err := s.roundTrip(len(s.ID), func(contact *Server) (int, func(), error) {
+		_, res := s.ensemble.ForwardAndCommit(contact, CloseSessionTxn{SessionID: s.ID})
+		return responseSize(4), func() { removed = res.RemovedPaths }, res.Err
+	})
+	return removed, err
 }

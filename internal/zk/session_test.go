@@ -213,7 +213,10 @@ func TestSessionCRUDAndWatch(t *testing.T) {
 	}
 
 	// Watch on the contact server fires when a foreign commit applies there.
-	ok, watch := sess.ExistsW("/flag")
+	ok, watch, err := sess.ExistsW("/flag")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ok {
 		t.Fatal("flag should not exist")
 	}
