@@ -25,6 +25,15 @@
 //
 //	icgbench -exp faultstudy -faults=minority-partition -fault-log
 //	icgbench -exp faultstudy -faults=1234:harsh          # replay seed 1234
+//
+// failover partitions the Correctable ZooKeeper leader mid-run and measures
+// recovery: time-to-recovery (leader election), the preliminary-only
+// availability window, and weak-vs-strong latency per phase for the
+// majority and severed-minority client populations. Its history check
+// always runs, and any violation exits nonzero:
+//
+//	icgbench -exp failover -fault-log
+//	icgbench -exp failover -fault-json BENCH_failover.json
 package main
 
 import (
@@ -81,6 +90,35 @@ var experiments = map[string]func(bench.Config) string{
 		}
 		return out
 	},
+	// Failover experiment (run via -exp failover): a partition severs the
+	// zk leader mid-run; measures time-to-recovery and the prelim-only
+	// availability window. The history check always runs.
+	"failover": func(c bench.Config) string {
+		c.Check = true
+		res, err := bench.Failover(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+			os.Exit(2)
+		}
+		if faultJSON != "" {
+			data, err := bench.FailoverJSON(res)
+			if err == nil {
+				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
+				os.Exit(1)
+			}
+		}
+		out := bench.FormatFailover(res, c.FaultLog)
+		if res.Check != nil && res.Check.Violations() > 0 {
+			fmt.Print(out)
+			fmt.Fprintf(os.Stderr, "icgbench: consistency check FAILED with %d violations (seed %d replays them byte-identically)\n",
+				res.Check.Violations(), c.Seed)
+			os.Exit(3)
+		}
+		return out
+	},
 }
 
 // faultJSON is the -fault-json flag (consulted by the faultstudy entry).
@@ -88,7 +126,7 @@ var faultJSON string
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, 'all', 'ablations', 'faultstudy')")
+		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, 'all', 'ablations', 'faultstudy', 'failover')")
 		clockMode = flag.String("clock", "virtual", "clock mode: 'virtual' (deterministic, CPU speed) or 'wall' (scaled real time)")
 		scale     = flag.Float64("scale", 0.25, "model-to-wall time scale in -clock=wall mode (1.0 = real time)")
 		seed      = flag.Int64("seed", 42, "random seed")
@@ -121,7 +159,7 @@ func main() {
 		// The paper's figures in order; ablations and the fault study are
 		// opt-in (-exp ablations, -exp faultstudy).
 		for name := range experiments {
-			if name != "ablations" && name != "faultstudy" {
+			if name != "ablations" && name != "faultstudy" && name != "failover" {
 				names = append(names, name)
 			}
 		}

@@ -7,7 +7,9 @@ import (
 
 	"correctables"
 	"correctables/internal/cassandra"
+	"correctables/internal/faults"
 	"correctables/internal/netsim"
+	"correctables/internal/zk"
 )
 
 // newExampleClient builds a three-region Correctable-Cassandra deployment
@@ -186,4 +188,61 @@ func ExampleWithOpTimeout() {
 	fmt.Println("per-op bound:", client.OpTimeout())
 	// Output:
 	// per-op bound: 2s
+}
+
+// Example_failover is recovery as a first-class scenario: a partition
+// severs the ZooKeeper leader's region mid-run. The severed contact keeps
+// serving preliminary views from local state for the whole outage — the
+// paper's availability claim — while the final acknowledgment, which needs
+// a majority commit, fails with the operation timeout. Meanwhile the
+// majority side elects a replacement leader, and after the heal the
+// deposed leader rejoins as a follower and ordered commits flow again.
+func Example_failover() {
+	clock := netsim.NewVirtualClock()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	inj := faults.Attach(tr, nil, 1)
+	ensemble, err := zk.NewEnsemble(zk.Config{
+		Regions:           []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		LeaderRegion:      netsim.FRK,
+		Transport:         tr,
+		Correctable:       true,
+		OpTimeout:         2 * time.Second,
+		HeartbeatInterval: 250 * time.Millisecond,
+		ElectionTimeout:   time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	qc := zk.NewQueueClient(ensemble, netsim.FRK, netsim.FRK)
+	if err := qc.CreateQueue("jobs"); err != nil {
+		panic(err)
+	}
+
+	// Sever the leader: no majority commit is possible anywhere until the
+	// election, and none through this contact until the heal.
+	inj.Apply(faults.Partition{Groups: [][]netsim.Region{
+		{netsim.FRK}, {netsim.IRL, netsim.VRG}}})
+
+	err = qc.Enqueue("jobs", []byte("job-1"), true, func(v zk.QueueView) {
+		if !v.Final {
+			fmt.Printf("outage: preliminary view of %s served, final pending\n", v.Element.Data)
+		}
+	})
+	fmt.Println("outage: final view:", err)
+
+	rec := ensemble.Elections()[0]
+	fmt.Printf("recovered: %s elected for epoch %d after %v\n", rec.Leader, rec.Epoch, rec.At)
+
+	inj.Apply(faults.Heal{})
+	clock.Sleep(time.Second) // the deposed leader rejoins and resyncs
+	err = qc.Enqueue("jobs", []byte("job-2"), false, func(zk.QueueView) {})
+	fmt.Println("healed: final view error:", err)
+
+	inj.Quiesce()
+	clock.Drain()
+	// Output:
+	// outage: preliminary view of job-1 served, final pending
+	// outage: final view: faults: service unreachable: no response within 2s
+	// recovered: eu-ireland elected for epoch 1 after 1.336092396s
+	// healed: final view error: <nil>
 }

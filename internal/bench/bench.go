@@ -147,15 +147,31 @@ func (h *harness) newCassandra(cfg Config, opts cassandraOpts) *cassandra.Cluste
 	return cluster
 }
 
+// zkOpts selects the ensemble variant under test.
+type zkOpts struct {
+	correctable bool
+	leader      netsim.Region
+	// opTimeout bounds client operations under fault injection (0 = default).
+	opTimeout time.Duration
+	// heartbeat/electionTimeout tune the recovery machinery (0 = defaults).
+	// The paper's figures run fault-free, so only the failover experiment
+	// sets them.
+	heartbeat       time.Duration
+	electionTimeout time.Duration
+}
+
 // newZK builds an ensemble on the harness fabric.
-func (h *harness) newZK(cfg Config, correctable bool, leader netsim.Region) *zk.Ensemble {
+func (h *harness) newZK(cfg Config, opts zkOpts) *zk.Ensemble {
 	e, err := zk.NewEnsemble(zk.Config{
-		Regions:      []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
-		LeaderRegion: leader,
-		Transport:    h.tr,
-		Correctable:  correctable,
-		Workers:      4,
-		ServiceTime:  time.Millisecond,
+		Regions:           []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		LeaderRegion:      opts.leader,
+		Transport:         h.tr,
+		Correctable:       opts.correctable,
+		Workers:           4,
+		ServiceTime:       time.Millisecond,
+		OpTimeout:         opts.opTimeout,
+		HeartbeatInterval: opts.heartbeat,
+		ElectionTimeout:   opts.electionTimeout,
 	})
 	if err != nil {
 		panic("bench: " + err.Error())

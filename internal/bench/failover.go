@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/faults"
+	"correctables/internal/history"
+	"correctables/internal/metrics"
+	"correctables/internal/netsim"
+	"correctables/internal/zk"
+)
+
+// FailoverRow is one (population, phase) cell of the failover experiment:
+// enqueue counts, weak-vs-strong latency and final availability for one
+// client population during one phase of the leader outage.
+type FailoverRow struct {
+	// Population is "majority" (clients on the surviving side, contacting
+	// IRL) or "minority" (clients contacting the severed old leader, FRK).
+	Population string  `json:"population"`
+	Phase      string  `json:"phase"`
+	StartMs    float64 `json:"start_ms"`
+	EndMs      float64 `json:"end_ms"`
+
+	Ops     int64 `json:"ops"`
+	Errors  int64 `json:"errors"`
+	Prelims int64 `json:"prelim_views"`
+
+	PrelimMeanMs float64 `json:"prelim_mean_ms"`
+	PrelimP99Ms  float64 `json:"prelim_p99_ms"`
+	FinalMeanMs  float64 `json:"final_mean_ms"`
+	FinalP99Ms   float64 `json:"final_p99_ms"`
+
+	// FinalAvailabilityPct is the percentage of attempted enqueues whose
+	// committed (strong) acknowledgment arrived within the operation
+	// timeout. Preliminary views keep flowing even while finals fail — the
+	// paper's asymmetry, now measured through a leader failover.
+	FinalAvailabilityPct float64 `json:"final_availability_pct"`
+}
+
+// FailoverResult is the failover experiment's full output; it marshals
+// directly to BENCH_failover.json.
+type FailoverResult struct {
+	Description string  `json:"description"`
+	UnitMs      float64 `json:"unit_ms"`
+	OpTimeoutMs float64 `json:"op_timeout_ms"`
+	// HeartbeatMs and ElectionTimeoutMs are the recovery machinery's tuning
+	// (the election bound every recovery metric is judged against).
+	HeartbeatMs       float64 `json:"heartbeat_ms"`
+	ElectionTimeoutMs float64 `json:"election_timeout_ms"`
+	FaultAtMs         float64 `json:"fault_at_ms"`
+	HealAtMs          float64 `json:"heal_at_ms"`
+	HorizonMs         float64 `json:"horizon_ms"`
+	Threads           int     `json:"threads"`
+	Seed              int64   `json:"seed"`
+
+	// ElectedAtMs is the model instant the majority elected a new leader;
+	// TimeToRecoveryMs is that instant relative to the fault — the window
+	// during which no ordered commits were possible anywhere.
+	ElectedAtMs      float64 `json:"elected_at_ms"`
+	TimeToRecoveryMs float64 `json:"time_to_recovery_ms"`
+	NewLeader        string  `json:"new_leader"`
+	Epoch            uint64  `json:"epoch"`
+	// FirstFinalAfterFaultMs is when the first post-fault enqueue committed
+	// (majority side), and PrelimOnlyWindowMs its distance from the fault:
+	// the measured window during which the service was preliminary-only.
+	// OutagePrelims counts the weak views delivered inside that window —
+	// nonzero is the paper's availability claim under failover.
+	FirstFinalAfterFaultMs float64 `json:"first_final_after_fault_ms"`
+	PrelimOnlyWindowMs     float64 `json:"prelim_only_window_ms"`
+	OutagePrelims          int64   `json:"outage_prelims"`
+
+	Rows        []FailoverRow `json:"rows"`
+	Transitions []string      `json:"transitions"`
+	Check       *CheckReport  `json:"check,omitempty"`
+}
+
+// Failover runs a closed-loop enqueue workload against Correctable
+// ZooKeeper while a partition severs the leader's region mid-run: the
+// majority side elects a new leader (heartbeat loss, staggered election
+// timeouts, state transfer) and its finals resume; the severed minority
+// keeps serving preliminary views the whole time; the heal deposes and
+// resyncs the old leader. The experiment measures time-to-recovery, the
+// preliminary-only availability window, and weak-vs-strong latency per
+// phase — recovery as a first-class, measured scenario rather than a
+// pass/fail test.
+//
+// With cfg.Check, a consistency-checked session population runs alongside
+// the measured one and its recorded history is verified (session
+// guarantees plus per-queue linearizability) across the failover.
+func Failover(cfg Config) (*FailoverResult, error) {
+	cfg = cfg.withDefaults()
+	unit := cfg.pickDur(2*time.Second, 300*time.Millisecond)
+	hb := unit / 8
+	et := unit / 2
+	opTimeout := unit
+	faultAt := 4 * unit
+	healAt := 12 * unit
+	horizon := 16 * unit
+	threads := cfg.pick(12, 6)
+
+	h := newHarness(cfg)
+	sched := faults.NewSchedule().
+		At(faultAt, faults.Partition{Groups: [][]netsim.Region{
+			{netsim.FRK}, {netsim.IRL, netsim.VRG},
+		}}).
+		At(healAt, faults.Heal{})
+	inj := faults.Attach(h.tr, sched, cfg.Seed+3)
+	e := h.newZK(cfg, zkOpts{
+		correctable:     true,
+		leader:          netsim.FRK,
+		opTimeout:       opTimeout,
+		heartbeat:       hb,
+		electionTimeout: et,
+	})
+
+	// Queues are created up front (healthy cluster) so the workload phase
+	// measures enqueues only.
+	setup := zk.NewQueueClient(e, netsim.IRL, netsim.IRL)
+	pops := []struct {
+		name    string
+		threads int
+		client  func(t int) *zk.QueueClient
+		queue   func(t int) string
+	}{
+		// Majority: remote clients contacting a surviving follower — they
+		// lose finals only until the election, prelims throughout.
+		{"majority", threads, func(int) *zk.QueueClient {
+			return zk.NewQueueClient(e, netsim.IRL, netsim.IRL)
+		}, func(t int) string { return fmt.Sprintf("maj-%02d", t) }},
+		// Minority: clients pinned to the severed old leader — finals fail
+		// for the whole partition, prelims keep coming from local state.
+		{"minority", threads / 2, func(int) *zk.QueueClient {
+			return zk.NewQueueClient(e, netsim.FRK, netsim.FRK)
+		}, func(t int) string { return fmt.Sprintf("min-%02d", t) }},
+	}
+	for _, pop := range pops {
+		for t := 0; t < pop.threads; t++ {
+			if err := setup.CreateQueue(pop.queue(t)); err != nil {
+				return nil, fmt.Errorf("bench: creating %s: %w", pop.queue(t), err)
+			}
+		}
+	}
+
+	payload := make([]byte, 64)
+	shards := make([][][]faultOp, len(pops))
+	g := h.clock.NewGroup()
+	for pi, pop := range pops {
+		pi, pop := pi, pop
+		shards[pi] = make([][]faultOp, pop.threads)
+		for t := 0; t < pop.threads; t++ {
+			t := t
+			qc := pop.client(t)
+			queue := pop.queue(t)
+			g.Add(1)
+			h.clock.Go(func() {
+				defer g.Done()
+				for {
+					now := h.clock.Now()
+					if now >= horizon {
+						return
+					}
+					op := faultOp{start: now}
+					err := qc.Enqueue(queue, payload, true, func(v zk.QueueView) {
+						if v.Final {
+							op.final = h.clock.Now() - now
+						} else {
+							op.hasPrelim = true
+							op.prelim = h.clock.Now() - now
+						}
+					})
+					op.err = err != nil
+					op.end = h.clock.Now()
+					shards[pi][t] = append(shards[pi][t], op)
+				}
+			})
+		}
+	}
+
+	// The checked population (cfg.Check): sessions through the full invoke
+	// pipeline on their own queues, half contacting the old leader, half
+	// the survivor, with a history recorder observing every op.
+	var recorder *history.Recorder
+	checkClients := 0
+	if cfg.Check {
+		recorder = history.NewRecorder()
+		checkClients = cfg.pick(6, 4)
+		for t := 0; t < checkClients; t++ {
+			t := t
+			contact := netsim.IRL
+			if t%2 == 1 {
+				contact = netsim.FRK
+			}
+			queue := fmt.Sprintf("chk-%02d", t)
+			if err := setup.CreateQueue(queue); err != nil {
+				return nil, fmt.Errorf("bench: creating %s: %w", queue, err)
+			}
+			qc := zk.NewQueueClient(e, netsim.IRL, contact)
+			sess := binding.NewSession(binding.NewClient(zk.NewBinding(qc),
+				binding.WithObserver(recorder),
+				binding.WithLabel(fmt.Sprintf("sess-%02d", t))))
+			rng := rand.New(rand.NewSource(cfg.Seed + 5_555_557 + int64(t)*1_000_003))
+			g.Add(1)
+			h.clock.Go(func() {
+				defer g.Done()
+				ctx := context.Background()
+				for h.clock.Now() < horizon {
+					if rng.Float64() < 0.7 {
+						_, _ = sess.Enqueue(ctx, queue, payload).Final(ctx)
+					} else {
+						_, _ = sess.Dequeue(ctx, queue).Final(ctx)
+					}
+					// Paced, not closed-loop: each timed-out op enters the
+					// linearizability history as an ambiguous wildcard the
+					// search must branch on, so per-queue op counts are kept
+					// where the check stays conclusive.
+					h.clock.Sleep(unit / 8)
+				}
+			})
+		}
+	}
+	g.Wait()
+	inj.Quiesce()
+	h.drain()
+
+	res := &FailoverResult{
+		Description: "partition severs the zk leader mid-run; the majority elects, the minority serves prelims, the heal resyncs",
+		UnitMs:      metrics.Ms(unit),
+		OpTimeoutMs: metrics.Ms(opTimeout),
+		HeartbeatMs: metrics.Ms(hb), ElectionTimeoutMs: metrics.Ms(et),
+		FaultAtMs: metrics.Ms(faultAt), HealAtMs: metrics.Ms(healAt), HorizonMs: metrics.Ms(horizon),
+		Threads: threads,
+		Seed:    cfg.Seed,
+	}
+	for _, tr := range inj.Log() {
+		res.Transitions = append(res.Transitions, tr.At.String()+": "+tr.Desc)
+	}
+
+	// Recovery metrics from the election log: the fault's election is the
+	// first won at or after the fault instant.
+	electedAt := healAt
+	for _, rec := range e.Elections() {
+		if rec.At >= faultAt {
+			electedAt = rec.At
+			res.ElectedAtMs = metrics.Ms(rec.At)
+			res.TimeToRecoveryMs = metrics.Ms(rec.At - faultAt)
+			res.NewLeader = string(rec.Leader)
+			res.Epoch = rec.Epoch
+			break
+		}
+	}
+
+	// First post-fault committed enqueue (majority side) and the prelim-only
+	// window it closes.
+	firstFinal := time.Duration(-1)
+	for _, shard := range shards[0] {
+		for _, op := range shard {
+			if op.start >= faultAt && !op.err && (firstFinal < 0 || op.end < firstFinal) {
+				firstFinal = op.end
+			}
+		}
+	}
+	if firstFinal >= 0 {
+		res.FirstFinalAfterFaultMs = metrics.Ms(firstFinal)
+		res.PrelimOnlyWindowMs = metrics.Ms(firstFinal - faultAt)
+		for _, popShards := range shards {
+			for _, shard := range popShards {
+				for _, op := range shard {
+					if at := op.start + op.prelim; op.hasPrelim && at >= faultAt && at < firstFinal {
+						res.OutagePrelims++
+					}
+				}
+			}
+		}
+	}
+
+	phases := []faults.Phase{
+		{Name: "healthy", Start: 0, End: faultAt},
+		{Name: "outage", Start: faultAt, End: electedAt},
+		{Name: "elected", Start: electedAt, End: healAt},
+		{Name: "rejoin", Start: healAt, End: horizon},
+	}
+	for pi, pop := range pops {
+		for i, ph := range phases {
+			row := FailoverRow{Population: pop.name, Phase: ph.Name,
+				StartMs: metrics.Ms(ph.Start), EndMs: metrics.Ms(ph.End)}
+			prelim, final := metrics.NewHistogram(), metrics.NewHistogram()
+			var completed int64
+			for _, shard := range shards[pi] {
+				for _, op := range shard {
+					if phaseOf(phases, op) != i {
+						continue
+					}
+					row.Ops++
+					if op.hasPrelim {
+						row.Prelims++
+						prelim.Record(op.prelim)
+					}
+					if op.err {
+						row.Errors++
+					} else {
+						completed++
+						final.Record(op.final)
+					}
+				}
+			}
+			row.PrelimMeanMs = metrics.Ms(prelim.Mean())
+			row.PrelimP99Ms = metrics.Ms(prelim.Percentile(99))
+			row.FinalMeanMs = metrics.Ms(final.Mean())
+			row.FinalP99Ms = metrics.Ms(final.Percentile(99))
+			row.FinalAvailabilityPct = 100 * metrics.Ratio(completed, row.Ops)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	if recorder != nil {
+		ops := recorder.Ops()
+		report := &CheckReport{Clients: checkClients, Ops: len(ops)}
+		if n := recorder.Collisions(); n > 0 {
+			report.SessionViolations = append(report.SessionViolations,
+				fmt.Sprintf("history: %d client-label collisions — the recorded history is untrustworthy", n))
+		}
+		for _, v := range history.CheckSessionGuarantees(ops) {
+			report.SessionViolations = append(report.SessionViolations, v.String())
+		}
+		linVs, inconclusive := history.CheckQueues(ops, 0)
+		for _, v := range linVs {
+			report.LinViolations = append(report.LinViolations, v.String())
+		}
+		report.Inconclusive = inconclusive
+		sum := sha256.Sum256(history.SerializeOps(ops))
+		report.HistoryDigest = hex.EncodeToString(sum[:])
+		res.Check = report
+	}
+	return res, nil
+}
+
+// FailoverJSON marshals a result for BENCH_failover.json.
+func FailoverJSON(res *FailoverResult) ([]byte, error) {
+	return json.MarshalIndent(res, "", "  ")
+}

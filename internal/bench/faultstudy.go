@@ -49,6 +49,10 @@ type FaultStudyRow struct {
 	// DroppedMsgs counts messages lost to the fault schedule (severed or
 	// dropped) during the phase, from the meter's dropped counters.
 	DroppedMsgs int64 `json:"dropped_msgs"`
+	// HintedMsgs counts async replication sends the coordinator buffered as
+	// hints during the phase instead of losing them to the fault — hinted
+	// handoff's share of the would-be drops.
+	HintedMsgs int64 `json:"hinted_msgs"`
 }
 
 // FaultStudyResult is the fault study's full output; it marshals directly
@@ -156,14 +160,16 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 	w := workloadByName("B", ycsb.DistZipfian, 1000, 1024)
 	preloadDataset(cluster, w)
 
-	// Cumulative dropped-message probes at phase boundaries, armed before
-	// traffic so boundary callbacks interleave deterministically.
+	// Cumulative dropped-message and queued-hint probes at phase boundaries,
+	// armed before traffic so boundary callbacks interleave deterministically.
 	droppedAt := make([]int64, len(scen.Phases))
+	hintedAt := make([]int64, len(scen.Phases))
 	for i, ph := range scen.Phases {
 		i := i
 		h.clock.RunAt(ph.End, func() {
 			dropped := h.meter.SnapshotDropped()
 			droppedAt[i] = dropped[netsim.LinkClient].Messages + dropped[netsim.LinkReplica].Messages
+			hintedAt[i] = int64(cluster.HintStats().Queued)
 		})
 	}
 
@@ -348,11 +354,12 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 		row.UpdateMeanMs = metrics.Ms(update.Mean())
 		row.ReadAvailabilityPct = 100 * metrics.Ratio(completed, row.Reads)
 		row.DivergencePct = 100 * metrics.Ratio(diverged, divergeBase)
-		prev := int64(0)
+		var prevDropped, prevHinted int64
 		if i > 0 {
-			prev = droppedAt[i-1]
+			prevDropped, prevHinted = droppedAt[i-1], hintedAt[i-1]
 		}
-		row.DroppedMsgs = droppedAt[i] - prev
+		row.DroppedMsgs = droppedAt[i] - prevDropped
+		row.HintedMsgs = hintedAt[i] - prevHinted
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -45,7 +45,7 @@ func Fig10(cfg Config) []Fig10Row {
 				correctable bool
 			}{{"ZK", false}, {"CZK", true}} {
 				h := newHarness(cfg)
-				e := h.newZK(cfg, sys.correctable, netsim.IRL)
+				e := h.newZK(cfg, zkOpts{correctable: sys.correctable, leader: netsim.IRL})
 				e.Bootstrap(zk.CreateTxn{Path: "/queues"})
 				e.Bootstrap(zk.CreateTxn{Path: "/queues/ev"})
 				size := queueSize

@@ -52,7 +52,7 @@ func Fig12(cfg Config) ([]Fig12Point, []Fig12Summary) {
 
 	run := func(system string, correctable bool) {
 		h := newHarness(cfg)
-		e := h.newZK(cfg, correctable, netsim.IRL)
+		e := h.newZK(cfg, zkOpts{correctable: correctable, leader: netsim.IRL})
 		tickets.Stock(e, "event", stock)
 
 		var mu sync.Mutex

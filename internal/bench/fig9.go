@@ -49,7 +49,7 @@ func Fig9(cfg Config) []Fig9Row {
 	for _, pc := range fig9Configs() {
 		// CZK: one run collecting both views.
 		h := newHarness(cfg)
-		e := h.newZK(cfg, true, pc.leader)
+		e := h.newZK(cfg, zkOpts{correctable: true, leader: pc.leader})
 		e.Bootstrap(zk.CreateTxn{Path: "/queues"})
 		e.Bootstrap(zk.CreateTxn{Path: "/queues/ev"})
 		qc := zk.NewQueueClient(e, netsim.IRL, pc.contact)
@@ -72,7 +72,7 @@ func Fig9(cfg Config) []Fig9Row {
 
 		// Vanilla ZK baseline.
 		h2 := newHarness(cfg)
-		e2 := h2.newZK(cfg, false, pc.leader)
+		e2 := h2.newZK(cfg, zkOpts{leader: pc.leader})
 		e2.Bootstrap(zk.CreateTxn{Path: "/queues"})
 		e2.Bootstrap(zk.CreateTxn{Path: "/queues/ev"})
 		qc2 := zk.NewQueueClient(e2, netsim.IRL, pc.contact)

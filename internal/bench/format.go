@@ -111,11 +111,11 @@ func FormatFaultStudy(res *FaultStudyResult, withLog bool) string {
 			fmt.Sprintf("%.1f", r.FinalP99Ms),
 			fmt.Sprintf("%.0f", r.ReadAvailabilityPct),
 			fmt.Sprintf("%.1f", r.DivergencePct),
-			fmt.Sprintf("%d", r.DroppedMsgs)}
+			fmt.Sprintf("%d", r.DroppedMsgs), fmt.Sprintf("%d", r.HintedMsgs)}
 	}
 	s := table(
 		fmt.Sprintf("Fault study: weak vs strong views under %q (CC3, YCSB B)", res.Scenario),
-		[]string{"phase", "reads", "errs", "prelim ms", "final ms", "final p99", "avail %", "div %", "dropped"},
+		[]string{"phase", "reads", "errs", "prelim ms", "final ms", "final p99", "avail %", "div %", "dropped", "hinted"},
 		out)
 	if withLog {
 		var b strings.Builder
@@ -149,6 +149,54 @@ func FormatFaultStudy(res *FaultStudyResult, withLog bool) string {
 		s = b.String()
 	}
 	return s
+}
+
+// FormatFailover renders the failover experiment: the recovery summary,
+// then the per-population phase table; withLog appends the fault-transition
+// log (the replay record).
+func FormatFailover(res *FailoverResult, withLog bool) string {
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{r.Population, r.Phase,
+			fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.Errors), fmt.Sprintf("%d", r.Prelims),
+			fmt.Sprintf("%.1f", r.PrelimMeanMs), fmt.Sprintf("%.1f", r.FinalMeanMs),
+			fmt.Sprintf("%.1f", r.FinalP99Ms),
+			fmt.Sprintf("%.0f", r.FinalAvailabilityPct)}
+	}
+	var b strings.Builder
+	b.WriteString(table("Failover: CZK leader partitioned mid-run (enqueue, prelim+final)",
+		[]string{"population", "phase", "ops", "errs", "prelims", "prelim ms", "final ms", "final p99", "avail %"},
+		out))
+	fmt.Fprintf(&b, "recovery: new leader %s (epoch %d) elected %.0fms after the fault (election timeout %.0fms)\n",
+		res.NewLeader, res.Epoch, res.TimeToRecoveryMs, res.ElectionTimeoutMs)
+	fmt.Fprintf(&b, "  prelim-only window: %.0fms (first post-fault commit at %.0fms); %d preliminary views served inside it\n",
+		res.PrelimOnlyWindowMs, res.FirstFinalAfterFaultMs, res.OutagePrelims)
+	if withLog {
+		b.WriteString("fault transitions:\n")
+		for _, tr := range res.Transitions {
+			fmt.Fprintf(&b, "  %s\n", tr)
+		}
+	}
+	if res.Check != nil {
+		fmt.Fprintf(&b, "consistency check: %d session clients, %d ops, history sha256 %.12s…\n",
+			res.Check.Clients, res.Check.Ops, res.Check.HistoryDigest)
+		if n := res.Check.Violations(); n == 0 {
+			b.WriteString("  session guarantees (RYW, monotonic reads, WFR): OK\n")
+			b.WriteString("  per-queue linearizability: OK\n")
+		} else {
+			fmt.Fprintf(&b, "  %d VIOLATIONS (replay with -seed %d):\n", n, res.Seed)
+			for _, v := range res.Check.SessionViolations {
+				fmt.Fprintf(&b, "  %s\n", v)
+			}
+			for _, v := range res.Check.LinViolations {
+				fmt.Fprintf(&b, "  %s\n", v)
+			}
+		}
+		for _, k := range res.Check.Inconclusive {
+			fmt.Fprintf(&b, "  inconclusive (budget exhausted): %s\n", k)
+		}
+	}
+	return b.String()
 }
 
 // FormatAblationLag renders the replication-lag ablation.

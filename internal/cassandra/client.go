@@ -243,6 +243,10 @@ func (c *Client) write(key string, value []byte, w int) (Versioned, error) {
 				peerReplica.tab.apply(key, v)
 				tr.Travel(peer, c.Coordinator, netsim.LinkReplica, WriteAckSize)
 			})
+		} else if c.cluster.hintable(c.Coordinator, peer) {
+			// The peer is down or severed: the async send would be lost in
+			// flight. Buffer a hint instead and replay it on rejoin.
+			c.cluster.bufferHint(c.Coordinator, peer, key, v)
 		} else {
 			// Asynchronous replication with batching delay.
 			tr.SendAfter(cfg.ReplicationDelay, c.Coordinator, peer, netsim.LinkReplica,

@@ -55,6 +55,14 @@ type Config struct {
 	// operations are never guarded (the fault-free hot path is unchanged).
 	OpTimeout time.Duration
 
+	// HintTTL bounds how long a coordinator keeps hints for an unreachable
+	// peer (see hints.go; default 30s, negative disables hinted handoff).
+	// Hints exist only under fault injection.
+	HintTTL time.Duration
+	// MaxHintsPerPeer caps each coordinator's per-peer hint queue,
+	// drop-oldest (default 128).
+	MaxHintsPerPeer int
+
 	// Seed fixes the cluster RNG (read repair sampling).
 	Seed int64
 }
@@ -78,6 +86,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.OpTimeout == 0 {
 		out.OpTimeout = 5 * time.Second
+	}
+	if out.HintTTL == 0 {
+		out.HintTTL = 30 * time.Second
+	}
+	if out.MaxHintsPerPeer == 0 {
+		out.MaxHintsPerPeer = 128
 	}
 	return out
 }
@@ -116,6 +130,10 @@ type Cluster struct {
 	// allocated and burned CPU on the hottest path.
 	proximity map[netsim.Region][]netsim.Region
 	ts        atomic.Uint64
+
+	// hints is the hinted-handoff state (see hints.go); inert without a
+	// fault interceptor.
+	hints hintStore
 
 	repair [readRepairShards]struct {
 		mu  sync.Mutex
@@ -162,6 +180,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.proximity[from] = c.tr.Model().SortByProximity(from, others)
 	}
+	c.wireHints()
 	return c, nil
 }
 

@@ -1,0 +1,151 @@
+package cassandra
+
+import (
+	"testing"
+	"time"
+
+	"correctables/internal/faults"
+	"correctables/internal/netsim"
+)
+
+// newHintedCluster builds a faulted cluster with read repair disabled, so
+// any convergence observed comes from hinted handoff alone.
+func newHintedCluster(t *testing.T, hintTTL time.Duration, maxHints int) (*Cluster, *faults.Injector, *netsim.VirtualClock) {
+	t.Helper()
+	clock := netsim.NewVirtualClock()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	inj := faults.Attach(tr, nil, 1)
+	cluster, err := NewCluster(Config{
+		Regions:          []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		Transport:        tr,
+		ReadServiceTime:  50 * time.Microsecond,
+		WriteServiceTime: 50 * time.Microsecond,
+		OpTimeout:        500 * time.Millisecond,
+		HintTTL:          hintTTL,
+		MaxHintsPerPeer:  maxHints,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, inj, clock
+}
+
+// TestHintedHandoffReplaysOnRestart: writes issued while a replica is down
+// are buffered as hints on the coordinator and delivered on restart — with
+// read repair off, the rejoining replica converges through handoff alone,
+// where it previously stayed stale until an (unsampled) repair.
+func TestHintedHandoffReplaysOnRestart(t *testing.T) {
+	cluster, inj, clock := newHintedCluster(t, 0, 0) // defaults: 30s TTL, 128 cap
+	client := NewClient(cluster, netsim.FRK, netsim.FRK)
+
+	inj.Apply(faults.Crash{Region: netsim.VRG})
+	for i := 0; i < 5; i++ {
+		// W=1: the ack never needs VRG; its async replication is hinted.
+		if err := client.Write("k", []byte{byte('a' + i)}, 1); err != nil {
+			t.Fatalf("write %d with VRG down: %v", i, err)
+		}
+	}
+	if st := cluster.HintStats(); st.Queued != 5 || st.Replayed != 0 {
+		t.Fatalf("stats = %+v, want 5 queued, none replayed", st)
+	}
+	if got := cluster.Replica(netsim.VRG).Get("k"); got.Exists {
+		t.Fatalf("crashed replica saw %q while down", got.Value)
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.VRG})
+	clock.Sleep(time.Second) // replayed hints travel FRK->VRG
+	if got := cluster.Replica(netsim.VRG).Get("k"); string(got.Value) != "e" {
+		t.Fatalf("rejoined replica has %q, want final write %q via hints", got.Value, "e")
+	}
+	if st := cluster.HintStats(); st.Replayed != 5 || st.Expired != 0 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want all 5 replayed", st)
+	}
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestHintTTLExpiry: a replica that stays down longer than HintTTL rejoins
+// without the expired hints — the bounded window that keeps hint queues
+// from masquerading as a durable log.
+func TestHintTTLExpiry(t *testing.T) {
+	cluster, inj, clock := newHintedCluster(t, 2*time.Second, 0)
+	client := NewClient(cluster, netsim.FRK, netsim.FRK)
+
+	inj.Apply(faults.Crash{Region: netsim.VRG})
+	if err := client.Write("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	clock.Sleep(3 * time.Second) // outlive the TTL
+	inj.Apply(faults.Restart{Region: netsim.VRG})
+	clock.Sleep(time.Second)
+
+	if got := cluster.Replica(netsim.VRG).Get("k"); got.Exists {
+		t.Fatalf("expired hint still delivered %q", got.Value)
+	}
+	if st := cluster.HintStats(); st.Expired != 1 || st.Replayed != 0 {
+		t.Fatalf("stats = %+v, want the one hint expired", st)
+	}
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestHintQueueBounded: the per-peer queue caps at MaxHintsPerPeer with
+// drop-oldest eviction — the newest mutations win, and the drop counter
+// records the loss.
+func TestHintQueueBounded(t *testing.T) {
+	cluster, inj, clock := newHintedCluster(t, 0, 3)
+	client := NewClient(cluster, netsim.FRK, netsim.FRK)
+
+	inj.Apply(faults.Crash{Region: netsim.VRG})
+	for i := 0; i < 10; i++ {
+		key := string(rune('a' + i))
+		if err := client.Write(key, []byte{1}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cluster.HintStats(); st.Dropped != 7 {
+		t.Fatalf("stats = %+v, want 7 dropped by the cap of 3", st)
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.VRG})
+	clock.Sleep(time.Second)
+	vrg := cluster.Replica(netsim.VRG)
+	if got := vrg.Keys(); got != 3 {
+		t.Fatalf("rejoined replica has %d keys, want the 3 newest hints", got)
+	}
+	// Drop-oldest: the surviving hints are the last three writes.
+	for _, key := range []string{"h", "i", "j"} {
+		if !vrg.Get(key).Exists {
+			t.Errorf("newest hint %q missing after replay", key)
+		}
+	}
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestHintsFollowPartitionHeal: hints buffer across a partition (not just a
+// crash) and replay on the heal transition.
+func TestHintsFollowPartitionHeal(t *testing.T) {
+	cluster, inj, clock := newHintedCluster(t, 0, 0)
+	client := NewClient(cluster, netsim.FRK, netsim.FRK)
+
+	inj.Apply(faults.Partition{Groups: [][]netsim.Region{
+		{netsim.FRK, netsim.IRL}, {netsim.VRG},
+	}})
+	if err := client.Write("k", []byte("v"), 2); err != nil { // IRL acks the quorum
+		t.Fatal(err)
+	}
+	clock.Sleep(time.Second)
+	if cluster.Replica(netsim.VRG).Get("k").Exists {
+		t.Fatal("write crossed the partition")
+	}
+
+	inj.Apply(faults.Heal{})
+	clock.Sleep(time.Second)
+	if got := cluster.Replica(netsim.VRG).Get("k"); string(got.Value) != "v" {
+		t.Fatalf("severed replica has %q after heal, want %q via hints", got.Value, "v")
+	}
+	inj.Quiesce()
+	clock.Drain()
+}

@@ -129,9 +129,28 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 	clock.Go(func() {
 		defer cancel()
 		defer close(finished)
-		includedAt := 0
+		includedAt, maxConf := 0, 0
 		for {
-			blk := blocks.Get().(Block)
+			var blk Block
+			switch m := blocks.Get().(type) {
+			case Reorg:
+				// A reorg above the including block orphans the transaction:
+				// it is back in the mempool, and the observer sees the one
+				// regression the model permits — an unconfirmed weak view at
+				// version 0 — before tracking the re-mined inclusion. A
+				// reorg below the inclusion leaves it on the canonical
+				// chain; the winning branch's replayed blocks then pass
+				// through the maxConf guard so confirmations never regress.
+				if includedAt > m.ForkHeight {
+					includedAt, maxConf = 0, 0
+					if wantWeak {
+						cb(binding.Result{Value: TxStatus{TxID: tx.ID}, Level: core.LevelWeak, Version: 0})
+					}
+				}
+				continue
+			case Block:
+				blk = m
+			}
 			if blk.Height == cancelSentinel.Height {
 				cb(binding.Result{Err: ctx.Err()})
 				return
@@ -152,6 +171,10 @@ func (b *Binding) SubmitOperation(ctx context.Context, op binding.Operation, lev
 				}
 			}
 			conf := blk.Height - includedAt + 1
+			if conf <= maxConf {
+				continue
+			}
+			maxConf = conf
 			status := TxStatus{TxID: tx.ID, Confirmations: conf, BlockHeight: includedAt}
 			if conf >= b.depth {
 				cb(binding.Result{Value: status, Level: core.LevelStrong, Version: uint64(includedAt)})

@@ -1,0 +1,194 @@
+package chain
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/core"
+	"correctables/internal/faults"
+	"correctables/internal/netsim"
+)
+
+// newForkedChain builds a faulted two-miner chain: FRK is the primary
+// (canonical) miner, VRG the competing secondary that forks under a
+// partition.
+func newForkedChain(t *testing.T) (*Chain, *faults.Injector, *netsim.VirtualClock) {
+	t.Helper()
+	clock := netsim.NewVirtualClock()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	inj := faults.Attach(tr, nil, 1)
+	c, err := New(Config{
+		Transport:     tr,
+		BlockInterval: 100 * time.Millisecond,
+		MinerRegions:  []netsim.Region{netsim.FRK, netsim.VRG},
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, inj, clock
+}
+
+// TestReorgOrphansAndRemines is the tentpole scenario: a partition severs
+// the two miners and the secondary silently extends its own branch; the
+// primary miner then crashes, so on heal the secondary's branch is longer
+// and wins. The transaction mined on the primary's side is orphaned — its
+// observer sees the one permitted height-token regression (an unconfirmed
+// weak view at version 0) — re-enters the mempool, and is re-mined into
+// the winning chain at a new height, where it confirms to finality.
+func TestReorgOrphansAndRemines(t *testing.T) {
+	c, inj, clock := newForkedChain(t)
+	client := binding.NewClient(NewBinding(c, 10))
+
+	clock.Sleep(300 * time.Millisecond) // a healthy common prefix
+	inj.Apply(faults.Partition{Groups: [][]netsim.Region{
+		{netsim.FRK, netsim.IRL}, {netsim.VRG},
+	}})
+	if !c.Forked() {
+		t.Fatal("partition between live miners did not open a fork")
+	}
+
+	cor := Submit(context.Background(), client, SubmitTx{ID: "tx-1", Data: []byte("x")})
+	clock.Sleep(400 * time.Millisecond) // primary mines the tx into its branch
+	views := cor.Views()
+	if len(views) == 0 {
+		t.Fatal("no inclusion view before the primary crash")
+	}
+	firstHeight := views[0].Value.BlockHeight
+
+	inj.Apply(faults.Crash{Region: netsim.FRK})
+	clock.Sleep(2 * time.Second) // the secondary branch outgrows the frozen primary
+	inj.Apply(faults.Restart{Region: netsim.FRK})
+	inj.Apply(faults.Heal{})
+
+	reorgs := c.Reorgs()
+	if len(reorgs) != 1 {
+		t.Fatalf("reorgs = %+v, want exactly one", reorgs)
+	}
+	orphaned := false
+	for _, id := range reorgs[0].Orphaned {
+		if id == "tx-1" {
+			orphaned = true
+		}
+	}
+	if !orphaned {
+		t.Fatalf("reorg %+v did not orphan tx-1", reorgs[0])
+	}
+	if c.Forked() {
+		t.Error("fork still open after the heal resolved it")
+	}
+
+	// The re-pooled transaction is re-mined and reaches finality on the
+	// winning chain.
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatalf("final after reorg: %v", err)
+	}
+	if v.Level != core.LevelStrong || v.Value.Confirmations < 10 {
+		t.Fatalf("final view %+v, want strong at depth", v)
+	}
+	if v.Value.BlockHeight == firstHeight {
+		t.Errorf("re-mined at the orphaned height %d; want a new inclusion", firstHeight)
+	}
+
+	// The observer saw the regression exactly once: the height token runs
+	// firstHeight..., then 0 (unconfirmed), then the new height.
+	views = cor.Views()
+	regressions := 0
+	for i := 1; i < len(views); i++ {
+		if views[i].Value.BlockHeight < views[i-1].Value.BlockHeight {
+			regressions++
+			if views[i].Value.BlockHeight != 0 || views[i].Value.Confirmations != 0 {
+				t.Errorf("regression view %+v, want unconfirmed at height 0", views[i])
+			}
+		}
+	}
+	if regressions != 1 {
+		t.Errorf("%d height regressions in %+v, want exactly the reorg's", regressions, views)
+	}
+
+	c.Stop()
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestShortBranchLosesWithoutReorg: the fork where the primary keeps the
+// longer chain (the secondary crashes mid-fork) resolves with no reorg —
+// watchers never learn the fork existed, and a tracked transaction keeps
+// its original inclusion.
+func TestShortBranchLosesWithoutReorg(t *testing.T) {
+	c, inj, clock := newForkedChain(t)
+	client := binding.NewClient(NewBinding(c, 3))
+
+	cor := Submit(context.Background(), client, SubmitTx{ID: "tx-1", Data: []byte("x")})
+	inj.Apply(faults.Partition{Groups: [][]netsim.Region{
+		{netsim.FRK, netsim.IRL}, {netsim.VRG},
+	}})
+	inj.Apply(faults.Crash{Region: netsim.VRG}) // branch frozen near zero
+	clock.Sleep(2 * time.Second)                // primary extends well past it
+
+	// The secondary is down, so the heal alone cannot reconnect the miners;
+	// the fork resolves at the restart transition.
+	inj.Apply(faults.Heal{})
+	if !c.Forked() {
+		t.Fatal("fork resolved while the secondary miner was still down")
+	}
+	inj.Apply(faults.Restart{Region: netsim.VRG})
+	if c.Forked() {
+		t.Fatal("fork still open after the miners reconnected")
+	}
+	if got := c.Reorgs(); len(got) != 0 {
+		t.Fatalf("losing short branch caused reorgs: %+v", got)
+	}
+
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, view := range cor.Views() {
+		if view.Value.BlockHeight != v.Value.BlockHeight {
+			t.Errorf("inclusion moved (%d vs %d) without a reorg", view.Value.BlockHeight, v.Value.BlockHeight)
+		}
+	}
+	c.Stop()
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestCrashedSecondaryOpensNoFork: a partition that severs an already
+// crashed miner opens no fork (it mines nothing to fork with); the fork
+// opens only at the transition that revives it inside the partition.
+func TestCrashedSecondaryOpensNoFork(t *testing.T) {
+	c, inj, clock := newForkedChain(t)
+
+	inj.Apply(faults.Crash{Region: netsim.VRG})
+	inj.Apply(faults.Partition{Groups: [][]netsim.Region{
+		{netsim.FRK, netsim.IRL}, {netsim.VRG},
+	}})
+	clock.Sleep(time.Second)
+	if c.Forked() {
+		t.Fatal("fork opened against a crashed miner")
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.VRG}) // revived inside the partition
+	if !c.Forked() {
+		t.Fatal("revived severed miner did not open a fork")
+	}
+	h := c.Height()
+	inj.Apply(faults.Heal{}) // immediately: the branch cannot have won
+	if c.Forked() {
+		t.Fatal("fork survived the heal")
+	}
+	if got := c.Reorgs(); len(got) != 0 {
+		t.Fatalf("immediate heal caused reorgs: %+v", got)
+	}
+	clock.Sleep(500 * time.Millisecond)
+	if got := c.Height(); got <= h {
+		t.Errorf("height stuck at %d after the fork resolved", got)
+	}
+	c.Stop()
+	inj.Quiesce()
+	clock.Drain()
+}

@@ -49,7 +49,15 @@ type Event interface {
 // Partition splits the regions into isolated groups: messages between
 // regions of different groups are severed (stalled synchronously, dropped
 // asynchronously) until a Heal. Regions not named in any group implicitly
-// ride with group 0. A second Partition replaces the current one wholesale.
+// ride with group 0.
+//
+// Partitions compose: a Partition firing while another is in force does not
+// replace it (the old silent-replacement semantics lost the first fault).
+// The injector keeps every active partition and enforces their common
+// refinement — two regions communicate only if every active partition
+// places them in the same group. Each Heal ends the *oldest* still-active
+// partition (schedules pair every Partition with its own Heal in time
+// order), so overlapping windows keep independent lifetimes.
 type Partition struct {
 	Groups [][]netsim.Region
 }
@@ -68,22 +76,31 @@ func (p Partition) String() string {
 }
 
 func (p Partition) mutate(i *Injector) {
-	i.group = make(map[netsim.Region]int, 8)
+	grouping := make(map[netsim.Region]int, 8)
 	for gi, g := range p.Groups {
 		for _, r := range g {
-			i.group[r] = gi
+			grouping[r] = gi
 		}
 	}
+	i.parts = append(i.parts, grouping)
+	i.rebuildGroupsLocked()
 }
 
-// Heal removes the current partition; all links are whole again (crashed
-// regions stay down until their Restart).
+// Heal ends the oldest active partition (all its links are whole again
+// unless a later, still-active partition severs them; crashed regions stay
+// down until their Restart). With a single partition in force this is the
+// familiar "heal clears the partition".
 type Heal struct{}
 
 // String implements Event.
 func (Heal) String() string { return "heal" }
 
-func (Heal) mutate(i *Injector) { i.group = nil }
+func (Heal) mutate(i *Injector) {
+	if len(i.parts) > 0 {
+		i.parts = i.parts[1:]
+	}
+	i.rebuildGroupsLocked()
+}
 
 // Crash takes the region down: every message to or from it is severed, and
 // fire-and-forget traffic already addressed to it is lost. Durable state
@@ -153,6 +170,7 @@ type quiesce struct{}
 func (quiesce) String() string { return "quiesce: all faults cleared" }
 
 func (quiesce) mutate(i *Injector) {
+	i.parts = nil
 	i.group = nil
 	i.down = make(map[netsim.Region]int)
 	i.spikes = nil
@@ -221,6 +239,35 @@ func (s *Schedule) At(at time.Duration, evs ...Event) *Schedule {
 func (s *Schedule) Events() []TimedEvent {
 	out := append([]TimedEvent(nil), s.events...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// UnmatchedCrashes returns the regions the schedule leaves crashed after
+// its last event: every Crash without a later matching Restart, sorted by
+// region name. Random never generates one — each Crash is paired with a
+// Restart at or before the profile horizon — so the returned slice is the
+// "permanent crashes" tag for hand-built schedules: experiments that
+// require eventual recovery assert it is empty.
+func (s *Schedule) UnmatchedCrashes() []netsim.Region {
+	balance := make(map[netsim.Region]int)
+	for _, te := range s.Events() {
+		switch ev := te.Event.(type) {
+		case Crash:
+			balance[ev.Region]++
+		case Restart:
+			// A Restart with no prior Crash is a no-op at the injector too.
+			if balance[ev.Region] > 0 {
+				balance[ev.Region]--
+			}
+		}
+	}
+	var out []netsim.Region
+	for r, n := range balance {
+		if n > 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

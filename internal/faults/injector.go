@@ -1,7 +1,10 @@
 package faults
 
 import (
+	"fmt"
 	randv2 "math/rand/v2"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +24,14 @@ type Transition struct {
 	Desc string
 }
 
+// Quiesced reports whether this transition is the final one fired by
+// Injector.Quiesce (subscribers that run periodic machinery — election
+// timers, mining ticks — use it to stand down so the clock can drain).
+func (t Transition) Quiesced() bool {
+	_, ok := t.Event.(quiesce)
+	return ok
+}
+
 // Injector replays a fault schedule against a transport. It implements
 // netsim.Interceptor: every message is judged against the current fault
 // epoch (partition groups, down regions, latency spikes, lossy links), and
@@ -36,6 +47,9 @@ type Injector struct {
 
 	mu  sync.Mutex
 	rng *randv2.Rand // Drop sampling
+	// parts holds every active partition's grouping, oldest first; group is
+	// their common refinement, rebuilt whenever parts changes.
+	parts []map[netsim.Region]int
 	// group maps regions to partition group ids; nil or all-equal means no
 	// partition. Regions absent from the map are in group 0.
 	group map[netsim.Region]int
@@ -51,6 +65,66 @@ type Injector struct {
 	done    bool
 	log     []Transition
 	subs    []func(Transition)
+	// regionSubs holds the OnDown/OnUp edge subscribers per region
+	// (copy-on-write lists, like subs).
+	regionSubs map[netsim.Region]*regionSub
+}
+
+// regionSub is one region's down/up edge subscriber lists.
+type regionSub struct {
+	down []func()
+	up   []func()
+}
+
+// rebuildGroupsLocked recomputes the merged partition map as the common
+// refinement of every active partition: a region's merged group is the
+// tuple of its group ids across parts (absent regions ride in group 0 of
+// every partition), with dense ids assigned deterministically over the
+// sorted region names. The all-zero tuple is pinned to id 0 so that regions
+// named in no partition (absent from the merged map, implicitly group 0)
+// stay grouped with regions every partition placed in group 0.
+func (i *Injector) rebuildGroupsLocked() {
+	switch len(i.parts) {
+	case 0:
+		i.group = nil
+		return
+	case 1:
+		// The grouping maps are never mutated after construction, so the
+		// single-partition fast path can share.
+		i.group = i.parts[0]
+		return
+	}
+	named := make(map[netsim.Region]bool)
+	for _, p := range i.parts {
+		for r := range p {
+			named[r] = true
+		}
+	}
+	regions := make([]netsim.Region, 0, len(named))
+	for r := range named {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(a, b int) bool { return regions[a] < regions[b] })
+
+	var zero strings.Builder
+	for range i.parts {
+		zero.WriteString("0,")
+	}
+	ids := map[string]int{zero.String(): 0}
+	merged := make(map[netsim.Region]int, len(regions))
+	for _, r := range regions {
+		var key strings.Builder
+		for _, p := range i.parts {
+			fmt.Fprintf(&key, "%d,", p[r])
+		}
+		id, ok := ids[key.String()]
+		if !ok {
+			id = len(ids)
+			ids[key.String()] = id
+		}
+		merged[r] = id
+	}
+	i.group = merged
 }
 
 // linkRule is one active latency-spike or drop rule. Empty regions are
@@ -110,9 +184,39 @@ func (i *Injector) Apply(ev Event) {
 }
 
 // applyLocked mutates state, logs the transition, rolls the epoch event and
-// notifies subscribers. Enters with i.mu held, returns with it released.
+// notifies subscribers — per-region down/up edges first (they flip cheap
+// liveness flags), then the generic transition subscribers (they typically
+// arm state-transfer sends against the flags the edges just set). Enters
+// with i.mu held, returns with it released.
 func (i *Injector) applyLocked(ev Event) {
+	// Snapshot the down-state of every edge-subscribed region so the event's
+	// mutation can be diffed into OnDown/OnUp edges. Regions fire in name
+	// order — map order would perturb determinism.
+	var watched []netsim.Region
+	for r := range i.regionSubs {
+		watched = append(watched, r)
+	}
+	sort.Slice(watched, func(a, b int) bool { return watched[a] < watched[b] })
+	before := make(map[netsim.Region]bool, len(watched))
+	for _, r := range watched {
+		before[r] = i.down[r] > 0
+	}
+
 	ev.mutate(i)
+
+	var edges []func()
+	for _, r := range watched {
+		after := i.down[r] > 0
+		if after == before[r] {
+			continue
+		}
+		if after {
+			edges = append(edges, i.regionSubs[r].down...)
+		} else {
+			edges = append(edges, i.regionSubs[r].up...)
+		}
+	}
+
 	tr := Transition{At: i.clock.Now(), Event: ev, Desc: ev.String()}
 	i.log = append(i.log, tr)
 	old := i.epochEv
@@ -120,6 +224,9 @@ func (i *Injector) applyLocked(ev Event) {
 	subs := i.subs
 	i.mu.Unlock()
 	old.Fire() // stalled senders recheck against the new epoch
+	for _, fn := range edges {
+		fn()
+	}
 	for _, fn := range subs {
 		fn(tr)
 	}
@@ -163,6 +270,55 @@ func (i *Injector) Subscribe(fn func(Transition)) {
 	copy(subs, i.subs)
 	i.subs = append(subs, fn)
 	i.mu.Unlock()
+}
+
+// OnDown registers fn to run whenever the region transitions from up to
+// down (its active-crash count crosses zero). Like Subscribe callbacks, fn
+// runs in clock callback context and must not block. Bindings use these
+// edges to maintain liveness flags instead of polling Down on every tick.
+func (i *Injector) OnDown(r netsim.Region, fn func()) {
+	i.onEdge(r, fn, true)
+}
+
+// OnUp registers fn to run whenever the region transitions from down to up
+// (including the final Quiesce, which restarts everything). Same callback
+// discipline as OnDown.
+func (i *Injector) OnUp(r netsim.Region, fn func()) {
+	i.onEdge(r, fn, false)
+}
+
+func (i *Injector) onEdge(r netsim.Region, fn func(), down bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.regionSubs == nil {
+		i.regionSubs = make(map[netsim.Region]*regionSub)
+	}
+	rs := i.regionSubs[r]
+	if rs == nil {
+		rs = &regionSub{}
+		i.regionSubs[r] = rs
+	}
+	// Copy-on-write, like subs: applyLocked snapshots the lists without
+	// copying, so they must never be appended to in place.
+	if down {
+		list := make([]func(), len(rs.down), len(rs.down)+1)
+		copy(list, rs.down)
+		rs.down = append(list, fn)
+	} else {
+		list := make([]func(), len(rs.up), len(rs.up)+1)
+		copy(list, rs.up)
+		rs.up = append(list, fn)
+	}
+}
+
+// Reachable reports whether a message from a to b would currently make
+// progress: both endpoints up and no active partition separating them.
+// Probabilistic Drop rules are not consulted — they lose individual
+// messages, not the link.
+func (i *Injector) Reachable(a, b netsim.Region) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.passableLocked(a, b)
 }
 
 // Down reports whether the region is currently crashed.

@@ -74,9 +74,13 @@ func ProfileByName(name string, unit time.Duration) (Profile, error) {
 // Random generates a schedule from a seed: fault onsets arrive as a Poisson
 // process (MeanGap), each fault's kind is drawn by weight and its length
 // from MeanDuration, and every fault is paired with the transition that
-// ends it (Heal, Restart, or rule expiry). The generation is a pure
-// function of (seed, profile): the same pair always yields the same
-// schedule, which is what makes a seed a complete reproduction recipe.
+// ends it (Heal, Restart, or rule expiry), clamped to the profile Horizon —
+// in particular every Crash has a matching Restart at or before the
+// horizon, so Schedule.UnmatchedCrashes is always empty for a generated
+// schedule and long-running experiments are guaranteed eventual recovery.
+// The generation is a pure function of (seed, profile): the same pair
+// always yields the same schedule, which is what makes a seed a complete
+// reproduction recipe.
 func Random(seed int64, p Profile) *Schedule {
 	if len(p.Regions) == 0 {
 		p.Regions = defaultRegions()
@@ -111,10 +115,10 @@ func Random(seed int64, p Profile) *Schedule {
 		}
 		switch w := rng.Float64() * total; {
 		case w < p.PartitionW:
-			// Isolate one region from the rest; replaces any partition in
-			// force (Partition semantics), its Heal clears whatever is
-			// current — overlap keeps the state machine simple and the run
-			// still interesting.
+			// Isolate one region from the rest. Overlapping partitions
+			// compose by refinement at the injector, and each Heal ends the
+			// oldest active partition — exactly the generation order here, so
+			// every partition window keeps its own lifetime.
 			iso := pick()
 			rest := make([]netsim.Region, 0, len(p.Regions)-1)
 			for _, r := range p.Regions {

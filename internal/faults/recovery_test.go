@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// TestOverlappingPartitionsCompose is the regression test for the silent-
+// replacement bug: a Partition firing while another is in force used to
+// replace it wholesale, losing the first fault. Overlapping partitions now
+// compose by refinement — two regions communicate only if every active
+// partition groups them together — and each Heal ends the oldest active
+// partition only.
+func TestOverlappingPartitionsCompose(t *testing.T) {
+	_, _, inj := newFabric(t)
+
+	inj.Apply(Partition{Groups: [][]netsim.Region{{netsim.FRK, netsim.IRL}, {netsim.VRG}}})
+	if !inj.Partitioned(netsim.FRK, netsim.VRG) || inj.Partitioned(netsim.FRK, netsim.IRL) {
+		t.Fatal("first partition not in force")
+	}
+
+	// Overlap: the second partition separates FRK from IRL. The refinement
+	// isolates all three regions.
+	inj.Apply(Partition{Groups: [][]netsim.Region{{netsim.FRK}, {netsim.IRL, netsim.VRG}}})
+	for _, pair := range [][2]netsim.Region{
+		{netsim.FRK, netsim.IRL}, {netsim.FRK, netsim.VRG}, {netsim.IRL, netsim.VRG},
+	} {
+		if !inj.Partitioned(pair[0], pair[1]) {
+			t.Errorf("refinement does not separate %s from %s", pair[0], pair[1])
+		}
+	}
+
+	// First Heal ends the *oldest* partition: the second one stays in force.
+	inj.Apply(Heal{})
+	if !inj.Partitioned(netsim.FRK, netsim.IRL) {
+		t.Error("second partition lost with the first heal (replacement semantics)")
+	}
+	if inj.Partitioned(netsim.IRL, netsim.VRG) {
+		t.Error("first partition still in force after its heal")
+	}
+
+	inj.Apply(Heal{})
+	if inj.Partitioned(netsim.FRK, netsim.IRL) || inj.Partitioned(netsim.FRK, netsim.VRG) {
+		t.Error("partitions survive after both heals")
+	}
+	// A surplus Heal is a no-op, not a panic.
+	inj.Apply(Heal{})
+}
+
+// TestPartitionMergeKeepsUnnamedWithGroupZero: regions named in no active
+// partition implicitly ride in group 0 of each; the merged map must keep
+// them grouped with regions every partition explicitly placed in group 0.
+func TestPartitionMergeKeepsUnnamedWithGroupZero(t *testing.T) {
+	_, _, inj := newFabric(t)
+	// FRK is named in neither partition: it rides with IRL in the first
+	// (both group 0) and with VRG in the second — the refinement leaves it
+	// alone.
+	inj.Apply(Partition{Groups: [][]netsim.Region{{netsim.IRL}, {netsim.VRG}}})
+	inj.Apply(Partition{Groups: [][]netsim.Region{{netsim.VRG}, {netsim.IRL}}})
+	if !inj.Partitioned(netsim.FRK, netsim.IRL) {
+		t.Error("unnamed FRK not separated from IRL (group-1 in partition 2)")
+	}
+	if !inj.Partitioned(netsim.FRK, netsim.VRG) {
+		t.Error("unnamed FRK not separated from VRG (group-1 in partition 1)")
+	}
+	inj.Quiesce()
+}
+
+// TestUnmatchedCrashes: the permanent-crash tag on hand-built schedules.
+func TestUnmatchedCrashes(t *testing.T) {
+	s := NewSchedule().
+		At(1*time.Second, Crash{Region: netsim.VRG}).
+		At(2*time.Second, Crash{Region: netsim.IRL}).
+		At(3*time.Second, Restart{Region: netsim.IRL})
+	got := s.UnmatchedCrashes()
+	if len(got) != 1 || got[0] != netsim.VRG {
+		t.Fatalf("UnmatchedCrashes = %v, want [%s]", got, netsim.VRG)
+	}
+	s.At(4*time.Second, Restart{Region: netsim.VRG})
+	if got := s.UnmatchedCrashes(); len(got) != 0 {
+		t.Fatalf("UnmatchedCrashes = %v after pairing, want empty", got)
+	}
+	// A double crash needs two restarts.
+	d := NewSchedule().
+		At(1*time.Second, Crash{Region: netsim.FRK}).
+		At(2*time.Second, Crash{Region: netsim.FRK}).
+		At(3*time.Second, Restart{Region: netsim.FRK})
+	if got := d.UnmatchedCrashes(); len(got) != 1 || got[0] != netsim.FRK {
+		t.Fatalf("double-crash UnmatchedCrashes = %v, want [%s]", got, netsim.FRK)
+	}
+}
+
+// TestRandomCrashRestartPairingSeedSweep: across many seeds and both
+// profiles, every generated Crash has a matching Restart at or before the
+// horizon — the recovery guarantee experiments rely on.
+func TestRandomCrashRestartPairingSeedSweep(t *testing.T) {
+	profiles := []Profile{ProfileMild(time.Second), ProfileHarsh(time.Second)}
+	crashes := 0
+	for seed := int64(0); seed < 200; seed++ {
+		for _, p := range profiles {
+			s := Random(seed, p)
+			if un := s.UnmatchedCrashes(); len(un) != 0 {
+				t.Fatalf("seed %d profile %s: permanent crashes %v", seed, p.Name, un)
+			}
+			for _, te := range s.Events() {
+				switch te.Event.(type) {
+				case Crash:
+					crashes++
+				case Restart:
+					if te.At > p.Horizon {
+						t.Fatalf("seed %d profile %s: restart at %v past horizon %v",
+							seed, p.Name, te.At, p.Horizon)
+					}
+				}
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("seed sweep generated no crashes at all — the pairing guarantee was never exercised")
+	}
+}
+
+// TestOnDownOnUpEdges: per-region notifications fire on down/up edges only
+// (a second overlapping Crash is not a new edge; the final Quiesce restarts
+// everything and fires the up edge).
+func TestOnDownOnUpEdges(t *testing.T) {
+	_, _, inj := newFabric(t)
+	var downs, ups int
+	inj.OnDown(netsim.VRG, func() { downs++ })
+	inj.OnUp(netsim.VRG, func() { ups++ })
+
+	inj.Apply(Crash{Region: netsim.VRG})
+	if downs != 1 || ups != 0 {
+		t.Fatalf("after crash: downs=%d ups=%d, want 1/0", downs, ups)
+	}
+	inj.Apply(Crash{Region: netsim.VRG}) // overlapping crash: no edge
+	inj.Apply(Restart{Region: netsim.VRG})
+	if downs != 1 || ups != 0 {
+		t.Fatalf("after first restart of a double crash: downs=%d ups=%d, want 1/0", downs, ups)
+	}
+	inj.Apply(Restart{Region: netsim.VRG})
+	if downs != 1 || ups != 1 {
+		t.Fatalf("after full restart: downs=%d ups=%d, want 1/1", downs, ups)
+	}
+	// Partitions touch reachability, not region liveness: no edges.
+	inj.Apply(Partition{Groups: [][]netsim.Region{{netsim.VRG}, {netsim.FRK, netsim.IRL}}})
+	inj.Apply(Heal{})
+	if downs != 1 || ups != 1 {
+		t.Fatalf("partition fired region edges: downs=%d ups=%d", downs, ups)
+	}
+	// Other regions' faults don't fire VRG's edges.
+	inj.Apply(Crash{Region: netsim.FRK})
+	if downs != 1 {
+		t.Fatalf("FRK crash fired VRG's down edge")
+	}
+	inj.Apply(Crash{Region: netsim.VRG})
+	inj.Quiesce() // clears all faults: VRG comes back up
+	if downs != 2 || ups != 2 {
+		t.Fatalf("after quiesce: downs=%d ups=%d, want 2/2", downs, ups)
+	}
+}
+
+// TestReachableAndQuiesced: the public reachability predicate composes
+// crashes and partitions, and Transition.Quiesced marks the final
+// transition for subscribers that must stand down periodic machinery.
+func TestReachableAndQuiesced(t *testing.T) {
+	_, _, inj := newFabric(t)
+	if !inj.Reachable(netsim.FRK, netsim.VRG) {
+		t.Fatal("healthy fabric unreachable")
+	}
+	inj.Apply(Partition{Groups: [][]netsim.Region{{netsim.FRK, netsim.IRL}, {netsim.VRG}}})
+	if inj.Reachable(netsim.FRK, netsim.VRG) || !inj.Reachable(netsim.FRK, netsim.IRL) {
+		t.Fatal("partition not reflected in Reachable")
+	}
+	inj.Apply(Heal{})
+	inj.Apply(Crash{Region: netsim.IRL})
+	if inj.Reachable(netsim.FRK, netsim.IRL) {
+		t.Fatal("crashed endpoint reachable")
+	}
+
+	var quiesced, transitions int
+	inj.Subscribe(func(tr Transition) {
+		transitions++
+		if tr.Quiesced() {
+			quiesced++
+		}
+	})
+	inj.Apply(Restart{Region: netsim.IRL})
+	inj.Quiesce()
+	if transitions != 2 || quiesced != 1 {
+		t.Fatalf("transitions=%d quiesced=%d, want 2/1", transitions, quiesced)
+	}
+}

@@ -327,3 +327,36 @@ func TestQueueHistoryPhantoms(t *testing.T) {
 		t.Fatalf("attributed history rejected: %+v", res)
 	}
 }
+
+// TestQueueAmbiguousDequeueMayApply: a dequeue that timed out may still
+// have taken effect server-side (its forward delivered after the heal), so
+// the checker must allow it to explain a vanished head element — while a
+// history with the same gap and no ambiguous dequeue stays a violation.
+func TestQueueAmbiguousDequeueMayApply(t *testing.T) {
+	enqA := mkOp("a", "enqueue", "q", true, ms(0), ms(10), 1)
+	enqA.Views[0].Note = "q-0000000001"
+	enqB := mkOp("a", "enqueue", "q", true, ms(20), ms(30), 2)
+	enqB.Views[0].Note = "q-0000000002"
+	// The head vanished: only b is ever dequeued.
+	deqB := mkOp("b", "dequeue", "q", true, ms(60), ms(70), 3)
+	deqB.Views[0].Note = "q-0000000002"
+
+	lin, vs := QueueHistory([]Op{enqA, enqB, deqB}, "q")
+	if len(vs) != 0 {
+		t.Fatalf("spurious phantoms: %+v", vs)
+	}
+	if res := CheckLinearizable(QueueModel{}, lin, 0); res.Ok || res.Inconclusive {
+		t.Fatalf("vanished head accepted without an ambiguous dequeue: %+v", res)
+	}
+
+	// A timed-out dequeue covering the gap makes the history linearizable.
+	ambiguousDeq := Op{Client: "c", Name: "dequeue", Key: "q", Mutating: true,
+		Start: ms(40), Done: true, Err: "unreachable"}
+	lin, vs = QueueHistory([]Op{enqA, enqB, ambiguousDeq, deqB}, "q")
+	if len(vs) != 0 {
+		t.Fatalf("spurious phantoms: %+v", vs)
+	}
+	if res := CheckLinearizable(QueueModel{}, lin, 0); !res.Ok {
+		t.Fatalf("ambiguous dequeue not applied: %+v", res)
+	}
+}

@@ -194,6 +194,11 @@ func (RegisterModel) Step(state string, op *LinOp) (string, bool) {
 // dequeue removes the head (or observes emptiness).
 type QueueModel struct{}
 
+// anyElem marks an ambiguous dequeue whose result nobody observed (the
+// client timed out): if linearized, it removes whatever the head is. The
+// NUL prefix keeps it disjoint from real element identities.
+const anyElem = "\x00any"
+
 // Init implements Model.
 func (QueueModel) Init() string { return "" }
 
@@ -206,6 +211,12 @@ func (QueueModel) Step(state string, op *LinOp) (string, bool) {
 		}
 		return state + "," + op.Elem, true
 	case "dequeue":
+		if op.Elem == anyElem {
+			// A timed-out dequeue that did take effect removed the head of
+			// whatever the queue held (a no-op on an empty queue).
+			_, rest, _ := strings.Cut(state, ",")
+			return rest, true
+		}
 		if op.Elem == "" {
 			// Observed empty: legal only on the empty queue.
 			return state, state == ""
@@ -329,7 +340,12 @@ func RegisterHistory(ops []Op, key string) ([]LinOp, []Violation) {
 // into a FIFO linearizability history over final views. Element identities
 // come from the recorded view notes (binding.Item.ID). Dequeued elements
 // no completed enqueue produced are attributed to ambiguous enqueues when
-// possible, phantom violations otherwise.
+// possible, phantom violations otherwise. Timed-out dequeues are ambiguous
+// too — one that took effect server-side after the client gave up (a
+// forward stalled by a partition and delivered at the heal, say) removed
+// an element nobody observed — so they enter the history as optional
+// wildcard removals the search may apply anywhere after their call or omit
+// entirely.
 func QueueHistory(ops []Op, queue string) ([]LinOp, []Violation) {
 	var lin []LinOp
 	var violations []Violation
@@ -354,6 +370,11 @@ func QueueHistory(ops []Op, queue string) ([]LinOp, []Violation) {
 					Kind: "dequeue", Elem: fv.Note,
 					Call: op.Start, Return: op.End, Source: op,
 				})
+			} else if !op.Completed() {
+				lin = append(lin, LinOp{
+					Kind: "dequeue", Elem: anyElem,
+					Call: op.Start, Return: forever, Optional: true, Source: op,
+				})
 			}
 		}
 	}
@@ -363,7 +384,7 @@ func QueueHistory(ops []Op, queue string) ([]LinOp, []Violation) {
 	var unknown []string
 	seenUnknown := map[string]bool{}
 	for _, l := range lin {
-		if l.Kind == "dequeue" && l.Elem != "" && !known[l.Elem] && !seenUnknown[l.Elem] {
+		if l.Kind == "dequeue" && l.Elem != "" && l.Elem != anyElem && !known[l.Elem] && !seenUnknown[l.Elem] {
 			seenUnknown[l.Elem] = true
 			unknown = append(unknown, l.Elem)
 		}

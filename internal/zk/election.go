@@ -1,0 +1,458 @@
+package zk
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"correctables/internal/faults"
+	"correctables/internal/netsim"
+)
+
+// Leader election for the simulated ensemble: an explicit follower ->
+// candidate -> leader state machine per server, driven entirely by clock
+// callbacks (RunAfter timer chains and transport Send deliveries) so
+// elections interleave deterministically with traffic and replay byte for
+// byte from a seed.
+//
+// The protocol is Zab-flavored Raft:
+//
+//   - The leader heartbeats every HeartbeatInterval. A follower that has
+//     not heard one for its election timeout — ElectionTimeout plus a
+//     deterministic per-server stagger replacing Raft's randomization —
+//     becomes a candidate, bumps its epoch, votes for itself, and solicits
+//     the other servers.
+//   - A voter grants at most one vote per epoch, and only to a candidate
+//     whose (dataEpoch, lastZxid) is at least its own — the newest-state
+//     rule that keeps client-acknowledged transactions on the winning side.
+//     The grant piggybacks the voter's accept-log tail.
+//   - A voter that heard its leader within the lease (two heartbeat
+//     intervals) denies without adopting the candidate's epoch and flags
+//     the live leader; the candidate steps down. This pre-vote stops a
+//     healed minority server from deposing a healthy leader.
+//   - A candidate with a majority (its own vote included) wins: it merges
+//     the piggybacked tails with its own accept log, materializes every
+//     transaction above its applied watermark in zxid order, advances the
+//     commit epoch, takes over proposal numbering, and resyncs lagging
+//     followers by state transfer. A zxid gap in the merged log means no
+//     majority accepted the missing proposal, so it was never
+//     client-acknowledged and is safe to lose.
+//
+// Crash integration rides the injector's per-region edge notifications: a
+// down server is suspended (no votes, beats, or candidacies); on restart it
+// resumes as a follower with a fresh grace period. The final Quiesce stops
+// every timer chain so VirtualClock.Drain terminates.
+//
+// Heartbeats and votes are control-plane traffic: they ride the transport
+// (so partitions and crashes apply to them) but charge no server worker
+// time, keeping the data-plane service model unchanged.
+
+// role is a server's place in the election state machine.
+type role uint8
+
+const (
+	roleFollower role = iota
+	roleCandidate
+	roleLeader
+)
+
+func (r role) String() string {
+	switch r {
+	case roleFollower:
+		return "follower"
+	case roleCandidate:
+		return "candidate"
+	case roleLeader:
+		return "leader"
+	}
+	return "unknown"
+}
+
+// ElectionRecord is one entry of the ensemble's election log.
+type ElectionRecord struct {
+	// Epoch the winner leads.
+	Epoch uint64
+	// Leader is the winning region.
+	Leader netsim.Region
+	// At is the model instant the win took effect.
+	At time.Duration
+}
+
+// acceptedTxn is one accept-log entry: the proposal and the epoch it was
+// ordered under (higher epochs win on zxid collisions after a rewind).
+type acceptedTxn struct {
+	Txn   Txn
+	Epoch uint64
+}
+
+// electState is one server's election-protocol state.
+type electState struct {
+	role     role
+	epoch    uint64 // highest election epoch seen
+	votedFor netsim.Region
+	votedEp  uint64
+	lastBeat time.Duration // last heartbeat heard (or grace reset)
+	// suspended mirrors the region's crash state via OnDown/OnUp.
+	suspended bool
+	// candidate bookkeeping
+	votes   int
+	sawDeny bool // a live peer denied (not lease-deny): bump epoch on retry
+	tally   map[uint64]acceptedTxn
+}
+
+// elector runs the election protocol for every server of one ensemble.
+type elector struct {
+	e   *Ensemble
+	inj *faults.Injector
+	hb  time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	st      map[netsim.Region]*electState
+	log     []ElectionRecord
+}
+
+func newElector(e *Ensemble, inj *faults.Injector) *elector {
+	el := &elector{
+		e:   e,
+		inj: inj,
+		hb:  e.cfg.HeartbeatInterval,
+		st:  make(map[netsim.Region]*electState, len(e.order)),
+	}
+	for _, r := range e.order {
+		st := &electState{role: roleFollower}
+		if r == e.cfg.LeaderRegion {
+			st.role = roleLeader
+		}
+		el.st[r] = st
+	}
+	for _, r := range e.order {
+		r := r
+		inj.OnDown(r, func() { el.setSuspended(r, true) })
+		inj.OnUp(r, func() { el.setSuspended(r, false) })
+		el.armTimer(r, el.timeoutFor(r))
+	}
+	inj.Subscribe(func(t faults.Transition) {
+		if t.Quiesced() {
+			el.stop()
+		}
+	})
+	el.runBeats(e.cfg.LeaderRegion, 0)
+	return el
+}
+
+// timeoutFor is the server's election timeout: the configured base plus a
+// deterministic stagger of a quarter-base per position in Regions order, so
+// ties break by declaration order instead of randomness.
+func (el *elector) timeoutFor(r netsim.Region) time.Duration {
+	for i, reg := range el.e.order {
+		if reg == r {
+			return el.e.cfg.ElectionTimeout + time.Duration(i)*el.e.cfg.ElectionTimeout/4
+		}
+	}
+	return el.e.cfg.ElectionTimeout
+}
+
+// lease is how long a follower keeps trusting its leader after a
+// heartbeat: two intervals tolerate one lost beat.
+func (el *elector) lease() time.Duration { return 2 * el.hb }
+
+// majority is the vote count that wins an election (self included).
+func (el *elector) majority() int { return len(el.e.order)/2 + 1 }
+
+func (el *elector) elections() []ElectionRecord {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	return append([]ElectionRecord(nil), el.log...)
+}
+
+// stop halts the elector: armed timers fire once more, see stopped, and do
+// not re-arm, so Drain terminates.
+func (el *elector) stop() {
+	el.mu.Lock()
+	el.stopped = true
+	el.mu.Unlock()
+}
+
+func (el *elector) setSuspended(r netsim.Region, down bool) {
+	el.mu.Lock()
+	st := el.st[r]
+	st.suspended = down
+	if !down {
+		// Fresh grace period on restart: hear the current leader (or time
+		// out honestly) before judging it dead.
+		st.lastBeat = el.e.tr.Clock().Now()
+	}
+	el.mu.Unlock()
+}
+
+// --- timers -------------------------------------------------------------
+
+func (el *elector) armTimer(r netsim.Region, d time.Duration) {
+	el.e.tr.Clock().RunAfter(d, func() { el.timerFired(r) })
+}
+
+// timerFired is the per-server election timer: it re-arms itself forever
+// (until stop) and starts or retries an election when a non-suspended
+// follower's heartbeat lease has lapsed.
+func (el *elector) timerFired(r netsim.Region) {
+	el.mu.Lock()
+	if el.stopped {
+		el.mu.Unlock()
+		return
+	}
+	st := el.st[r]
+	now := el.e.tr.Clock().Now()
+	to := el.timeoutFor(r)
+	if st.suspended || st.role == roleLeader {
+		el.mu.Unlock()
+		el.armTimer(r, to)
+		return
+	}
+	if st.role == roleFollower {
+		if wait := st.lastBeat + to - now; wait > 0 {
+			el.mu.Unlock()
+			el.armTimer(r, wait)
+			return
+		}
+		// Timed out: fresh candidacy in a new epoch.
+		st.role = roleCandidate
+		st.epoch++
+	} else if st.sawDeny {
+		// Candidate retry after a live denial (e.g. a split vote): a new
+		// epoch releases the deniers' votes. Without any reply — an
+		// isolated candidate — retry in the same epoch so a minority
+		// server cannot inflate epochs unboundedly while partitioned.
+		st.epoch++
+	}
+	st.sawDeny = false
+	epoch := st.epoch
+	st.votedFor, st.votedEp = r, epoch
+	st.votes = 1
+	s := el.e.servers[r]
+	candEpoch, candApplied, candZxid := s.electInfo()
+	st.tally = s.acceptedTail(candApplied)
+	el.mu.Unlock()
+
+	for _, other := range el.e.order {
+		if other == r {
+			continue
+		}
+		other := other
+		el.e.tr.Send(r, other, netsim.LinkReplica, VoteRequestSize, func() {
+			el.onVoteRequest(other, r, epoch, candEpoch, candApplied, candZxid)
+		})
+	}
+	el.armTimer(r, to)
+}
+
+// --- heartbeats ---------------------------------------------------------
+
+func (el *elector) runBeats(r netsim.Region, epoch uint64) {
+	el.e.tr.Clock().RunAfter(el.hb, func() { el.beat(r, epoch) })
+}
+
+// beat is the leader heartbeat chain: it ends when the server is no longer
+// the leader of this epoch (deposed or superseded); a suspended leader
+// skips the sends but keeps the chain so beats resume on restart.
+func (el *elector) beat(r netsim.Region, epoch uint64) {
+	el.mu.Lock()
+	st := el.st[r]
+	if el.stopped || st.role != roleLeader || st.epoch != epoch {
+		el.mu.Unlock()
+		return
+	}
+	suspended := st.suspended
+	el.mu.Unlock()
+
+	if !suspended {
+		for _, other := range el.e.order {
+			if other == r {
+				continue
+			}
+			other := other
+			el.e.tr.Send(r, other, netsim.LinkReplica, HeartbeatSize, func() {
+				el.onHeartbeat(other, epoch)
+			})
+		}
+	}
+	el.runBeats(r, epoch)
+}
+
+// onHeartbeat runs at a server hearing a leader heartbeat: adopt the epoch,
+// step down from any candidacy (or stale leadership), refresh the lease.
+func (el *elector) onHeartbeat(r netsim.Region, epoch uint64) {
+	el.mu.Lock()
+	st := el.st[r]
+	if el.stopped || st.suspended || epoch < st.epoch {
+		el.mu.Unlock()
+		return
+	}
+	st.epoch = epoch
+	if st.role != roleFollower {
+		st.role = roleFollower
+		st.sawDeny = false
+		st.tally = nil
+	}
+	st.lastBeat = el.e.tr.Clock().Now()
+	el.mu.Unlock()
+}
+
+// --- votes --------------------------------------------------------------
+
+// onVoteRequest runs at voter v for a candidacy of cand.
+func (el *elector) onVoteRequest(v, cand netsim.Region, epoch, candEpoch, candApplied, candZxid uint64) {
+	el.mu.Lock()
+	st := el.st[v]
+	if el.stopped || st.suspended {
+		el.mu.Unlock()
+		return
+	}
+	now := el.e.tr.Clock().Now()
+	reply := func(granted, leaderLive bool, tail map[uint64]acceptedTxn) {
+		el.mu.Unlock()
+		el.e.tr.Send(v, cand, netsim.LinkReplica, voteReplySize(tail), func() {
+			el.onVoteReply(cand, epoch, granted, leaderLive, tail)
+		})
+	}
+	if epoch < st.epoch {
+		reply(false, false, nil)
+		return
+	}
+	// Leader lease pre-vote: a live leader, or a follower that heard one
+	// within the lease, denies without adopting the epoch — a healed
+	// minority candidate steps down instead of deposing a healthy leader.
+	if st.role == roleLeader || now-st.lastBeat < el.lease() {
+		reply(false, true, nil)
+		return
+	}
+	if epoch > st.epoch {
+		st.epoch = epoch
+		st.role = roleFollower
+		st.sawDeny = false
+		st.tally = nil
+	}
+	if st.votedEp == epoch && st.votedFor != cand {
+		reply(false, false, nil)
+		return
+	}
+	s := el.e.servers[v]
+	vEpoch, _, vZxid := s.electInfo()
+	if candEpoch < vEpoch || (candEpoch == vEpoch && candZxid < vZxid) {
+		// Newest-state rule: never elect a candidate behind this voter.
+		reply(false, false, nil)
+		return
+	}
+	st.votedFor, st.votedEp = cand, epoch
+	reply(true, false, s.acceptedTail(candApplied))
+}
+
+// onVoteReply runs at the candidate.
+func (el *elector) onVoteReply(cand netsim.Region, epoch uint64, granted, leaderLive bool, tail map[uint64]acceptedTxn) {
+	el.mu.Lock()
+	st := el.st[cand]
+	if el.stopped || st.suspended || st.role != roleCandidate || st.epoch != epoch {
+		el.mu.Unlock()
+		return
+	}
+	if !granted {
+		if leaderLive {
+			// The cluster has a live leader: stand down and wait to hear it.
+			st.role = roleFollower
+			st.sawDeny = false
+			st.tally = nil
+			st.lastBeat = el.e.tr.Clock().Now()
+		} else {
+			st.sawDeny = true
+		}
+		el.mu.Unlock()
+		return
+	}
+	st.votes++
+	for z, a := range tail {
+		if cur, ok := st.tally[z]; !ok || a.Epoch > cur.Epoch {
+			if st.tally == nil {
+				st.tally = make(map[uint64]acceptedTxn)
+			}
+			st.tally[z] = a
+		}
+	}
+	if st.votes < el.majority() {
+		el.mu.Unlock()
+		return
+	}
+	st.role = roleLeader
+	tally := st.tally
+	st.tally = nil
+	el.mu.Unlock()
+	el.becomeLeader(cand, epoch, tally)
+}
+
+// becomeLeader installs an election win: materialize the merged accept log,
+// advance the commit epoch, take over proposal numbering, move the leader
+// pointer, start heartbeats, and resync lagging followers.
+func (el *elector) becomeLeader(r netsim.Region, epoch uint64, tally map[uint64]acceptedTxn) {
+	e := el.e
+	now := e.tr.Clock().Now()
+	e.propMu.Lock()
+	if epoch <= e.commitEpoch {
+		// A later election already won: this victory is stale.
+		e.propMu.Unlock()
+		el.mu.Lock()
+		if st := el.st[r]; st.role == roleLeader && st.epoch == epoch {
+			st.role = roleFollower
+			st.lastBeat = now
+		}
+		el.mu.Unlock()
+		return
+	}
+	s := e.servers[r]
+	s.mu.Lock()
+	zxids := make([]uint64, 0, len(tally))
+	for z := range tally {
+		if z > s.lastApplied {
+			zxids = append(zxids, z)
+		}
+	}
+	sort.Slice(zxids, func(i, j int) bool { return zxids[i] < zxids[j] })
+	for _, z := range zxids {
+		tally[z].Txn.Apply(s.tree)
+		s.lastApplied = z
+	}
+	s.dataEpoch = epoch
+	s.pending = make(map[uint64]Txn)
+	if s.accepted != nil {
+		s.accepted = make(map[uint64]acceptedTxn)
+		s.maxAccepted = 0
+	}
+	fire := s.applyPendingLocked()
+	s.mu.Unlock()
+	e.nextZxid = s.lastApplied
+	e.commitEpoch = epoch
+	e.propMu.Unlock()
+
+	e.setLeader(s)
+	el.mu.Lock()
+	el.log = append(el.log, ElectionRecord{Epoch: epoch, Leader: r, At: now})
+	el.mu.Unlock()
+	for _, w := range fire {
+		w.Fire()
+	}
+	el.runBeats(r, epoch)
+	e.resyncLagging()
+}
+
+// Role returns the server's current election role (always follower for the
+// non-leaders of an election-less ensemble).
+func (s *Server) Role() string {
+	e := s.ensemble
+	if e.elect == nil {
+		if e.Leader() == s {
+			return roleLeader.String()
+		}
+		return roleFollower.String()
+	}
+	e.elect.mu.Lock()
+	defer e.elect.mu.Unlock()
+	return e.elect.st[s.Region].role.String()
+}

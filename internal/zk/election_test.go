@@ -1,0 +1,207 @@
+package zk
+
+import (
+	"testing"
+	"time"
+
+	"correctables/internal/faults"
+	"correctables/internal/netsim"
+)
+
+// Default election parameters (ElectionTimeout 2s base + quarter-base
+// stagger, HeartbeatInterval 250ms) with the newFaultedEnsemble regions:
+// FRK (leader) times out after 2s, IRL after 2.5s, VRG after 3s.
+
+// TestLeaderCrashElectsMajority is the tentpole semantic: a crashed leader
+// no longer wedges finals until its restart — the majority side elects a
+// new leader within the election timeout and ordered commits resume while
+// the old leader is still down; on restart the old leader rejoins as a
+// follower and is resynced by state transfer.
+func TestLeaderCrashElectsMajority(t *testing.T) {
+	e, inj, clock := newFaultedEnsemble(t)
+	qc := NewQueueClient(e, netsim.IRL, netsim.IRL)
+	if err := qc.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Apply(faults.Crash{Region: netsim.FRK})
+	clock.Sleep(3500 * time.Millisecond) // IRL times out at ~2.5s and wins with VRG's vote
+
+	recs := e.Elections()
+	if len(recs) != 1 || recs[0].Leader != netsim.IRL || recs[0].Epoch != 1 {
+		t.Fatalf("elections = %+v, want one epoch-1 win by %s", recs, netsim.IRL)
+	}
+	if got := e.Leader().Region; got != netsim.IRL {
+		t.Fatalf("leader = %s after election, want %s", got, netsim.IRL)
+	}
+	// Finals resume with the old leader still down.
+	if err := qc.Enqueue("q", []byte("x"), false, func(QueueView) {}); err != nil {
+		t.Fatalf("enqueue under new leader with old leader down: %v", err)
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.FRK})
+	clock.Sleep(time.Second) // snapshot resync + a heartbeat to step down
+	if got := e.Server(netsim.FRK).Role(); got != "follower" {
+		t.Errorf("restarted old leader role = %s, want follower", got)
+	}
+	if got, want := e.Server(netsim.FRK).Tree().NodeCount(), e.Leader().Tree().NodeCount(); got != want {
+		t.Errorf("old leader has %d znodes after resync, leader %d", got, want)
+	}
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestElectionStalledByCrashedElectorate: a candidacy in flight while the
+// rest of the ensemble is crashed cannot reach a majority — the candidate
+// retries in the *same* epoch (an isolated candidate must not inflate
+// epochs) until a quorum peer restarts, then wins promptly. Terminal state:
+// elected leader, working ops, converged trees — never a wedge.
+func TestElectionStalledByCrashedElectorate(t *testing.T) {
+	e, inj, clock := newFaultedEnsemble(t)
+	qc := NewQueueClient(e, netsim.IRL, netsim.IRL)
+	if err := qc.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Apply(faults.Crash{Region: netsim.FRK})
+	inj.Apply(faults.Crash{Region: netsim.VRG})
+	clock.Sleep(9 * time.Second) // several IRL candidacies, all short of quorum
+	if recs := e.Elections(); len(recs) != 0 {
+		t.Fatalf("election won without a quorum alive: %+v", recs)
+	}
+	if got := e.Server(netsim.IRL).Role(); got != "candidate" {
+		t.Errorf("sole live server role = %s, want candidate", got)
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.VRG})
+	clock.Sleep(6 * time.Second) // next retry (plus one step-down round at worst) wins
+	recs := e.Elections()
+	if len(recs) != 1 || recs[0].Leader != netsim.IRL {
+		t.Fatalf("elections = %+v, want one win by %s", recs, netsim.IRL)
+	}
+	if recs[0].Epoch > 2 {
+		t.Errorf("win epoch = %d; isolated retries inflated the epoch", recs[0].Epoch)
+	}
+	if err := qc.Enqueue("q", []byte("x"), false, func(QueueView) {}); err != nil {
+		t.Fatalf("enqueue after recovery: %v", err)
+	}
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestDoubleLeaderCrash: the elected leader crashes too. The remaining
+// majority (the restarted original leader plus the untouched follower)
+// elects again — epochs strictly increase, the twice-moved leadership
+// settles, and the twice-crashed servers rejoin as followers.
+func TestDoubleLeaderCrash(t *testing.T) {
+	e, inj, clock := newFaultedEnsemble(t)
+	qc := NewQueueClient(e, netsim.VRG, netsim.VRG)
+	if err := qc.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Apply(faults.Crash{Region: netsim.FRK})
+	clock.Sleep(3500 * time.Millisecond) // IRL wins epoch 1
+	inj.Apply(faults.Restart{Region: netsim.FRK})
+	clock.Sleep(time.Second) // FRK resyncs, steps down
+
+	inj.Apply(faults.Crash{Region: netsim.IRL})
+	clock.Sleep(3 * time.Second) // FRK times out first (2s) and wins epoch 2
+	recs := e.Elections()
+	if len(recs) != 2 {
+		t.Fatalf("elections = %+v, want two", recs)
+	}
+	if recs[1].Leader != netsim.FRK || recs[1].Epoch <= recs[0].Epoch {
+		t.Fatalf("second election = %+v, want %s at a higher epoch than %+v", recs[1], netsim.FRK, recs[0])
+	}
+	if err := qc.Enqueue("q", []byte("x"), false, func(QueueView) {}); err != nil {
+		t.Fatalf("enqueue under second elected leader: %v", err)
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.IRL})
+	clock.Sleep(time.Second)
+	if got := e.Server(netsim.IRL).Role(); got != "follower" {
+		t.Errorf("twice-deposed leader role = %s, want follower", got)
+	}
+	if got, want := e.Server(netsim.IRL).Tree().NodeCount(), e.Leader().Tree().NodeCount(); got != want {
+		t.Errorf("rejoined server has %d znodes, leader %d", got, want)
+	}
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestHealBeforeElectionTimeout: a partition that isolates the leader but
+// heals inside the election timeout must not trigger an election — the
+// followers' heartbeat lease resumes before anyone times out.
+func TestHealBeforeElectionTimeout(t *testing.T) {
+	e, inj, clock := newFaultedEnsemble(t)
+	qc := NewQueueClient(e, netsim.IRL, netsim.IRL)
+	if err := qc.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Apply(faults.Partition{Groups: [][]netsim.Region{
+		{netsim.FRK}, {netsim.IRL, netsim.VRG},
+	}})
+	clock.Sleep(1500 * time.Millisecond) // under FRK's 2s base timeout
+	inj.Apply(faults.Heal{})
+	clock.Sleep(3 * time.Second) // past every timeout: leases must have resumed
+
+	if recs := e.Elections(); len(recs) != 0 {
+		t.Fatalf("heal inside the timeout still triggered elections: %+v", recs)
+	}
+	if got := e.Leader().Region; got != netsim.FRK {
+		t.Fatalf("leader moved to %s despite the heal", got)
+	}
+	if err := qc.Enqueue("q", []byte("x"), false, func(QueueView) {}); err != nil {
+		t.Fatalf("enqueue after heal: %v", err)
+	}
+	inj.Quiesce()
+	clock.Drain()
+}
+
+// TestCandidateCrashAfterVoting: an isolated follower becomes a candidate
+// (voting for itself), crashes mid-candidacy, and restarts after the heal.
+// The healthy majority never lost its leader, so the rejoining candidate is
+// lease-denied, stands down, and the ensemble ends with its original
+// leader, no elections, and converged state — the restart-bug shape that
+// must never wedge.
+func TestCandidateCrashAfterVoting(t *testing.T) {
+	e, inj, clock := newFaultedEnsemble(t)
+	qc := NewQueueClient(e, netsim.FRK, netsim.FRK)
+	if err := qc.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Apply(faults.Partition{Groups: [][]netsim.Region{
+		{netsim.IRL}, {netsim.FRK, netsim.VRG},
+	}})
+	clock.Sleep(3500 * time.Millisecond) // IRL times out at ~2.5s, candidacies in isolation
+	if got := e.Server(netsim.IRL).Role(); got != "candidate" {
+		t.Fatalf("isolated follower role = %s, want candidate", got)
+	}
+	inj.Apply(faults.Crash{Region: netsim.IRL}) // candidate crashes after self-voting
+	inj.Apply(faults.Heal{})
+	// Commits keep flowing on the majority side throughout.
+	if err := qc.Enqueue("q", []byte("x"), false, func(QueueView) {}); err != nil {
+		t.Fatalf("enqueue with candidate crashed: %v", err)
+	}
+
+	inj.Apply(faults.Restart{Region: netsim.IRL})
+	clock.Sleep(4 * time.Second) // rejoin: solicit, get lease-denied, stand down
+
+	if recs := e.Elections(); len(recs) != 0 {
+		t.Fatalf("rejoining candidate deposed a healthy leader: %+v", recs)
+	}
+	if got := e.Leader().Region; got != netsim.FRK {
+		t.Fatalf("leader = %s, want %s untouched", got, netsim.FRK)
+	}
+	if got := e.Server(netsim.IRL).Role(); got != "follower" {
+		t.Errorf("rejoined candidate role = %s, want follower", got)
+	}
+	if got, want := e.Server(netsim.IRL).Tree().NodeCount(), e.Leader().Tree().NodeCount(); got != want {
+		t.Errorf("rejoined candidate has %d znodes, leader %d", got, want)
+	}
+	inj.Quiesce()
+	clock.Drain()
+}

@@ -29,6 +29,19 @@ type Config struct {
 	// fault interceptor is attached to the Transport (default 5s); see
 	// cassandra.Config.OpTimeout for the semantics.
 	OpTimeout time.Duration
+	// HeartbeatInterval is the leader heartbeat period when elections are
+	// enabled (default 250ms). Followers treat a heartbeat gap longer than
+	// their election timeout as a dead leader.
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is the base follower patience before starting an
+	// election (default 2s). Server i (in Regions order) waits
+	// ElectionTimeout + i*ElectionTimeout/4 — a deterministic stagger that
+	// replaces Raft's randomized timeouts, keeping elections seed-replayable.
+	ElectionTimeout time.Duration
+	// DisableElections keeps the static-leader behavior even on a faulted
+	// transport: a crashed leader fails ops with ErrUnreachable until its
+	// Restart, as before PR 6. Elections also require at least 3 servers.
+	DisableElections bool
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +53,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpTimeout == 0 {
 		c.OpTimeout = 5 * time.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.ElectionTimeout == 0 {
+		c.ElectionTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -55,6 +74,19 @@ type Server struct {
 	lastApplied uint64
 	pending     map[uint64]Txn
 	waiters     map[uint64][]netsim.Event
+
+	// dataEpoch is the election epoch the applied state belongs to. Commits
+	// and snapshots from older epochs — a deposed leader's stalled broadcast
+	// finally arriving after a heal — are discarded.
+	dataEpoch uint64
+	// accepted is the follower's Zab accept log: every proposal acked since
+	// the last epoch change, keyed by zxid. Vote grants piggyback the tail
+	// of this log so an election winner can materialize every transaction a
+	// majority accepted (and hence every client-acknowledged one). Cleared
+	// when an epoch-advancing snapshot or election win supersedes it; nil
+	// while elections are disabled.
+	accepted    map[uint64]acceptedTxn
+	maxAccepted uint64
 }
 
 // Tree exposes the server's local (committed) state for local reads and
@@ -62,7 +94,7 @@ type Server struct {
 func (s *Server) Tree() *Tree { return s.tree }
 
 // IsLeader reports whether this server is the ensemble leader.
-func (s *Server) IsLeader() bool { return s.ensemble.leader == s }
+func (s *Server) IsLeader() bool { return s.ensemble.Leader() == s }
 
 // LastApplied returns the highest zxid applied locally.
 func (s *Server) LastApplied() uint64 {
@@ -77,12 +109,23 @@ type Ensemble struct {
 	tr      *netsim.Transport
 	servers map[netsim.Region]*Server
 	order   []netsim.Region
-	leader  *Server
+
+	// leaderMu guards the leader pointer, which elections move at runtime.
+	leaderMu sync.Mutex
+	leader   *Server
+
+	// elect is the leader-election machinery; nil when elections are
+	// disabled (no fault interceptor, fewer than 3 servers, or
+	// Config.DisableElections).
+	elect *elector
 
 	// propMu serializes proposal numbering and leader prep-application,
-	// establishing the Zab total order.
-	propMu   sync.Mutex
-	nextZxid uint64
+	// establishing the Zab total order. commitEpoch is the epoch new
+	// proposals commit under; an election win advances it and rewinds
+	// nextZxid to the winner's applied watermark.
+	propMu      sync.Mutex
+	nextZxid    uint64
+	commitEpoch uint64
 }
 
 // NewEnsemble builds an ensemble per cfg.
@@ -122,55 +165,88 @@ func NewEnsemble(cfg Config) (*Ensemble, error) {
 	// transition (a restart, a heal, an expiring drop rule), followers that
 	// missed commits — a crashed server loses its in-flight commit stream,
 	// a partitioned one has it severed — resync from the leader by state
-	// transfer, like ZooKeeper's SNAP sync.
+	// transfer, like ZooKeeper's SNAP sync. With 3+ servers the ensemble
+	// also runs leader elections (see election.go): a crashed or isolated
+	// leader is replaced by a majority-elected one instead of wedging
+	// finals until restart.
 	if inj, ok := cfg.Transport.Interceptor().(*faults.Injector); ok {
 		inj.Subscribe(func(faults.Transition) { e.resyncLagging() })
+		if len(cfg.Regions) >= 3 && !cfg.DisableElections {
+			e.elect = newElector(e, inj)
+		}
 	}
 	return e, nil
 }
 
 // resyncLagging ships a leader snapshot to every follower whose applied
-// state lags the leader. It runs in clock callback context (fault
-// transitions) and must not block: snapshots travel as asynchronous sends,
-// which the transport drops if the follower is still unreachable — the next
-// transition retries.
+// state lags the leader — comparing (epoch, zxid) lexicographically, so a
+// deposed leader whose tree diverged on phantom prep-applies is overwritten
+// by the new epoch's state even when its zxid watermark ran ahead. It runs
+// in clock callback context (fault transitions, election wins) and must not
+// block: snapshots travel as asynchronous sends, which the transport drops
+// if the follower is still unreachable — the next transition retries.
 func (e *Ensemble) resyncLagging() {
-	leaderZxid := e.leader.LastApplied()
+	leader := e.Leader()
+	leaderEpoch, leaderZxid := leader.epochApplied()
 	for _, region := range e.order {
 		s := e.servers[region]
-		if s == e.leader || s.LastApplied() >= leaderZxid {
+		if s == leader {
+			continue
+		}
+		ep, zx := s.epochApplied()
+		if ep > leaderEpoch || (ep == leaderEpoch && zx >= leaderZxid) {
 			continue
 		}
 		// One snapshot per follower: Restore installs the node map without
 		// copying, so recipients must not share one.
-		snap, zxid, size := e.snapshotLeader()
-		e.tr.Send(e.leader.Region, region, netsim.LinkReplica, size, func() {
-			s.installSnapshot(snap, zxid)
+		snap, zxid, epoch, size := e.snapshotLeader(leader)
+		e.tr.Send(leader.Region, region, netsim.LinkReplica, size, func() {
+			s.installSnapshot(snap, zxid, epoch)
 		})
 	}
 }
 
-// snapshotLeader captures the leader's tree and zxid atomically (propMu
-// serializes all leader mutations).
-func (e *Ensemble) snapshotLeader() (map[string]*node, uint64, int) {
+// snapshotLeader captures the leader's tree, zxid and epoch atomically
+// (propMu serializes all leader mutations).
+func (e *Ensemble) snapshotLeader(leader *Server) (map[string]*node, uint64, uint64, int) {
 	e.propMu.Lock()
 	defer e.propMu.Unlock()
-	snap, size := e.leader.tree.Snapshot()
-	return snap, e.leader.LastApplied(), size
+	snap, size := leader.tree.Snapshot()
+	epoch, zxid := leader.epochApplied()
+	return snap, zxid, epoch, size
+}
+
+// epochApplied returns the (dataEpoch, lastApplied) pair that orders
+// replica states across elections.
+func (s *Server) epochApplied() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dataEpoch, s.lastApplied
 }
 
 // installSnapshot replaces the server's state with a leader snapshot taken
-// at the given zxid, then drains any buffered commits past it and releases
-// the waiters the snapshot satisfies. Stale snapshots (the server caught up
-// in the meantime) are ignored.
-func (s *Server) installSnapshot(nodes map[string]*node, zxid uint64) {
+// at the given (epoch, zxid), then drains any buffered commits past it and
+// releases the waiters the snapshot satisfies. Stale snapshots — at or
+// below the server's own (epoch, zxid), compared lexicographically — are
+// ignored. An epoch-advancing snapshot clears the buffered-commit and
+// accept logs wholesale: their entries belong to a superseded leader's
+// numbering and must not merge with the new epoch's commit stream.
+func (s *Server) installSnapshot(nodes map[string]*node, zxid, epoch uint64) {
 	var fire []netsim.Event
 	s.mu.Lock()
-	if zxid <= s.lastApplied {
+	if epoch < s.dataEpoch || (epoch == s.dataEpoch && zxid <= s.lastApplied) {
 		s.mu.Unlock()
 		return
 	}
 	s.tree.Restore(nodes)
+	if epoch > s.dataEpoch {
+		s.dataEpoch = epoch
+		s.pending = make(map[uint64]Txn)
+		if s.accepted != nil {
+			s.accepted = make(map[uint64]acceptedTxn)
+			s.maxAccepted = 0
+		}
+	}
 	s.lastApplied = zxid
 	for z := range s.pending {
 		if z <= zxid {
@@ -182,6 +258,53 @@ func (s *Server) installSnapshot(nodes map[string]*node, zxid uint64) {
 	for _, w := range fire {
 		w.Fire()
 	}
+}
+
+// accept records a proposal in the server's accept log (elections enabled
+// only); called on the follower leg of Propose before the ack travels back,
+// so a counted ack always implies a recorded accept.
+func (s *Server) accept(zxid, epoch uint64, txn Txn) {
+	s.mu.Lock()
+	if s.accepted == nil {
+		s.accepted = make(map[uint64]acceptedTxn)
+	}
+	if cur, ok := s.accepted[zxid]; !ok || epoch >= cur.Epoch {
+		s.accepted[zxid] = acceptedTxn{Txn: txn, Epoch: epoch}
+	}
+	if zxid > s.maxAccepted {
+		s.maxAccepted = zxid
+	}
+	s.mu.Unlock()
+}
+
+// electInfo returns the server's vote-comparison key (dataEpoch, lastZxid)
+// plus its applied watermark; lastZxid = max(applied, accepted) is Zab's
+// "newest state seen" used to decide which candidate may lead.
+func (s *Server) electInfo() (epoch, lastApplied, lastZxid uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lastZxid = s.lastApplied
+	if s.maxAccepted > lastZxid {
+		lastZxid = s.maxAccepted
+	}
+	return s.dataEpoch, s.lastApplied, lastZxid
+}
+
+// acceptedTail returns the accept-log entries above the given zxid, the
+// payload a vote grant piggybacks to the candidate.
+func (s *Server) acceptedTail(above uint64) map[uint64]acceptedTxn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var tail map[uint64]acceptedTxn
+	for z, a := range s.accepted {
+		if z > above {
+			if tail == nil {
+				tail = make(map[uint64]acceptedTxn)
+			}
+			tail[z] = a
+		}
+	}
+	return tail
 }
 
 // applyPendingLocked drains buffered commits in strict zxid order (stopping
@@ -228,8 +351,29 @@ func (e *Ensemble) Server(region netsim.Region) *Server {
 	return s
 }
 
-// Leader returns the leader server.
-func (e *Ensemble) Leader() *Server { return e.leader }
+// Leader returns the current leader server. With elections enabled the
+// pointer moves when a majority elects a new leader; callers that need a
+// consistent view across several steps should read it once.
+func (e *Ensemble) Leader() *Server {
+	e.leaderMu.Lock()
+	defer e.leaderMu.Unlock()
+	return e.leader
+}
+
+func (e *Ensemble) setLeader(s *Server) {
+	e.leaderMu.Lock()
+	e.leader = s
+	e.leaderMu.Unlock()
+}
+
+// Elections returns the election log: one record per leader change, in
+// order. Empty without elections (or before the first leader change).
+func (e *Ensemble) Elections() []ElectionRecord {
+	if e.elect == nil {
+		return nil
+	}
+	return e.elect.elections()
+}
 
 // Regions returns the server regions in declaration order.
 func (e *Ensemble) Regions() []netsim.Region {
@@ -273,7 +417,14 @@ func (e *Ensemble) Bootstrap(txn Txn) TxnResult {
 // Fail-fast validation errors (bad version, missing node) return with
 // zxid 0 and no broadcast, like ZooKeeper's prep processor.
 func (e *Ensemble) Propose(txn Txn, contact *Server) (uint64, TxnResult) {
-	leader := e.leader
+	zxid, _, res := e.propose(txn, contact)
+	return zxid, res
+}
+
+// propose is Propose plus the commit epoch the transaction was ordered
+// under, which epoch-aware delivery paths need.
+func (e *Ensemble) propose(txn Txn, contact *Server) (uint64, uint64, TxnResult) {
+	leader := e.Leader()
 	leader.proc.Process(e.cfg.ServiceTime)
 
 	e.propMu.Lock()
@@ -282,10 +433,11 @@ func (e *Ensemble) Propose(txn Txn, contact *Server) (uint64, TxnResult) {
 	res := txn.Apply(leader.tree)
 	if failsFast(res) {
 		e.propMu.Unlock()
-		return 0, res
+		return 0, 0, res
 	}
 	e.nextZxid++
 	zxid := e.nextZxid
+	epoch := e.commitEpoch
 	leader.mu.Lock()
 	leader.lastApplied = zxid
 	leader.mu.Unlock()
@@ -304,6 +456,9 @@ func (e *Ensemble) Propose(txn Txn, contact *Server) (uint64, TxnResult) {
 		clock.Go(func() {
 			e.tr.Travel(leader.Region, region, netsim.LinkReplica, proposalSize(txn))
 			follower.proc.Process(e.cfg.ServiceTime)
+			if e.elect != nil {
+				follower.accept(zxid, epoch, txn)
+			}
 			e.tr.Travel(region, leader.Region, netsim.LinkReplica, AckSize)
 			acks.Put(struct{}{})
 		})
@@ -320,26 +475,26 @@ func (e *Ensemble) Propose(txn Txn, contact *Server) (uint64, TxnResult) {
 		}
 		follower := e.servers[region]
 		e.tr.Send(leader.Region, region, netsim.LinkReplica, commitSize(txn), func() {
-			follower.DeliverCommit(zxid, txn)
+			follower.deliverCommit(zxid, epoch, txn)
 		})
 	}
-	return zxid, res
+	return zxid, epoch, res
 }
 
 // ForwardAndCommit models the contact->leader forwarding hop, runs the
 // proposal, and delivers the commit+result back to the contact server on a
 // single return message (the common client-request path).
 func (e *Ensemble) ForwardAndCommit(contact *Server, txn Txn) (uint64, TxnResult) {
-	leader := e.leader
+	leader := e.Leader()
 	if contact != leader {
 		e.tr.Travel(contact.Region, leader.Region, netsim.LinkReplica, proposalSize(txn))
 	}
-	zxid, res := e.Propose(txn, contact)
+	zxid, epoch, res := e.propose(txn, contact)
 	if contact != leader {
 		// Commit + result ride back to the contact on one message.
 		e.tr.Travel(leader.Region, contact.Region, netsim.LinkReplica, commitSize(txn))
 		if zxid != 0 {
-			contact.DeliverCommit(zxid, txn)
+			contact.deliverCommit(zxid, epoch, txn)
 			contact.WaitApplied(zxid)
 		}
 	}
@@ -350,19 +505,36 @@ func (e *Ensemble) ForwardAndCommit(contact *Server, txn Txn) (uint64, TxnResult
 // committed transactions strictly in zxid order (buffering gaps). Commits
 // at or below the applied watermark are discarded: after a snapshot resync
 // the in-flight commit stream may replay transactions the snapshot already
-// covers.
+// covers. The commit is taken at the server's own data epoch; protocol
+// paths use deliverCommit with the proposal's epoch instead.
 func (s *Server) DeliverCommit(zxid uint64, txn Txn) {
 	s.mu.Lock()
-	if zxid <= s.lastApplied {
-		s.mu.Unlock()
-		return
-	}
-	s.pending[zxid] = txn
-	fire := s.applyPendingLocked()
+	fire := s.deliverCommitLocked(zxid, s.dataEpoch, txn)
 	s.mu.Unlock()
 	for _, w := range fire {
 		w.Fire()
 	}
+}
+
+// deliverCommit is DeliverCommit for epoch-tagged protocol traffic: commits
+// from epochs older than the server's applied state — a deposed leader's
+// stalled broadcast draining after a heal — are discarded rather than
+// merged into the new epoch's commit stream.
+func (s *Server) deliverCommit(zxid, epoch uint64, txn Txn) {
+	s.mu.Lock()
+	fire := s.deliverCommitLocked(zxid, epoch, txn)
+	s.mu.Unlock()
+	for _, w := range fire {
+		w.Fire()
+	}
+}
+
+func (s *Server) deliverCommitLocked(zxid, epoch uint64, txn Txn) []netsim.Event {
+	if epoch < s.dataEpoch || zxid <= s.lastApplied {
+		return nil
+	}
+	s.pending[zxid] = txn
+	return s.applyPendingLocked()
 }
 
 // WaitApplied blocks until the server has applied the given zxid.

@@ -18,6 +18,12 @@ const (
 	ProposalOverhead = 96
 	AckSize          = 48
 	CommitOverhead   = 96
+	// HeartbeatSize / VoteRequestSize / VoteReplyOverhead are the
+	// election-protocol control messages (replica link); a vote grant adds
+	// its piggybacked accept-log tail on top of the reply overhead.
+	HeartbeatSize     = 48
+	VoteRequestSize   = 64
+	VoteReplyOverhead = 64
 )
 
 func requestSize(payload int) int  { return RequestOverhead + payload }
@@ -33,6 +39,14 @@ func childrenResponseSize(names []string) int {
 
 func proposalSize(txn Txn) int { return ProposalOverhead + txn.PayloadSize() }
 func commitSize(txn Txn) int   { return CommitOverhead + txn.PayloadSize() }
+
+func voteReplySize(tail map[uint64]acceptedTxn) int {
+	sz := VoteReplyOverhead
+	for _, a := range tail {
+		sz += 16 + a.Txn.PayloadSize() // zxid + epoch + payload
+	}
+	return sz
+}
 
 func elementPayload(e *QueueElement) int {
 	if e == nil {
