@@ -34,6 +34,16 @@
 //
 //	icgbench -exp failover -fault-log
 //	icgbench -exp failover -fault-json BENCH_failover.json
+//
+// overload drives an open-loop burst into a single coordinator twice — once
+// with admission control off (a metastable retry storm the system never
+// escapes) and once with it on (token buckets, AIMD backpressure,
+// degrade-to-preliminary shedding). Its history check always runs. sweep
+// produces the fig6/fig7 trend as one table: read latency vs quorum size
+// and RTT geography. Both write JSON via -fault-json:
+//
+//	icgbench -exp overload -fault-json BENCH_overload.json
+//	icgbench -exp sweep -quick
 package main
 
 import (
@@ -90,6 +100,57 @@ var experiments = map[string]func(bench.Config) string{
 		}
 		return out
 	},
+	// Overload experiment (run via -exp overload): an open-loop burst tips
+	// the coordinator into a metastable retry storm, once with admission
+	// control off and once with it on. The history check always runs.
+	"overload": func(c bench.Config) string {
+		res, err := bench.Overload(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+			os.Exit(2)
+		}
+		if faultJSON != "" {
+			data, err := bench.OverloadJSON(res)
+			if err == nil {
+				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
+				os.Exit(1)
+			}
+		}
+		out := bench.FormatOverload(res)
+		var violations int
+		for _, m := range res.Modes {
+			if m.Check != nil {
+				violations += m.Check.Violations()
+			}
+		}
+		if violations > 0 {
+			fmt.Print(out)
+			fmt.Fprintf(os.Stderr, "icgbench: consistency check FAILED with %d violations (seed %d replays them byte-identically)\n",
+				violations, c.Seed)
+			os.Exit(3)
+		}
+		return out
+	},
+	// Quorum x geography sweep (run via -exp sweep): the fig6/fig7 trend in
+	// one cheap table — preliminary-view latency pinned to the closest
+	// replica, final-view latency paying for quorum size and distance.
+	"sweep": func(c bench.Config) string {
+		res := bench.Sweep(c)
+		if faultJSON != "" {
+			data, err := bench.SweepJSON(res)
+			if err == nil {
+				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
+				os.Exit(1)
+			}
+		}
+		return bench.FormatSweep(res)
+	},
 	// Failover experiment (run via -exp failover): a partition severs the
 	// zk leader mid-run; measures time-to-recovery and the prelim-only
 	// availability window. The history check always runs.
@@ -126,7 +187,7 @@ var faultJSON string
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, 'all', 'ablations', 'faultstudy', 'failover')")
+		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, 'all', 'ablations', 'faultstudy', 'failover', 'overload', 'sweep')")
 		clockMode = flag.String("clock", "virtual", "clock mode: 'virtual' (deterministic, CPU speed) or 'wall' (scaled real time)")
 		scale     = flag.Float64("scale", 0.25, "model-to-wall time scale in -clock=wall mode (1.0 = real time)")
 		seed      = flag.Int64("seed", 42, "random seed")
@@ -135,11 +196,13 @@ func main() {
 			"fault scenario for -exp faultstudy: one of "+strings.Join(faults.ScenarioNames(), ", ")+
 				", or '<seed>:<profile>' (profiles: mild, harsh) for a replayable random schedule; default minority-partition")
 		faultLog = flag.Bool("fault-log", false, "print the applied fault-transition log with the fault study")
-		check    = flag.Bool("check", false,
+		sweep    = flag.Bool("sweep", false,
+			"also run the quorum x geography parameter sweep (shorthand for adding 'sweep' to -exp)")
+		check = flag.Bool("check", false,
 			"faultstudy: run a consistency-checked session population alongside the measured one and verify its "+
 				"recorded history (session guarantees + per-key linearizability); exit nonzero on any violation")
 	)
-	flag.StringVar(&faultJSON, "fault-json", "", "write the fault-study result as JSON to this path")
+	flag.StringVar(&faultJSON, "fault-json", "", "write the experiment result as JSON to this path (faultstudy, failover, overload, sweep)")
 	flag.Parse()
 
 	var wall bool
@@ -159,7 +222,9 @@ func main() {
 		// The paper's figures in order; ablations and the fault study are
 		// opt-in (-exp ablations, -exp faultstudy).
 		for name := range experiments {
-			if name != "ablations" && name != "faultstudy" && name != "failover" {
+			switch name {
+			case "ablations", "faultstudy", "failover", "overload", "sweep":
+			default:
 				names = append(names, name)
 			}
 		}
@@ -177,6 +242,9 @@ func main() {
 			names = append(names, name)
 		}
 	}
+	if *sweep && !contains(names, "sweep") {
+		names = append(names, "sweep")
+	}
 
 	for _, name := range names {
 		start := time.Now()
@@ -184,6 +252,15 @@ func main() {
 		fmt.Print(out)
 		fmt.Printf("-- %s completed in %v (wall)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
 }
 
 func figNum(name string) int {

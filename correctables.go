@@ -139,6 +139,18 @@ type (
 	// Callback receives incremental results from a binding.
 	Callback = binding.Callback
 
+	// AdmissionGate decides per invocation attempt whether the coordinator
+	// should do the work at all (WithAdmission). internal/load ships the
+	// token-bucket + AIMD controller used by the overload experiment.
+	AdmissionGate = binding.AdmissionGate
+	// AdmissionDecision is a gate's verdict: admit, degrade to the weakest
+	// level, or reject.
+	AdmissionDecision = binding.AdmissionDecision
+	// RetryPolicy configures client-side re-submission of failed
+	// invocations (WithRetry): capped exponential backoff with seeded
+	// jitter.
+	RetryPolicy = binding.RetryPolicy
+
 	// Get reads a key (result: []byte). Put writes a key (result: Ack).
 	// Enqueue/Dequeue operate on replicated queue objects (result: Item).
 	Get     = binding.Get
@@ -165,6 +177,13 @@ const (
 	StateUpdating = core.StateUpdating
 	StateFinal    = core.StateFinal
 	StateError    = core.StateError
+)
+
+// Admission verdicts (see AdmissionGate).
+const (
+	AdmissionAdmit   = binding.AdmissionAdmit
+	AdmissionDegrade = binding.AdmissionDegrade
+	AdmissionReject  = binding.AdmissionReject
 )
 
 // Errors.
@@ -201,6 +220,20 @@ func WithScheduler(s Scheduler) Option { return binding.WithScheduler(s) }
 
 // WithLabel names the client on observer events.
 func WithLabel(label string) Option { return binding.WithLabel(label) }
+
+// WithAdmission routes every invocation attempt through gate — before any
+// protocol work, retries included. Several clients may share one gate; the
+// WithLabel identity keys per-client state.
+func WithAdmission(gate AdmissionGate) Option { return binding.WithAdmission(gate) }
+
+// WithRetry attaches a retry policy: failures the policy classifies as
+// retryable (timeouts, admission rejections) are re-submitted with seeded
+// exponential backoff.
+func WithRetry(p RetryPolicy) Option { return binding.WithRetry(p) }
+
+// IsRetryable is the default retry classification: true for errors wrapping
+// faults.ErrUnreachable or declaring Retryable() true.
+func IsRetryable(err error) bool { return binding.IsRetryable(err) }
 
 // NewSession opens a session over c: operations issued through it observe
 // read-your-writes and monotonic reads per replicated object (enforced

@@ -3,11 +3,13 @@ package correctables_test
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"correctables"
 	"correctables/internal/cassandra"
 	"correctables/internal/faults"
+	"correctables/internal/load"
 	"correctables/internal/netsim"
 	"correctables/internal/zk"
 )
@@ -245,4 +247,84 @@ func Example_failover() {
 	// outage: final view: faults: service unreachable: no response within 2s
 	// recovered: eu-ireland elected for epoch 1 after 1.336092396s
 	// healed: final view error: <nil>
+}
+
+// Example_overload shows admission control end to end: a load.Controller
+// gates every invocation with per-client token buckets and adaptive
+// backpressure. A client over its budget is rejected with a retryable
+// error (the attached retry policy re-submits it after a seeded backoff);
+// under sustained coordinator queueing the controller degrades reads to
+// the preliminary level only — the cheap mode that breaks retry storms —
+// and lifts the mode once the queue delay stays clean.
+func Example_overload() {
+	clock := netsim.NewVirtualClock()
+	tr := netsim.NewTransport(clock, netsim.DefaultLatencies(), netsim.NewMeter(), 1)
+	cluster, err := cassandra.NewCluster(cassandra.Config{
+		Regions:     []netsim.Region{netsim.FRK, netsim.IRL, netsim.VRG},
+		Transport:   tr,
+		Correctable: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cluster.Preload("k", []byte("v"))
+
+	// queueDelay stands in for the contact replica's measured queueing
+	// delay (netsim.Server.QueueDelay in the real experiment).
+	var queueDelay atomic.Int64
+	ctrl := load.NewController(load.Config{
+		Clock:          clock,
+		PerClientRate:  2, // ops/s — tiny, so the demo can trip it
+		PerClientBurst: 1,
+		Sample:         func() time.Duration { return time.Duration(queueDelay.Load()) },
+		SampleEvery:    50 * time.Millisecond,
+		Threshold:      50 * time.Millisecond,
+		MaxRate:        1000,
+		DegradeToWeak:  true,
+	})
+	ctrl.Start()
+
+	client := correctables.NewClient(cassandra.NewBinding(
+		cassandra.NewClient(cluster, netsim.IRL, netsim.FRK), cassandra.BindingConfig{}),
+		correctables.WithLabel("app"),
+		correctables.WithAdmission(ctrl),
+		correctables.WithRetry(correctables.RetryPolicy{
+			Max:  1,
+			Base: 600 * time.Millisecond,
+			OnRetry: func(attempt int, delay time.Duration, err error) {
+				fmt.Printf("rejected: retry %d in %v (%v)\n", attempt, delay, err)
+			},
+		}))
+	ctx := context.Background()
+	get := func(label string) {
+		v, err := correctables.Invoke(ctx, client, correctables.Get{Key: "k"}).Final(ctx)
+		if err != nil {
+			fmt.Printf("%s: error: %v\n", label, err)
+			return
+		}
+		fmt.Printf("%s: %s view of %s (final=%v)\n", label, v.Level, v.Value, v.Final)
+	}
+
+	get("healthy") // spends the client bucket's one-token burst
+	get("retried") // over budget: rejected, re-submitted after the backoff
+
+	// Sustained coordinator queueing: consecutive over-threshold samples
+	// engage degrade-to-preliminary shedding.
+	queueDelay.Store(int64(200 * time.Millisecond))
+	clock.Sleep(700 * time.Millisecond)
+	get("degraded")
+
+	// The queue drains; clean samples lift the mode (with hysteresis).
+	queueDelay.Store(0)
+	clock.Sleep(700 * time.Millisecond)
+	get("recovered")
+
+	ctrl.Stop()
+	clock.Drain()
+	// Output:
+	// healthy: strong view of v (final=true)
+	// rejected: retry 1 in 600ms (load: rejected by admission control: client "app" over its rate limit (2 ops/s))
+	// retried: strong view of v (final=true)
+	// degraded: weak view of v (final=true)
+	// recovered: strong view of v (final=true)
 }

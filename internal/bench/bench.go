@@ -78,6 +78,13 @@ type harness struct {
 }
 
 func newHarness(cfg Config) *harness {
+	return newHarnessWith(cfg, netsim.DefaultLatencies())
+}
+
+// newHarnessWith builds the fabric on an explicit latency model — the sweep
+// experiment scales the paper's geography up and down; everything else runs
+// on the default model.
+func newHarnessWith(cfg Config, lat *netsim.LatencyModel) *harness {
 	var clock netsim.Clock
 	if cfg.Wall {
 		clock = netsim.NewClock(cfg.Scale)
@@ -88,7 +95,7 @@ func newHarness(cfg Config) *harness {
 	return &harness{
 		clock: clock,
 		meter: meter,
-		tr:    netsim.NewTransport(clock, netsim.DefaultLatencies(), meter, cfg.Seed+1),
+		tr:    netsim.NewTransport(clock, lat, meter, cfg.Seed+1),
 	}
 }
 

@@ -280,3 +280,64 @@ func FormatFig12(points []Fig12Point, summaries []Fig12Summary) string {
 	}
 	return summary + table("Figure 12 series: avg latency (ms) by decile of selling order", header, series)
 }
+
+// FormatOverload renders the overload experiment: one per-phase table per
+// mode, the metastability verdict, and each mode's history-check summary.
+func FormatOverload(res *OverloadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Overload: metastable retry storm vs admission-controlled escape ==\n")
+	fmt.Fprintf(&b, "offered %.0f ops/s baseline + %.0f ops/s burst, capacity ~%.0f ops/s, op timeout %.0f ms, %d sessions\n",
+		res.BaselineRate, res.BurstRate, res.CapacityOps, res.OpTimeoutMs, res.Sessions)
+	for _, m := range res.Modes {
+		out := make([][]string, len(m.Rows))
+		for i, r := range m.Rows {
+			out[i] = []string{r.Phase,
+				fmt.Sprintf("%d", r.Offered), fmt.Sprintf("%d", r.Completed),
+				fmt.Sprintf("%d", r.Degraded),
+				fmt.Sprintf("%d", r.TimedOut), fmt.Sprintf("%d", r.RejectedOps),
+				fmt.Sprintf("%d", r.SessionErrs),
+				fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.Shed), fmt.Sprintf("%d", r.Retried),
+				fmt.Sprintf("%.0f", r.GoodputOps), fmt.Sprintf("%.0f", r.GoodputPct),
+				fmt.Sprintf("%.1f", r.FinalMeanMs), fmt.Sprintf("%.1f", r.FinalP99Ms)}
+		}
+		b.WriteString(table(m.Mode,
+			[]string{"phase", "offered", "done", "degraded", "timeout", "rejected", "sess err",
+				"rej att", "shed att", "retry att", "goodput/s", "% base", "final ms", "p99 ms"},
+			out))
+		fmt.Fprintf(&b, "post-burst goodput: %.0f%% of baseline; recovered phase: %.0f%%\n",
+			m.PostBurstGoodputPct, m.RecoveredGoodputPct)
+		if c := m.Check; c != nil {
+			fmt.Fprintf(&b, "history check: %d sessions, %d ops, sha256 %.12s…",
+				c.Clients, c.Ops, c.HistoryDigest)
+			if n := c.Violations(); n == 0 {
+				b.WriteString(" — session guarantees + cross-object WFR: OK\n")
+			} else {
+				fmt.Fprintf(&b, " — %d VIOLATIONS (replay with -seed %d):\n", n, res.Seed)
+				for _, v := range c.SessionViolations {
+					fmt.Fprintf(&b, "  %s\n", v)
+				}
+			}
+		}
+	}
+	off, on := res.Modes[0], res.Modes[1]
+	fmt.Fprintf(&b, "metastable asymmetry: without shedding %.0f%%, with shedding %.0f%% post-burst goodput\n",
+		off.PostBurstGoodputPct, on.PostBurstGoodputPct)
+	return b.String()
+}
+
+// FormatSweep renders the quorum x geography sweep table.
+func FormatSweep(res *SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s, %d threads, %.0f ms per cell, seed %d\n",
+		res.Workload, res.Threads, res.DurationMs, res.Seed)
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{r.Geography, fmt.Sprintf("x%.2g", r.RTTScale), fmt.Sprintf("%d", r.Quorum),
+			fmt.Sprintf("%.0f", r.ThroughputOps),
+			fmt.Sprintf("%.1f", r.PrelimMeanMs), fmt.Sprintf("%.1f", r.FinalMeanMs),
+			fmt.Sprintf("%.1f", r.PrelimP99Ms), fmt.Sprintf("%.1f", r.FinalP99Ms)}
+	}
+	b.WriteString(table("Sweep: CC read latency vs quorum and geography",
+		[]string{"geography", "rtt", "quorum", "ops/s", "prelim ms", "final ms", "prelim p99", "final p99"}, out))
+	return b.String()
+}

@@ -1,0 +1,457 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"correctables/internal/binding"
+	"correctables/internal/cassandra"
+	"correctables/internal/core"
+	"correctables/internal/faults"
+	"correctables/internal/history"
+	"correctables/internal/load"
+	"correctables/internal/metrics"
+	"correctables/internal/netsim"
+)
+
+// OverloadRow is one phase of one overload mode. Completed operations are
+// bucketed by the phase they started in (their latency reflects the
+// conditions they arrived under); failed ones by the phase they died in —
+// the same casualty-attribution rule as the fault study. Attempt counters
+// (rejected/shed/retried) are meter diffs at phase boundaries: they count
+// attempts, not operations, so one storm-trapped op can contribute several.
+type OverloadRow struct {
+	Phase   string  `json:"phase"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+
+	// Offered counts open-loop arrivals in the phase; the generators do not
+	// slow down when the store does — that is the point.
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	// Degraded counts completions served at a preliminary (weak) level
+	// because the admission controller shed the strong leg.
+	Degraded int64 `json:"degraded_completions"`
+	// TimedOut / RejectedOps / SessionErrs split the failed operations by
+	// cause: per-attempt timeout budgets exhausted, admission rejections
+	// that outlived the retry budget, and session-guarantee failures.
+	TimedOut    int64 `json:"timed_out"`
+	RejectedOps int64 `json:"rejected_ops"`
+	SessionErrs int64 `json:"session_errors"`
+
+	Rejected int64 `json:"rejected_attempts"`
+	Shed     int64 `json:"shed_attempts"`
+	Retried  int64 `json:"retried_attempts"`
+
+	// GoodputOps is completions per second of model time; GoodputPct is the
+	// same relative to this mode's baseline phase.
+	GoodputOps float64 `json:"goodput_ops_per_s"`
+	GoodputPct float64 `json:"goodput_pct_of_baseline"`
+
+	FinalMeanMs float64 `json:"final_mean_ms"`
+	FinalP99Ms  float64 `json:"final_p99_ms"`
+}
+
+// OverloadMode is one full run of the overload scenario: shedding off (the
+// metastable collapse) or shedding on (the escape).
+type OverloadMode struct {
+	Mode     string `json:"mode"`
+	Shedding bool   `json:"shedding"`
+	// BaselineGoodput anchors the percentages (ops/second in the baseline
+	// phase).
+	BaselineGoodput float64 `json:"baseline_goodput_ops_per_s"`
+	// PostBurstGoodputPct is the WORST post-burst phase (storm, recovered)
+	// relative to baseline: the metastability witness. Without shedding it
+	// stays collapsed although the burst is long gone; with shedding the
+	// recovered phase returns to baseline.
+	PostBurstGoodputPct float64 `json:"post_burst_goodput_pct"`
+	// RecoveredGoodputPct is the recovered phase alone — the escape witness.
+	RecoveredGoodputPct float64       `json:"recovered_goodput_pct"`
+	Rows                []OverloadRow `json:"rows"`
+	// Check verifies the measured sessions' recorded history: session
+	// guarantees per key plus the cross-object writes-follow-reads checker —
+	// RYW must hold through the degraded phase. Register linearizability is
+	// deliberately not checked here: the measured keyspace is shared with
+	// unrecorded background writers, so it is not a closed world.
+	Check *CheckReport `json:"check"`
+}
+
+// OverloadResult is the overload experiment's full output; it marshals
+// directly to BENCH_overload.json.
+type OverloadResult struct {
+	Description string  `json:"description"`
+	UnitMs      float64 `json:"unit_ms"`
+	OpTimeoutMs float64 `json:"op_timeout_ms"`
+	// BaselineRate/BurstRate are the open-loop arrival rates (ops/s); the
+	// burst rides on top of the baseline during the burst phase.
+	BaselineRate float64 `json:"baseline_rate_ops_per_s"`
+	BurstRate    float64 `json:"burst_rate_ops_per_s"`
+	// CapacityOps is the coordinator's nominal service capacity (workers /
+	// service time), for reading the rates against.
+	CapacityOps float64        `json:"capacity_ops_per_s"`
+	Sessions    int            `json:"sessions"`
+	Seed        int64          `json:"seed"`
+	Modes       []OverloadMode `json:"modes"`
+}
+
+// overloadPhase is one window of the scenario timeline.
+type overloadPhase struct {
+	name       string
+	start, end time.Duration
+}
+
+// overloadOp is one measured operation's record.
+type overloadOp struct {
+	start, end time.Duration
+	err        error
+	degraded   bool
+}
+
+// overloadParams fixes the scenario's knobs in one place so both modes run
+// the identical workload.
+type overloadParams struct {
+	unit      time.Duration
+	phases    []overloadPhase
+	horizon   time.Duration
+	opTimeout time.Duration
+
+	baselineRate float64
+	burstRate    float64
+	sessions     int
+	keys         int
+
+	retryMax  int
+	retryBase time.Duration
+	retryCap  time.Duration
+}
+
+func overloadParamsFor(cfg Config) overloadParams {
+	u := cfg.pickDur(time.Second, 300*time.Millisecond)
+	return overloadParams{
+		unit: u,
+		phases: []overloadPhase{
+			{"baseline", 0, 3 * u},
+			{"burst", 3 * u, 5 * u},
+			{"storm", 5 * u, 9 * u},
+			{"recovered", 9 * u, 12 * u},
+		},
+		horizon: 12 * u,
+		// The per-attempt timeout is the storm's trigger: once the
+		// coordinator's queueing delay exceeds it, every attempt times out
+		// and respawns as retries.
+		opTimeout:    250 * time.Millisecond,
+		baselineRate: 1200, // vs ~2000 ops/s coordinator capacity: healthy
+		burstRate:    4000, // baseline+burst ≈ 2.6x capacity: decisive overload
+		sessions:     cfg.pick(32, 12),
+		keys:         64,
+		retryMax:     3,
+		retryBase:    50 * time.Millisecond,
+		retryCap:     400 * time.Millisecond,
+	}
+}
+
+// Overload reproduces a metastable retry storm and its escape (§ overload;
+// the paper's degraded mode cast as admission control). An open-loop
+// Poisson population of session clients issues strong reads (85%) and
+// writes (15%) against a remote coordinator near capacity; an on/off burst
+// then pushes demand past capacity for two units. Per-attempt timeouts plus
+// capped-exponential retries amplify the queue into a self-sustaining storm:
+// with shedding off, goodput stays collapsed long after the burst ends —
+// the metastable state. With shedding on, the internal/load controller
+// (per-client token buckets, AIMD backpressure on the coordinator's queue
+// delay, degrade-to-preliminary under sustained overload) rejects the
+// excess cheaply and serves admitted reads at the weak level, the backlog
+// drains, and the recovered phase returns to baseline goodput.
+//
+// Both modes run the same seed on fresh fabrics, so the comparison is
+// arrival-for-arrival. The measured sessions run with a history recorder,
+// and the run always verifies session guarantees plus cross-object
+// writes-follow-reads over the recorded history — read-your-writes must
+// survive the degraded phase.
+func Overload(cfg Config) (*OverloadResult, error) {
+	cfg = cfg.withDefaults()
+	p := overloadParamsFor(cfg)
+	res := &OverloadResult{
+		Description:  "metastable retry storm (shedding off) vs admission-controlled escape (shedding on)",
+		UnitMs:       metrics.Ms(p.unit),
+		OpTimeoutMs:  metrics.Ms(p.opTimeout),
+		BaselineRate: p.baselineRate,
+		BurstRate:    p.burstRate,
+		CapacityOps:  2000, // 4 workers / 2ms service time (newCassandra)
+		Sessions:     p.sessions,
+		Seed:         cfg.Seed,
+	}
+	for _, shedding := range []bool{false, true} {
+		mode, err := runOverloadMode(cfg, p, shedding)
+		if err != nil {
+			return nil, err
+		}
+		res.Modes = append(res.Modes, *mode)
+	}
+	return res, nil
+}
+
+// runOverloadMode runs the scenario once on a fresh fabric.
+func runOverloadMode(cfg Config, p overloadParams, shedding bool) (*OverloadMode, error) {
+	h := newHarness(cfg)
+	cluster := h.newCassandra(cfg, cassandraOpts{correctable: true})
+	val := make([]byte, 128)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < p.keys; i++ {
+		cluster.Preload(overloadKey(i), val)
+	}
+
+	// The admission controller (shedding mode only) fronts the measured
+	// coordinator: its backpressure signal is the FRK server's queueing
+	// delay, sampled in model time.
+	var gate *load.Controller
+	if shedding {
+		coord := cluster.Replica(netsim.FRK).Server()
+		gate = load.NewController(load.Config{
+			Clock:             h.clock,
+			PerClientRate:     150,
+			PerClientBurst:    30,
+			Sample:            coord.QueueDelay,
+			SampleEvery:       50 * time.Millisecond,
+			Threshold:         60 * time.Millisecond,
+			MinRate:           100,
+			MaxRate:           4000,
+			IncreasePerSample: 250,
+			DecreaseFactor:    0.5,
+			DegradeToWeak:     true,
+			EnterAfter:        2,
+			ExitAfter:         4,
+			Meter:             h.meter,
+		})
+		gate.Start()
+	}
+
+	// The measured population: IRL session clients on the FRK coordinator
+	// (remote contact), each with the per-attempt timeout and the retry
+	// policy that makes storms possible. Sessions + recorder give the
+	// history the checkers verify.
+	recorder := history.NewRecorder()
+	sessions := make([]*binding.Session, p.sessions)
+	for i := 0; i < p.sessions; i++ {
+		cc := cassandra.NewClient(cluster, netsim.IRL, netsim.FRK)
+		opts := []binding.Option{
+			binding.WithObserver(recorder),
+			binding.WithLabel(fmt.Sprintf("ovl-%02d", i)),
+			binding.WithOpTimeout(p.opTimeout),
+			binding.WithRetry(binding.RetryPolicy{
+				Max:    p.retryMax,
+				Base:   p.retryBase,
+				Cap:    p.retryCap,
+				Jitter: 0.5,
+				Seed:   cfg.Seed + 1000 + int64(i),
+				OnRetry: func(int, time.Duration, error) {
+					h.meter.AccountRetried(netsim.LinkClient)
+				},
+			}),
+		}
+		if gate != nil {
+			opts = append(opts, binding.WithAdmission(gate))
+		}
+		bc := binding.NewClient(
+			cassandra.NewBinding(cc, cassandra.BindingConfig{StrongQuorum: 2}), opts...)
+		sessions[i] = binding.NewSession(bc)
+	}
+
+	// Cumulative admission-outcome probes at phase boundaries (same
+	// cumulative-then-diff pattern as the fault study's dropped counters).
+	type loadProbe struct{ rejected, shed, retried int64 }
+	probes := make([]loadProbe, len(p.phases))
+	snapLoad := func() loadProbe {
+		s := h.meter.SnapshotLoad()[netsim.LinkClient]
+		return loadProbe{rejected: s.Rejected, shed: s.Shed, retried: s.Retried}
+	}
+	for i, ph := range p.phases {
+		i := i
+		h.clock.RunAt(ph.end, func() { probes[i] = snapLoad() })
+	}
+
+	g := h.clock.NewGroup()
+
+	// Background writers on the IRL coordinator create cross-coordinator
+	// staleness on the measured keyspace: without them a degraded weak read
+	// at FRK could never be stale, and the session machinery (and the
+	// history check) would have nothing to defend against. Paced, so they
+	// load FRK's replication path lightly rather than competing for its
+	// capacity.
+	for t := 0; t < 2; t++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + 7_777_777 + int64(t)*1_000_003))
+		bg := cassandra.NewClient(cluster, netsim.IRL, netsim.IRL)
+		g.Add(1)
+		h.clock.Go(func() {
+			defer g.Done()
+			for h.clock.Now() < p.horizon {
+				_ = bg.Write(overloadKey(rng.Intn(p.keys)), val, 1)
+				h.clock.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+
+	// Open-loop arrivals: a Poisson baseline for the whole run plus an
+	// on/off burst riding on top during the burst phase. Arrival callbacks
+	// must not block: each spawns the operation as an actor. The shared rng
+	// and record slice are mutex-guarded for wall-clock runs; under the
+	// virtual clock callbacks are already serialized.
+	var (
+		mu       sync.Mutex
+		arrivals int
+		records  []overloadOp
+		rng      = rand.New(rand.NewSource(cfg.Seed + 17))
+	)
+	ctx := context.Background()
+	fire := func(int) {
+		mu.Lock()
+		sess := sessions[arrivals%len(sessions)]
+		arrivals++
+		key := overloadKey(rng.Intn(p.keys))
+		isRead := rng.Float64() < 0.85
+		mu.Unlock()
+		g.Add(1)
+		h.clock.Go(func() {
+			defer g.Done()
+			rec := overloadOp{start: h.clock.Now()}
+			if isRead {
+				v, err := sess.Get(ctx, key, core.LevelStrong).Final(ctx)
+				rec.err = err
+				rec.degraded = err == nil && v.Level != core.LevelStrong
+			} else {
+				_, err := sess.Put(ctx, key, val).Final(ctx)
+				rec.err = err
+			}
+			rec.end = h.clock.Now()
+			mu.Lock()
+			records = append(records, rec)
+			mu.Unlock()
+		})
+	}
+	load.Start(h.clock, load.NewPoisson(p.baselineRate, cfg.Seed+11), p.horizon, fire)
+	burstStart := p.phases[1].start
+	burstLen := p.phases[1].end - p.phases[1].start
+	h.clock.RunAt(burstStart, func() {
+		// OnOff with one on-window inside the horizon: the burst, then
+		// silence — the recovery question is what happens after its edge.
+		load.Start(h.clock, load.NewOnOff(p.burstRate, burstLen, p.horizon, cfg.Seed+13),
+			p.phases[1].end, fire)
+	})
+
+	g.Wait()
+	if gate != nil {
+		gate.Stop()
+	}
+	h.drain()
+	// Late retries and drains may run past the horizon; fold the final
+	// totals into the last phase's probe.
+	probes[len(probes)-1] = snapLoad()
+
+	modeName := "shedding-off"
+	if shedding {
+		modeName = "shedding-on"
+	}
+	mode := &OverloadMode{Mode: modeName, Shedding: shedding}
+
+	// Bucket records into phases: completions by start, failures by end.
+	for i, ph := range p.phases {
+		row := OverloadRow{Phase: ph.name, StartMs: metrics.Ms(ph.start), EndMs: metrics.Ms(ph.end)}
+		final := metrics.NewHistogram()
+		for _, rec := range records {
+			if rec.err == nil {
+				if overloadPhaseOf(p.phases, rec.start) != i {
+					continue
+				}
+				row.Completed++
+				final.Record(rec.end - rec.start)
+				if rec.degraded {
+					row.Degraded++
+				}
+			} else if overloadPhaseOf(p.phases, rec.end) == i {
+				switch {
+				case errors.Is(rec.err, load.ErrRejected):
+					row.RejectedOps++
+				case errors.Is(rec.err, faults.ErrUnreachable):
+					row.TimedOut++
+				default:
+					row.SessionErrs++
+				}
+			}
+		}
+		for _, rec := range records {
+			if overloadPhaseOf(p.phases, rec.start) == i {
+				row.Offered++
+			}
+		}
+		var prev loadProbe
+		if i > 0 {
+			prev = probes[i-1]
+		}
+		row.Rejected = probes[i].rejected - prev.rejected
+		row.Shed = probes[i].shed - prev.shed
+		row.Retried = probes[i].retried - prev.retried
+		row.GoodputOps = float64(row.Completed) / (ph.end - ph.start).Seconds()
+		row.FinalMeanMs = metrics.Ms(final.Mean())
+		row.FinalP99Ms = metrics.Ms(final.Percentile(99))
+		mode.Rows = append(mode.Rows, row)
+	}
+	mode.BaselineGoodput = mode.Rows[0].GoodputOps
+	for i := range mode.Rows {
+		if mode.BaselineGoodput > 0 {
+			mode.Rows[i].GoodputPct = 100 * mode.Rows[i].GoodputOps / mode.BaselineGoodput
+		}
+	}
+	mode.PostBurstGoodputPct = mode.Rows[2].GoodputPct
+	if mode.Rows[3].GoodputPct > mode.PostBurstGoodputPct {
+		mode.PostBurstGoodputPct = mode.Rows[3].GoodputPct
+	}
+	mode.RecoveredGoodputPct = mode.Rows[3].GoodputPct
+
+	// The always-on history check: session guarantees per key plus the
+	// cross-object writes-follow-reads checker (the store's version tokens
+	// come from one cluster-wide counter, which is what makes cross-key
+	// comparison sound).
+	ops := recorder.Ops()
+	report := &CheckReport{Clients: p.sessions, Ops: len(ops)}
+	if n := recorder.Collisions(); n > 0 {
+		report.SessionViolations = append(report.SessionViolations,
+			fmt.Sprintf("history: %d client-label collisions — the recorded history is untrustworthy", n))
+	}
+	for _, v := range history.CheckSessionGuarantees(ops) {
+		report.SessionViolations = append(report.SessionViolations, v.String())
+	}
+	for _, v := range history.CheckCrossObjectWFR(ops) {
+		report.SessionViolations = append(report.SessionViolations, v.String())
+	}
+	sum := sha256.Sum256(history.SerializeOps(ops))
+	report.HistoryDigest = hex.EncodeToString(sum[:])
+	mode.Check = report
+	return mode, nil
+}
+
+func overloadKey(i int) string { return fmt.Sprintf("ovl-%03d", i) }
+
+// overloadPhaseOf maps a model instant into its phase (clamping past the
+// horizon into the last phase, for ops that die during the drain).
+func overloadPhaseOf(phases []overloadPhase, at time.Duration) int {
+	for i, ph := range phases {
+		if at < ph.end {
+			return i
+		}
+	}
+	return len(phases) - 1
+}
+
+// OverloadJSON marshals a result for BENCH_overload.json.
+func OverloadJSON(res *OverloadResult) ([]byte, error) {
+	return json.MarshalIndent(res, "", "  ")
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -63,5 +64,55 @@ func TestCheckReportDistinguishesSeeds(t *testing.T) {
 	}
 	if a.Check.HistoryDigest == b.Check.HistoryDigest {
 		t.Fatal("different seeds produced identical history digests")
+	}
+}
+
+// TestFailoverAcrossSeedSweep folds the failover scenario into the fault
+// catalog's regime: the same leader-kill drill, swept across seeds. Every
+// seed must elect a replacement leader, keep serving preliminary views
+// through the outage, verify a clean session history, and replay to the
+// identical digest — so any seed that ever fails here is a self-contained
+// repro recipe.
+func TestFailoverAcrossSeedSweep(t *testing.T) {
+	seeds := []int64{1, 7, 13, 42, 99, 2026, 31337, 424242}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := func() *FailoverResult {
+				res, err := Failover(Config{Seed: seed, Quick: true, Check: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Check == nil {
+					t.Fatal("Check requested but no report produced")
+				}
+				return res
+			}
+			res := run()
+			if res.NewLeader == "" || res.TimeToRecoveryMs <= 0 {
+				t.Errorf("no recovery: leader %q, time-to-recovery %.1f ms",
+					res.NewLeader, res.TimeToRecoveryMs)
+			}
+			if res.OutagePrelims == 0 {
+				t.Error("no preliminary views served during the outage window")
+			}
+			rep := res.Check
+			if rep.Ops == 0 {
+				t.Fatal("checked population recorded no operations")
+			}
+			if n := rep.Violations(); n != 0 {
+				t.Errorf("%d violations at seed %d:", n, seed)
+				for _, v := range append(rep.SessionViolations, rep.LinViolations...) {
+					t.Errorf("  %s", v)
+				}
+			}
+			if len(rep.Inconclusive) != 0 {
+				t.Errorf("inconclusive queue keys: %v", rep.Inconclusive)
+			}
+			if rep2 := run().Check; rep2.HistoryDigest != rep.HistoryDigest {
+				t.Errorf("history replay diverged: %s vs %s", rep.HistoryDigest, rep2.HistoryDigest)
+			}
+		})
 	}
 }

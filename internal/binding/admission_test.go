@@ -1,0 +1,249 @@
+package binding
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"correctables/internal/core"
+	"correctables/internal/faults"
+)
+
+// flakyBinding fails the first failures submissions with a
+// faults.ErrUnreachable-wrapped error, then behaves like fakeBinding.
+type flakyBinding struct {
+	fakeBinding
+	failures int32
+}
+
+func (f *flakyBinding) SubmitOperation(ctx context.Context, op Operation, levels core.Levels, cb Callback) {
+	if atomic.AddInt32(&f.failures, -1) >= 0 {
+		f.mu.Lock()
+		f.calls = append(f.calls, levels)
+		f.mu.Unlock()
+		go cb(Result{Err: fmt.Errorf("%w: injected", faults.ErrUnreachable)})
+		return
+	}
+	f.fakeBinding.SubmitOperation(ctx, op, levels, cb)
+}
+
+// scriptedGate replays a fixed sequence of verdicts, then admits forever.
+type scriptedGate struct {
+	mu    sync.Mutex
+	calls int
+	seq   []AdmissionDecision
+	errs  []error
+}
+
+func (g *scriptedGate) Admit(client string, op Operation) (AdmissionDecision, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	i := g.calls
+	g.calls++
+	if i < len(g.seq) {
+		var err error
+		if i < len(g.errs) {
+			err = g.errs[i]
+		}
+		return g.seq[i], err
+	}
+	return AdmissionAdmit, nil
+}
+
+func TestRetryPolicyResubmitsUntilSuccess(t *testing.T) {
+	fb := &flakyBinding{fakeBinding: *newFake(), failures: 2}
+	var retries []int
+	c := NewClient(fb, WithRetry(RetryPolicy{
+		Max: 3,
+		OnRetry: func(attempt int, delay time.Duration, err error) {
+			if !errors.Is(err, faults.ErrUnreachable) {
+				t.Errorf("OnRetry err = %v", err)
+			}
+			retries = append(retries, attempt)
+		},
+	}))
+	v, err := Invoke[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Value) != "strong:k" || v.Level != core.LevelStrong {
+		t.Errorf("final = %+v", v)
+	}
+	if len(fb.calls) != 3 {
+		t.Errorf("binding saw %d submissions, want 3 (1 + 2 retries)", len(fb.calls))
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Errorf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+}
+
+func TestRetryBudgetExhaustionFailsWithLastError(t *testing.T) {
+	fb := &flakyBinding{fakeBinding: *newFake(), failures: 100}
+	c := NewClient(fb, WithRetry(RetryPolicy{Max: 2}))
+	_, err := Invoke[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background())
+	if !errors.Is(err, faults.ErrUnreachable) {
+		t.Fatalf("err = %v, want the binding's unreachable error", err)
+	}
+	if len(fb.calls) != 3 {
+		t.Errorf("binding saw %d submissions, want 3 (1 + Max 2)", len(fb.calls))
+	}
+}
+
+func TestNonRetryableErrorFailsImmediately(t *testing.T) {
+	fb := newFake()
+	c := NewClient(fb, WithRetry(RetryPolicy{Max: 5}))
+	// Decode failure is semantic, not transient: must not be retried.
+	cor := Invoke[Item](context.Background(), c, Enqueue{Queue: "q", Item: []byte("x")})
+	if _, err := cor.Final(context.Background()); !errors.Is(err, ErrUnsupportedOperation) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(fb.calls) != 1 {
+		t.Errorf("non-retryable failure was re-submitted: %d calls", len(fb.calls))
+	}
+}
+
+func TestGateRejectFailsInvocation(t *testing.T) {
+	boom := errors.New("gate says no")
+	g := &scriptedGate{seq: []AdmissionDecision{AdmissionReject}, errs: []error{boom}}
+	fb := newFake()
+	c := NewClient(fb, WithAdmission(g))
+	if _, err := Invoke[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the gate's error", err)
+	}
+	if len(fb.calls) != 0 {
+		t.Error("rejected attempt still reached the binding")
+	}
+	// A nil-error reject still fails with a usable error.
+	c2 := NewClient(newFake(), WithAdmission(&scriptedGate{seq: []AdmissionDecision{AdmissionReject}}))
+	if _, err := Invoke[[]byte](context.Background(), c2, Get{Key: "k"}).Final(context.Background()); err == nil {
+		t.Error("nil-error reject produced a nil failure")
+	}
+}
+
+// TestGateRejectFeedsRetryPolicy: a retryable rejection plus a retry policy
+// re-consults the gate, so a transient reject recovers.
+type retryableReject struct{}
+
+func (retryableReject) Error() string   { return "transiently rejected" }
+func (retryableReject) Retryable() bool { return true }
+
+func TestGateRejectFeedsRetryPolicy(t *testing.T) {
+	g := &scriptedGate{
+		seq:  []AdmissionDecision{AdmissionReject, AdmissionReject},
+		errs: []error{retryableReject{}, retryableReject{}},
+	}
+	fb := newFake()
+	c := NewClient(fb, WithAdmission(g), WithRetry(RetryPolicy{Max: 3}))
+	v, err := Invoke[[]byte](context.Background(), c, Get{Key: "k"}).Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Value) != "strong:k" {
+		t.Errorf("final = %+v", v)
+	}
+	if g.calls != 3 {
+		t.Errorf("gate consulted %d times, want 3 (reject, reject, admit)", g.calls)
+	}
+	if len(fb.calls) != 1 {
+		t.Errorf("binding saw %d submissions, want exactly the admitted one", len(fb.calls))
+	}
+}
+
+func TestGateDegradeClosesAtWeakestLevel(t *testing.T) {
+	g := &scriptedGate{seq: []AdmissionDecision{AdmissionDegrade}}
+	fb := newFake()
+	c := NewClient(fb, WithAdmission(g))
+	cor := Invoke[[]byte](context.Background(), c, Get{Key: "k"})
+	v, err := cor.Final(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Value) != "weak:k" || v.Level != core.LevelWeak || !v.Final {
+		t.Errorf("degraded final = %+v, want a weak final view", v)
+	}
+	if n := len(cor.Views()); n != 1 {
+		t.Errorf("degraded invocation delivered %d views, want 1", n)
+	}
+	// The binding is only asked for the weak leg — degraded work is cheap.
+	if len(fb.calls) != 1 || len(fb.calls[0]) != 1 || fb.calls[0][0] != core.LevelWeak {
+		t.Errorf("binding received levels %v, want [weak]", fb.calls)
+	}
+}
+
+func TestGateDegradeDoesNotWeakenMutations(t *testing.T) {
+	g := &scriptedGate{seq: []AdmissionDecision{AdmissionDegrade}}
+	fb := newFake()
+	c := NewClient(fb, WithAdmission(g))
+	// fakeBinding only answers Get; a Put that reaches it at full levels
+	// fails with ErrUnsupportedOperation — which is exactly the evidence we
+	// need: the mutation was admitted, not degraded, and went out with the
+	// full requested set.
+	Invoke[Ack](context.Background(), c, Put{Key: "k", Value: []byte("v")}).Final(context.Background())
+	if len(fb.calls) != 1 || len(fb.calls[0]) != 2 {
+		t.Errorf("degraded mutation went to the binding with levels %v, want the full set", fb.calls)
+	}
+}
+
+func TestIsRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("wrapped: %w", faults.ErrUnreachable), true},
+		{retryableReject{}, true},
+		{fmt.Errorf("outer: %w", retryableReject{}), true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{errors.New("semantic failure"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryDelayBackoffMath(t *testing.T) {
+	p := &retryPolicy{RetryPolicy: RetryPolicy{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond}}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := p.delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if got := (&retryPolicy{}).delay(3); got != 0 {
+		t.Errorf("zero-base delay = %v, want immediate", got)
+	}
+}
+
+func TestRetryJitterIsSeededAndBounded(t *testing.T) {
+	seq := func() []time.Duration {
+		c := NewClient(newFake(), WithRetry(RetryPolicy{Base: 100 * time.Millisecond, Jitter: 0.5, Seed: 42}))
+		var ds []time.Duration
+		for i := 1; i <= 8; i++ {
+			ds = append(ds, c.retry.delay(1))
+		}
+		return ds
+	}
+	a, b := seq(), seq()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter draw %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] > 100*time.Millisecond || a[i] < 50*time.Millisecond {
+			t.Errorf("jittered delay %v outside [50ms, 100ms]", a[i])
+		}
+		if a[i] != 100*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never moved the delay")
+	}
+}

@@ -40,6 +40,8 @@ type Client struct {
 	timeoutSet bool            // WithOpTimeout was given (overrides the binding default)
 	tp         TimeoutProvider // binding default bound, consulted per invocation
 	versioned  bool            // binding implements Versioner and versions results
+	gate       AdmissionGate   // WithAdmission; nil = every attempt admitted
+	retry      *retryPolicy    // WithRetry; nil = failures are terminal
 	opSeq      atomic.Uint64   // observer OpID source
 }
 
@@ -229,11 +231,32 @@ type invocation[T any] struct {
 	c     *Client
 	ctrl  core.Controller[T]
 	info  OpInfo
-	obsMu *sync.Mutex // non-nil iff an observer is attached
+	obsMu *sync.Mutex   // non-nil iff an observer is attached
+	gov   *governedCall // non-nil iff an admission gate or retry policy applies
+}
+
+// strongestNow returns the level that closes the Correctable: the frozen
+// request strongest on the plain path, the current attempt's strongest on
+// the governed path (an AdmissionDegrade attempt closes at the weakest
+// level).
+func (inv invocation[T]) strongestNow(fallback core.Level) core.Level {
+	if inv.gov == nil {
+		return fallback
+	}
+	return inv.gov.currentStrongest()
 }
 
 // fail closes the operation with err; reports whether this call closed it.
+// On the governed path a retryable failure of a still-open invocation is
+// converted into a scheduled re-submission instead (the op stays in
+// flight; observers see neither an OpEnd nor a new OpStart — retries are
+// internal to the one logical operation).
 func (inv invocation[T]) fail(err error) bool {
+	if inv.gov != nil &&
+		inv.ctrl.Correctable().State() == core.StateUpdating &&
+		inv.gov.tryRetry(inv.c, err) {
+		return false
+	}
 	if inv.obsMu == nil {
 		return inv.ctrl.Fail(err) == nil
 	}
@@ -288,9 +311,19 @@ func (inv invocation[T]) close(v T, level core.Level, version uint64) bool {
 // delivered version tokens advance the session's floors (see Session).
 //
 // When the client has an operation timeout, a model-time timer bounds the
-// invocation end to end (retries included): on expiry the Correctable
-// fails with faults.ErrUnreachable and the binding's protocol work
-// completes in the background, its late views refused.
+// invocation in model time: on expiry the Correctable fails with
+// faults.ErrUnreachable and the binding's protocol work completes in the
+// background, its late views refused.
+//
+// An admission gate (WithAdmission) or retry policy (WithRetry) switches
+// the invocation onto the governed path: the gate is consulted before any
+// protocol work (per attempt, retries included), an AdmissionDegrade
+// verdict rewrites the level set to the binding's weakest so the
+// Correctable honestly closes with the preliminary view, failures the
+// policy classifies as retryable are re-submitted with seeded backoff, and
+// the operation timeout bounds each attempt rather than the whole
+// invocation. Plain invocations never touch any of it — the hot path keeps
+// its allocation budget.
 func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested core.Levels, sess *Session) *core.Correctable[T] {
 	cor, ctrl := core.NewScheduled[T](c.sched, requested)
 	strongest := requested.Strongest()
@@ -300,17 +333,23 @@ func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested
 		inv.obsMu = &sync.Mutex{}
 		c.obs.OpStart(inv.info)
 	}
+	if c.gate != nil || c.retry != nil {
+		inv.gov = &governedCall{strongest: strongest}
+	}
 	if call := sess.newCall(op); call != nil {
 		// Session path: the callback references itself so a stale final
 		// can re-submit the operation; the self-capture costs one extra
-		// allocation, which only session invocations pay.
+		// allocation, which only session invocations pay. cb stays scoped
+		// to this branch: a shared variable captured by this self-reference
+		// would be heap-moved on the plain path too, breaking its budget.
 		var cb Callback
 		cb = func(r Result) {
 			if r.Err != nil {
 				inv.fail(r.Err)
 				return
 			}
-			switch call.check(r.Level == strongest, r.Version) {
+			st := inv.strongestNow(strongest)
+			switch call.check(r.Level == st, r.Version) {
 			case sessionSuppress:
 				return
 			case sessionRetry:
@@ -320,11 +359,14 @@ func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested
 				// would deliver duplicate views and duplicate traffic.
 				// A closed Correctable (op timeout, cancellation) refuses
 				// every result, so don't burn store operations chasing a
-				// token no consumer can observe.
+				// token no consumer can observe. (Session re-reads bypass
+				// the admission gate: they chase a token the session
+				// already observed, at the cheapest level that can carry
+				// it.)
 				if inv.ctrl.Correctable().State() != core.StateUpdating {
 					return
 				}
-				c.b.SubmitOperation(ctx, op, core.Levels{strongest}, cb)
+				c.b.SubmitOperation(ctx, op, core.Levels{st}, cb)
 				return
 			case sessionFail:
 				inv.fail(call.floorErr(r.Version))
@@ -334,7 +376,7 @@ func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested
 			switch {
 			case err != nil:
 				inv.fail(err)
-			case r.Level == strongest:
+			case r.Level == st:
 				if inv.close(v, r.Level, r.Version) {
 					call.observe(r.Version, true)
 				}
@@ -344,47 +386,116 @@ func submit[T any](ctx context.Context, c *Client, op OperationFor[T], requested
 				}
 			}
 		}
-		c.b.SubmitOperation(ctx, op, requested, cb)
+		dispatch(ctx, cor, inv, op, requested, cb)
 	} else {
 		// Plain path: one flat closure, no self-reference — the invoke hot
 		// path stays at its pre-session allocation budget.
-		c.b.SubmitOperation(ctx, op, requested, func(r Result) {
+		dispatch(ctx, cor, inv, op, requested, func(r Result) {
 			if r.Err != nil {
 				inv.fail(r.Err)
 				return
 			}
 			v, err := op.ResultOf(r.Value)
+			st := inv.strongestNow(strongest)
 			switch {
 			case err != nil:
 				inv.fail(err)
-			case r.Level == strongest:
+			case r.Level == st:
 				inv.close(v, r.Level, r.Version)
 			default:
 				inv.update(v, r.Level, r.Version)
 			}
 		})
 	}
-	if d := c.OpTimeout(); d > 0 {
-		armTimeout(cor, inv, d)
-	}
 	watchContext(ctx, cor, inv)
 	return cor
 }
 
-// armTimeout bounds the invocation to d of model time. Scheduler.After has
+// dispatch hands a wired callback to the binding: directly on the plain
+// path (arming the whole-invocation timeout), through the governed attempt
+// loop otherwise.
+func dispatch[T any](ctx context.Context, cor *core.Correctable[T], inv invocation[T], op Operation, requested core.Levels, cb Callback) {
+	if inv.gov == nil {
+		inv.c.b.SubmitOperation(ctx, op, requested, cb)
+		if d := inv.c.OpTimeout(); d > 0 {
+			armTimeout(cor, inv, d, 0)
+		}
+		return
+	}
+	submitGoverned(ctx, cor, inv, op, requested, cb)
+}
+
+// submitGoverned runs the governed attempt loop. Each attempt consults the
+// admission gate, picks its level set (requested, or the binding's weakest
+// under AdmissionDegrade), arms a fresh per-attempt timeout stamped with
+// the attempt generation, and submits. Re-submissions arrive through
+// governedCall.resubmit, scheduled by invocation.fail when the retry
+// policy grants a retry; a closed Correctable (context cancellation,
+// consumer gone) stops the loop.
+func submitGoverned[T any](ctx context.Context, cor *core.Correctable[T], inv invocation[T], op Operation, requested core.Levels, cb Callback) {
+	c := inv.c
+	gov := inv.gov
+	var attempt func()
+	attempt = func() {
+		lv := requested
+		if c.gate != nil {
+			dec, err := c.gate.Admit(c.label, op)
+			switch dec {
+			case AdmissionReject:
+				if err == nil {
+					err = errRejectedNoReason
+				}
+				inv.fail(err)
+				return
+			case AdmissionDegrade:
+				if !opMutates(op) && len(c.weakSet) > 0 {
+					lv = c.weakSet
+				}
+			}
+		}
+		gen := gov.begin(lv.Strongest())
+		if d := c.OpTimeout(); d > 0 {
+			armTimeout(cor, inv, d, gen)
+		}
+		c.b.SubmitOperation(ctx, op, lv, cb)
+	}
+	gov.resubmit = func() {
+		if cor.State() == core.StateUpdating {
+			attempt()
+		}
+	}
+	attempt()
+}
+
+// opMutates reports whether op declares itself state-changing. Operations
+// without a Mutator are treated as read-only, consistent with how sessions
+// classify them.
+func opMutates(op Operation) bool {
+	m, ok := op.(Mutator)
+	return ok && m.OpMutates()
+}
+
+// armTimeout bounds one attempt to d of model time. Scheduler.After has
 // no cancellation, so the timer callback reaches the invocation through an
 // atomic pointer that is cleared as soon as the Correctable closes: a
 // completed operation's views are not kept alive for the rest of the
 // timeout window, and the eventually-firing timer is a reference-free
-// no-op.
-func armTimeout[T any](cor *core.Correctable[T], inv invocation[T], d time.Duration) {
+// no-op. On the governed path gen stamps the attempt: a timer whose
+// attempt a retry has already superseded is a no-op too (the retry armed
+// its own), so a slow timer never fails a newer attempt.
+func armTimeout[T any](cor *core.Correctable[T], inv invocation[T], d time.Duration, gen int) {
 	holder := &atomic.Pointer[invocation[T]]{}
 	holder.Store(&inv)
 	cor.Finally(func() { holder.Store(nil) })
 	inv.c.scheduler().After(d, func() {
-		if iv := holder.Load(); iv != nil {
-			iv.fail(fmt.Errorf("%w: no terminal view within %v (client op timeout)", faults.ErrUnreachable, d))
+		iv := holder.Load()
+		if iv == nil {
+			return
 		}
+		if iv.gov != nil && iv.gov.generation() != gen {
+			return
+		}
+		iv.fail(fmt.Errorf("%w: no terminal view within %v (client op timeout)", faults.ErrUnreachable, d))
 	})
 }
 

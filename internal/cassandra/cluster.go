@@ -113,6 +113,10 @@ func (r *Replica) Apply(key string, v Versioned) bool { return r.tab.apply(key, 
 // Keys returns the number of keys stored locally.
 func (r *Replica) Keys() int { return r.tab.len() }
 
+// Server exposes the replica's bounded-capacity server. Admission
+// controllers sample its QueueDelay as the coordinator backpressure signal.
+func (r *Replica) Server() *netsim.Server { return r.server }
+
 // readRepairShards spreads the read-repair RNG over independently locked
 // PCG states (keyed by the read key) so concurrent clients don't serialize
 // on one RNG lock.

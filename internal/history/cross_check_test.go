@@ -1,0 +1,98 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// crossOp builds one completed keyed op for the cross-object checker tests.
+func crossOp(client, key string, mutating bool, start, end int, version uint64) Op {
+	return Op{
+		Client:   client,
+		Name:     map[bool]string{true: "put", false: "get"}[mutating],
+		Key:      key,
+		Mutating: mutating,
+		Start:    ms(start),
+		End:      ms(end),
+		Done:     true,
+		Views:    []View{{Final: true, Version: version, At: ms(end)}},
+	}
+}
+
+func TestCrossObjectWFRDetectsStaleWriteOnOtherKey(t *testing.T) {
+	ops := []Op{
+		crossOp("c1", "a", false, 0, 10, 40), // read a, observes token 40
+		crossOp("c1", "b", true, 20, 30, 7),  // then writes b at token 7
+	}
+	vs := CheckCrossObjectWFR(ops)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", vs)
+	}
+	v := vs[0]
+	if v.Guarantee != "cross-object-writes-follow-reads" || v.Client != "c1" || v.Key != "b" {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Detail, `"a"`) || !strings.Contains(v.Detail, `"b"`) {
+		t.Errorf("detail does not name both keys: %s", v.Detail)
+	}
+	if len(v.Witness) != 2 || v.Witness[0].Key != "a" || v.Witness[1].Key != "b" {
+		t.Errorf("witness = %v", v.Witness)
+	}
+	// The per-key checker is blind to exactly this history: each key has a
+	// single op, so no per-key floor ever forms.
+	if perKey := CheckWritesFollowReads(ops); len(perKey) != 0 {
+		t.Errorf("per-key WFR unexpectedly flagged the cross-key history: %v", perKey)
+	}
+}
+
+func TestCrossObjectWFRAcceptsOrderedTokens(t *testing.T) {
+	ops := []Op{
+		crossOp("c1", "a", false, 0, 10, 40),
+		crossOp("c1", "b", true, 20, 30, 41), // newer token: fine
+		crossOp("c1", "c", false, 40, 50, 41),
+		crossOp("c1", "a", true, 60, 70, 55),
+	}
+	if vs := CheckCrossObjectWFR(ops); len(vs) != 0 {
+		t.Errorf("clean history flagged: %v", vs)
+	}
+}
+
+func TestCrossObjectWFROverlappingOpsConstrainNothing(t *testing.T) {
+	// The read of "a" ends after the write of "b" starts: no session order
+	// between them, so the old token on the write is fine.
+	ops := []Op{
+		crossOp("c1", "a", false, 0, 25, 40),
+		crossOp("c1", "b", true, 20, 30, 7),
+	}
+	if vs := CheckCrossObjectWFR(ops); len(vs) != 0 {
+		t.Errorf("overlapping ops flagged: %v", vs)
+	}
+}
+
+func TestCrossObjectWFRScopesPerClient(t *testing.T) {
+	// c1 observed token 40; c2's stale write is a different session and
+	// carries no WFR obligation toward c1's reads.
+	ops := []Op{
+		crossOp("c1", "a", false, 0, 10, 40),
+		crossOp("c2", "b", true, 20, 30, 7),
+	}
+	if vs := CheckCrossObjectWFR(ops); len(vs) != 0 {
+		t.Errorf("cross-client history flagged: %v", vs)
+	}
+}
+
+func TestCrossObjectWFRSkipsFailedAndUnkeyed(t *testing.T) {
+	failed := crossOp("c1", "b", true, 20, 30, 7)
+	failed.Err = "timeout"
+	unkeyed := crossOp("c1", "", true, 40, 50, 3)
+	inflight := crossOp("c1", "b", true, 60, 0, 0)
+	inflight.Done = false
+	inflight.Views = nil
+	ops := []Op{
+		crossOp("c1", "a", false, 0, 10, 40),
+		failed, unkeyed, inflight,
+	}
+	if vs := CheckCrossObjectWFR(ops); len(vs) != 0 {
+		t.Errorf("ambiguous/unkeyed ops flagged: %v", vs)
+	}
+}

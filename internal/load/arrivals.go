@@ -1,0 +1,96 @@
+package load
+
+import (
+	randv2 "math/rand/v2"
+	"time"
+
+	"correctables/internal/netsim"
+)
+
+// ArrivalProcess generates the interarrival sequence of an open-loop
+// workload in model time. Implementations are deterministic per seed and
+// are consumed from clock callbacks, so they must not block.
+type ArrivalProcess interface {
+	// Next returns the delay until the following arrival.
+	Next() time.Duration
+}
+
+// Poisson is an open-loop Poisson process: independent exponential
+// interarrivals at Rate arrivals per second of model time — the classic
+// memoryless offered load.
+type Poisson struct {
+	rate float64
+	rng  *randv2.Rand
+}
+
+// NewPoisson returns a Poisson process at rate arrivals/second, seeded
+// deterministically.
+func NewPoisson(rate float64, seed int64) *Poisson {
+	if rate <= 0 {
+		panic("load: Poisson rate must be positive")
+	}
+	return &Poisson{rate: rate, rng: randv2.New(randv2.NewPCG(uint64(seed), 0xda3e39cb94b95bdb))}
+}
+
+// Next implements ArrivalProcess.
+func (p *Poisson) Next() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+}
+
+// OnOff is a bursty open-loop process: Poisson arrivals at Rate during On
+// windows, silence during Off windows, repeating. The first On window
+// starts at the process origin. It models the flash crowd / upstream-batch
+// traffic that triggers metastable failures: the interesting question is
+// not the burst itself but whether the system recovers after the Off edge.
+type OnOff struct {
+	inner  *Poisson
+	on     time.Duration
+	period time.Duration
+	active time.Duration // cumulative active (On-domain) time consumed
+	last   time.Duration // previous arrival's wall offset from the origin
+}
+
+// NewOnOff returns an on/off burst process: rate arrivals/second during
+// each on window, separated by off windows of silence.
+func NewOnOff(rate float64, on, off time.Duration, seed int64) *OnOff {
+	if on <= 0 {
+		panic("load: OnOff on-window must be positive")
+	}
+	if off < 0 {
+		off = 0
+	}
+	return &OnOff{inner: NewPoisson(rate, seed), on: on, period: on + off}
+}
+
+// Next implements ArrivalProcess. Arrival instants are drawn in the
+// "active time" domain (where the process is always on) and mapped onto
+// the wall by inserting the off windows — exact, with no edge drift.
+func (p *OnOff) Next() time.Duration {
+	p.active += p.inner.Next()
+	cycles := p.active / p.on
+	wall := cycles*p.period + (p.active - cycles*p.on)
+	d := wall - p.last
+	p.last = wall
+	return d
+}
+
+// Start schedules arrivals from proc on the clock until the model instant
+// horizon, invoking fire(i) for the i-th arrival. fire runs in callback
+// context and must not block; blocking work belongs in an actor it spawns
+// (clock.Go). Arrivals strictly at or past horizon are not fired, and the
+// chain of callbacks ends with them — a drained VirtualClock holds no
+// generator residue. Returns the number of arrivals scheduled so far is
+// not knowable up front (open loop); the caller counts in fire.
+func Start(clock netsim.Clock, proc ArrivalProcess, horizon time.Duration, fire func(i int)) {
+	var schedule func(at time.Duration, i int)
+	schedule = func(at time.Duration, i int) {
+		if at >= horizon {
+			return
+		}
+		clock.RunAt(at, func() {
+			fire(i)
+			schedule(at+proc.Next(), i+1)
+		})
+	}
+	schedule(clock.Now()+proc.Next(), 0)
+}

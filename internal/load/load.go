@@ -1,0 +1,44 @@
+// Package load generates overload and contains it. The fault layer
+// (internal/faults) covers partitions and crashes; this package covers the
+// most common production incident — too much traffic — and ICG's answer to
+// it: preliminary views as a cheap degraded mode.
+//
+// It has three parts, all driven by the simulation clock so every run is
+// seed-replayable:
+//
+//   - Open-loop arrival processes (Poisson, OnOff) scheduled as RunAfter
+//     callbacks. Closed-loop YCSB threads self-throttle — when the server
+//     slows down, so do they — which hides overload by design; an open-loop
+//     source keeps offering work at its own rate, which is what makes
+//     queues grow and retry storms possible.
+//   - A Controller implementing binding.AdmissionGate at the coordinator:
+//     per-client token buckets (static rate limits) plus adaptive
+//     backpressure — an AIMD admit-rate bucket driven by a queue-delay
+//     probe sampled over model time. Rejections carry ErrRejected, typed
+//     and retryable.
+//   - Degrade-to-preliminary shedding: under sustained backpressure
+//     (hysteresis-guarded, so the mode doesn't flap at the threshold) the
+//     controller answers AdmissionDegrade for reads, and the client
+//     library serves them at the binding's weakest level only. Sessions
+//     still enforce read-your-writes over the degraded views via version
+//     floors — the guarantee the overload experiment's history check
+//     verifies.
+//
+// The retry side of a storm lives in binding.RetryPolicy (client-side,
+// where retries actually originate); the bench overload experiment wires
+// both together and measures the metastable asymmetry.
+package load
+
+// ErrRejected is the typed admission-rejection error: a Controller refuses
+// work with an error wrapping it. It is retryable (binding.IsRetryable
+// reports true), because rejection is a transient, load-dependent verdict —
+// which is exactly what lets a retry policy turn rejections into the
+// polite, backed-off retries that drain a storm instead of feeding it.
+// Check with errors.Is.
+var ErrRejected error = retryableError("load: rejected by admission control")
+
+// retryableError is a sentinel string error declaring itself retryable.
+type retryableError string
+
+func (e retryableError) Error() string { return string(e) }
+func (retryableError) Retryable() bool { return true }

@@ -38,6 +38,18 @@ func (c *linkCounters) stats() LinkStats {
 	return LinkStats{Bytes: c.bytes.Load(), Messages: c.messages.Load()}
 }
 
+// LoadStats counts admission-control outcomes on one link class: attempts
+// an admission gate refused outright (Rejected), attempts it degraded to
+// preliminary-only service (Shed), and client-side retry re-submissions
+// (Retried). They sit alongside the dropped counters for the same reason
+// those exist: overload casualties must not pollute the delivered totals,
+// and experiments need the reject/shed/retry rates per phase.
+type LoadStats struct {
+	Rejected int64
+	Shed     int64
+	Retried  int64
+}
+
 // Meter accumulates wire traffic by link class. Delivered and dropped
 // traffic are kept in separate counters: messages a fault schedule drops or
 // severs (see Transport and the faults package) never pollute the delivered
@@ -53,6 +65,12 @@ type Meter struct {
 	mu           sync.Mutex
 	other        map[string]LinkStats // custom classes, off the hot path
 	otherDropped map[string]LinkStats
+
+	// Admission outcomes happen at operation granularity, not per message,
+	// so a mutex-protected map (like the custom classes above) is cheap
+	// enough even under a storm of rejections.
+	loadMu sync.Mutex
+	load   map[string]LoadStats
 }
 
 // NewMeter returns an empty meter.
@@ -60,6 +78,7 @@ func NewMeter() *Meter {
 	return &Meter{
 		other:        make(map[string]LinkStats),
 		otherDropped: make(map[string]LinkStats),
+		load:         make(map[string]LoadStats),
 	}
 }
 
@@ -103,6 +122,56 @@ func (m *Meter) AccountDropped(class string, bytes int) {
 		m.otherDropped[class] = s
 		m.mu.Unlock()
 	}
+}
+
+// AccountRejected records one operation attempt refused by an admission
+// gate on the given link class.
+func (m *Meter) AccountRejected(class string) { m.accountLoad(class, 1, 0, 0) }
+
+// AccountShed records one operation attempt an admission gate degraded to
+// preliminary-only service on the given link class.
+func (m *Meter) AccountShed(class string) { m.accountLoad(class, 0, 1, 0) }
+
+// AccountRetried records one client-side retry re-submission on the given
+// link class.
+func (m *Meter) AccountRetried(class string) { m.accountLoad(class, 0, 0, 1) }
+
+func (m *Meter) accountLoad(class string, rejected, shed, retried int64) {
+	if m == nil {
+		return
+	}
+	m.loadMu.Lock()
+	s := m.load[class]
+	s.Rejected += rejected
+	s.Shed += shed
+	s.Retried += retried
+	m.load[class] = s
+	m.loadMu.Unlock()
+}
+
+// Load returns the admission-control outcome counters for one link class.
+func (m *Meter) Load(class string) LoadStats {
+	if m == nil {
+		return LoadStats{}
+	}
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	return m.load[class]
+}
+
+// SnapshotLoad returns a copy of the per-class admission-control outcome
+// counters. Classes with no outcomes are absent.
+func (m *Meter) SnapshotLoad() map[string]LoadStats {
+	if m == nil {
+		return nil
+	}
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	out := make(map[string]LoadStats, len(m.load))
+	for k, v := range m.load {
+		out[k] = v
+	}
+	return out
 }
 
 // Snapshot returns a copy of the per-class statistics. Classes with no
@@ -173,6 +242,9 @@ func (m *Meter) Reset() {
 	m.other = make(map[string]LinkStats)
 	m.otherDropped = make(map[string]LinkStats)
 	m.mu.Unlock()
+	m.loadMu.Lock()
+	m.load = make(map[string]LoadStats)
+	m.loadMu.Unlock()
 	for _, c := range []*linkCounters{&m.client, &m.replica, &m.droppedClient, &m.droppedReplica} {
 		c.bytes.Store(0)
 		c.messages.Store(0)

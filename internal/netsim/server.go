@@ -91,6 +91,27 @@ func (s *Server) TryProcess(cost time.Duration) bool {
 	return true
 }
 
+// QueueDelay returns the queueing delay a request arriving now would incur
+// before any worker slot frees up (0 when a slot is idle). Because
+// reservations are exact per-slot deadlines in model time, this is the
+// precise backlog signal — no sampling error — which makes it the natural
+// input for queue-delay-threshold admission control (see internal/load).
+func (s *Server) QueueDelay() time.Duration {
+	now := s.clock.Now()
+	s.mu.Lock()
+	earliest := s.slotFree[0]
+	for _, t := range s.slotFree[1:] {
+		if t < earliest {
+			earliest = t
+		}
+	}
+	s.mu.Unlock()
+	if earliest <= now {
+		return 0
+	}
+	return earliest - now
+}
+
 // Handled returns the number of completed Process calls.
 func (s *Server) Handled() int64 {
 	s.mu.Lock()

@@ -388,7 +388,10 @@ func (e *Ensemble) quorum() int {
 
 // Bootstrap applies a transaction directly to every server, bypassing the
 // protocol and the meter: experiment setup (creating queue directories,
-// preloading elements).
+// preloading elements). It must only be called on a quiescent ensemble — it
+// advances every server's applied watermark past the allocated zxid, so any
+// commit still in flight below it would be discarded on arrival as a
+// duplicate.
 func (e *Ensemble) Bootstrap(txn Txn) TxnResult {
 	e.propMu.Lock()
 	defer e.propMu.Unlock()

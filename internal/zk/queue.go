@@ -71,7 +71,13 @@ func (c *QueueClient) createQueue(queue string) error {
 	contact := c.ensemble.Server(c.Contact)
 	tr.Travel(c.Region, c.Contact, netsim.LinkClient, requestSize(len(dir)))
 	contact.process()
-	_ = c.ensemble.Bootstrap(CreateTxn{Path: "/queues"})
+	// Ensure the /queues parent through the ordered protocol. When it already
+	// exists the create fails fast (no zxid, no broadcast), so this is an
+	// idempotent no-op on every call but the first. Bootstrap must NOT be used
+	// here: it force-advances every server's applied watermark, and a queue
+	// can be created while protocol traffic is in flight — the jump would make
+	// followers discard committed transactions still on the wire.
+	_, _ = c.forwardAndCommit(contact, CreateTxn{Path: "/queues"})
 	zxid, res := c.forwardAndCommit(contact, CreateTxn{Path: dir})
 	_ = zxid
 	tr.Travel(c.Contact, c.Region, netsim.LinkClient, responseSize(len(dir)))
