@@ -12,45 +12,32 @@
 //
 // Usage:
 //
+//	icgbench -list                           # every experiment, scenario, profile
 //	icgbench -exp fig5                       # one experiment, virtual time
-//	icgbench -exp all -quick                 # smoke-run everything
+//	icgbench -exp all -quick                 # smoke-run the paper figures
 //	icgbench -exp fig6 -clock=wall -scale .5 # real-time-ish demo run
 //
-// Experiments: fig5 (single-request latency), fig6 (YCSB latency vs
-// throughput), fig7 (divergence), fig8 (bandwidth), fig9 (ZK latency gaps),
-// fig10 (dequeue bandwidth), fig11 (speculation case studies), fig12
-// (ticket selling). Beyond the paper: ablations, and faultstudy — YCSB
-// under a deterministic fault schedule (-faults selects the scenario,
-// -fault-log prints the transition log, -fault-json writes the result):
+// Beyond the paper's figures: ablations; faultstudy — YCSB under a
+// deterministic fault schedule (-faults selects the scenario, -fault-log
+// prints the transition log); failover — leader partition and recovery;
+// overload — metastable retry storm vs admission control; sweep — quorum x
+// geography; and hunt — the nemesis hunt: a sweep of seeds x composed
+// fault-track profiles, every recorded history run through every checker,
+// each violating world shrunk by delta debugging into a replayable repro:
 //
-//	icgbench -exp faultstudy -faults=minority-partition -fault-log
-//	icgbench -exp faultstudy -faults=1234:harsh          # replay seed 1234
+//	icgbench -exp hunt -hunt-seeds 1000            # the nightly budget
+//	icgbench -exp hunt -hunt-plant                 # self-test: find the planted bug
+//	icgbench -exp hunt -repro hunt-repros/x.json   # replay an archived repro
 //
-// failover partitions the Correctable ZooKeeper leader mid-run and measures
-// recovery: time-to-recovery (leader election), the preliminary-only
-// availability window, and weak-vs-strong latency per phase for the
-// majority and severed-minority client populations. Its history check
-// always runs, and any violation exits nonzero:
-//
-//	icgbench -exp failover -fault-log
-//	icgbench -exp failover -fault-json BENCH_failover.json
-//
-// overload drives an open-loop burst into a single coordinator twice — once
-// with admission control off (a metastable retry storm the system never
-// escapes) and once with it on (token buckets, AIMD backpressure,
-// degrade-to-preliminary shedding). Its history check always runs. sweep
-// produces the fig6/fig7 trend as one table: read latency vs quorum size
-// and RTT geography. Both write JSON via -fault-json:
-//
-//	icgbench -exp overload -fault-json BENCH_overload.json
-//	icgbench -exp sweep -quick
+// Checked experiments (faultstudy, failover, overload, hunt) exit 3 when a
+// consistency violation is found; the seed replays it byte-identically.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -58,152 +45,289 @@ import (
 	"correctables/internal/faults"
 )
 
-var experiments = map[string]func(bench.Config) string{
-	"fig5":  func(c bench.Config) string { return bench.FormatFig5(bench.Fig5(c)) },
-	"fig6":  func(c bench.Config) string { return bench.FormatFig6(bench.Fig6(c)) },
-	"fig7":  func(c bench.Config) string { return bench.FormatFig7(bench.Fig7(c)) },
-	"fig8":  func(c bench.Config) string { return bench.FormatFig8(bench.Fig8(c)) },
-	"fig9":  func(c bench.Config) string { return bench.FormatFig9(bench.Fig9(c)) },
-	"fig10": func(c bench.Config) string { return bench.FormatFig10(bench.Fig10(c)) },
-	"fig11": func(c bench.Config) string { return bench.FormatFig11(bench.Fig11(c)) },
-	"fig12": func(c bench.Config) string { return bench.FormatFig12(bench.Fig12(c)) },
-	// Ablations beyond the paper's figures (run via -exp ablations).
-	"ablations": func(c bench.Config) string {
-		return bench.FormatAblationLag(bench.AblationReplicationLag(c)) +
-			bench.FormatAblationFlush(bench.AblationFlushCost(c))
-	},
-	// Fault study (run via -exp faultstudy; -faults picks the scenario,
-	// -check verifies the run's recorded history).
-	"faultstudy": func(c bench.Config) string {
-		res, err := bench.FaultStudy(c)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
-			os.Exit(2)
-		}
-		if faultJSON != "" {
-			data, err := bench.FaultStudyJSON(res)
-			if err == nil {
-				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
-				os.Exit(1)
-			}
-		}
-		out := bench.FormatFaultStudy(res, c.FaultLog)
-		if res.Check != nil && res.Check.Violations() > 0 {
-			// The consistency check gate: print everything, then fail.
-			fmt.Print(out)
-			fmt.Fprintf(os.Stderr, "icgbench: consistency check FAILED with %d violations (seed %d replays them byte-identically)\n",
-				res.Check.Violations(), c.Seed)
-			os.Exit(3)
-		}
-		return out
-	},
-	// Overload experiment (run via -exp overload): an open-loop burst tips
-	// the coordinator into a metastable retry storm, once with admission
-	// control off and once with it on. The history check always runs.
-	"overload": func(c bench.Config) string {
-		res, err := bench.Overload(c)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
-			os.Exit(2)
-		}
-		if faultJSON != "" {
-			data, err := bench.OverloadJSON(res)
-			if err == nil {
-				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
-				os.Exit(1)
-			}
-		}
-		out := bench.FormatOverload(res)
-		var violations int
-		for _, m := range res.Modes {
-			if m.Check != nil {
-				violations += m.Check.Violations()
-			}
-		}
-		if violations > 0 {
-			fmt.Print(out)
-			fmt.Fprintf(os.Stderr, "icgbench: consistency check FAILED with %d violations (seed %d replays them byte-identically)\n",
-				violations, c.Seed)
-			os.Exit(3)
-		}
-		return out
-	},
-	// Quorum x geography sweep (run via -exp sweep): the fig6/fig7 trend in
-	// one cheap table — preliminary-view latency pinned to the closest
-	// replica, final-view latency paying for quorum size and distance.
-	"sweep": func(c bench.Config) string {
-		res := bench.Sweep(c)
-		if faultJSON != "" {
-			data, err := bench.SweepJSON(res)
-			if err == nil {
-				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
-				os.Exit(1)
-			}
-		}
-		return bench.FormatSweep(res)
-	},
-	// Failover experiment (run via -exp failover): a partition severs the
-	// zk leader mid-run; measures time-to-recovery and the prelim-only
-	// availability window. The history check always runs.
-	"failover": func(c bench.Config) string {
-		c.Check = true
-		res, err := bench.Failover(c)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
-			os.Exit(2)
-		}
-		if faultJSON != "" {
-			data, err := bench.FailoverJSON(res)
-			if err == nil {
-				err = os.WriteFile(faultJSON, append(data, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", faultJSON, err)
-				os.Exit(1)
-			}
-		}
-		out := bench.FormatFailover(res, c.FaultLog)
-		if res.Check != nil && res.Check.Violations() > 0 {
-			fmt.Print(out)
-			fmt.Fprintf(os.Stderr, "icgbench: consistency check FAILED with %d violations (seed %d replays them byte-identically)\n",
-				res.Check.Violations(), c.Seed)
-			os.Exit(3)
-		}
-		return out
-	},
+// experiment is one icgbench entry: the single registry below generates
+// the -exp help text, the -list output, and the "all" dispatch, so they
+// cannot drift apart.
+type experiment struct {
+	name string
+	desc string
+	// paper experiments run under -exp all (the figures, in order); the
+	// extras are opt-in by name.
+	paper bool
+	run   func(bench.Config) string
 }
 
-// faultJSON is the -fault-json flag (consulted by the faultstudy entry).
-var faultJSON string
+var experiments = []experiment{
+	{"fig5", "single-request latency per level (Cassandra binding)", true, func(c bench.Config) string { return bench.FormatFig5(bench.Fig5(c)) }},
+	{"fig6", "YCSB latency vs throughput", true, func(c bench.Config) string { return bench.FormatFig6(bench.Fig6(c)) }},
+	{"fig7", "preliminary-vs-final divergence", true, func(c bench.Config) string { return bench.FormatFig7(bench.Fig7(c)) }},
+	{"fig8", "bandwidth overhead of incremental views", true, func(c bench.Config) string { return bench.FormatFig8(bench.Fig8(c)) }},
+	{"fig9", "ZooKeeper latency gaps per level", true, func(c bench.Config) string { return bench.FormatFig9(bench.Fig9(c)) }},
+	{"fig10", "dequeue bandwidth (Correctable ZK queue)", true, func(c bench.Config) string { return bench.FormatFig10(bench.Fig10(c)) }},
+	{"fig11", "speculation case studies", true, func(c bench.Config) string { return bench.FormatFig11(bench.Fig11(c)) }},
+	{"fig12", "ticket selling end-to-end", true, func(c bench.Config) string { return bench.FormatFig12(bench.Fig12(c)) }},
+	{"ablations", "replication-lag and flush-cost ablations", false, func(c bench.Config) string {
+		return bench.FormatAblationLag(bench.AblationReplicationLag(c)) +
+			bench.FormatAblationFlush(bench.AblationFlushCost(c))
+	}},
+	{"faultstudy", "YCSB under a deterministic fault schedule (-faults, -check)", false, runFaultStudy},
+	{"failover", "leader partition mid-run: recovery time and availability window", false, runFailover},
+	{"overload", "open-loop burst: metastable retry storm vs admission control", false, runOverload},
+	{"sweep", "read latency vs quorum size and RTT geography", false, runSweep},
+	{"hunt", "nemesis hunt: seeds x composed fault tracks, all checkers, shrinking repros", false, runHunt},
+}
+
+func expNames(paperOnly bool) []string {
+	var out []string
+	for _, e := range experiments {
+		if !paperOnly || e.paper {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+func expByName(name string) (experiment, bool) {
+	for _, e := range experiments {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
+// Flags consulted by individual experiment entries.
+var (
+	faultJSON    string
+	huntSeeds    int
+	huntStart    int64
+	huntProfiles string
+	huntWorkers  int
+	huntPlant    bool
+	reproDir     string
+)
+
+// writeJSON writes an experiment's -fault-json artifact.
+func writeJSON(path string, data []byte, err error) {
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
+// failCheck prints the experiment output, reports the violation count on
+// stderr, and exits with the consistency-gate status.
+func failCheck(out string, violations int, seed int64) {
+	fmt.Print(out)
+	fmt.Fprintf(os.Stderr, "icgbench: consistency check FAILED with %d violations (seed %d replays them byte-identically)\n",
+		violations, seed)
+	os.Exit(3)
+}
+
+func runFaultStudy(c bench.Config) string {
+	res, err := bench.FaultStudy(c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+		os.Exit(2)
+	}
+	if faultJSON != "" {
+		data, err := bench.FaultStudyJSON(res)
+		writeJSON(faultJSON, data, err)
+	}
+	out := bench.FormatFaultStudy(res, c.FaultLog)
+	if res.Check != nil && res.Check.Violations() > 0 {
+		failCheck(out, res.Check.Violations(), c.Seed)
+	}
+	return out
+}
+
+func runFailover(c bench.Config) string {
+	c.Check = true
+	res, err := bench.Failover(c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+		os.Exit(2)
+	}
+	if faultJSON != "" {
+		data, err := bench.FailoverJSON(res)
+		writeJSON(faultJSON, data, err)
+	}
+	out := bench.FormatFailover(res, c.FaultLog)
+	if res.Check != nil && res.Check.Violations() > 0 {
+		failCheck(out, res.Check.Violations(), c.Seed)
+	}
+	return out
+}
+
+func runOverload(c bench.Config) string {
+	res, err := bench.Overload(c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+		os.Exit(2)
+	}
+	if faultJSON != "" {
+		data, err := bench.OverloadJSON(res)
+		writeJSON(faultJSON, data, err)
+	}
+	out := bench.FormatOverload(res)
+	var violations int
+	for _, m := range res.Modes {
+		if m.Check != nil {
+			violations += m.Check.Violations()
+		}
+	}
+	if violations > 0 {
+		failCheck(out, violations, c.Seed)
+	}
+	return out
+}
+
+func runSweep(c bench.Config) string {
+	res := bench.Sweep(c)
+	if faultJSON != "" {
+		data, err := bench.SweepJSON(res)
+		writeJSON(faultJSON, data, err)
+	}
+	return bench.FormatSweep(res)
+}
+
+func runHunt(c bench.Config) string {
+	opts := bench.HuntOptions{
+		Seeds:     huntSeeds,
+		StartSeed: huntStart,
+		Workers:   huntWorkers,
+		Plant:     huntPlant,
+	}
+	if huntProfiles != "" {
+		for _, p := range strings.Split(huntProfiles, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Profiles = append(opts.Profiles, p)
+			}
+		}
+	}
+	res, err := bench.Hunt(c, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+		os.Exit(2)
+	}
+	if faultJSON != "" {
+		data, err := bench.HuntJSON(res)
+		writeJSON(faultJSON, data, err)
+	}
+	out := bench.FormatHunt(res)
+	if len(res.Findings) > 0 {
+		// Archive every shrunk repro, then fail the consistency gate.
+		if err := os.MkdirAll(reproDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range res.Findings {
+			data, err := bench.HuntReproJSON(f.Repro)
+			path := filepath.Join(reproDir, fmt.Sprintf("hunt-%s-%d.json", f.Profile, f.Seed))
+			writeJSON(path, data, err)
+			fmt.Fprintf(os.Stderr, "icgbench: repro archived: %s\n", path)
+		}
+		failCheck(out, len(res.Findings), c.Seed)
+	}
+	return out
+}
+
+// runRepro replays an archived hunt repro and reports whether the outcome
+// is byte-identical to the archived violation.
+func runRepro(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+		os.Exit(2)
+	}
+	r, err := bench.ParseHuntRepro(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := bench.HuntReplay(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icgbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("replay %s: profile %s seed %d (planted=%v)\n", path, r.Profile, r.Seed, r.Planted)
+	fmt.Printf("  archived: %s\n", r.Violation)
+	fmt.Printf("  replayed: %s\n", res.Violation)
+	if res.Identical {
+		fmt.Println("  IDENTICAL: violation and history digest reproduce byte-for-byte")
+		return
+	}
+	fmt.Printf("  archived digest: %s\n  replayed digest: %s\n", r.HistoryDigest, res.HistoryDigest)
+	fmt.Fprintln(os.Stderr, "icgbench: replay DIVERGED from the archived repro")
+	os.Exit(3)
+}
+
+// list prints the experiment registry, the fault-scenario catalog, and the
+// random-profile names.
+func list() {
+	fmt.Println("experiments (-exp):")
+	for _, e := range experiments {
+		tag := "      "
+		if e.paper {
+			tag = "paper "
+		}
+		fmt.Printf("  %-10s %s%s\n", e.name, tag, e.desc)
+	}
+	fmt.Println("\nfault scenarios (-faults, faultstudy):")
+	for _, name := range faults.ScenarioNames() {
+		s, err := faults.ScenarioByName(name, time.Second)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-20s %s\n", name, s.Description)
+	}
+	fmt.Println("\nrandom fault profiles (-faults <seed>:<profile>, -hunt-profiles):")
+	for _, name := range faults.ProfileNames() {
+		fmt.Printf("  %s\n", name)
+	}
+}
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (fig5..fig12, 'all', 'ablations', 'faultstudy', 'failover', 'overload', 'sweep')")
+		exp = flag.String("exp", "all",
+			"experiment to run: 'all' (the paper figures), or a comma list of "+strings.Join(expNames(false), ", "))
 		clockMode = flag.String("clock", "virtual", "clock mode: 'virtual' (deterministic, CPU speed) or 'wall' (scaled real time)")
 		scale     = flag.Float64("scale", 0.25, "model-to-wall time scale in -clock=wall mode (1.0 = real time)")
 		seed      = flag.Int64("seed", 42, "random seed")
 		quick     = flag.Bool("quick", false, "reduced samples/durations (smoke run)")
 		faultSpec = flag.String("faults", "",
 			"fault scenario for -exp faultstudy: one of "+strings.Join(faults.ScenarioNames(), ", ")+
-				", or '<seed>:<profile>' (profiles: mild, harsh) for a replayable random schedule; default minority-partition")
+				", or '<seed>:<profile>' (profiles: "+strings.Join(faults.ProfileNames(), ", ")+
+				") for a replayable random schedule; default minority-partition")
 		faultLog = flag.Bool("fault-log", false, "print the applied fault-transition log with the fault study")
 		sweep    = flag.Bool("sweep", false,
 			"also run the quorum x geography parameter sweep (shorthand for adding 'sweep' to -exp)")
 		check = flag.Bool("check", false,
 			"faultstudy: run a consistency-checked session population alongside the measured one and verify its "+
 				"recorded history (session guarantees + per-key linearizability); exit nonzero on any violation")
+		showList = flag.Bool("list", false, "list experiments, fault scenarios and profiles, then exit")
+		repro    = flag.String("repro", "", "replay an archived hunt repro JSON and verify byte-identical reproduction")
 	)
-	flag.StringVar(&faultJSON, "fault-json", "", "write the experiment result as JSON to this path (faultstudy, failover, overload, sweep)")
+	flag.StringVar(&faultJSON, "fault-json", "", "write the experiment result as JSON to this path (faultstudy, failover, overload, sweep, hunt)")
+	flag.IntVar(&huntSeeds, "hunt-seeds", 0, "hunt: seeds swept per profile (default 1000, or 16 with -quick)")
+	flag.Int64Var(&huntStart, "hunt-start", 0, "hunt: first seed (default -seed)")
+	flag.StringVar(&huntProfiles, "hunt-profiles", "", "hunt: comma list of fault profiles (default tracks-mild,tracks-harsh)")
+	flag.IntVar(&huntWorkers, "hunt-workers", 0, "hunt: parallel worlds (default GOMAXPROCS)")
+	flag.BoolVar(&huntPlant, "hunt-plant", false, "hunt: enable the planted version-corruption bug (self-test; the hunt must find it)")
+	flag.StringVar(&reproDir, "repro-dir", "hunt-repros", "hunt: directory to archive shrunk repro JSONs in on findings")
 	flag.Parse()
+
+	if *showList {
+		list()
+		return
+	}
+	if *repro != "" {
+		runRepro(*repro)
+		return
+	}
 
 	var wall bool
 	switch *clockMode {
@@ -219,24 +343,13 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		// The paper's figures in order; ablations and the fault study are
-		// opt-in (-exp ablations, -exp faultstudy).
-		for name := range experiments {
-			switch name {
-			case "ablations", "faultstudy", "failover", "overload", "sweep":
-			default:
-				names = append(names, name)
-			}
-		}
-		sort.Slice(names, func(i, j int) bool {
-			// fig5 < fig6 < ... < fig10 < fig11 < fig12 (numeric order).
-			return figNum(names[i]) < figNum(names[j])
-		})
+		names = expNames(true)
 	} else {
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
-			if _, ok := experiments[name]; !ok {
-				fmt.Fprintf(os.Stderr, "icgbench: unknown experiment %q (have fig5..fig12)\n", name)
+			if _, ok := expByName(name); !ok {
+				fmt.Fprintf(os.Stderr, "icgbench: unknown experiment %q (have %s)\n",
+					name, strings.Join(expNames(false), ", "))
 				os.Exit(2)
 			}
 			names = append(names, name)
@@ -247,8 +360,9 @@ func main() {
 	}
 
 	for _, name := range names {
+		e, _ := expByName(name)
 		start := time.Now()
-		out := experiments[name](cfg)
+		out := e.run(cfg)
 		fmt.Print(out)
 		fmt.Printf("-- %s completed in %v (wall)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -261,10 +375,4 @@ func contains(names []string, want string) bool {
 		}
 	}
 	return false
-}
-
-func figNum(name string) int {
-	var n int
-	fmt.Sscanf(name, "fig%d", &n)
-	return n
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"correctables"
+	"correctables/internal/bench"
 	"correctables/internal/cassandra"
 	"correctables/internal/faults"
 	"correctables/internal/load"
@@ -327,4 +328,40 @@ func Example_overload() {
 	// retried: strong view of v (final=true)
 	// degraded: weak view of v (final=true)
 	// recovered: strong view of v (final=true)
+}
+
+// Example_hunt runs the nemesis hunt end to end against its own planted
+// bug: a sweep of seeds over composed fault tracks (concurrent partition,
+// crash and lossy-WAN schedules plus open-loop arrivals), every recorded
+// history run through every checker, and the violating world shrunk by
+// delta debugging into a minimal repro whose replay reproduces the
+// violation byte for byte. A clean sweep (no planted bug) is the nightly
+// CI gate; `icgbench -exp hunt` runs the full-size version.
+func Example_hunt() {
+	res, err := bench.Hunt(bench.Config{Seed: 42, Quick: true}, bench.HuntOptions{
+		Seeds:     2,
+		StartSeed: 42,
+		Profiles:  []string{"tracks-harsh"},
+		Workers:   2,
+		Plant:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("findings: %d of %d runs\n", len(res.Findings), res.Runs)
+	f := res.Findings[0]
+	fmt.Printf("first: %s (client %s) on %q, profile %s seed %d\n",
+		f.Guarantee, f.Client, f.Key, f.Profile, f.Seed)
+	fmt.Printf("shrunk: %d -> %d fault events, %d -> %d clients\n",
+		f.EventsBefore, f.EventsAfter, f.ClientsBefore, f.ClientsAfter)
+	rep, err := bench.HuntReplay(f.Repro)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replay identical: %v\n", rep.Identical)
+	// Output:
+	// findings: 2 of 2 runs
+	// first: monotonic-reads (client sess-02) on "k-02", profile tracks-harsh seed 42
+	// shrunk: 21 -> 1 fault events, 8 -> 5 clients
+	// replay identical: true
 }

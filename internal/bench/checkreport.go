@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"correctables/internal/history"
+)
+
+// buildCheckReport verifies a recorded history with the default checker
+// set and returns the report every checked experiment shares. The default
+// set is: client-label collisions (an untrustworthy history), the session
+// guarantees (read-your-writes, monotonic reads, writes-follow-reads),
+// cross-object writes-follow-reads (sound for the checked stores — their
+// version tokens come from one store-wide counter, zxid or version, so
+// cross-key comparison is meaningful), and the causal-cut checker over the
+// incremental ladder. linModel additionally runs the Wing & Gong search
+// against a sequential model: "registers", "queues", or "" for none.
+func buildCheckReport(recorder *history.Recorder, clients int, linModel string) *CheckReport {
+	ops := recorder.Ops()
+	report := &CheckReport{Clients: clients, Ops: len(ops)}
+	if n := recorder.Collisions(); n > 0 {
+		report.SessionViolations = append(report.SessionViolations,
+			fmt.Sprintf("history: %d client-label collisions — the recorded history is untrustworthy", n))
+	}
+	for _, v := range history.CheckSessionGuarantees(ops) {
+		report.SessionViolations = append(report.SessionViolations, v.String())
+	}
+	for _, v := range history.CheckCrossObjectWFR(ops) {
+		report.SessionViolations = append(report.SessionViolations, v.String())
+	}
+	for _, v := range history.CheckCausalCut(ops) {
+		report.SessionViolations = append(report.SessionViolations, v.String())
+	}
+	switch linModel {
+	case "registers":
+		linVs, inconclusive := history.CheckRegisters(ops, 0)
+		for _, v := range linVs {
+			report.LinViolations = append(report.LinViolations, v.String())
+		}
+		report.Inconclusive = inconclusive
+	case "queues":
+		linVs, inconclusive := history.CheckQueues(ops, 0)
+		for _, v := range linVs {
+			report.LinViolations = append(report.LinViolations, v.String())
+		}
+		report.Inconclusive = inconclusive
+	}
+	sum := sha256.Sum256(history.SerializeOps(ops))
+	report.HistoryDigest = hex.EncodeToString(sum[:])
+	return report
+}

@@ -2,8 +2,6 @@ package bench
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -320,23 +318,7 @@ func Failover(cfg Config) (*FailoverResult, error) {
 	}
 
 	if recorder != nil {
-		ops := recorder.Ops()
-		report := &CheckReport{Clients: checkClients, Ops: len(ops)}
-		if n := recorder.Collisions(); n > 0 {
-			report.SessionViolations = append(report.SessionViolations,
-				fmt.Sprintf("history: %d client-label collisions — the recorded history is untrustworthy", n))
-		}
-		for _, v := range history.CheckSessionGuarantees(ops) {
-			report.SessionViolations = append(report.SessionViolations, v.String())
-		}
-		linVs, inconclusive := history.CheckQueues(ops, 0)
-		for _, v := range linVs {
-			report.LinViolations = append(report.LinViolations, v.String())
-		}
-		report.Inconclusive = inconclusive
-		sum := sha256.Sum256(history.SerializeOps(ops))
-		report.HistoryDigest = hex.EncodeToString(sum[:])
-		res.Check = report
+		res.Check = buildCheckReport(recorder, checkClients, "queues")
 	}
 	return res, nil
 }

@@ -2,8 +2,6 @@ package bench
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -292,23 +290,7 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 		res.Transitions = append(res.Transitions, tr.At.String()+": "+tr.Desc)
 	}
 	if recorder != nil {
-		ops := recorder.Ops()
-		report := &CheckReport{Clients: checkClients, Ops: len(ops)}
-		if n := recorder.Collisions(); n > 0 {
-			report.SessionViolations = append(report.SessionViolations,
-				fmt.Sprintf("history: %d client-label collisions — the recorded history is untrustworthy", n))
-		}
-		for _, v := range history.CheckSessionGuarantees(ops) {
-			report.SessionViolations = append(report.SessionViolations, v.String())
-		}
-		linVs, inconclusive := history.CheckRegisters(ops, 0)
-		for _, v := range linVs {
-			report.LinViolations = append(report.LinViolations, v.String())
-		}
-		report.Inconclusive = inconclusive
-		sum := sha256.Sum256(history.SerializeOps(ops))
-		report.HistoryDigest = hex.EncodeToString(sum[:])
-		res.Check = report
+		res.Check = buildCheckReport(recorder, checkClients, "registers")
 	}
 	for i, ph := range scen.Phases {
 		row := FaultStudyRow{Phase: ph.Name, StartMs: metrics.Ms(ph.Start), EndMs: metrics.Ms(ph.End)}

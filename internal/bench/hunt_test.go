@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// huntTestOpts is a bounded seed budget the planted bug must fall within:
+// faults are in force for most of the tracks-harsh horizon, so the very
+// first seeds should already trip the corrupted-version checkers.
+func huntTestOpts(plant bool) HuntOptions {
+	return HuntOptions{
+		Seeds:     4,
+		StartSeed: 42,
+		Profiles:  []string{"tracks-harsh"},
+		Workers:   4,
+		Plant:     plant,
+	}
+}
+
+// TestHuntFindsPlantedViolation is the hunt's end-to-end self-test: with
+// the planted version-corruption bug enabled, a bounded seed budget must
+// surface at least one checker violation, and replaying the archived
+// shrunk repro must reproduce the identical violation byte for byte.
+func TestHuntFindsPlantedViolation(t *testing.T) {
+	res, err := Hunt(Config{Seed: 42, Quick: true}, huntTestOpts(true))
+	if err != nil {
+		t.Fatalf("Hunt: %v", err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatalf("planted bug not found within %d seeds x %v", res.Seeds, res.Profiles)
+	}
+	f := res.Findings[0]
+	if f.Repro == nil {
+		t.Fatalf("finding has no repro")
+	}
+	if f.Violation == "" || f.Guarantee == "" {
+		t.Fatalf("finding lacks violation detail: %+v", f)
+	}
+	rep, err := HuntReplay(f.Repro)
+	if err != nil {
+		t.Fatalf("HuntReplay: %v", err)
+	}
+	if !rep.Identical {
+		t.Fatalf("replay did not reproduce byte-for-byte:\narchived:  %s\n  digest %s\nreplayed:  %s\n  digest %s",
+			f.Repro.Violation, f.Repro.HistoryDigest, rep.Violation, rep.HistoryDigest)
+	}
+}
+
+// TestHuntShrinkDeterministic: the same violation must shrink to a
+// byte-identical repro every time — the minimizer is pure greedy over a
+// deterministic world, so two independent hunts of the same seed window
+// must archive identical JSON.
+func TestHuntShrinkDeterministic(t *testing.T) {
+	first, err := Hunt(Config{Seed: 42, Quick: true}, huntTestOpts(true))
+	if err != nil {
+		t.Fatalf("Hunt: %v", err)
+	}
+	second, err := Hunt(Config{Seed: 42, Quick: true}, huntTestOpts(true))
+	if err != nil {
+		t.Fatalf("Hunt: %v", err)
+	}
+	if len(first.Findings) == 0 || len(second.Findings) != len(first.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(first.Findings), len(second.Findings))
+	}
+	a, err := HuntReproJSON(first.Findings[0].Repro)
+	if err != nil {
+		t.Fatalf("HuntReproJSON: %v", err)
+	}
+	b, err := HuntReproJSON(second.Findings[0].Repro)
+	if err != nil {
+		t.Fatalf("HuntReproJSON: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("shrunk repros differ across identical hunts:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestHuntShrinkPreservesViolation: the shrunk world must still exhibit
+// the target violation, and must be no larger than the original world on
+// every shrink axis.
+func TestHuntShrinkPreservesViolation(t *testing.T) {
+	res, err := Hunt(Config{Seed: 42, Quick: true}, huntTestOpts(true))
+	if err != nil {
+		t.Fatalf("Hunt: %v", err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatalf("planted bug not found")
+	}
+	f := res.Findings[0]
+	if f.TracksAfter > f.TracksBefore || f.EventsAfter > f.EventsBefore || f.ClientsAfter > f.ClientsBefore {
+		t.Fatalf("shrunk world grew: %+v", f)
+	}
+	w, err := worldOf(f.Repro)
+	if err != nil {
+		t.Fatalf("worldOf: %v", err)
+	}
+	out := runHuntWorld(w)
+	v, ok := out.match(huntTarget{Guarantee: f.Guarantee, Client: f.Client, Key: f.Key})
+	if !ok {
+		t.Fatalf("shrunk world no longer exhibits %s on %s/%s; violations: %v",
+			f.Guarantee, f.Client, f.Key, out.violations)
+	}
+	if v.String() != f.Violation {
+		t.Fatalf("shrunk world violation drifted:\nwant %s\ngot  %s", f.Violation, v.String())
+	}
+}
+
+// TestHuntCleanSweepSmoke: without the planted bug, a small sweep across
+// both composed-track profiles must complete with zero violations. The
+// full-scale (1000+ seed) clean sweep runs in the nightly hunt.
+func TestHuntCleanSweepSmoke(t *testing.T) {
+	res, err := Hunt(Config{Seed: 42, Quick: true}, HuntOptions{
+		Seeds:     4,
+		StartSeed: 42,
+		Profiles:  []string{"tracks-mild", "tracks-harsh"},
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatalf("Hunt: %v", err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("clean sweep found %d violations; first: %s",
+			len(res.Findings), res.Findings[0].Violation)
+	}
+	if res.Runs != 8 || res.Ops == 0 {
+		t.Fatalf("sweep did not run: %+v", res)
+	}
+}

@@ -2,8 +2,6 @@ package bench
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -416,25 +414,9 @@ func runOverloadMode(cfg Config, p overloadParams, shedding bool) (*OverloadMode
 	}
 	mode.RecoveredGoodputPct = mode.Rows[3].GoodputPct
 
-	// The always-on history check: session guarantees per key plus the
-	// cross-object writes-follow-reads checker (the store's version tokens
-	// come from one cluster-wide counter, which is what makes cross-key
-	// comparison sound).
-	ops := recorder.Ops()
-	report := &CheckReport{Clients: p.sessions, Ops: len(ops)}
-	if n := recorder.Collisions(); n > 0 {
-		report.SessionViolations = append(report.SessionViolations,
-			fmt.Sprintf("history: %d client-label collisions — the recorded history is untrustworthy", n))
-	}
-	for _, v := range history.CheckSessionGuarantees(ops) {
-		report.SessionViolations = append(report.SessionViolations, v.String())
-	}
-	for _, v := range history.CheckCrossObjectWFR(ops) {
-		report.SessionViolations = append(report.SessionViolations, v.String())
-	}
-	sum := sha256.Sum256(history.SerializeOps(ops))
-	report.HistoryDigest = hex.EncodeToString(sum[:])
-	mode.Check = report
+	// The always-on history check, with the default checker set (session
+	// guarantees, cross-object WFR, causal-cut).
+	mode.Check = buildCheckReport(recorder, p.sessions, "")
 	return mode, nil
 }
 

@@ -129,7 +129,6 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 		causalQ = clock.NewQueue()
 		clock.Go(func() {
 			e := c.store.read(c.Region, c.store.nearestBackup(c.Region), op.Key)
-			c.cacheMerge(op.Key, e)
 			causalQ.Put(e)
 		})
 	}
@@ -152,10 +151,27 @@ func (b *Binding) get(op binding.Get, levels core.Levels, cb binding.Callback) {
 		}
 	}
 	if causalQ != nil {
-		emit(causalQ.Get().(Entry), core.LevelCausal)
+		// The backup lags the primary by the propagation delay, so its raw
+		// entry can be *older* than what this client has already observed —
+		// through its cache (populated by earlier writes and strong reads)
+		// or through the cache view delivered a moment ago. Serving that
+		// stale entry would break the ladder's causal cut: each view must
+		// refine, never regress, the ones before it. The causal view is
+		// therefore the max of the backup's entry and the client's causal
+		// past; the merged entry also refreshes the cache. The primary's
+		// per-key version is always ≥ every backup's, so the strong view
+		// still dominates.
+		e := causalQ.Get().(Entry)
+		c.cacheMerge(op.Key, e)
+		if cached := c.CacheGet(op.Key); cached.newer(e) {
+			e = cached
+		}
+		emit(e, core.LevelCausal)
 	}
 	if strongQ != nil {
-		emit(strongQ.Get().(Entry), core.LevelStrong)
+		e := strongQ.Get().(Entry)
+		c.cacheMerge(op.Key, e)
+		emit(e, core.LevelStrong)
 	}
 }
 

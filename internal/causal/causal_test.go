@@ -218,3 +218,40 @@ func TestCacheMissOnCacheOnlyRequest(t *testing.T) {
 		t.Errorf("cache miss value = %v, want empty", v.Value)
 	}
 }
+
+// TestBindingCausalViewNeverRegressesBehindCache is the ladder-regression
+// fix's test: the nearest backup lags the primary by the propagation delay,
+// so right after a write its raw entry is older than the client's cache.
+// The causal view must be the max of the two — an incremental ladder
+// refines, it never regresses — while the raw backup is verifiably stale.
+func TestBindingCausalViewNeverRegressesBehindCache(t *testing.T) {
+	s, _ := newTestStore(t)
+	c := NewClient(s, netsim.IRL)
+	kv := NewKV(NewBinding(c))
+	ctx := context.Background()
+
+	// Write through the primary: the cache holds the newest value while the
+	// backups have not yet seen any propagation.
+	for _, v := range []string{"v1", "v2", "v3"} {
+		if _, err := kv.Put(ctx, "k", []byte(v)).Final(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := s.ReplicaEntry(s.nearestBackup(netsim.IRL), "k"); e.Exists && string(e.Value) == "v3" {
+		t.Skip("backup caught up before the read; propagation delay too short for this test")
+	}
+
+	cor := kv.Get(ctx, "k")
+	if _, err := cor.Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	views := cor.Views()
+	if len(views) != 3 {
+		t.Fatalf("views = %d, want 3 (cache, causal, strong)", len(views))
+	}
+	for i, v := range views {
+		if string(v.Value) != "v3" {
+			t.Errorf("view %d (%v) = %q, want v3 (ladder regressed)", i, v.Level, v.Value)
+		}
+	}
+}

@@ -55,11 +55,17 @@ type Event interface {
 // replace it (the old silent-replacement semantics lost the first fault).
 // The injector keeps every active partition and enforces their common
 // refinement — two regions communicate only if every active partition
-// places them in the same group. Each Heal ends the *oldest* still-active
-// partition (schedules pair every Partition with its own Heal in time
-// order), so overlapping windows keep independent lifetimes.
+// places them in the same group.
+//
+// ID pairs a Partition with the Heal that ends it. A zero ID keeps the
+// legacy single-track convention: an untagged Heal ends the *oldest*
+// still-active partition (schedules pair every Partition with its own Heal
+// in time order). Composed schedules (Compose) rewrite every pair to unique
+// nonzero IDs so concurrent tracks cannot heal each other's partitions and
+// overlapping windows keep independent lifetimes.
 type Partition struct {
 	Groups [][]netsim.Region
+	ID     int
 }
 
 // String implements Event.
@@ -82,21 +88,33 @@ func (p Partition) mutate(i *Injector) {
 			grouping[r] = gi
 		}
 	}
-	i.parts = append(i.parts, grouping)
+	i.parts = append(i.parts, activePart{id: p.ID, grouping: grouping})
 	i.rebuildGroupsLocked()
 }
 
-// Heal ends the oldest active partition (all its links are whole again
-// unless a later, still-active partition severs them; crashed regions stay
-// down until their Restart). With a single partition in force this is the
-// familiar "heal clears the partition".
-type Heal struct{}
+// Heal ends an active partition: the one carrying the same nonzero ID, or —
+// untagged, ID zero — the oldest still active (all its links are whole
+// again unless a later, still-active partition severs them; crashed regions
+// stay down until their Restart). With a single partition in force this is
+// the familiar "heal clears the partition". A Heal whose ID matches no
+// active partition is a no-op.
+type Heal struct {
+	ID int
+}
 
 // String implements Event.
 func (Heal) String() string { return "heal" }
 
-func (Heal) mutate(i *Injector) {
-	if len(i.parts) > 0 {
+func (h Heal) mutate(i *Injector) {
+	switch {
+	case h.ID != 0:
+		for j, p := range i.parts {
+			if p.id == h.ID {
+				i.parts = append(i.parts[:j:j], i.parts[j+1:]...)
+				break
+			}
+		}
+	case len(i.parts) > 0:
 		i.parts = i.parts[1:]
 	}
 	i.rebuildGroupsLocked()

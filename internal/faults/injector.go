@@ -47,9 +47,9 @@ type Injector struct {
 
 	mu  sync.Mutex
 	rng *randv2.Rand // Drop sampling
-	// parts holds every active partition's grouping, oldest first; group is
-	// their common refinement, rebuilt whenever parts changes.
-	parts []map[netsim.Region]int
+	// parts holds every active partition, oldest first; group is their
+	// common refinement, rebuilt whenever parts changes.
+	parts []activePart
 	// group maps regions to partition group ids; nil or all-equal means no
 	// partition. Regions absent from the map are in group 0.
 	group map[netsim.Region]int
@@ -76,6 +76,13 @@ type regionSub struct {
 	up   []func()
 }
 
+// activePart is one active partition: its Heal-pairing id (0 for untagged
+// legacy events) and its region grouping.
+type activePart struct {
+	id       int
+	grouping map[netsim.Region]int
+}
+
 // rebuildGroupsLocked recomputes the merged partition map as the common
 // refinement of every active partition: a region's merged group is the
 // tuple of its group ids across parts (absent regions ride in group 0 of
@@ -91,12 +98,12 @@ func (i *Injector) rebuildGroupsLocked() {
 	case 1:
 		// The grouping maps are never mutated after construction, so the
 		// single-partition fast path can share.
-		i.group = i.parts[0]
+		i.group = i.parts[0].grouping
 		return
 	}
 	named := make(map[netsim.Region]bool)
 	for _, p := range i.parts {
-		for r := range p {
+		for r := range p.grouping {
 			named[r] = true
 		}
 	}
@@ -115,7 +122,7 @@ func (i *Injector) rebuildGroupsLocked() {
 	for _, r := range regions {
 		var key strings.Builder
 		for _, p := range i.parts {
-			fmt.Fprintf(&key, "%d,", p[r])
+			fmt.Fprintf(&key, "%d,", p.grouping[r])
 		}
 		id, ok := ids[key.String()]
 		if !ok {
@@ -334,6 +341,22 @@ func (i *Injector) Partitioned(a, b netsim.Region) bool {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.group[a] != i.group[b]
+}
+
+// Faulted reports whether any fault is currently in force: an active
+// partition, a crashed region, or a latency-spike/drop rule.
+func (i *Injector) Faulted() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if len(i.parts) > 0 || len(i.spikes) > 0 || len(i.drops) > 0 {
+		return true
+	}
+	for _, n := range i.down {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Log returns a copy of every transition applied so far, in order.

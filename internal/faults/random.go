@@ -3,6 +3,7 @@ package faults
 import (
 	"fmt"
 	randv2 "math/rand/v2"
+	"strings"
 	"time"
 
 	"correctables/internal/netsim"
@@ -71,6 +72,79 @@ func ProfileByName(name string, unit time.Duration) (Profile, error) {
 	}
 }
 
+// ProfileNames lists every name ProfilesByName resolves: the single-track
+// profiles and the composed track products.
+func ProfileNames() []string {
+	return []string{"mild", "harsh", "tracks-mild", "tracks-harsh"}
+}
+
+// trackProfile is one per-kind nemesis track: a Profile with a single fault
+// kind enabled, named after the track.
+func trackProfile(name string, unit time.Duration, gap, dur time.Duration) Profile {
+	p := Profile{
+		Name:         name,
+		Regions:      defaultRegions(),
+		Horizon:      20 * unit,
+		MeanGap:      gap,
+		MeanDuration: dur,
+	}
+	switch name {
+	case "partitions":
+		p.PartitionW = 1
+	case "crashes":
+		p.CrashW = 1
+	case "wan":
+		p.SpikeW = 1
+		p.DropW = 1
+	}
+	return p
+}
+
+// ProfilesByName resolves a profile name into the per-track generation
+// profiles it denotes. The legacy single-track profiles ("mild", "harsh")
+// come back as one track; the track products compose independently seeded
+// per-kind nemeses over the same horizon:
+//
+//   - tracks-mild: a partitions track plus a lossy/slow-WAN track, each at
+//     roughly the mild cadence.
+//   - tracks-harsh: partitions + rolling crashes + lossy WAN, each at the
+//     harsh cadence, so all three nemeses routinely overlap.
+func ProfilesByName(name string, unit time.Duration) ([]Profile, error) {
+	switch name {
+	case "tracks-mild":
+		return []Profile{
+			trackProfile("partitions", unit, 6*unit, 2*unit),
+			trackProfile("wan", unit, 4*unit, 2*unit),
+		}, nil
+	case "tracks-harsh":
+		return []Profile{
+			trackProfile("partitions", unit, 3*unit, 3*unit),
+			trackProfile("crashes", unit, 5*unit, 2*unit),
+			trackProfile("wan", unit, 2*unit, 3*unit),
+		}, nil
+	default:
+		p, err := ProfileByName(name, unit)
+		if err != nil {
+			return nil, fmt.Errorf("faults: unknown profile %q (have %s)", name, strings.Join(ProfileNames(), ", "))
+		}
+		return []Profile{p}, nil
+	}
+}
+
+// RandomTracks generates one independently seeded schedule per profile,
+// naming each track after its profile. Per-track seeds derive
+// deterministically from the master seed, so (seed, profiles) is a complete
+// reproduction recipe exactly as with Random.
+func RandomTracks(seed int64, profiles []Profile) []Track {
+	rng := randv2.New(randv2.NewPCG(uint64(seed), 0x7ac45))
+	tracks := make([]Track, len(profiles))
+	for i, p := range profiles {
+		sub := int64(rng.Uint64())
+		tracks[i] = Track{Name: p.Name, Schedule: Random(sub, p)}
+	}
+	return tracks
+}
+
 // Random generates a schedule from a seed: fault onsets arrive as a Poisson
 // process (MeanGap), each fault's kind is drawn by weight and its length
 // from MeanDuration, and every fault is paired with the transition that
@@ -104,6 +178,7 @@ func Random(seed int64, p Profile) *Schedule {
 		return p.Regions[a], p.Regions[b]
 	}
 
+	partID := 0
 	for t := exp(p.MeanGap); t < p.Horizon; t += exp(p.MeanGap) {
 		end := t + exp(p.MeanDuration)
 		if end > p.Horizon {
@@ -116,9 +191,9 @@ func Random(seed int64, p Profile) *Schedule {
 		switch w := rng.Float64() * total; {
 		case w < p.PartitionW:
 			// Isolate one region from the rest. Overlapping partitions
-			// compose by refinement at the injector, and each Heal ends the
-			// oldest active partition — exactly the generation order here, so
-			// every partition window keeps its own lifetime.
+			// compose by refinement at the injector; the ID pairs each
+			// partition with its own Heal, so windows whose ends arrive out
+			// of onset order still keep independent lifetimes.
 			iso := pick()
 			rest := make([]netsim.Region, 0, len(p.Regions)-1)
 			for _, r := range p.Regions {
@@ -126,8 +201,9 @@ func Random(seed int64, p Profile) *Schedule {
 					rest = append(rest, r)
 				}
 			}
-			s.At(t, Partition{Groups: [][]netsim.Region{rest, {iso}}})
-			s.At(end, Heal{})
+			partID++
+			s.At(t, Partition{Groups: [][]netsim.Region{rest, {iso}}, ID: partID})
+			s.At(end, Heal{ID: partID})
 		case w < p.PartitionW+p.CrashW:
 			r := pick()
 			s.At(t, Crash{Region: r})

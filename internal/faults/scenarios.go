@@ -119,30 +119,47 @@ func ScenarioByName(name string, u time.Duration) (*Scenario, error) {
 
 // ParseSpec resolves a -faults command-line spec at time unit u: either a
 // scenario name from the catalog ("minority-partition") or "<seed>:<profile>"
-// ("1234:mild", "7:harsh") for a random schedule generated from the seed.
-// Random scenarios report over four equal phase windows.
+// ("1234:mild", "7:tracks-harsh") for a random schedule generated from the
+// seed — single-track for the legacy profiles, a composed set of
+// independently seeded nemesis tracks for the tracks-* products. Random
+// scenarios report over four equal phase windows.
 func ParseSpec(spec string, u time.Duration) (*Scenario, error) {
 	if seedStr, profStr, ok := strings.Cut(spec, ":"); ok {
 		seed, err := strconv.ParseInt(seedStr, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("faults: bad seed in spec %q: %v", spec, err)
 		}
-		prof, err := ProfileByName(profStr, u)
+		profs, err := ProfilesByName(profStr, u)
 		if err != nil {
 			return nil, err
 		}
-		q := prof.Horizon / 4
+		var sched *Schedule
+		var horizon time.Duration
+		if len(profs) == 1 {
+			// The single-track path stays Random(seed, profile) so historical
+			// "<seed>:mild" specs replay the exact schedules they always did.
+			sched = Random(seed, profs[0])
+			horizon = profs[0].Horizon
+		} else {
+			sched = Compose(RandomTracks(seed, profs)...)
+			for _, p := range profs {
+				if p.Horizon > horizon {
+					horizon = p.Horizon
+				}
+			}
+		}
+		q := horizon / 4
 		return &Scenario{
 			Name:        spec,
-			Description: fmt.Sprintf("random schedule, seed %d, profile %s", seed, prof.Name),
-			Schedule:    Random(seed, prof),
+			Description: fmt.Sprintf("random schedule, seed %d, profile %s", seed, profStr),
+			Schedule:    sched,
 			Phases: []Phase{
 				{Name: "q1", Start: 0, End: q},
 				{Name: "q2", Start: q, End: 2 * q},
 				{Name: "q3", Start: 2 * q, End: 3 * q},
-				{Name: "q4", Start: 3 * q, End: prof.Horizon},
+				{Name: "q4", Start: 3 * q, End: horizon},
 			},
-			Horizon: prof.Horizon,
+			Horizon: horizon,
 		}, nil
 	}
 	return ScenarioByName(spec, u)

@@ -1,0 +1,107 @@
+package history
+
+import (
+	"testing"
+
+	"correctables/internal/core"
+)
+
+// ladderOp builds a completed read whose views climb the causal ladder.
+func ladderOp(client, key string, start, end int, versions ...uint64) Op {
+	levels := []core.Level{core.LevelCache, core.LevelCausal, core.LevelStrong}
+	op := Op{Client: client, Name: "get", Key: key, Start: ms(start), End: ms(end), Done: true}
+	for i, v := range versions {
+		op.Views = append(op.Views, View{
+			Level: levels[len(levels)-len(versions)+i], Version: v, At: ms(start + i + 1),
+			Final: i == len(versions)-1,
+		})
+	}
+	return op
+}
+
+func TestCausalCutIntraOpVersionRegression(t *testing.T) {
+	// A causal view older than the cache view it refines: the lagging-backup
+	// bug the causal binding's merge fix closes.
+	op := ladderOp("alice", "k", 0, 10, 10, 7, 12)
+	vs := CheckCausalCut([]Op{op})
+	if len(vs) != 1 || vs[0].Guarantee != "causal-cut" || vs[0].Client != "alice" {
+		t.Fatalf("violations = %+v", vs)
+	}
+	// A clean ladder passes, including equal versions at adjacent levels.
+	if vs := CheckCausalCut([]Op{ladderOp("alice", "k", 0, 10, 10, 10, 12)}); len(vs) != 0 {
+		t.Fatalf("clean ladder flagged: %+v", vs)
+	}
+}
+
+func TestCausalCutReplicaViewsNotMutuallyConstrained(t *testing.T) {
+	// Replica-served views need not be mutually monotone: under retries a
+	// fresh weak preliminary can overtake a stale partition-delayed quorum
+	// final, and only the cache view (the client's own memory) is a floor.
+	op := Op{Client: "alice", Name: "get", Key: "k", Start: ms(0), End: ms(10), Done: true,
+		Views: []View{
+			{Level: core.LevelWeak, Version: 12, At: ms(1)},
+			{Level: core.LevelWeak, Version: 34, At: ms(2)},
+			{Level: core.LevelStrong, Version: 12, At: ms(3), Final: true},
+		}}
+	if vs := CheckCausalCut([]Op{op}); len(vs) != 0 {
+		t.Fatalf("stale final after fresher preliminary flagged: %+v", vs)
+	}
+}
+
+func TestCausalCutZeroVersionsUnconstrained(t *testing.T) {
+	// Version 0 carries no token: absence views and versionless bindings
+	// neither establish nor violate the cut.
+	op := Op{Client: "alice", Name: "get", Key: "k", Start: ms(0), End: ms(10), Done: true,
+		Views: []View{
+			{Level: core.LevelCache, Version: 0, At: ms(1)},
+			{Level: core.LevelCausal, Version: 5, At: ms(2)},
+			{Level: core.LevelStrong, Version: 0, At: ms(3), Final: true},
+		}}
+	if vs := CheckCausalCut([]Op{op}); len(vs) != 0 {
+		t.Fatalf("zero-version views flagged: %+v", vs)
+	}
+}
+
+func TestCausalCutLevelOrder(t *testing.T) {
+	op := Op{Client: "alice", Name: "get", Key: "k", Start: ms(0), End: ms(10), Done: true,
+		Views: []View{
+			{Level: core.LevelStrong, Version: 5, At: ms(1)},
+			{Level: core.LevelCausal, Version: 5, At: ms(2), Final: true},
+		}}
+	vs := CheckCausalCut([]Op{op})
+	if len(vs) != 1 || vs[0].Guarantee != "causal-cut" {
+		t.Fatalf("downward ladder not flagged: %+v", vs)
+	}
+}
+
+func TestCausalCutStrongFloorAcrossOps(t *testing.T) {
+	// A strong view older than a strong view delivered by an op that
+	// terminated before this one started.
+	ops := []Op{
+		ladderOp("alice", "k", 0, 10, 10),
+		ladderOp("alice", "k", 20, 30, 8),
+	}
+	vs := CheckCausalCut(ops)
+	if len(vs) != 1 || vs[0].Guarantee != "causal-cut" || len(vs[0].Witness) != 2 {
+		t.Fatalf("strong regression not flagged: %+v", vs)
+	}
+
+	// Weaker levels are exempt cross-op: a later cache/causal view may be
+	// served by a lagging replica without breaking the cut.
+	ops[1] = ladderOp("alice", "k", 20, 30, 3, 12)
+	if vs := CheckCausalCut(ops); len(vs) != 0 {
+		t.Fatalf("weak-level cross-op view flagged: %+v", vs)
+	}
+
+	// Overlapping ops constrain nothing.
+	ops[1] = ladderOp("alice", "k", 5, 30, 8)
+	if vs := CheckCausalCut(ops); len(vs) != 0 {
+		t.Fatalf("overlapping op flagged: %+v", vs)
+	}
+
+	// Another client's regression is not alice's.
+	ops[1] = ladderOp("bob", "k", 20, 30, 8)
+	if vs := CheckCausalCut(ops); len(vs) != 0 {
+		t.Fatalf("cross-client strong view flagged: %+v", vs)
+	}
+}
