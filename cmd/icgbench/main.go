@@ -43,6 +43,7 @@ import (
 
 	"correctables/internal/bench"
 	"correctables/internal/faults"
+	"correctables/internal/trace"
 )
 
 // experiment is one icgbench entry: the single registry below generates
@@ -99,6 +100,7 @@ func expByName(name string) (experiment, bool) {
 // Flags consulted by individual experiment entries.
 var (
 	faultJSON    string
+	traceOut     string
 	huntSeeds    int
 	huntStart    int64
 	huntProfiles string
@@ -107,15 +109,21 @@ var (
 	reproDir     string
 )
 
-// writeJSON writes an experiment's -fault-json artifact.
-func writeJSON(path string, data []byte, err error) {
-	if err == nil {
-		err = os.WriteFile(path, append(data, '\n'), 0o644)
-	}
+// writeArtifact exits on a failed artifact write (JSON report or trace).
+func writeArtifact(path string, err error) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "icgbench: writing %s: %v\n", path, err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace writes the -trace Chrome trace-event artifact for a traced
+// experiment (Perfetto-loadable; byte-identical across same-seed runs).
+func writeTrace(trc *trace.Tracer, reg *trace.Registry) {
+	if traceOut == "" {
+		return
+	}
+	writeArtifact(traceOut, bench.WriteTrace(traceOut, trc, reg))
 }
 
 // failCheck prints the experiment output, reports the violation count on
@@ -134,9 +142,9 @@ func runFaultStudy(c bench.Config) string {
 		os.Exit(2)
 	}
 	if faultJSON != "" {
-		data, err := bench.FaultStudyJSON(res)
-		writeJSON(faultJSON, data, err)
+		writeArtifact(faultJSON, bench.WriteReport(faultJSON, res))
 	}
+	writeTrace(res.Trace, res.TraceReg)
 	out := bench.FormatFaultStudy(res, c.FaultLog)
 	if res.Check != nil && res.Check.Violations() > 0 {
 		failCheck(out, res.Check.Violations(), c.Seed)
@@ -152,9 +160,9 @@ func runFailover(c bench.Config) string {
 		os.Exit(2)
 	}
 	if faultJSON != "" {
-		data, err := bench.FailoverJSON(res)
-		writeJSON(faultJSON, data, err)
+		writeArtifact(faultJSON, bench.WriteReport(faultJSON, res))
 	}
+	writeTrace(res.Trace, res.TraceReg)
 	out := bench.FormatFailover(res, c.FaultLog)
 	if res.Check != nil && res.Check.Violations() > 0 {
 		failCheck(out, res.Check.Violations(), c.Seed)
@@ -169,9 +177,9 @@ func runOverload(c bench.Config) string {
 		os.Exit(2)
 	}
 	if faultJSON != "" {
-		data, err := bench.OverloadJSON(res)
-		writeJSON(faultJSON, data, err)
+		writeArtifact(faultJSON, bench.WriteReport(faultJSON, res))
 	}
+	writeTrace(res.Trace, res.TraceReg)
 	out := bench.FormatOverload(res)
 	var violations int
 	for _, m := range res.Modes {
@@ -188,8 +196,7 @@ func runOverload(c bench.Config) string {
 func runSweep(c bench.Config) string {
 	res := bench.Sweep(c)
 	if faultJSON != "" {
-		data, err := bench.SweepJSON(res)
-		writeJSON(faultJSON, data, err)
+		writeArtifact(faultJSON, bench.WriteReport(faultJSON, res))
 	}
 	return bench.FormatSweep(res)
 }
@@ -214,8 +221,7 @@ func runHunt(c bench.Config) string {
 		os.Exit(2)
 	}
 	if faultJSON != "" {
-		data, err := bench.HuntJSON(res)
-		writeJSON(faultJSON, data, err)
+		writeArtifact(faultJSON, bench.WriteReport(faultJSON, res))
 	}
 	out := bench.FormatHunt(res)
 	if len(res.Findings) > 0 {
@@ -225,9 +231,8 @@ func runHunt(c bench.Config) string {
 			os.Exit(1)
 		}
 		for _, f := range res.Findings {
-			data, err := bench.HuntReproJSON(f.Repro)
 			path := filepath.Join(reproDir, fmt.Sprintf("hunt-%s-%d.json", f.Profile, f.Seed))
-			writeJSON(path, data, err)
+			writeArtifact(path, bench.WriteReport(path, f.Repro))
 			fmt.Fprintf(os.Stderr, "icgbench: repro archived: %s\n", path)
 		}
 		failCheck(out, len(res.Findings), c.Seed)
@@ -312,6 +317,7 @@ func main() {
 		repro    = flag.String("repro", "", "replay an archived hunt repro JSON and verify byte-identical reproduction")
 	)
 	flag.StringVar(&faultJSON, "fault-json", "", "write the experiment result as JSON to this path (faultstudy, failover, overload, sweep, hunt)")
+	flag.StringVar(&traceOut, "trace", "", "record model-time spans and sampled gauges, and write them as Chrome trace-event JSON (Perfetto-loadable) to this path (faultstudy, failover, overload)")
 	flag.IntVar(&huntSeeds, "hunt-seeds", 0, "hunt: seeds swept per profile (default 1000, or 16 with -quick)")
 	flag.Int64Var(&huntStart, "hunt-start", 0, "hunt: first seed (default -seed)")
 	flag.StringVar(&huntProfiles, "hunt-profiles", "", "hunt: comma list of fault profiles (default tracks-mild,tracks-harsh)")
@@ -339,7 +345,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := bench.Config{Wall: wall, Scale: *scale, Seed: *seed, Quick: *quick,
-		Faults: *faultSpec, FaultLog: *faultLog, Check: *check}
+		Faults: *faultSpec, FaultLog: *faultLog, Check: *check, Trace: traceOut != ""}
 
 	var names []string
 	if *exp == "all" {

@@ -14,6 +14,7 @@ import (
 
 	"correctables/internal/cassandra"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 	"correctables/internal/zk"
 )
 
@@ -46,6 +47,14 @@ type Config struct {
 	// run (session guarantees plus per-key register linearizability). Only
 	// the faultstudy experiment reads it.
 	Check bool
+	// Trace attaches the model-time span tracer and time-series registry
+	// to the experiment fabric (faultstudy, failover, overload). The
+	// result then carries a latency decomposition per phase, sampled
+	// gauges, and a tracer exportable as Chrome trace-event JSON
+	// (icgbench -trace). Tracing never perturbs model time — spans are
+	// stamped from the same virtual instants the experiment already
+	// observes — so traced and untraced runs report identical rows.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +84,12 @@ type harness struct {
 	clock netsim.Clock
 	meter *netsim.Meter
 	tr    *netsim.Transport
+	// trc/reg are the observability plane (nil unless cfg.Trace): the
+	// span tracer is installed on the transport here and threaded into
+	// stores and clients by the individual drivers; gauges register on
+	// reg and sample on a model-time cadence via startSampling.
+	trc *trace.Tracer
+	reg *trace.Registry
 }
 
 func newHarness(cfg Config) *harness {
@@ -92,11 +107,32 @@ func newHarnessWith(cfg Config, lat *netsim.LatencyModel) *harness {
 		clock = netsim.NewVirtualClock()
 	}
 	meter := netsim.NewMeter()
-	return &harness{
+	h := &harness{
 		clock: clock,
 		meter: meter,
 		tr:    netsim.NewTransport(clock, lat, meter, cfg.Seed+1),
 	}
+	if cfg.Trace {
+		h.trc = trace.New()
+		h.reg = trace.NewRegistry()
+		h.tr.SetTrace(h.trc)
+	}
+	return h
+}
+
+// startSampling arms the registry's self-rescheduling probe over the
+// experiment window at a horizon-relative cadence (64 samples per run,
+// floored at 1ms so quick runs don't sample sub-millisecond). No-op when
+// tracing is off.
+func (h *harness) startSampling(horizon time.Duration) {
+	if h.reg == nil {
+		return
+	}
+	every := horizon / 64
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	h.reg.Start(h.clock, every, horizon)
 }
 
 // drain runs the harness's background traffic (async replication, commit

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"correctables/internal/history"
 	"correctables/internal/metrics"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 	"correctables/internal/zk"
 )
 
@@ -77,6 +77,14 @@ type FailoverResult struct {
 	Rows        []FailoverRow `json:"rows"`
 	Transitions []string      `json:"transitions"`
 	Check       *CheckReport  `json:"check,omitempty"`
+	// Decomp and Timeseries are the observability plane's output
+	// (Config.Trace runs only); the decomposition's election column is
+	// this experiment's signature — it lights up exactly in the outage
+	// phase. Trace/TraceReg carry the exportable tracer (icgbench -trace).
+	Decomp     []PhaseDecomp      `json:"latency_decomposition,omitempty"`
+	Timeseries []trace.TimeSeries `json:"timeseries,omitempty"`
+	Trace      *trace.Tracer      `json:"-"`
+	TraceReg   *trace.Registry    `json:"-"`
 }
 
 // Failover runs a closed-loop enqueue workload against Correctable
@@ -117,6 +125,27 @@ func Failover(cfg Config) (*FailoverResult, error) {
 		heartbeat:       hb,
 		electionTimeout: et,
 	})
+	e.SetTrace(h.trc)
+
+	// The sampled time-series (Config.Trace): the commit epoch steps at
+	// the election, the election counter marks attempts, and client-link
+	// traffic shows the enqueue flow surviving the outage as prelims.
+	if h.reg != nil {
+		h.reg.Gauge("commit_epoch", func() float64 {
+			return float64(e.CommitEpoch())
+		})
+		h.reg.Gauge("elections", func() float64 {
+			return float64(len(e.Elections()))
+		})
+		h.reg.Gauge("client_msgs", func() float64 {
+			return float64(h.meter.Class(netsim.LinkClient).Messages)
+		})
+		h.reg.Gauge("dropped_msgs", func() float64 {
+			d := h.meter.SnapshotDropped()
+			return float64(d[netsim.LinkClient].Messages + d[netsim.LinkReplica].Messages)
+		})
+		h.startSampling(horizon)
+	}
 
 	// Queues are created up front (healthy cluster) so the workload phase
 	// measures enqueues only.
@@ -202,6 +231,7 @@ func Failover(cfg Config) (*FailoverResult, error) {
 			qc := zk.NewQueueClient(e, netsim.IRL, contact)
 			sess := binding.NewSession(binding.NewClient(zk.NewBinding(qc),
 				binding.WithObserver(recorder),
+				binding.WithTracer(h.trc),
 				binding.WithLabel(fmt.Sprintf("sess-%02d", t))))
 			rng := rand.New(rand.NewSource(cfg.Seed + 5_555_557 + int64(t)*1_000_003))
 			g.Add(1)
@@ -317,6 +347,18 @@ func Failover(cfg Config) (*FailoverResult, error) {
 		}
 	}
 
+	if h.trc != nil {
+		// The decomposition rows reuse the recovery phases computed above:
+		// the election column is nonzero only where an election window
+		// overlaps the phase — the outage row, by construction.
+		for _, ph := range phases {
+			res.Decomp = append(res.Decomp, decompRow(h.trc, ph.Name, ph.Start, ph.End))
+		}
+		res.Timeseries = h.reg.Series()
+		res.Trace = h.trc
+		res.TraceReg = h.reg
+	}
+
 	if recorder != nil {
 		res.Check = buildCheckReport(recorder, checkClients, "queues")
 	}
@@ -325,5 +367,5 @@ func Failover(cfg Config) (*FailoverResult, error) {
 
 // FailoverJSON marshals a result for BENCH_failover.json.
 func FailoverJSON(res *FailoverResult) ([]byte, error) {
-	return json.MarshalIndent(res, "", "  ")
+	return marshalReport(res)
 }

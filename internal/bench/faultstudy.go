@@ -2,7 +2,6 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"correctables/internal/history"
 	"correctables/internal/metrics"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 	"correctables/internal/ycsb"
 )
 
@@ -51,6 +51,13 @@ type FaultStudyRow struct {
 	// hints during the phase instead of losing them to the fault — hinted
 	// handoff's share of the would-be drops.
 	HintedMsgs int64 `json:"hinted_msgs"`
+	// Rejected/Shed/Retried are the meter's admission-outcome counters
+	// diffed at phase boundaries (attempts, not operations) — zero unless
+	// an admission gate or retry policy fronts a population, but always
+	// reported so fault rows and overload rows read the same way.
+	Rejected int64 `json:"rejected_attempts"`
+	Shed     int64 `json:"shed_attempts"`
+	Retried  int64 `json:"retried_attempts"`
 }
 
 // FaultStudyResult is the fault study's full output; it marshals directly
@@ -68,6 +75,15 @@ type FaultStudyResult struct {
 	Transitions []string `json:"transitions"`
 	// Check is the consistency-check report (Config.Check runs only).
 	Check *CheckReport `json:"check,omitempty"`
+	// Decomp and Timeseries are the observability plane's output
+	// (Config.Trace runs only): per-phase latency decomposition from the
+	// span tracer, and the registry's sampled gauges.
+	Decomp     []PhaseDecomp      `json:"latency_decomposition,omitempty"`
+	Timeseries []trace.TimeSeries `json:"timeseries,omitempty"`
+	// Trace and TraceReg carry the raw tracer and registry for Chrome
+	// trace export (icgbench -trace); they do not marshal.
+	Trace    *trace.Tracer   `json:"-"`
+	TraceReg *trace.Registry `json:"-"`
 }
 
 // CheckReport is the outcome of verifying the checked session population's
@@ -155,19 +171,45 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 	h := newHarness(cfg)
 	inj := faults.Attach(h.tr, scen.Schedule, cfg.Seed+3)
 	cluster := h.newCassandra(cfg, cassandraOpts{correctable: true, opTimeout: opTimeout})
+	cluster.SetTrace(h.trc)
 	w := workloadByName("B", ycsb.DistZipfian, 1000, 1024)
 	preloadDataset(cluster, w)
 
-	// Cumulative dropped-message and queued-hint probes at phase boundaries,
-	// armed before traffic so boundary callbacks interleave deterministically.
+	// The sampled time-series (Config.Trace): coordinator backpressure,
+	// fault-schedule message loss, and the hinted-handoff backlog, probed
+	// on a horizon-relative cadence by the registry's model-time ticker.
+	if h.reg != nil {
+		coord := cluster.Replica(netsim.FRK).Server()
+		h.reg.Gauge("coord_queue_delay_ms", func() float64 {
+			return metrics.Ms(coord.QueueDelay())
+		})
+		h.reg.Gauge("dropped_msgs", func() float64 {
+			d := h.meter.SnapshotDropped()
+			return float64(d[netsim.LinkClient].Messages + d[netsim.LinkReplica].Messages)
+		})
+		h.reg.Gauge("hint_backlog", func() float64 {
+			st := cluster.HintStats()
+			return float64(st.Queued - st.Replayed)
+		})
+		h.reg.Gauge("client_msgs", func() float64 {
+			return float64(h.meter.Class(netsim.LinkClient).Messages)
+		})
+		h.startSampling(scen.Horizon)
+	}
+
+	// Cumulative dropped-message, queued-hint and admission-outcome probes
+	// at phase boundaries, armed before traffic so boundary callbacks
+	// interleave deterministically.
 	droppedAt := make([]int64, len(scen.Phases))
 	hintedAt := make([]int64, len(scen.Phases))
+	loadAt := make([]netsim.LoadStats, len(scen.Phases))
 	for i, ph := range scen.Phases {
 		i := i
 		h.clock.RunAt(ph.End, func() {
 			dropped := h.meter.SnapshotDropped()
 			droppedAt[i] = dropped[netsim.LinkClient].Messages + dropped[netsim.LinkReplica].Messages
 			hintedAt[i] = int64(cluster.HintStats().Queued)
+			loadAt[i] = h.meter.Load(netsim.LinkClient)
 		})
 	}
 
@@ -218,6 +260,7 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 			cc := cassandra.NewClient(cluster, netsim.IRL, coord)
 			bc := binding.NewClient(cassandra.NewBinding(cc, cassandra.BindingConfig{StrongQuorum: 3}),
 				binding.WithObserver(recorder),
+				binding.WithTracer(h.trc),
 				binding.WithLabel(fmt.Sprintf("sess-%02d", t)))
 			sess := binding.NewSession(bc)
 			rng := rand.New(rand.NewSource(cfg.Seed + 5_555_557 + int64(t)*1_000_003))
@@ -337,17 +380,30 @@ func FaultStudy(cfg Config) (*FaultStudyResult, error) {
 		row.ReadAvailabilityPct = 100 * metrics.Ratio(completed, row.Reads)
 		row.DivergencePct = 100 * metrics.Ratio(diverged, divergeBase)
 		var prevDropped, prevHinted int64
+		var prevLoad netsim.LoadStats
 		if i > 0 {
 			prevDropped, prevHinted = droppedAt[i-1], hintedAt[i-1]
+			prevLoad = loadAt[i-1]
 		}
 		row.DroppedMsgs = droppedAt[i] - prevDropped
 		row.HintedMsgs = hintedAt[i] - prevHinted
+		row.Rejected = loadAt[i].Rejected - prevLoad.Rejected
+		row.Shed = loadAt[i].Shed - prevLoad.Shed
+		row.Retried = loadAt[i].Retried - prevLoad.Retried
 		res.Rows = append(res.Rows, row)
+	}
+	if h.trc != nil {
+		for _, ph := range scen.Phases {
+			res.Decomp = append(res.Decomp, decompRow(h.trc, ph.Name, ph.Start, ph.End))
+		}
+		res.Timeseries = h.reg.Series()
+		res.Trace = h.trc
+		res.TraceReg = h.reg
 	}
 	return res, nil
 }
 
 // FaultStudyJSON marshals a result for BENCH_faultstudy.json.
 func FaultStudyJSON(res *FaultStudyResult) ([]byte, error) {
-	return json.MarshalIndent(res, "", "  ")
+	return marshalReport(res)
 }

@@ -100,6 +100,28 @@ func FormatFig11(rows []Fig11Row) string {
 		[]string{"app", "workload", "system", "threads", "ops/s", "avg ms", "misspec %"}, out)
 }
 
+// formatDecomp renders a latency-decomposition table (model-ms of span
+// time per category, clipped to each phase window). Empty when the run
+// was untraced.
+func formatDecomp(rows []PhaseDecomp) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Phase,
+			fmt.Sprintf("%.0f", r.OpMs), fmt.Sprintf("%.0f", r.AdmissionMs),
+			fmt.Sprintf("%.0f", r.NetClientMs), fmt.Sprintf("%.0f", r.NetReplicaMs),
+			fmt.Sprintf("%.0f", r.QueueMs), fmt.Sprintf("%.0f", r.ServerMs),
+			fmt.Sprintf("%.0f", r.FlushMs), fmt.Sprintf("%.0f", r.QuorumMs),
+			fmt.Sprintf("%.0f", r.HintMs), fmt.Sprintf("%.0f", r.ElectionMs)}
+	}
+	return table("latency decomposition (span-ms per category, per phase)",
+		[]string{"phase", "op", "admit", "net cli", "net rep", "queue", "server",
+			"flush", "quorum", "hint", "elect"},
+		out)
+}
+
 // FormatFaultStudy renders the fault study's per-phase rows; withLog
 // appends the applied fault-transition log (the replay record).
 func FormatFaultStudy(res *FaultStudyResult, withLog bool) string {
@@ -111,12 +133,14 @@ func FormatFaultStudy(res *FaultStudyResult, withLog bool) string {
 			fmt.Sprintf("%.1f", r.FinalP99Ms),
 			fmt.Sprintf("%.0f", r.ReadAvailabilityPct),
 			fmt.Sprintf("%.1f", r.DivergencePct),
-			fmt.Sprintf("%d", r.DroppedMsgs), fmt.Sprintf("%d", r.HintedMsgs)}
+			fmt.Sprintf("%d", r.DroppedMsgs), fmt.Sprintf("%d", r.HintedMsgs),
+			fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.Shed), fmt.Sprintf("%d", r.Retried)}
 	}
 	s := table(
 		fmt.Sprintf("Fault study: weak vs strong views under %q (CC3, YCSB B)", res.Scenario),
-		[]string{"phase", "reads", "errs", "prelim ms", "final ms", "final p99", "avail %", "div %", "dropped", "hinted"},
+		[]string{"phase", "reads", "errs", "prelim ms", "final ms", "final p99", "avail %", "div %", "dropped", "hinted", "rej", "shed", "retry"},
 		out)
+	s += formatDecomp(res.Decomp)
 	if withLog {
 		var b strings.Builder
 		b.WriteString(s)
@@ -167,6 +191,7 @@ func FormatFailover(res *FailoverResult, withLog bool) string {
 	b.WriteString(table("Failover: CZK leader partitioned mid-run (enqueue, prelim+final)",
 		[]string{"population", "phase", "ops", "errs", "prelims", "prelim ms", "final ms", "final p99", "avail %"},
 		out))
+	b.WriteString(formatDecomp(res.Decomp))
 	fmt.Fprintf(&b, "recovery: new leader %s (epoch %d) elected %.0fms after the fault (election timeout %.0fms)\n",
 		res.NewLeader, res.Epoch, res.TimeToRecoveryMs, res.ElectionTimeoutMs)
 	fmt.Fprintf(&b, "  prelim-only window: %.0fms (first post-fault commit at %.0fms); %d preliminary views served inside it\n",
@@ -304,6 +329,7 @@ func FormatOverload(res *OverloadResult) string {
 			[]string{"phase", "offered", "done", "degraded", "timeout", "rejected", "sess err",
 				"rej att", "shed att", "retry att", "goodput/s", "% base", "final ms", "p99 ms"},
 			out))
+		b.WriteString(formatDecomp(m.Decomp))
 		fmt.Fprintf(&b, "post-burst goodput: %.0f%% of baseline; recovered phase: %.0f%%\n",
 			m.PostBurstGoodputPct, m.RecoveredGoodputPct)
 		if c := m.Check; c != nil {

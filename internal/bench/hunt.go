@@ -565,7 +565,7 @@ func worldOf(r *HuntRepro) (huntWorld, error) {
 
 // HuntReproJSON marshals a repro for archiving.
 func HuntReproJSON(r *HuntRepro) ([]byte, error) {
-	return json.MarshalIndent(r, "", "  ")
+	return marshalReport(r)
 }
 
 // ParseHuntRepro parses an archived repro.
@@ -746,5 +746,5 @@ func FormatHunt(res *HuntResult) string {
 
 // HuntJSON marshals a hunt result for -fault-json.
 func HuntJSON(res *HuntResult) ([]byte, error) {
-	return json.MarshalIndent(res, "", "  ")
+	return marshalReport(res)
 }

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,6 +16,7 @@ import (
 	"correctables/internal/load"
 	"correctables/internal/metrics"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // OverloadRow is one phase of one overload mode. Completed operations are
@@ -79,6 +79,15 @@ type OverloadMode struct {
 	// deliberately not checked here: the measured keyspace is shared with
 	// unrecorded background writers, so it is not a closed world.
 	Check *CheckReport `json:"check"`
+	// Decomp and Timeseries are the observability plane's output
+	// (Config.Trace runs only). The decomposition makes the storm legible:
+	// the queue column explodes in the storm phase with shedding off and
+	// the admission column replaces it with shedding on.
+	Decomp     []PhaseDecomp      `json:"latency_decomposition,omitempty"`
+	Timeseries []trace.TimeSeries `json:"timeseries,omitempty"`
+
+	trc *trace.Tracer
+	reg *trace.Registry
 }
 
 // OverloadResult is the overload experiment's full output; it marshals
@@ -97,6 +106,11 @@ type OverloadResult struct {
 	Sessions    int            `json:"sessions"`
 	Seed        int64          `json:"seed"`
 	Modes       []OverloadMode `json:"modes"`
+	// Trace and TraceReg carry the shedding-on mode's tracer for Chrome
+	// export (icgbench -trace): the mode whose spans include the full
+	// admission story (rejects, degrades, backoff windows).
+	Trace    *trace.Tracer   `json:"-"`
+	TraceReg *trace.Registry `json:"-"`
 }
 
 // overloadPhase is one window of the scenario timeline.
@@ -192,6 +206,9 @@ func Overload(cfg Config) (*OverloadResult, error) {
 			return nil, err
 		}
 		res.Modes = append(res.Modes, *mode)
+		if mode.trc != nil {
+			res.Trace, res.TraceReg = mode.trc, mode.reg
+		}
 	}
 	return res, nil
 }
@@ -200,6 +217,7 @@ func Overload(cfg Config) (*OverloadResult, error) {
 func runOverloadMode(cfg Config, p overloadParams, shedding bool) (*OverloadMode, error) {
 	h := newHarness(cfg)
 	cluster := h.newCassandra(cfg, cassandraOpts{correctable: true})
+	cluster.SetTrace(h.trc)
 	val := make([]byte, 128)
 	for i := range val {
 		val[i] = byte('a' + i%26)
@@ -243,6 +261,7 @@ func runOverloadMode(cfg Config, p overloadParams, shedding bool) (*OverloadMode
 		cc := cassandra.NewClient(cluster, netsim.IRL, netsim.FRK)
 		opts := []binding.Option{
 			binding.WithObserver(recorder),
+			binding.WithTracer(h.trc),
 			binding.WithLabel(fmt.Sprintf("ovl-%02d", i)),
 			binding.WithOpTimeout(p.opTimeout),
 			binding.WithRetry(binding.RetryPolicy{
@@ -309,6 +328,35 @@ func runOverloadMode(cfg Config, p overloadParams, shedding bool) (*OverloadMode
 		records  []overloadOp
 		rng      = rand.New(rand.NewSource(cfg.Seed + 17))
 	)
+
+	// The sampled time-series (Config.Trace): the coordinator's queueing
+	// delay is the storm itself; in-flight ops show the retry amplification;
+	// the admission gauges (shedding mode) show the AIMD controller reacting.
+	if h.reg != nil {
+		coord := cluster.Replica(netsim.FRK).Server()
+		h.reg.Gauge("coord_queue_delay_ms", func() float64 {
+			return metrics.Ms(coord.QueueDelay())
+		})
+		h.reg.Gauge("inflight_ops", func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return float64(arrivals - len(records))
+		})
+		h.reg.Gauge("retried_attempts", func() float64 {
+			return float64(h.meter.Load(netsim.LinkClient).Retried)
+		})
+		if gate != nil {
+			h.reg.Gauge("admit_rate", gate.AdmitRate)
+			h.reg.Gauge("degraded", func() float64 {
+				if gate.Degraded() {
+					return 1
+				}
+				return 0
+			})
+		}
+		h.startSampling(p.horizon)
+	}
+
 	ctx := context.Background()
 	fire := func(int) {
 		mu.Lock()
@@ -414,6 +462,14 @@ func runOverloadMode(cfg Config, p overloadParams, shedding bool) (*OverloadMode
 	}
 	mode.RecoveredGoodputPct = mode.Rows[3].GoodputPct
 
+	if h.trc != nil {
+		for _, ph := range p.phases {
+			mode.Decomp = append(mode.Decomp, decompRow(h.trc, ph.name, ph.start, ph.end))
+		}
+		mode.Timeseries = h.reg.Series()
+		mode.trc, mode.reg = h.trc, h.reg
+	}
+
 	// The always-on history check, with the default checker set (session
 	// guarantees, cross-object WFR, causal-cut).
 	mode.Check = buildCheckReport(recorder, p.sessions, "")
@@ -435,5 +491,5 @@ func overloadPhaseOf(phases []overloadPhase, at time.Duration) int {
 
 // OverloadJSON marshals a result for BENCH_overload.json.
 func OverloadJSON(res *OverloadResult) ([]byte, error) {
-	return json.MarshalIndent(res, "", "  ")
+	return marshalReport(res)
 }

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"time"
 
 	"correctables/internal/metrics"
@@ -127,5 +126,5 @@ func Sweep(cfg Config) *SweepResult {
 
 // SweepJSON renders the sweep table as indented JSON.
 func SweepJSON(res *SweepResult) ([]byte, error) {
-	return json.MarshalIndent(res, "", "  ")
+	return marshalReport(res)
 }

@@ -8,6 +8,7 @@ import (
 
 	"correctables/internal/core"
 	"correctables/internal/faults"
+	"correctables/internal/trace"
 )
 
 // AdmissionDecision is an admission gate's verdict on one invocation
@@ -217,6 +218,12 @@ func (g *governedCall) tryRetry(c *Client, err error) bool {
 	d := p.delay(n)
 	if p.OnRetry != nil {
 		p.OnRetry(n, d, err)
+	}
+	if c.trc != nil {
+		// The backoff window is admission-plane time: the op is alive but
+		// deliberately parked.
+		now := c.scheduler().Now()
+		c.trc.Span(c.trcTrack, trace.CatAdmission, "backoff", "", now, now+d)
 	}
 	c.scheduler().After(d, resub)
 	return true

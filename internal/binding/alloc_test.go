@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"correctables/internal/core"
+	"correctables/internal/trace"
 )
 
 // syncBinding answers synchronously from a pre-boxed value, isolating the
@@ -115,5 +116,30 @@ func TestAllocGateWaitLevel(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("satisfied WaitLevel allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocGateTracedInvoke bounds the tracing-ENABLED invoke path: the
+// root op span, per-view instants and track-handle reuse must cost at most
+// three allocations over the plain pipeline (the observer-path frames).
+// The disabled path is gated at 3 by the tests above — tracing off costs
+// the pipeline nothing.
+func TestAllocGateTracedInvoke(t *testing.T) {
+	trc := trace.New()
+	c := NewClient(newSyncBinding(), WithTracer(trc), WithLabel("gate"))
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		cor := Invoke[[]byte](ctx, c, Get{Key: "k"})
+		if _, err := cor.Final(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/traced invoke: %.1f", allocs)
+	const budget = 6
+	if allocs > budget {
+		t.Errorf("traced invoke allocates %.1f/op, budget %d", allocs, budget)
+	}
+	if spans, instants := trc.Counts(); spans == 0 || instants == 0 {
+		t.Fatalf("tracer recorded spans=%d instants=%d — the gate must measure the enabled path", spans, instants)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"correctables/internal/core"
 	"correctables/internal/faults"
+	"correctables/internal/trace"
 )
 
 // Client is the application-facing side of the Correctables library
@@ -42,6 +43,8 @@ type Client struct {
 	versioned  bool            // binding implements Versioner and versions results
 	gate       AdmissionGate   // WithAdmission; nil = every attempt admitted
 	retry      *retryPolicy    // WithRetry; nil = failures are terminal
+	trc        *trace.Tracer   // WithTracer; nil = tracing off
+	trcTrack   trace.Track     // the client's span track ("client/<label>")
 	opSeq      atomic.Uint64   // observer OpID source
 }
 
@@ -110,6 +113,12 @@ func NewClient(b Binding, opts ...Option) *Client {
 		if tp, ok := b.(TimeoutProvider); ok {
 			c.tp = tp
 		}
+	}
+	if c.trc != nil {
+		// The tracer rides the observer pipeline for root op spans; track
+		// resolution happens here so WithLabel/WithTracer order is free.
+		c.trcTrack = c.trc.Track("client/" + c.label)
+		c.obsList = append(c.obsList, NewTraceObserver(c.trc, c.trcTrack))
 	}
 	switch len(c.obsList) {
 	case 0:
@@ -445,11 +454,17 @@ func submitGoverned[T any](ctx context.Context, cor *core.Correctable[T], inv in
 				if err == nil {
 					err = errRejectedNoReason
 				}
+				if c.trc != nil {
+					c.trc.Instant(c.trcTrack, "admission.reject", "", c.now())
+				}
 				inv.fail(err)
 				return
 			case AdmissionDegrade:
 				if !opMutates(op) && len(c.weakSet) > 0 {
 					lv = c.weakSet
+					if c.trc != nil {
+						c.trc.Instant(c.trcTrack, "admission.degrade", "", c.now())
+					}
 				}
 			}
 		}

@@ -1,0 +1,166 @@
+package binding
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"correctables/internal/trace"
+)
+
+// taggedObserver appends its tag to a shared log on every callback,
+// making the fan-out interleaving observable.
+type taggedObserver struct {
+	tag string
+	mu  *sync.Mutex
+	log *[]string
+}
+
+func (o *taggedObserver) record(event string) {
+	o.mu.Lock()
+	*o.log = append(*o.log, o.tag+":"+event)
+	o.mu.Unlock()
+}
+
+func (o *taggedObserver) OpStart(op OpInfo) { o.record("start") }
+func (o *taggedObserver) OpView(op OpInfo, v OpView) {
+	o.record(fmt.Sprintf("view-%s", v.Level))
+}
+func (o *taggedObserver) OpEnd(op OpInfo, at time.Duration, err error) { o.record("end") }
+
+// waitFor polls cond until it holds; Final unblocks before the observer
+// fan-out finishes delivering OpEnd, so tests must wait for the pipeline
+// to drain before inspecting what observers recorded.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for observer fan-out to drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestObserversFanOutOrderAndAtomicity: with several observers attached,
+// every pipeline transition notifies all of them, in attachment order,
+// before the next transition is delivered to any — the fan-out is atomic
+// per transition, not per observer.
+func TestObserversFanOutOrderAndAtomicity(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		log []string
+	)
+	a := &taggedObserver{tag: "A", mu: &mu, log: &log}
+	b := &taggedObserver{tag: "B", mu: &mu, log: &log}
+	c := NewClient(newFake(), WithObserver(a), WithObserver(b))
+	ctx := context.Background()
+	if _, err := Invoke[[]byte](ctx, c, Get{Key: "k"}).Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"A:start", "B:start",
+		"A:view-weak", "B:view-weak",
+		"A:view-strong", "B:view-strong",
+		"A:end", "B:end",
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(log) >= len(want)
+	})
+	mu.Lock()
+	got := strings.Join(log, " ")
+	mu.Unlock()
+	if got != strings.Join(want, " ") {
+		t.Errorf("fan-out sequence = %q, want %q", got, want)
+	}
+}
+
+// tracerProbe asserts, from inside the observer pipeline, what the tracer
+// has recorded so far. WithTracer appends the trace observer after every
+// WithObserver, so at each of this probe's callbacks the current
+// transition has not yet reached the tracer: views must already be
+// instants by OpEnd time is NOT guaranteed — only prior transitions are.
+type tracerProbe struct {
+	t       *testing.T
+	trc     *trace.Tracer
+	mu      sync.Mutex
+	maxSpan int // largest span count seen during callbacks
+}
+
+func (p *tracerProbe) observe() {
+	spans, _ := p.trc.Counts()
+	p.mu.Lock()
+	if spans > p.maxSpan {
+		p.maxSpan = spans
+	}
+	p.mu.Unlock()
+}
+
+func (p *tracerProbe) max() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.maxSpan
+}
+
+func (p *tracerProbe) OpStart(op OpInfo)                            {}
+func (p *tracerProbe) OpView(op OpInfo, v OpView)                   { p.observe() }
+func (p *tracerProbe) OpEnd(op OpInfo, at time.Duration, err error) { p.observe() }
+
+// TestObserverFanOutWithTracerAtomicity: a tracer attached via WithTracer
+// rides the same observer fan-out as a user observer. The transition must
+// be atomic: during the first operation's own callbacks the root span has
+// not been recorded yet (the trace observer runs last), and once the
+// invocation completes the tracer holds exactly one op span and one
+// instant per delivered view, stamped with the op's model instants.
+func TestObserverFanOutWithTracerAtomicity(t *testing.T) {
+	trc := trace.New()
+	probe := &tracerProbe{t: t, trc: trc}
+	c := NewClient(newFake(), WithObserver(probe), WithTracer(trc), WithLabel("atom"))
+	ctx := context.Background()
+	if _, err := Invoke[[]byte](ctx, c, Get{Key: "k"}).Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { spans, _ := trc.Counts(); return spans == 1 })
+	if got := probe.max(); got != 0 {
+		t.Errorf("tracer recorded %d op spans before the op ended (probe runs first, atomically per transition)", got)
+	}
+	spans, instants := trc.Counts()
+	if spans != 1 || instants != 2 {
+		t.Errorf("after completion: spans=%d instants=%d, want 1 span (root op) and 2 instants (weak+strong views)", spans, instants)
+	}
+
+	// A second invocation fans out through the same path: one more span,
+	// two more instants, and the prior op's record is untouched.
+	if _, err := Invoke[[]byte](ctx, c, Get{Key: "k2"}).Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { spans, _ := trc.Counts(); return spans == 2 })
+	if got := probe.max(); got != 1 {
+		t.Errorf("during op 2 the tracer held %d spans, want exactly op 1's", got)
+	}
+	spans, instants = trc.Counts()
+	if spans != 2 || instants != 4 {
+		t.Errorf("after two ops: spans=%d instants=%d, want 2 and 4", spans, instants)
+	}
+}
+
+// TestTraceObserverRecordsErrorOutcome: a failed invocation still closes
+// its root span, annotated as an error.
+func TestTraceObserverRecordsErrorOutcome(t *testing.T) {
+	trc := trace.New()
+	c := NewClient(newFake(), WithTracer(trc))
+	ctx := context.Background()
+	if _, err := Invoke[Item](ctx, c, Enqueue{Queue: "q", Item: []byte("x")}).Final(ctx); err == nil {
+		t.Fatal("want unsupported-operation error")
+	}
+	waitFor(t, func() bool { spans, _ := trc.Counts(); return spans == 1 })
+	spans, instants := trc.Counts()
+	if spans != 1 || instants != 0 {
+		t.Errorf("error op: spans=%d instants=%d, want 1 span, 0 views", spans, instants)
+	}
+}

@@ -1,0 +1,49 @@
+package binding
+
+import (
+	"time"
+
+	"correctables/internal/trace"
+)
+
+// WithTracer attaches a model-time span tracer to the client: every
+// invocation records one root span (category "op", named by the
+// operation, keyed by OpInfo identity) on the client's track, with one
+// instant per delivered view, and the governed pipeline annotates
+// admission verdicts and retry backoff windows. A nil tracer leaves the
+// pipeline on its observer-free fast path.
+func WithTracer(t *trace.Tracer) Option {
+	return func(c *Client) { c.trc = t }
+}
+
+// NewTraceObserver returns an Observer that records each operation as one
+// complete span on the given track: the span runs OpStart..OpEnd, views
+// appear as instants. It keeps no per-operation state — OpEnd already
+// carries the start instant — so fan-out with a history recorder attached
+// costs no extra allocation per op.
+func NewTraceObserver(t *trace.Tracer, track trace.Track) Observer {
+	return &traceObserver{t: t, track: track}
+}
+
+type traceObserver struct {
+	t     *trace.Tracer
+	track trace.Track
+}
+
+func (o *traceObserver) OpStart(op OpInfo) {}
+
+func (o *traceObserver) OpView(op OpInfo, v OpView) {
+	name := "prelim"
+	if v.Final {
+		name = "final"
+	}
+	o.t.Instant(o.track, name, op.Key, v.At)
+}
+
+func (o *traceObserver) OpEnd(op OpInfo, at time.Duration, err error) {
+	detail := op.Key
+	if err != nil {
+		detail = "error"
+	}
+	o.t.Span(o.track, trace.CatOp, op.Name, detail, op.Start, at)
+}

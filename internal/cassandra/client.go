@@ -6,6 +6,7 @@ import (
 	"correctables/internal/core"
 	"correctables/internal/faults"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // ReadView is one response to a read, as observed at the client.
@@ -93,9 +94,16 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 	// off-critical-path flush costs no goroutine.
 	prelimDelivered := clock.NewEvent()
 	if wantPrelim {
+		// The flush span covers the extra coordinator work plus the wire
+		// trip: it ends when the preliminary actually reaches the client.
+		var flushSp trace.SpanID
+		if trc := c.cluster.trc; trc != nil {
+			flushSp = trc.Begin(c.cluster.phaseTrk[c.Coordinator], trace.CatFlush, "prelim-flush", key, clock.Now())
+		}
 		coord.server.Process(cfg.FlushServiceTime)
 		prelim := local
 		tr.Send(c.Coordinator, c.Region, netsim.LinkClient, readResponseSize(prelim.Value), func() {
+			c.cluster.trc.End(flushSp, clock.Now())
 			onView(ReadView{
 				Value:   append([]byte(nil), prelim.Value...),
 				Version: prelim,
@@ -113,6 +121,10 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 	reconciled := local
 	if quorum > 1 {
 		need := quorum - 1
+		var quorumSp trace.SpanID
+		if trc := c.cluster.trc; trc != nil {
+			quorumSp = trc.Begin(c.cluster.phaseTrk[c.Coordinator], trace.CatQuorum, "read-quorum", key, clock.Now())
+		}
 		peers := c.cluster.othersByProximity(c.Coordinator)[:need]
 		results := clock.NewQueue()
 		for _, peer := range peers {
@@ -131,6 +143,7 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 				reconciled = v
 			}
 		}
+		c.cluster.trc.End(quorumSp, clock.Now())
 		// Blocking read repair among the participants (Cassandra always
 		// reconciles the replicas involved in the read): the coordinator
 		// already holds the winning version, so its local copy is fixed
@@ -142,6 +155,9 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 		// Global read repair: asynchronously push the winning version to
 		// all replicas (sampled, like Cassandra's read_repair_chance).
 		if c.cluster.rollReadRepair(key) {
+			if trc := c.cluster.trc; trc != nil {
+				trc.Instant(c.cluster.phaseTrk[c.Coordinator], "read-repair", key, clock.Now())
+			}
 			c.repairAsync(key, reconciled)
 		}
 	}
@@ -229,6 +245,10 @@ func (c *Client) write(key string, value []byte, w int) (Versioned, error) {
 
 	peers := c.cluster.othersByProximity(c.Coordinator)
 	needSync := w - 1
+	var syncSp trace.SpanID
+	if trc := c.cluster.trc; trc != nil && needSync > 0 {
+		syncSp = trc.Begin(c.cluster.phaseTrk[c.Coordinator], trace.CatQuorum, "write-sync", key, clock.Now())
+	}
 	acks := clock.NewGroup()
 	for i, peer := range peers {
 		peer := peer
@@ -256,6 +276,7 @@ func (c *Client) write(key string, value []byte, w int) (Versioned, error) {
 		}
 	}
 	acks.Wait()
+	c.cluster.trc.End(syncSp, clock.Now())
 	tr.Travel(c.Coordinator, c.Region, netsim.LinkClient, WriteAckSize)
 	return v, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // Config describes a simulated Cassandra cluster.
@@ -139,6 +140,12 @@ type Cluster struct {
 	// fault interceptor.
 	hints hintStore
 
+	// trc, when set, records protocol-phase spans (flush, quorum wait,
+	// repair, hint replay) on per-coordinator tracks; replica servers get
+	// queue/service tracks of their own. Nil = tracing off.
+	trc      *trace.Tracer
+	phaseTrk map[netsim.Region]trace.Track
+
 	repair [readRepairShards]struct {
 		mu  sync.Mutex
 		rng *randv2.Rand
@@ -186,6 +193,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.wireHints()
 	return c, nil
+}
+
+// SetTrace threads a span tracer through the cluster: each replica's
+// bounded server records queue/service spans on "server/<region>", and
+// the client protocol paths record phase spans (preliminary flush, quorum
+// wait, read repair, hint replay) on "cass/<region>" coordinator tracks.
+// Install at wiring time, before traffic starts.
+func (c *Cluster) SetTrace(t *trace.Tracer) {
+	c.trc = t
+	c.phaseTrk = make(map[netsim.Region]trace.Track, len(c.order))
+	for _, region := range c.order {
+		c.replicas[region].server.SetTrace(t, "server/"+string(region))
+		c.phaseTrk[region] = t.Track("cass/" + string(region))
+	}
 }
 
 // Config returns the effective configuration.

@@ -2,10 +2,12 @@ package cassandra
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"correctables/internal/faults"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // Hinted handoff: when asynchronous write propagation targets a replica the
@@ -90,6 +92,9 @@ func (c *Cluster) bufferHint(coord, peer netsim.Region, key string, v Versioned)
 	peers[peer] = append(q, hint{key: key, v: v, expires: now + c.cfg.HintTTL})
 	h.stats.Queued++
 	h.mu.Unlock()
+	if c.trc != nil {
+		c.trc.Instant(c.phaseTrk[coord], "hint-queued", key, now)
+	}
 }
 
 // replayHints flushes every hint queue whose peer is reachable again,
@@ -134,11 +139,23 @@ func (c *Cluster) replayHints() {
 
 	for _, f := range flushes {
 		replica := c.Replica(f.peer)
+		// The replay span covers the flush burst until its last delivery;
+		// deliveries are async sends, so the end instant is the latest
+		// scheduled arrival rather than a blocking wait.
+		var replaySp trace.SpanID
+		var remaining atomic.Int64
+		if c.trc != nil {
+			replaySp = c.trc.Begin(c.phaseTrk[f.coord], trace.CatHint, "hint-replay", string(f.peer), now)
+		}
+		remaining.Store(int64(len(f.hints)))
 		for _, hn := range f.hints {
 			hn := hn
 			c.tr.Send(f.coord, f.peer, netsim.LinkReplica,
 				replicationSize(hn.key, hn.v.Value), func() {
 					replica.tab.apply(hn.key, hn.v)
+					if remaining.Add(-1) == 0 {
+						c.trc.End(replaySp, c.tr.Clock().Now())
+					}
 				})
 		}
 	}

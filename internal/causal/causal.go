@@ -19,6 +19,7 @@ import (
 
 	"correctables/internal/faults"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // Entry is a versioned value.
@@ -63,6 +64,11 @@ type Store struct {
 	mu       sync.Mutex
 	nextVer  uint64
 	replicas map[netsim.Region]*replica
+
+	// trc, when set, records replica queue/service spans and resync
+	// instants. Nil = tracing off.
+	trc *trace.Tracer
+	trk trace.Track
 }
 
 type replica struct {
@@ -121,6 +127,18 @@ func NewStore(cfg Config) (*Store, error) {
 	return s, nil
 }
 
+// SetTrace threads a span tracer through the store: each replica's
+// bounded server records queue/service spans on "server/<region>", and
+// recovery resyncs appear as instants on "causal/recovery". Install at
+// wiring time.
+func (s *Store) SetTrace(t *trace.Tracer) {
+	s.trc = t
+	for _, region := range append([]netsim.Region{s.cfg.Primary}, s.cfg.Backups...) {
+		s.replicas[region].proc.SetTrace(t, "server/"+string(region))
+	}
+	s.trk = t.Track("causal/recovery")
+}
+
 // resyncLagging ships a primary snapshot to every lagging backup. It runs
 // in clock callback context and must not block; snapshots travel as
 // asynchronous sends, dropped (and retried at the next transition) while
@@ -142,6 +160,9 @@ func (s *Store) resyncLagging() {
 		data := make(map[string]Entry, len(snapData))
 		for k, v := range snapData {
 			data[k] = v
+		}
+		if s.trc != nil {
+			s.trc.Instant(s.trk, "resync", string(region), s.tr.Clock().Now())
 		}
 		s.tr.Send(s.cfg.Primary, region, netsim.LinkReplica, size, func() {
 			r.install(data, snapVer)

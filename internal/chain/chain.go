@@ -14,11 +14,13 @@ package chain
 import (
 	"fmt"
 	randv2 "math/rand/v2"
+	"strconv"
 	"sync"
 	"time"
 
 	"correctables/internal/faults"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // Tx is a submitted transaction.
@@ -135,6 +137,11 @@ type Chain struct {
 	forkHeight int
 	branch     []Block
 	reorgs     []Reorg
+
+	// trc, when set, records block production, fork windows, and reorgs
+	// as instants on one "chain" track. Nil = tracing off.
+	trc *trace.Tracer
+	trk trace.Track
 }
 
 // New starts a chain per cfg.
@@ -182,6 +189,14 @@ func New(cfg Config) (*Chain, error) {
 	}
 	c.scheduleNext()
 	return c, nil
+}
+
+// SetTrace threads a span tracer through the chain: every mined block,
+// fork open, and reorg appears as an instant on the "chain" track.
+// Install at wiring time.
+func (c *Chain) SetTrace(t *trace.Tracer) {
+	c.trc = t
+	c.trk = t.Track("chain")
 }
 
 func (c *Chain) setMinerDown(m netsim.Region, down bool) {
@@ -288,6 +303,9 @@ func (c *Chain) mineOnce() {
 	c.blocks = append(c.blocks, blk)
 	watchers := append([]netsim.Queue(nil), c.watchers...)
 	c.mu.Unlock()
+	if c.trc != nil {
+		c.trc.Instant(c.trk, "block", strconv.Itoa(blk.Height), c.clock.Now())
+	}
 	for _, w := range watchers {
 		w.Put(blk)
 	}
@@ -337,8 +355,12 @@ func (c *Chain) onTransition() {
 		c.forkGen++
 		gen := c.forkGen
 		c.forkHeight = len(c.blocks)
+		forkHeight := c.forkHeight
 		c.branch = nil
 		c.mu.Unlock()
+		if c.trc != nil {
+			c.trc.Instant(c.trk, "fork", strconv.Itoa(forkHeight), c.clock.Now())
+		}
 		c.scheduleBranch(gen)
 		return
 	}
@@ -396,6 +418,9 @@ func (c *Chain) resolveForkLocked() {
 	}
 	orphaned := c.blocks[c.forkHeight:]
 	c.blocks = append(c.blocks[:c.forkHeight:c.forkHeight], branch...)
+	if c.trc != nil {
+		c.trc.Instant(c.trk, "reorg", strconv.Itoa(c.forkHeight), c.clock.Now())
+	}
 	re := Reorg{ForkHeight: c.forkHeight}
 	var pool []Tx
 	for _, blk := range orphaned {

@@ -59,6 +59,26 @@ func (h *Histogram) RecordBatch(ds []time.Duration) {
 	h.mu.Unlock()
 }
 
+// Merge folds every sample of other into h (other is left unchanged).
+// Merging clears the sort cache, so a percentile read after a Merge
+// re-sorts over the combined sample set. Merging a histogram into itself
+// or merging nil is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	other.mu.Lock()
+	samples := append([]time.Duration(nil), other.samples...)
+	other.mu.Unlock()
+	if len(samples) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, samples...)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int {
 	h.mu.Lock()

@@ -130,3 +130,76 @@ func TestRatioAndThroughput(t *testing.T) {
 		t.Errorf("Ms = %v", got)
 	}
 }
+
+// TestHistogramPercentileEdgeCases pins the nearest-rank boundaries: an
+// empty histogram reports zero for any p, a single sample answers every
+// percentile, and tiny/huge p clamp to the first and last rank.
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	for _, p := range []float64{0.001, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty P%v = %v, want 0", p, got)
+		}
+	}
+	h.Record(7 * time.Millisecond)
+	for _, p := range []float64{0.001, 1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 7*time.Millisecond {
+			t.Errorf("single-sample P%v = %v, want 7ms", p, got)
+		}
+	}
+	if h.Min() != 7*time.Millisecond || h.Max() != 7*time.Millisecond {
+		t.Errorf("single-sample Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramMergeResorts: Merge must clear the destination's sort cache
+// so percentiles after a merge reflect the combined sample set, and must
+// leave the source untouched.
+func TestHistogramMergeResorts(t *testing.T) {
+	h := NewHistogram()
+	for _, ms := range []int{30, 40, 50} {
+		h.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if got := h.Min(); got != 30*time.Millisecond { // forces sort, caches it
+		t.Fatalf("pre-merge Min = %v", got)
+	}
+
+	src := NewHistogram()
+	for _, ms := range []int{10, 20} {
+		src.Record(time.Duration(ms) * time.Millisecond)
+	}
+	h.Merge(src)
+	if got := h.Count(); got != 5 {
+		t.Fatalf("merged Count = %d, want 5", got)
+	}
+	if got := h.Min(); got != 10*time.Millisecond {
+		t.Errorf("post-merge Min = %v, want 10ms (sort cache must clear)", got)
+	}
+	if got := h.Percentile(50); got != 30*time.Millisecond {
+		t.Errorf("post-merge P50 = %v, want 30ms", got)
+	}
+	if got := src.Count(); got != 2 {
+		t.Errorf("source Count = %d after merge, want 2 (unchanged)", got)
+	}
+	if got := src.Min(); got != 10*time.Millisecond {
+		t.Errorf("source Min = %v after merge, want 10ms (unchanged)", got)
+	}
+}
+
+// TestHistogramMergeNoOps: merging nil, merging an empty histogram, and
+// merging a histogram into itself all leave the receiver unchanged.
+func TestHistogramMergeNoOps(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * time.Millisecond)
+	_ = h.Min() // cache the sort
+
+	h.Merge(nil)
+	h.Merge(NewHistogram())
+	h.Merge(h)
+	if got := h.Count(); got != 1 {
+		t.Errorf("Count after no-op merges = %d, want 1", got)
+	}
+	if got := h.Percentile(99); got != 5*time.Millisecond {
+		t.Errorf("P99 after no-op merges = %v, want 5ms", got)
+	}
+}

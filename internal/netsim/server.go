@@ -3,6 +3,8 @@ package netsim
 import (
 	"sync"
 	"time"
+
+	"correctables/internal/trace"
 )
 
 // Server models the finite processing capacity of one storage node. Every
@@ -22,6 +24,12 @@ import (
 // the flush cost to model it.
 type Server struct {
 	clock Clock
+
+	// trc, when set, records queue-wait and service spans on trcTrack.
+	// Because reservations are exact deadlines, both spans are emitted at
+	// reservation time with their true (possibly future) model instants.
+	trc      *trace.Tracer
+	trcTrack trace.Track
 
 	mu       sync.Mutex
 	slotFree []time.Duration // model instant each slot becomes free
@@ -59,10 +67,25 @@ func (s *Server) reserve(cost time.Duration, now time.Duration) time.Duration {
 	return end
 }
 
+// SetTrace installs a tracer recording this server's queue/service spans
+// on a track with the given name. Install at wiring time.
+func (s *Server) SetTrace(trc *trace.Tracer, track string) {
+	s.trc = trc
+	s.trcTrack = trc.Track(track)
+}
+
 // Process occupies a worker slot for the model-time cost, blocking through
 // any queueing delay plus the service time itself.
 func (s *Server) Process(cost time.Duration) {
-	s.clock.SleepUntil(s.reserve(cost, s.clock.Now()))
+	now := s.clock.Now()
+	end := s.reserve(cost, now)
+	if s.trc != nil {
+		if start := end - cost; start > now {
+			s.trc.Span(s.trcTrack, trace.CatQueue, "wait", "", now, start)
+		}
+		s.trc.Span(s.trcTrack, trace.CatServer, "serve", "", end-cost, end)
+	}
+	s.clock.SleepUntil(end)
 }
 
 // TryProcess is Process but gives up immediately if every slot is already
@@ -87,6 +110,9 @@ func (s *Server) TryProcess(cost time.Duration) bool {
 	s.busy += cost
 	s.handled++
 	s.mu.Unlock()
+	if s.trc != nil {
+		s.trc.Span(s.trcTrack, trace.CatServer, "serve", "", now, end)
+	}
 	s.clock.SleepUntil(end)
 	return true
 }

@@ -6,6 +6,8 @@ import (
 	randv2 "math/rand/v2"
 	"sync"
 	"time"
+
+	"correctables/internal/trace"
 )
 
 // Verdict is an Interceptor's decision for one message.
@@ -71,6 +73,13 @@ type Transport struct {
 	// heavier 99th-percentile latencies visible in the paper's Figures 5
 	// and 9 without changing averages much.
 	TailMeanFrac float64
+
+	// trc, when set, records one span per message on a per-link track,
+	// annotated with the fault verdicts the message saw. Nil (the default)
+	// costs the hot path one pointer comparison.
+	trc       *trace.Tracer
+	trackMu   sync.Mutex
+	netTracks map[[2]Region]trace.Track
 }
 
 // rngShard is one link's jitter source.
@@ -133,6 +142,38 @@ func (t *Transport) SetInterceptor(i Interceptor) { t.icept = i }
 // Interceptor returns the installed fault interceptor (nil when none).
 func (t *Transport) Interceptor() Interceptor { return t.icept }
 
+// SetTrace installs (or, with nil, removes) a span tracer. Install it at
+// wiring time, before traffic starts.
+func (t *Transport) SetTrace(trc *trace.Tracer) {
+	t.trc = trc
+	t.netTracks = make(map[[2]Region]trace.Track)
+}
+
+// Trace returns the installed tracer (nil when tracing is off).
+func (t *Transport) Trace() *trace.Tracer { return t.trc }
+
+// netTrack returns the (lazily interned) trace track for one directed
+// link.
+func (t *Transport) netTrack(from, to Region) trace.Track {
+	key := [2]Region{from, to}
+	t.trackMu.Lock()
+	tk, ok := t.netTracks[key]
+	if !ok {
+		tk = t.trc.Track("net/" + string(from) + "→" + string(to))
+		t.netTracks[key] = tk
+	}
+	t.trackMu.Unlock()
+	return tk
+}
+
+// netCat maps a link class to its decomposition category.
+func netCat(class string) trace.Category {
+	if class == LinkClient {
+		return trace.CatNetClient
+	}
+	return trace.CatNetReplica
+}
+
 // sample returns a jittered one-way delay between two regions.
 func (t *Transport) sample(from, to Region) time.Duration {
 	base := float64(t.model.OneWay(from, to))
@@ -171,22 +212,32 @@ func scaled(d time.Duration, factor float64) time.Duration {
 // link is passable again, modeling an idealized retransmit that succeeds
 // as soon as the partition heals or the endpoint restarts.
 func (t *Transport) Travel(from, to Region, class string, size int) {
-	if t.icept == nil {
+	if t.icept == nil && t.trc == nil {
 		t.meter.Account(class, size)
 		t.clock.Sleep(t.sample(from, to))
 		return
 	}
+	var sp trace.SpanID
+	if t.trc != nil {
+		sp = t.trc.Begin(t.netTrack(from, to), netCat(class), class, "", t.clock.Now())
+	}
 	for {
-		verdict, factor := t.icept.Intercept(from, to, class)
+		verdict, factor := VerdictDeliver, 1.0
+		if t.icept != nil {
+			verdict, factor = t.icept.Intercept(from, to, class)
+		}
 		switch verdict {
 		case VerdictDeliver:
 			t.meter.Account(class, size)
 			t.clock.Sleep(scaled(t.sample(from, to), factor))
+			t.trc.End(sp, t.clock.Now())
 			return
 		case VerdictDrop:
+			t.trc.Annotate(sp, "drop")
 			t.meter.AccountDropped(class, size)
 			t.clock.Sleep(2 * t.sample(from, to)) // retransmission timeout
 		case VerdictStall:
+			t.trc.Annotate(sp, "stall")
 			t.icept.AwaitPassable(from, to)
 		}
 	}
@@ -220,10 +271,19 @@ func (t *Transport) send(extra time.Duration, from, to Region, class string, siz
 		verdict, f := t.icept.Intercept(from, to, class)
 		if verdict != VerdictDeliver {
 			t.meter.AccountDropped(class, size)
+			if t.trc != nil {
+				now := t.clock.Now()
+				t.trc.Span(t.netTrack(from, to), netCat(class), class, "lost", now, now)
+			}
 			return
 		}
 		factor = f
 	}
 	t.meter.Account(class, size)
-	t.clock.RunAfter(scaled(t.sample(from, to), factor)+extra, fn)
+	delay := scaled(t.sample(from, to), factor) + extra
+	if t.trc != nil {
+		now := t.clock.Now()
+		t.trc.Span(t.netTrack(from, to), netCat(class), class, "", now, now+delay)
+	}
+	t.clock.RunAfter(delay, fn)
 }

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteChrome emits the trace in Chrome trace-event JSON (the legacy
+// array-of-events form), which Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing both load. reg may be nil; when present its sampled
+// series are appended as counter tracks.
+//
+// Layout: each Track becomes a process (pid = track handle, named by a
+// process_name metadata event, ordered by creation). Overlapping spans on
+// one track — server slots, concurrent messages on a link — are laid out
+// on greedily assigned lanes (tids), so nothing is hidden by nesting
+// rules. Timestamps are model time in microseconds with nanosecond
+// precision. The emission order and number formatting are fully
+// deterministic: same recorded events, same bytes.
+func (t *Tracer) WriteChrome(w io.Writer, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	var tracks []string
+	var spans []span
+	var instants []instant
+	if t != nil {
+		t.mu.Lock()
+		tracks = append(tracks, t.tracks...)
+		spans = append(spans, t.spans...)
+		instants = append(instants, t.instants...)
+		t.mu.Unlock()
+	}
+
+	for i, name := range tracks {
+		emit(`{"name":"process_name","ph":"M","pid":` + strconv.Itoa(i+1) +
+			`,"args":{"name":` + jstr(name) + `}}`)
+		emit(`{"name":"process_sort_index","ph":"M","pid":` + strconv.Itoa(i+1) +
+			`,"args":{"sort_index":` + strconv.Itoa(i+1) + `}}`)
+	}
+
+	// Group spans per track, keeping recording order as the tiebreak so
+	// the layout is stable, then lay overlapping spans out on lanes.
+	byTrack := make([][]int, len(tracks)+1)
+	for i := range spans {
+		tr := spans[i].track
+		byTrack[tr] = append(byTrack[tr], i)
+	}
+	for tr := 1; tr <= len(tracks); tr++ {
+		idxs := byTrack[tr]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return spans[idxs[a]].start < spans[idxs[b]].start
+		})
+		var lanes []time.Duration // per-lane last end
+		for _, i := range idxs {
+			sp := spans[i]
+			end := sp.end
+			if end < 0 {
+				// Open span: export as zero-length at its start.
+				end = sp.start
+			}
+			lane := -1
+			for l, busyUntil := range lanes {
+				if busyUntil <= sp.start {
+					lane = l
+					break
+				}
+			}
+			if lane < 0 {
+				lanes = append(lanes, 0)
+				lane = len(lanes) - 1
+			}
+			lanes[lane] = end
+			line := `{"name":` + jstr(sp.name) + `,"cat":` + jstr(sp.cat.String()) +
+				`,"ph":"X","ts":` + usec(sp.start) + `,"dur":` + usec(end-sp.start) +
+				`,"pid":` + strconv.Itoa(tr) + `,"tid":` + strconv.Itoa(lane+1)
+			if sp.detail != "" {
+				line += `,"args":{"detail":` + jstr(sp.detail) + `}`
+			}
+			emit(line + "}")
+		}
+	}
+
+	sort.SliceStable(instants, func(a, b int) bool {
+		if instants[a].track != instants[b].track {
+			return instants[a].track < instants[b].track
+		}
+		return instants[a].at < instants[b].at
+	})
+	for _, in := range instants {
+		line := `{"name":` + jstr(in.name) + `,"ph":"i","s":"p","ts":` + usec(in.at) +
+			`,"pid":` + strconv.Itoa(int(in.track)) + `,"tid":1`
+		if in.detail != "" {
+			line += `,"args":{"detail":` + jstr(in.detail) + `}`
+		}
+		emit(line + "}")
+	}
+
+	if reg != nil {
+		pid := len(tracks) + 1
+		emit(`{"name":"process_name","ph":"M","pid":` + strconv.Itoa(pid) +
+			`,"args":{"name":"metrics"}}`)
+		for _, s := range reg.Series() {
+			for _, p := range s.Points {
+				emit(`{"name":` + jstr(s.Name) + `,"ph":"C","ts":` +
+					strconv.FormatFloat(p.TMs*1000, 'f', 3, 64) +
+					`,"pid":` + strconv.Itoa(pid) + `,"args":{"v":` +
+					strconv.FormatFloat(p.V, 'f', -1, 64) + `}}`)
+			}
+		}
+	}
+
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// usec renders a model duration as microseconds with fixed nanosecond
+// precision — fixed width keeps the output byte-stable.
+func usec(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'f', 3, 64)
+}
+
+// jstr JSON-quotes a string.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

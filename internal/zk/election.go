@@ -7,6 +7,7 @@ import (
 
 	"correctables/internal/faults"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // Leader election for the simulated ensemble: an explicit follower ->
@@ -98,6 +99,9 @@ type electState struct {
 	votes   int
 	sawDeny bool // a live peer denied (not lease-deny): bump epoch on retry
 	tally   map[uint64]acceptedTxn
+	// sp is the open election-window span (tracing only): candidacy start
+	// to win or step-down.
+	sp trace.SpanID
 }
 
 // elector runs the election protocol for every server of one ensemble.
@@ -159,6 +163,15 @@ func (el *elector) lease() time.Duration { return 2 * el.hb }
 
 // majority is the vote count that wins an election (self included).
 func (el *elector) majority() int { return len(el.e.order)/2 + 1 }
+
+// endElectSpanLocked closes the server's open election-window span, if
+// any. Callers hold el.mu.
+func (el *elector) endElectSpanLocked(st *electState, now time.Duration) {
+	if st.sp != 0 {
+		el.e.trc.End(st.sp, now)
+		st.sp = 0
+	}
+}
 
 func (el *elector) elections() []ElectionRecord {
 	el.mu.Lock()
@@ -226,6 +239,9 @@ func (el *elector) timerFired(r netsim.Region) {
 		st.epoch++
 	}
 	st.sawDeny = false
+	if trc := el.e.trc; trc != nil && st.sp == 0 {
+		st.sp = trc.Begin(el.e.electTrk, trace.CatElection, "election", string(r), now)
+	}
 	epoch := st.epoch
 	st.votedFor, st.votedEp = r, epoch
 	st.votes = 1
@@ -293,6 +309,7 @@ func (el *elector) onHeartbeat(r netsim.Region, epoch uint64) {
 		st.role = roleFollower
 		st.sawDeny = false
 		st.tally = nil
+		el.endElectSpanLocked(st, el.e.tr.Clock().Now())
 	}
 	st.lastBeat = el.e.tr.Clock().Now()
 	el.mu.Unlock()
@@ -362,6 +379,7 @@ func (el *elector) onVoteReply(cand netsim.Region, epoch uint64, granted, leader
 			st.sawDeny = false
 			st.tally = nil
 			st.lastBeat = el.e.tr.Clock().Now()
+			el.endElectSpanLocked(st, st.lastBeat)
 		} else {
 			st.sawDeny = true
 		}
@@ -403,6 +421,7 @@ func (el *elector) becomeLeader(r netsim.Region, epoch uint64, tally map[uint64]
 			st.role = roleFollower
 			st.lastBeat = now
 		}
+		el.endElectSpanLocked(el.st[r], now)
 		el.mu.Unlock()
 		return
 	}
@@ -434,7 +453,11 @@ func (el *elector) becomeLeader(r netsim.Region, epoch uint64, tally map[uint64]
 	e.setLeader(s)
 	el.mu.Lock()
 	el.log = append(el.log, ElectionRecord{Epoch: epoch, Leader: r, At: now})
+	el.endElectSpanLocked(el.st[r], now)
 	el.mu.Unlock()
+	if e.trc != nil {
+		e.trc.Instant(e.electTrk, "elected", string(r), now)
+	}
 	for _, w := range fire {
 		w.Fire()
 	}

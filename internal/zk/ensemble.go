@@ -8,6 +8,7 @@ import (
 
 	"correctables/internal/faults"
 	"correctables/internal/netsim"
+	"correctables/internal/trace"
 )
 
 // Config describes a simulated ZooKeeper ensemble.
@@ -126,6 +127,12 @@ type Ensemble struct {
 	propMu      sync.Mutex
 	nextZxid    uint64
 	commitEpoch uint64
+
+	// trc, when set, records proposal quorum waits on per-server tracks
+	// and the election/resync timeline on "zk/election". Nil = off.
+	trc      *trace.Tracer
+	phaseTrk map[netsim.Region]trace.Track
+	electTrk trace.Track
 }
 
 // NewEnsemble builds an ensemble per cfg.
@@ -200,6 +207,9 @@ func (e *Ensemble) resyncLagging() {
 		// One snapshot per follower: Restore installs the node map without
 		// copying, so recipients must not share one.
 		snap, zxid, epoch, size := e.snapshotLeader(leader)
+		if e.trc != nil {
+			e.trc.Instant(e.electTrk, "resync", string(region), e.tr.Clock().Now())
+		}
 		e.tr.Send(leader.Region, region, netsim.LinkReplica, size, func() {
 			s.installSnapshot(snap, zxid, epoch)
 		})
@@ -336,6 +346,29 @@ func (s *Server) applyPendingLocked() []netsim.Event {
 	return fire
 }
 
+// SetTrace threads a span tracer through the ensemble: each server's
+// bounded processor records queue/service spans on "server/<region>",
+// proposals record their quorum wait on "zk/<leader region>", and
+// elections/resyncs appear on a shared "zk/election" track. Install at
+// wiring time.
+func (e *Ensemble) SetTrace(t *trace.Tracer) {
+	e.trc = t
+	e.phaseTrk = make(map[netsim.Region]trace.Track, len(e.order))
+	for _, region := range e.order {
+		e.servers[region].proc.SetTrace(t, "server/"+string(region))
+		e.phaseTrk[region] = t.Track("zk/" + string(region))
+	}
+	e.electTrk = t.Track("zk/election")
+}
+
+// CommitEpoch returns the epoch new proposals currently commit under; it
+// advances on every election win (a natural election-state gauge).
+func (e *Ensemble) CommitEpoch() uint64 {
+	e.propMu.Lock()
+	defer e.propMu.Unlock()
+	return e.commitEpoch
+}
+
 // Config returns the effective configuration.
 func (e *Ensemble) Config() Config { return e.cfg }
 
@@ -449,6 +482,10 @@ func (e *Ensemble) propose(txn Txn, contact *Server) (uint64, uint64, TxnResult)
 	// Gather follower acks; majority includes the leader itself.
 	clock := e.tr.Clock()
 	need := e.quorum()
+	var quorumSp trace.SpanID
+	if e.trc != nil && need > 0 {
+		quorumSp = e.trc.Begin(e.phaseTrk[leader.Region], trace.CatQuorum, "propose", "", clock.Now())
+	}
 	acks := clock.NewQueue()
 	for _, region := range e.order {
 		if region == leader.Region {
@@ -469,6 +506,7 @@ func (e *Ensemble) propose(txn Txn, contact *Server) (uint64, uint64, TxnResult)
 	for i := 0; i < need; i++ {
 		acks.Get()
 	}
+	e.trc.End(quorumSp, clock.Now())
 
 	// Broadcast commits asynchronously to all followers except the contact
 	// (whose commit rides on the reply message the caller models).
