@@ -21,7 +21,9 @@
 // deterministic fault schedule (-faults selects the scenario, -fault-log
 // prints the transition log); failover — leader partition and recovery;
 // overload — metastable retry storm vs admission control; sweep — quorum x
-// geography; and hunt — the nemesis hunt: a sweep of seeds x composed
+// geography; capacity — the sharded-plane capacity study (open-loop session
+// storms vs shard count, a million sessions on one virtual clock at full
+// size); and hunt — the nemesis hunt: a sweep of seeds x composed
 // fault-track profiles, every recorded history run through every checker,
 // each violating world shrunk by delta debugging into a replayable repro:
 //
@@ -75,6 +77,7 @@ var experiments = []experiment{
 	{"failover", "leader partition mid-run: recovery time and availability window", false, runFailover},
 	{"overload", "open-loop burst: metastable retry storm vs admission control", false, runOverload},
 	{"sweep", "read latency vs quorum size and RTT geography", false, runSweep},
+	{"capacity", "sharded-plane capacity study: 10^6 open-loop sessions vs shard count", false, runCapacity},
 	{"hunt", "nemesis hunt: seeds x composed fault tracks, all checkers, shrinking repros", false, runHunt},
 }
 
@@ -201,6 +204,24 @@ func runSweep(c bench.Config) string {
 	return bench.FormatSweep(res)
 }
 
+func runCapacity(c bench.Config) string {
+	res := bench.Capacity(c)
+	if faultJSON != "" {
+		writeArtifact(faultJSON, bench.WriteReport(faultJSON, res))
+	}
+	out := bench.FormatCapacity(res)
+	var violations int
+	for _, r := range res.Rows {
+		if r.Check != nil {
+			violations += r.Check.Violations()
+		}
+	}
+	if violations > 0 {
+		failCheck(out, violations, c.Seed)
+	}
+	return out
+}
+
 func runHunt(c bench.Config) string {
 	opts := bench.HuntOptions{
 		Seeds:     huntSeeds,
@@ -316,7 +337,7 @@ func main() {
 		showList = flag.Bool("list", false, "list experiments, fault scenarios and profiles, then exit")
 		repro    = flag.String("repro", "", "replay an archived hunt repro JSON and verify byte-identical reproduction")
 	)
-	flag.StringVar(&faultJSON, "fault-json", "", "write the experiment result as JSON to this path (faultstudy, failover, overload, sweep, hunt)")
+	flag.StringVar(&faultJSON, "fault-json", "", "write the experiment result as JSON to this path (faultstudy, failover, overload, sweep, capacity, hunt)")
 	flag.StringVar(&traceOut, "trace", "", "record model-time spans and sampled gauges, and write them as Chrome trace-event JSON (Perfetto-loadable) to this path (faultstudy, failover, overload)")
 	flag.IntVar(&huntSeeds, "hunt-seeds", 0, "hunt: seeds swept per profile (default 1000, or 16 with -quick)")
 	flag.Int64Var(&huntStart, "hunt-start", 0, "hunt: first seed (default -seed)")

@@ -330,6 +330,33 @@ func Example_overload() {
 	// recovered: strong view of v (final=true)
 }
 
+// Example_capacity runs the sharded-plane capacity study at smoke scale:
+// per shard count, open-loop Poisson session storms flow through the AIMD
+// admission gate into per-region token-aware batched coordinator stacks on
+// one virtual clock, and each cell reports attained throughput, per-shard
+// fairness and a consistency-checked sub-population. The full-size run
+// (`icgbench -exp capacity`) starts over a million sessions in the widest
+// cell and writes BENCH_capacity.json.
+func Example_capacity() {
+	res := bench.Capacity(bench.Config{Seed: 42, Quick: true})
+	for _, r := range res.Rows {
+		served := true
+		for _, n := range r.PerShardHandled {
+			served = served && n > 0
+		}
+		fmt.Printf("shards=%d: all sessions completed=%v, every shard served=%v, checks clean=%v\n",
+			r.Shards, r.SessionsCompleted == r.SessionsStarted, served,
+			r.Check.Violations() == 0)
+	}
+	fmt.Printf("ops throughput scaled >=3x from 1 to 8 shards: %v\n", res.ScalingX >= 3)
+	// Output:
+	// shards=1: all sessions completed=true, every shard served=true, checks clean=true
+	// shards=2: all sessions completed=true, every shard served=true, checks clean=true
+	// shards=4: all sessions completed=true, every shard served=true, checks clean=true
+	// shards=8: all sessions completed=true, every shard served=true, checks clean=true
+	// ops throughput scaled >=3x from 1 to 8 shards: true
+}
+
 // Example_hunt runs the nemesis hunt end to end against its own planted
 // bug: a sweep of seeds over composed fault tracks (concurrent partition,
 // crash and lossy-WAN schedules plus open-loop arrivals), every recorded

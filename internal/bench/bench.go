@@ -157,6 +157,9 @@ type cassandraOpts struct {
 	// opTimeout overrides the fault-injection operation timeout
 	// (0 = default; only consulted when an interceptor is attached).
 	opTimeout time.Duration
+	// shards selects the cluster's token-ring shard count (0 = 1 shard,
+	// the unsharded plane every pre-sharding experiment runs on).
+	shards int
 }
 
 // newCassandra builds a cluster on the harness fabric with the service-time
@@ -175,6 +178,7 @@ func (h *harness) newCassandra(cfg Config, opts cassandraOpts) *cassandra.Cluste
 		Transport:        h.tr,
 		Correctable:      opts.correctable,
 		ConfirmationOpt:  opts.confirmOpt,
+		Shards:           opts.shards,
 		Workers:          4,
 		ReadServiceTime:  2 * time.Millisecond,
 		WriteServiceTime: 2 * time.Millisecond,

@@ -351,6 +351,47 @@ func FormatOverload(res *OverloadResult) string {
 	return b.String()
 }
 
+// FormatCapacity renders the shard-count capacity study: the per-cell
+// table, the scaling headline, and each cell's history-check summary.
+func FormatCapacity(res *CapacityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "horizon %.0f ms per cell, seed %d\n", res.HorizonMs, res.Seed)
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%.0f", r.OfferedSessionsPerSec),
+			fmt.Sprintf("%d", r.SessionsStarted), fmt.Sprintf("%d", r.SessionsCompleted),
+			fmt.Sprintf("%d", r.SessionsAborted),
+			fmt.Sprintf("%.0f", r.ThroughputOps), fmt.Sprintf("%.0f", r.ThroughputSessions),
+			fmt.Sprintf("%.1f", r.WeakMeanMs), fmt.Sprintf("%.1f", r.FinalMeanMs),
+			fmt.Sprintf("%.1f", r.FinalP99Ms),
+			fmt.Sprintf("%.1f", r.BatchMeanOps),
+			fmt.Sprintf("%.0f", r.UtilizationPct), fmt.Sprintf("%.3f", r.FairnessJain)}
+	}
+	b.WriteString(table("Capacity: session throughput and saturation vs shard count",
+		[]string{"shards", "offered/s", "started", "done", "aborted", "ops/s", "sess/s",
+			"weak ms", "final ms", "p99 ms", "batch", "util %", "jain"}, out))
+	fmt.Fprintf(&b, "scaling: %.2fx ops throughput from %d to %d shards\n",
+		res.ScalingX, res.Rows[0].Shards, res.Rows[len(res.Rows)-1].Shards)
+	for _, r := range res.Rows {
+		if c := r.Check; c != nil {
+			fmt.Fprintf(&b, "check shards=%d: %d sessions, %d ops, sha256 %.12s…", r.Shards, c.Clients, c.Ops, c.HistoryDigest)
+			if n := c.Violations(); n == 0 {
+				b.WriteString(" — session guarantees + register linearizability: OK\n")
+			} else {
+				fmt.Fprintf(&b, " — %d VIOLATIONS (replay with -seed %d):\n", n, res.Seed)
+				for _, v := range c.SessionViolations {
+					fmt.Fprintf(&b, "  %s\n", v)
+				}
+				for _, v := range c.LinViolations {
+					fmt.Fprintf(&b, "  %s\n", v)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
 // FormatSweep renders the quorum x geography sweep table.
 func FormatSweep(res *SweepResult) string {
 	var b strings.Builder
@@ -359,11 +400,11 @@ func FormatSweep(res *SweepResult) string {
 	out := make([][]string, len(res.Rows))
 	for i, r := range res.Rows {
 		out[i] = []string{r.Geography, fmt.Sprintf("x%.2g", r.RTTScale), fmt.Sprintf("%d", r.Quorum),
-			fmt.Sprintf("%.0f", r.ThroughputOps),
+			fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%.0f", r.ThroughputOps),
 			fmt.Sprintf("%.1f", r.PrelimMeanMs), fmt.Sprintf("%.1f", r.FinalMeanMs),
 			fmt.Sprintf("%.1f", r.PrelimP99Ms), fmt.Sprintf("%.1f", r.FinalP99Ms)}
 	}
-	b.WriteString(table("Sweep: CC read latency vs quorum and geography",
-		[]string{"geography", "rtt", "quorum", "ops/s", "prelim ms", "final ms", "prelim p99", "final p99"}, out))
+	b.WriteString(table("Sweep: CC read latency vs quorum, geography and shards",
+		[]string{"geography", "rtt", "quorum", "shards", "ops/s", "prelim ms", "final ms", "prelim p99", "final p99"}, out))
 	return b.String()
 }

@@ -188,6 +188,18 @@ func (p *plantedBinding) SubmitOperation(ctx context.Context, op binding.Operati
 func huntKey(i int) string       { return fmt.Sprintf("k-%02d", i) }
 func huntCausalKey(i int) string { return fmt.Sprintf("c-%02d", i) }
 
+// huntShards maps a profile to the world's cluster shard count: the
+// sharded nemesis product runs its schedules against a 4-shard ring, so
+// cross-shard quorum reads, routing hops and shard-tagged hint replay all
+// execute under the checkers. The shard count rides the profile name, so
+// repros (which archive the profile) rebuild the same world.
+func huntShards(profile string) int {
+	if profile == "tracks-sharded" {
+		return 4
+	}
+	return 1
+}
+
 // runHuntWorld builds and runs one world on a fresh VirtualClock and
 // checks every recorded history. Three populations share the composed
 // fault schedule:
@@ -207,7 +219,11 @@ func runHuntWorld(w huntWorld) *huntOutcome {
 	cfg := Config{Seed: w.Seed}
 	h := newHarness(cfg)
 	inj := faults.Attach(h.tr, faults.Compose(w.Tracks...), w.Seed+3)
-	cluster := h.newCassandra(cfg, cassandraOpts{correctable: true, opTimeout: 3 * w.Unit})
+	cluster := h.newCassandra(cfg, cassandraOpts{
+		correctable: true,
+		opTimeout:   3 * w.Unit,
+		shards:      huntShards(w.Profile),
+	})
 	// The checked keyspace is deliberately NOT preloaded: preloads consume
 	// store-wide version timestamps outside the recorded history, which the
 	// register checker would (correctly) flag as phantom writes. The causal

@@ -127,3 +127,47 @@ func TestHuntCleanSweepSmoke(t *testing.T) {
 		t.Fatalf("sweep did not run: %+v", res)
 	}
 }
+
+// TestHuntShardedProfileClean: the sharded nemesis product runs the same
+// partition + WAN schedules against a 4-shard ring — cross-shard quorum
+// reads, non-token-aware routing hops and shard-tagged hint replay all sit
+// under the session and register checkers, and the histories must stay as
+// clean as the unsharded world's.
+func TestHuntShardedProfileClean(t *testing.T) {
+	res, err := Hunt(Config{Seed: 42, Quick: true}, HuntOptions{
+		Seeds:     4,
+		StartSeed: 42,
+		Profiles:  []string{"tracks-sharded"},
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatalf("Hunt: %v", err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("sharded sweep found %d violations; first: %s",
+			len(res.Findings), res.Findings[0].Violation)
+	}
+	if res.Runs != 4 || res.Ops == 0 {
+		t.Fatalf("sweep did not run: %+v", res)
+	}
+}
+
+// TestHuntShardedPlantedViolationShardTagged: the planted-bug self-test on
+// the sharded profile — the checkers must still catch the corruption when
+// operations cross shard boundaries, proving the sharded plane does not
+// mask real violations.
+func TestHuntShardedPlantedViolationShardTagged(t *testing.T) {
+	res, err := Hunt(Config{Seed: 42, Quick: true}, HuntOptions{
+		Seeds:     6,
+		StartSeed: 42,
+		Profiles:  []string{"tracks-sharded"},
+		Workers:   4,
+		Plant:     true,
+	})
+	if err != nil {
+		t.Fatalf("Hunt: %v", err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("planted bug not detected on the sharded profile")
+	}
+}

@@ -22,6 +22,12 @@ type SweepRow struct {
 	RTTScale float64 `json:"rtt_scale"`
 	// Quorum is the read quorum size (R out of 3 replicas).
 	Quorum int `json:"quorum"`
+	// Shards is the cluster's token-ring shard count. The geography/quorum
+	// cells run unsharded (1); the shard axis holds geography and quorum at
+	// the paper's deployment and varies the ring alone, so the extra rows
+	// isolate the routing-hop cost non-token-aware clients pay once keys
+	// spread over many shards.
+	Shards int `json:"shards"`
 	// ThroughputOps is attained ops/s summed over the three regional clients.
 	ThroughputOps float64 `json:"throughput_ops"`
 	// PrelimMeanMs / FinalMeanMs are the IRL client's mean read-view
@@ -93,33 +99,42 @@ func Sweep(cfg Config) *SweepResult {
 		DurationMs:  metrics.Ms(dur),
 		Seed:        cfg.Seed,
 	}
+	cell := func(geoName string, scale float64, quorum, shards int) {
+		h := newHarnessWith(cfg, scaledLatencies(scale))
+		cluster := h.newCassandra(cfg, cassandraOpts{correctable: true, shards: shards})
+		preloadDataset(cluster, w)
+		results := runGroups(cluster, w, quorum, true, threads/3, ycsb.Options{
+			Duration: dur,
+			Warmup:   warmup,
+			Seed:     cfg.Seed,
+		})
+		h.drain()
+		var total float64
+		for _, r := range results {
+			total += r.ThroughputOps
+		}
+		irl := results[1] // group order follows cluster.Regions(): FRK, IRL, VRG
+		res.Rows = append(res.Rows, SweepRow{
+			Geography:     geoName,
+			RTTScale:      scale,
+			Quorum:        quorum,
+			Shards:        shards,
+			ThroughputOps: total,
+			PrelimMeanMs:  metrics.Ms(irl.ReadPrelim.Mean()),
+			FinalMeanMs:   metrics.Ms(irl.ReadFinal.Mean()),
+			PrelimP99Ms:   metrics.Ms(irl.ReadPrelim.Percentile(99)),
+			FinalP99Ms:    metrics.Ms(irl.ReadFinal.Percentile(99)),
+		})
+	}
 	for _, geo := range sweepGeographies() {
 		for quorum := 1; quorum <= 3; quorum++ {
-			h := newHarnessWith(cfg, scaledLatencies(geo.scale))
-			cluster := h.newCassandra(cfg, cassandraOpts{correctable: true})
-			preloadDataset(cluster, w)
-			results := runGroups(cluster, w, quorum, true, threads/3, ycsb.Options{
-				Duration: dur,
-				Warmup:   warmup,
-				Seed:     cfg.Seed,
-			})
-			h.drain()
-			var total float64
-			for _, r := range results {
-				total += r.ThroughputOps
-			}
-			irl := results[1] // group order follows cluster.Regions(): FRK, IRL, VRG
-			res.Rows = append(res.Rows, SweepRow{
-				Geography:     geo.name,
-				RTTScale:      geo.scale,
-				Quorum:        quorum,
-				ThroughputOps: total,
-				PrelimMeanMs:  metrics.Ms(irl.ReadPrelim.Mean()),
-				FinalMeanMs:   metrics.Ms(irl.ReadFinal.Mean()),
-				PrelimP99Ms:   metrics.Ms(irl.ReadPrelim.Percentile(99)),
-				FinalP99Ms:    metrics.Ms(irl.ReadFinal.Percentile(99)),
-			})
+			cell(geo.name, geo.scale, quorum, 1)
 		}
+	}
+	// Shard-count axis: the paper deployment's geography and quorum, ring
+	// width varied alone.
+	for _, shards := range []int{2, 4, 8} {
+		cell("paper", 1, 2, shards)
 	}
 	return res
 }

@@ -20,16 +20,25 @@ func TestSweepQuorumGeography(t *testing.T) {
 	}
 	res, js := run()
 	t.Logf("\n%s", FormatSweep(res))
-	if len(res.Rows) != 9 {
-		t.Fatalf("rows = %d, want 3 geographies x 3 quorums", len(res.Rows))
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 3 geographies x 3 quorums + 3 shard counts", len(res.Rows))
 	}
 	cell := func(geo string, quorum int) SweepRow {
 		for _, r := range res.Rows {
-			if r.Geography == geo && r.Quorum == quorum {
+			if r.Geography == geo && r.Quorum == quorum && r.Shards == 1 {
 				return r
 			}
 		}
 		t.Fatalf("missing cell %s/R=%d", geo, quorum)
+		return SweepRow{}
+	}
+	shardCell := func(shards int) SweepRow {
+		for _, r := range res.Rows {
+			if r.Shards == shards {
+				return r
+			}
+		}
+		t.Fatalf("missing shard cell %d", shards)
 		return SweepRow{}
 	}
 	for _, r := range res.Rows {
@@ -67,6 +76,25 @@ func TestSweepQuorumGeography(t *testing.T) {
 	if m, i := cell("metro", 2), cell("intercontinental", 2); i.FinalMeanMs < 2*m.FinalMeanMs {
 		t.Errorf("final latency barely grows with distance: metro %.1f ms vs intercontinental %.1f ms",
 			m.FinalMeanMs, i.FinalMeanMs)
+	}
+
+	// Shard axis (paper geography, R=2): the clients are not token-aware,
+	// so keys owned by a non-zero shard pay the contact node's routing hop
+	// — widening the ring must never make the preliminary view faster than
+	// the unsharded cell, and every shard row still serves traffic.
+	base := cell("paper", 2)
+	for _, n := range []int{2, 4, 8} {
+		r := shardCell(n)
+		if r.Geography != "paper" || r.Quorum != 2 {
+			t.Errorf("shard cell %d ran at %s/R=%d, want paper/R=2", n, r.Geography, r.Quorum)
+		}
+		if r.ThroughputOps <= 0 {
+			t.Errorf("shards=%d: no throughput", n)
+		}
+		if r.PrelimMeanMs < base.PrelimMeanMs {
+			t.Errorf("shards=%d preliminary (%.2f ms) beat the unsharded cell (%.2f ms) despite routing hops",
+				n, r.PrelimMeanMs, base.PrelimMeanMs)
+		}
 	}
 
 	_, js2 := run()

@@ -27,11 +27,18 @@ type ReadView struct {
 
 // Client issues operations against a cluster from a given client region via
 // a fixed coordinator (contact) replica, exactly like a storage driver
-// pinned to a contact point.
+// pinned to a contact point. On a sharded cluster the contact is the
+// shard-0 replica of the coordinator region: requests for keys owned by
+// another shard pay a routing hop (ring lookup plus an intra-region
+// forward) unless the client is TokenAware.
 type Client struct {
 	cluster     *Cluster
 	Region      netsim.Region
 	Coordinator netsim.Region
+	// TokenAware clients maintain their own view of the token ring (like
+	// Cassandra's token-aware drivers) and address the key's owner-shard
+	// coordinator directly, skipping the contact node's routing hop.
+	TokenAware bool
 }
 
 // NewClient creates a client in clientRegion contacting the coordinator
@@ -44,6 +51,31 @@ func NewClient(cluster *Cluster, clientRegion, coordRegion netsim.Region) *Clien
 
 // Cluster returns the client's cluster.
 func (c *Client) Cluster() *Cluster { return c.cluster }
+
+// route carries a request of the given wire size from the client to the
+// coordinator replica serving shard, and returns that replica. The client
+// always talks to its contact point (the coordinator region's shard-0
+// replica); when the key belongs to another shard the contact performs the
+// routing hop — ring lookup service time plus an intra-region forward —
+// unless the client is token-aware and addressed the owner directly.
+func (c *Client) route(shard, reqSize int) *Replica {
+	cl := c.cluster
+	tr := cl.tr
+	tr.Travel(c.Region, c.Coordinator, netsim.LinkClient, reqSize)
+	owner := cl.replicas[c.Coordinator][shard]
+	if shard == 0 || c.TokenAware {
+		return owner
+	}
+	contact := cl.replicas[c.Coordinator][0]
+	var routeSp trace.SpanID
+	if trc := cl.trc; trc != nil {
+		routeSp = trc.Begin(cl.phaseTrk[c.Coordinator], trace.CatRoute, "route", "", tr.Clock().Now())
+	}
+	contact.server.Process(cl.cfg.RouteServiceTime)
+	tr.Travel(c.Coordinator, c.Coordinator, netsim.LinkReplica, reqSize)
+	cl.trc.End(routeSp, tr.Clock().Now())
+	return owner
+}
 
 // Read performs a read with the given read quorum size. If wantPrelim is
 // true (and the cluster is Correctable), the coordinator leaks a
@@ -79,10 +111,10 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 
 	tr := c.cluster.tr
 	clock := tr.Clock()
-	coord := c.cluster.Replica(c.Coordinator)
 
-	// Client -> coordinator request.
-	tr.Travel(c.Region, c.Coordinator, netsim.LinkClient, readRequestSize(key))
+	// Client -> coordinator request, routed to the key's owner shard.
+	shard := c.cluster.ShardOf(key)
+	coord := c.route(shard, readRequestSize(key))
 
 	// Coordinator local read.
 	coord.server.Process(cfg.ReadServiceTime)
@@ -129,7 +161,7 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 		results := clock.NewQueue()
 		for _, peer := range peers {
 			peer := peer
-			peerReplica := c.cluster.Replica(peer)
+			peerReplica := c.cluster.ReplicaAt(shard, peer)
 			clock.Go(func() {
 				tr.Travel(c.Coordinator, peer, netsim.LinkReplica, replicaReadRequestSize(key))
 				peerReplica.server.Process(cfg.ReadServiceTime)
@@ -158,7 +190,7 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 			if trc := c.cluster.trc; trc != nil {
 				trc.Instant(c.cluster.phaseTrk[c.Coordinator], "read-repair", key, clock.Now())
 			}
-			c.repairAsync(key, reconciled)
+			c.repairAsync(shard, key, reconciled)
 		}
 	}
 
@@ -186,11 +218,11 @@ func (c *Client) read(key string, quorum int, wantPrelim bool, onView func(ReadV
 	return nil
 }
 
-// repairAsync pushes the reconciled version to every replica that may be
-// stale (fire and forget, off the critical path).
-func (c *Client) repairAsync(key string, v Versioned) {
+// repairAsync pushes the reconciled version to every replica of the key's
+// shard that may be stale (fire and forget, off the critical path).
+func (c *Client) repairAsync(shard int, key string, v Versioned) {
 	for _, region := range c.cluster.order {
-		replica := c.cluster.Replica(region)
+		replica := c.cluster.ReplicaAt(shard, region)
 		if region == c.Coordinator {
 			replica.tab.apply(key, v)
 			continue
@@ -230,9 +262,8 @@ func (c *Client) write(key string, value []byte, w int) (Versioned, error) {
 	}
 	tr := c.cluster.tr
 	clock := tr.Clock()
-	coord := c.cluster.Replica(c.Coordinator)
-
-	tr.Travel(c.Region, c.Coordinator, netsim.LinkClient, writeRequestSize(key, value))
+	shard := c.cluster.ShardOf(key)
+	coord := c.route(shard, writeRequestSize(key, value))
 	coord.server.Process(cfg.WriteServiceTime)
 
 	v := Versioned{
@@ -252,7 +283,7 @@ func (c *Client) write(key string, value []byte, w int) (Versioned, error) {
 	acks := clock.NewGroup()
 	for i, peer := range peers {
 		peer := peer
-		peerReplica := c.cluster.Replica(peer)
+		peerReplica := c.cluster.ReplicaAt(shard, peer)
 		if i < needSync {
 			// Synchronous propagation for the write quorum.
 			acks.Add(1)
@@ -266,7 +297,7 @@ func (c *Client) write(key string, value []byte, w int) (Versioned, error) {
 		} else if c.cluster.hintable(c.Coordinator, peer) {
 			// The peer is down or severed: the async send would be lost in
 			// flight. Buffer a hint instead and replay it on rejoin.
-			c.cluster.bufferHint(c.Coordinator, peer, key, v)
+			c.cluster.bufferHint(c.Coordinator, peer, shard, key, v)
 		} else {
 			// Asynchronous replication with batching delay.
 			tr.SendAfter(cfg.ReplicationDelay, c.Coordinator, peer, netsim.LinkReplica,

@@ -9,16 +9,31 @@ import (
 	"time"
 
 	"correctables/internal/netsim"
+	"correctables/internal/ring"
 	"correctables/internal/trace"
 )
 
 // Config describes a simulated Cassandra cluster.
 type Config struct {
-	// Regions places one replica per region; len(Regions) is the
+	// Regions places one replica per region per shard; len(Regions) is the
 	// replication factor (the paper uses 3).
 	Regions []netsim.Region
 	// Transport carries all messages (required).
 	Transport *netsim.Transport
+
+	// Shards partitions the token space over a consistent-hash ring
+	// (internal/ring): each shard owns a slice of the keyspace and gets its
+	// own replica per region, so the replication factor and quorum geometry
+	// are unchanged while aggregate capacity scales with Shards. Default 1
+	// — the unsharded cluster the paper's figures run on.
+	Shards int
+	// VNodes is the number of virtual nodes per shard on the token ring
+	// (default 64).
+	VNodes int
+	// RouteServiceTime is the contact node's work to look up the ring and
+	// forward a request whose key belongs to another shard's coordinator
+	// (default 250µs). Token-aware clients skip this hop entirely.
+	RouteServiceTime time.Duration
 
 	// Correctable enables the CC server-side modification: the coordinator
 	// leaks a preliminary response after its local read, before gathering a
@@ -70,6 +85,15 @@ type Config struct {
 
 func (c *Config) withDefaults() Config {
 	out := *c
+	if out.Shards <= 0 {
+		out.Shards = 1
+	}
+	if out.VNodes <= 0 {
+		out.VNodes = 64
+	}
+	if out.RouteServiceTime == 0 {
+		out.RouteServiceTime = 250 * time.Microsecond
+	}
 	if out.Workers == 0 {
 		out.Workers = 4
 	}
@@ -97,9 +121,11 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// Replica is one storage node.
+// Replica is one storage node: the replica of one shard in one region.
 type Replica struct {
 	Region netsim.Region
+	// Shard is the token-ring shard this replica serves.
+	Shard  int
 	ID     uint8
 	tab    *table
 	server *netsim.Server
@@ -123,11 +149,16 @@ func (r *Replica) Server() *netsim.Server { return r.server }
 // on one RNG lock.
 const readRepairShards = 16
 
-// Cluster is a set of replicas plus the shared transport.
+// Cluster is a set of replicas plus the shared transport. With Shards > 1
+// the replicas form a grid: one replica per (shard, region), keys placed on
+// shards by the consistent-hash token ring.
 type Cluster struct {
-	cfg      Config
-	tr       *netsim.Transport
-	replicas map[netsim.Region]*Replica
+	cfg Config
+	tr  *netsim.Transport
+	// replicas maps each region to its per-shard replicas (indexed by
+	// shard). Slice layout keeps all iteration deterministic.
+	replicas map[netsim.Region][]*Replica
+	ring     *ring.Ring
 	order    []netsim.Region
 	// proximity caches, per coordinator region, every other replica region
 	// sorted closest-first. Computed once at construction: the peer order
@@ -164,7 +195,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:      cfg,
 		tr:       cfg.Transport,
-		replicas: make(map[netsim.Region]*Replica, len(cfg.Regions)),
+		replicas: make(map[netsim.Region][]*Replica, len(cfg.Regions)),
+		ring:     ring.New(ring.Config{Shards: cfg.Shards, VNodes: cfg.VNodes, Seed: cfg.Seed}),
 	}
 	for i := range c.repair {
 		c.repair[i].rng = randv2.New(randv2.NewPCG(uint64(cfg.Seed+7), uint64(i)))
@@ -173,12 +205,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if _, dup := c.replicas[region]; dup {
 			return nil, fmt.Errorf("cassandra: duplicate replica region %s", region)
 		}
-		c.replicas[region] = &Replica{
-			Region: region,
-			ID:     uint8(i),
-			tab:    newTable(),
-			server: netsim.NewServer(cfg.Transport.Clock(), cfg.Workers),
+		reps := make([]*Replica, cfg.Shards)
+		for sh := range reps {
+			reps[sh] = &Replica{
+				Region: region,
+				Shard:  sh,
+				ID:     uint8(i),
+				tab:    newTable(),
+				server: netsim.NewServer(cfg.Transport.Clock(), cfg.Workers),
+			}
 		}
+		c.replicas[region] = reps
 		c.order = append(c.order, region)
 	}
 	c.proximity = make(map[netsim.Region][]netsim.Region, len(c.order))
@@ -196,15 +233,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 // SetTrace threads a span tracer through the cluster: each replica's
-// bounded server records queue/service spans on "server/<region>", and
-// the client protocol paths record phase spans (preliminary flush, quorum
-// wait, read repair, hint replay) on "cass/<region>" coordinator tracks.
-// Install at wiring time, before traffic starts.
+// bounded server records queue/service spans on "server/<region>" (shard 0)
+// or "server/<region>#<shard>", and the client protocol paths record phase
+// spans (preliminary flush, quorum wait, read repair, shard routing, batch
+// dispatch, hint replay) on "cass/<region>" coordinator tracks. Install at
+// wiring time, before traffic starts.
 func (c *Cluster) SetTrace(t *trace.Tracer) {
 	c.trc = t
 	c.phaseTrk = make(map[netsim.Region]trace.Track, len(c.order))
 	for _, region := range c.order {
-		c.replicas[region].server.SetTrace(t, "server/"+string(region))
+		for sh, rep := range c.replicas[region] {
+			name := "server/" + string(region)
+			if sh > 0 {
+				name = fmt.Sprintf("server/%s#%d", region, sh)
+			}
+			rep.server.SetTrace(t, name)
+		}
 		c.phaseTrk[region] = t.Track("cass/" + string(region))
 	}
 }
@@ -215,13 +259,38 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Transport returns the cluster transport.
 func (c *Cluster) Transport() *netsim.Transport { return c.tr }
 
-// Replica returns the replica in the given region.
+// Replica returns the shard-0 replica in the given region — the contact
+// node default clients connect to (and the whole region on an unsharded
+// cluster). Admission controllers sample its queue delay as the
+// backpressure signal.
 func (c *Cluster) Replica(region netsim.Region) *Replica {
-	r, ok := c.replicas[region]
+	return c.ReplicaAt(0, region)
+}
+
+// ReplicaAt returns the replica of the given shard in the given region.
+func (c *Cluster) ReplicaAt(shard int, region netsim.Region) *Replica {
+	reps, ok := c.replicas[region]
 	if !ok {
 		panic(fmt.Sprintf("cassandra: no replica in region %s", region))
 	}
-	return r
+	if shard < 0 || shard >= len(reps) {
+		panic(fmt.Sprintf("cassandra: no shard %d (have %d)", shard, len(reps)))
+	}
+	return reps[shard]
+}
+
+// Ring returns the cluster's token ring.
+func (c *Cluster) Ring() *ring.Ring { return c.ring }
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// ShardOf returns the shard owning key per the token ring.
+func (c *Cluster) ShardOf(key string) int {
+	if c.cfg.Shards == 1 {
+		return 0
+	}
+	return c.ring.ShardOf(key)
 }
 
 // Regions returns the replica regions in declaration order.
@@ -278,11 +347,12 @@ func (c *Cluster) NearestRemote(from netsim.Region) netsim.Region {
 	return best
 }
 
-// Preload writes initial data directly into every replica (no traffic, no
-// latency): the dataset-loading phase of an experiment.
+// Preload writes initial data directly into the key's owner-shard replicas
+// (no traffic, no latency): the dataset-loading phase of an experiment.
 func (c *Cluster) Preload(key string, value []byte) {
 	v := Versioned{Value: append([]byte(nil), value...), TS: c.nextTS(), Exists: true}
-	for _, r := range c.replicas {
-		r.tab.apply(key, v)
+	sh := c.ShardOf(key)
+	for _, region := range c.order {
+		c.replicas[region][sh].tab.apply(key, v)
 	}
 }

@@ -26,8 +26,9 @@ import (
 // replica for its quorum still blocks (and fails via OpTimeout), because a
 // hint is not an acknowledgment.
 
-// hint is one buffered mutation.
+// hint is one buffered mutation, tagged with the owner shard it replays to.
 type hint struct {
+	shard   int
 	key     string
 	v       Versioned
 	expires time.Duration
@@ -75,7 +76,7 @@ func (c *Cluster) hintable(coord, peer netsim.Region) bool {
 
 // bufferHint queues a mutation for an unreachable peer, evicting the oldest
 // hint past the per-peer cap.
-func (c *Cluster) bufferHint(coord, peer netsim.Region, key string, v Versioned) {
+func (c *Cluster) bufferHint(coord, peer netsim.Region, shard int, key string, v Versioned) {
 	h := &c.hints
 	now := c.tr.Clock().Now()
 	h.mu.Lock()
@@ -89,7 +90,7 @@ func (c *Cluster) bufferHint(coord, peer netsim.Region, key string, v Versioned)
 		q = q[1:]
 		h.stats.Dropped++
 	}
-	peers[peer] = append(q, hint{key: key, v: v, expires: now + c.cfg.HintTTL})
+	peers[peer] = append(q, hint{shard: shard, key: key, v: v, expires: now + c.cfg.HintTTL})
 	h.stats.Queued++
 	h.mu.Unlock()
 	if c.trc != nil {
@@ -138,7 +139,7 @@ func (c *Cluster) replayHints() {
 	h.mu.Unlock()
 
 	for _, f := range flushes {
-		replica := c.Replica(f.peer)
+		reps := c.replicas[f.peer]
 		// The replay span covers the flush burst until its last delivery;
 		// deliveries are async sends, so the end instant is the latest
 		// scheduled arrival rather than a blocking wait.
@@ -152,7 +153,7 @@ func (c *Cluster) replayHints() {
 			hn := hn
 			c.tr.Send(f.coord, f.peer, netsim.LinkReplica,
 				replicationSize(hn.key, hn.v.Value), func() {
-					replica.tab.apply(hn.key, hn.v)
+					reps[hn.shard].tab.apply(hn.key, hn.v)
 					if remaining.Add(-1) == 0 {
 						c.trc.End(replaySp, c.tr.Clock().Now())
 					}

@@ -75,7 +75,7 @@ func ProfileByName(name string, unit time.Duration) (Profile, error) {
 // ProfileNames lists every name ProfilesByName resolves: the single-track
 // profiles and the composed track products.
 func ProfileNames() []string {
-	return []string{"mild", "harsh", "tracks-mild", "tracks-harsh"}
+	return []string{"mild", "harsh", "tracks-mild", "tracks-harsh", "tracks-sharded"}
 }
 
 // trackProfile is one per-kind nemesis track: a Profile with a single fault
@@ -109,9 +109,14 @@ func trackProfile(name string, unit time.Duration, gap, dur time.Duration) Profi
 //     roughly the mild cadence.
 //   - tracks-harsh: partitions + rolling crashes + lossy WAN, each at the
 //     harsh cadence, so all three nemeses routinely overlap.
+//   - tracks-sharded: the tracks-mild product for sharded worlds. The
+//     schedules are the same partition + WAN nemeses; consumers that
+//     recognize the name (the bench hunt) run them against a multi-shard
+//     cluster, so cross-shard quorum reads and shard-tagged hint replay go
+//     under the checkers.
 func ProfilesByName(name string, unit time.Duration) ([]Profile, error) {
 	switch name {
-	case "tracks-mild":
+	case "tracks-mild", "tracks-sharded":
 		return []Profile{
 			trackProfile("partitions", unit, 6*unit, 2*unit),
 			trackProfile("wan", unit, 4*unit, 2*unit),

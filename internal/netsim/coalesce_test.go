@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescerSingleFlushPerWindow: every Touch inside one window rides a
+// single flush; a Touch after the flush opens a fresh window.
+func TestCoalescerSingleFlushPerWindow(t *testing.T) {
+	c := NewVirtualClock()
+	var mu sync.Mutex
+	var flushes []struct {
+		key int
+		at  time.Duration
+	}
+	co := NewCoalescer(c, 5*time.Millisecond, 3, func(key int) {
+		mu.Lock()
+		flushes = append(flushes, struct {
+			key int
+			at  time.Duration
+		}{key, c.Now()})
+		mu.Unlock()
+	})
+
+	if !co.Touch(1) {
+		t.Fatal("first Touch must arm the timer")
+	}
+	if co.Touch(1) || co.Touch(1) {
+		t.Fatal("Touches within the window must not re-arm")
+	}
+	if !co.Touch(2) {
+		t.Fatal("a different key arms independently")
+	}
+	c.Drain()
+	if len(flushes) != 2 {
+		t.Fatalf("got %d flushes, want 2: %+v", len(flushes), flushes)
+	}
+	for _, f := range flushes {
+		if f.at != 5*time.Millisecond {
+			t.Errorf("key %d flushed at %v, want 5ms", f.key, f.at)
+		}
+	}
+
+	// Fresh window after dispatch.
+	if !co.Touch(1) {
+		t.Fatal("post-flush Touch must arm again")
+	}
+	c.Drain()
+	if len(flushes) != 3 {
+		t.Fatalf("got %d flushes after re-arm, want 3", len(flushes))
+	}
+	if last := flushes[2]; last.key != 1 || last.at != 10*time.Millisecond {
+		t.Errorf("re-armed flush = %+v, want key 1 at 10ms", last)
+	}
+}
+
+// TestCoalescerTouchDuringFlush: a Touch issued from inside the flush
+// callback opens a new window rather than being swallowed.
+func TestCoalescerTouchDuringFlush(t *testing.T) {
+	c := NewVirtualClock()
+	count := 0
+	var co *Coalescer
+	co = NewCoalescer(c, time.Millisecond, 1, func(key int) {
+		count++
+		if count == 1 {
+			if !co.Touch(key) {
+				t.Error("Touch from inside flush must arm a fresh window")
+			}
+		}
+	})
+	co.Touch(0)
+	c.Drain()
+	if count != 2 {
+		t.Fatalf("flush ran %d times, want 2", count)
+	}
+}
+
+// TestCoalescerZeroWindow: a zero window still coalesces same-instant
+// touches into one flush.
+func TestCoalescerZeroWindow(t *testing.T) {
+	c := NewVirtualClock()
+	count := 0
+	co := NewCoalescer(c, 0, 1, func(int) { count++ })
+	co.Touch(0)
+	co.Touch(0)
+	co.Touch(0)
+	c.Drain()
+	if count != 1 {
+		t.Fatalf("zero-window flushes = %d, want 1", count)
+	}
+}
+
+// TestServerReserveMatchesProcess: Reserve books exactly the capacity
+// Process would, and a batch that reserves k slots then sleeps once on the
+// latest deadline observes the same completion time as k serial Process
+// calls spread over the worker slots.
+func TestServerReserveMatchesProcess(t *testing.T) {
+	c := NewVirtualClock()
+	s := NewServer(c, 2)
+	const cost = 4 * time.Millisecond
+
+	// 4 reservations on 2 slots: completions at 4, 4, 8, 8 ms.
+	var latest time.Duration
+	for i := 0; i < 4; i++ {
+		if end := s.Reserve(cost); end > latest {
+			latest = end
+		}
+	}
+	if latest != 8*time.Millisecond {
+		t.Fatalf("latest batch deadline = %v, want 8ms", latest)
+	}
+	c.SleepUntil(latest)
+	if got := s.BusyModelTime(); got != 16*time.Millisecond {
+		t.Fatalf("busy model time = %v, want 16ms", got)
+	}
+	if got := s.Handled(); got != 4 {
+		t.Fatalf("handled = %d, want 4", got)
+	}
+	if d := s.QueueDelay(); d != 0 {
+		t.Fatalf("queue delay after drain = %v, want 0", d)
+	}
+}

@@ -77,6 +77,16 @@ func (s *Server) SetTrace(trc *trace.Tracer, track string) {
 // Process occupies a worker slot for the model-time cost, blocking through
 // any queueing delay plus the service time itself.
 func (s *Server) Process(cost time.Duration) {
+	s.clock.SleepUntil(s.Reserve(cost))
+}
+
+// Reserve books a worker slot for cost without blocking and returns the
+// model instant the reserved work completes; the caller SleepUntils the
+// deadline itself. The batched dispatch path reserves one slot per
+// coalesced operation — paying the queueing model exactly per op — and
+// then blocks once on the latest deadline, so a batch of k operations
+// arms one timer instead of k.
+func (s *Server) Reserve(cost time.Duration) time.Duration {
 	now := s.clock.Now()
 	end := s.reserve(cost, now)
 	if s.trc != nil {
@@ -85,7 +95,7 @@ func (s *Server) Process(cost time.Duration) {
 		}
 		s.trc.Span(s.trcTrack, trace.CatServer, "serve", "", end-cost, end)
 	}
-	s.clock.SleepUntil(end)
+	return end
 }
 
 // TryProcess is Process but gives up immediately if every slot is already

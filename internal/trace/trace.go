@@ -50,6 +50,13 @@ const (
 	CatHint
 	// CatElection covers leader-election windows and resync transfers.
 	CatElection
+	// CatRoute is shard routing: a contact node forwarding a request whose
+	// key lives on another shard's coordinator (token-ring lookup plus the
+	// intra-region hop).
+	CatRoute
+	// CatBatch is a coalesced dispatch: one coordinator round serving every
+	// same-shard operation collected in a batch window.
+	CatBatch
 
 	numCategories
 )
@@ -57,6 +64,7 @@ const (
 var catNames = [numCategories]string{
 	"op", "admission", "net.client", "net.replica", "queue",
 	"server", "flush", "quorum", "repair", "hint", "election",
+	"route", "batch",
 }
 
 // String returns the category's stable report/export name.
